@@ -1,0 +1,280 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Shared harness for the figure/table reproduction benchmarks.
+//
+// RunDistributed() owns the boilerplate every experiment needs: build the
+// simulated cluster, cut the global graph into per-machine partitions, run
+// one engine per machine, gather the results (per-machine busy time,
+// traffic, progress samples) and copy owned vertex data back into the
+// global graph for accuracy metrics.
+//
+// ---------------------------------------------------------------------
+// Modeled cluster wall-clock
+// ---------------------------------------------------------------------
+// This reproduction executes all "machines" on one host, so measured wall
+// time cannot show compute speedup from added machines (every simulated
+// core shares the physical ones).  For the scaling figures we therefore
+// report a *modeled* cluster wall-clock assembled from measured per-machine
+// quantities:
+//
+//   T_model = max_m(busy_m) / threads      (perfectly parallel compute)
+//           + max_m(bytes_sent_m) / BW     (interconnect serialization)
+//           + sync_points * 4 * latency    (barrier round trips)
+//
+// busy_m is the measured CPU time machine m spent inside update functions,
+// bytes_m the real serialized traffic it produced; BW and latency are the
+// modeled interconnect (defaults mimic the paper's regime scaled to our
+// workload sizes: the compute/communication *ratio* is what shapes the
+// curves).  Latency-dominated experiments (pipeline length, snapshots,
+// stalls) use measured wall time directly — those effects are real even on
+// one core because injected latency is real waiting.  EXPERIMENTS.md
+// discusses this substitution per figure.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graphlab/baselines/bulk_sync_engine.h"
+#include "graphlab/engine/allreduce.h"
+#include "graphlab/engine/chromatic_engine.h"
+#include "graphlab/engine/locking_engine.h"
+#include "graphlab/engine/snapshot.h"
+#include "graphlab/engine/sync.h"
+#include "graphlab/graph/coloring.h"
+#include "graphlab/graph/distributed_graph.h"
+#include "graphlab/graph/partition.h"
+#include "graphlab/rpc/runtime.h"
+
+namespace graphlab {
+namespace bench {
+
+/// Interconnect model used to convert measured work into the modeled
+/// cluster wall-clock (see file header).
+struct ClusterModel {
+  double bandwidth_bytes_per_sec = 40e6;  // scaled-down 10GbE regime
+  double latency_seconds = 200e-6;
+};
+
+struct DistConfig {
+  size_t machines = 4;
+  size_t threads = 1;           // engine workers per machine
+  uint64_t latency_us = 100;    // injected per-message latency
+  std::string engine = "chromatic";  // "chromatic" | "locking" | "bulksync"
+  std::string scheduler = "fifo";
+  size_t pipeline = 100;
+  uint64_t max_sweeps = 0;      // chromatic / bulksync iteration budget
+  ConsistencyModel consistency = ConsistencyModel::kEdgeConsistency;
+  std::string partition = "random";  // "random" | "block" | "striped" | "bfs"
+  uint64_t partition_seed = 3;
+  // Locking engine extras.
+  SnapshotMode snapshot_mode = SnapshotMode::kNone;
+  uint64_t snapshot_trigger_updates = 0;
+  std::string snapshot_dir;
+  double snapshot_dfs_bandwidth = 0;  // modeled DFS write rate (B/s)
+  uint64_t progress_sample_ms = 0;
+  uint64_t sync_interval_ms = 0;
+  std::vector<std::string> sync_keys;
+  // Injected machine fault (Fig. 4b): stall this machine for stall_ms
+  // once the run has been going for stall_after_ms.
+  uint64_t stall_machine = ~uint64_t{0};
+  uint64_t stall_after_ms = 0;
+  uint64_t stall_ms = 0;
+};
+
+struct PerMachine {
+  double busy_seconds = 0.0;
+  uint64_t bytes_sent = 0;
+  uint64_t updates = 0;
+  std::vector<std::pair<double, uint64_t>> progress;
+};
+
+struct DistOutput {
+  RunResult result;  // machine 0's view (updates/sweeps are cluster-wide)
+  std::vector<PerMachine> machines;
+
+  double MaxBusy() const {
+    double b = 0;
+    for (const auto& m : machines) b = std::max(b, m.busy_seconds);
+    return b;
+  }
+  uint64_t MaxBytes() const {
+    uint64_t b = 0;
+    for (const auto& m : machines) b = std::max(b, m.bytes_sent);
+    return b;
+  }
+  uint64_t TotalBytes() const {
+    uint64_t b = 0;
+    for (const auto& m : machines) b += m.bytes_sent;
+    return b;
+  }
+
+  /// Modeled cluster wall-clock (see file header).  `sync_points` is the
+  /// number of cluster-wide barriers the engine performed (color-steps ×
+  /// sweeps for chromatic; supersteps for bulk-sync; ~1 for locking).
+  double ModeledSeconds(const ClusterModel& model, size_t threads,
+                        uint64_t sync_points) const {
+    return MaxBusy() / static_cast<double>(threads) +
+           static_cast<double>(MaxBytes()) / model.bandwidth_bytes_per_sec +
+           static_cast<double>(sync_points) * 4.0 * model.latency_seconds;
+  }
+};
+
+/// Builds atom_of according to cfg.partition.
+inline PartitionAssignment MakePartition(const GraphStructure& structure,
+                                         const DistConfig& cfg) {
+  AtomId k = static_cast<AtomId>(cfg.machines);
+  if (cfg.partition == "block") {
+    return BlockPartition(structure.num_vertices, k);
+  }
+  if (cfg.partition == "striped") {
+    return StripedPartition(structure.num_vertices, k);
+  }
+  if (cfg.partition == "bfs") {
+    return BfsPartition(structure, k, cfg.partition_seed);
+  }
+  return RandomPartition(structure.num_vertices, k, cfg.partition_seed);
+}
+
+/// Runs one distributed experiment.  `update` is used by the chromatic and
+/// locking engines; `kernel`/`selector` by the bulk-sync engine (leave
+/// empty otherwise).  Owned vertex data is copied back into `global` after
+/// the run so callers can evaluate accuracy.  `register_syncs` (optional)
+/// is called once with the SyncManager before machines start.
+template <typename V, typename E>
+DistOutput RunDistributed(
+    LocalGraph<V, E>* global, const DistConfig& cfg,
+    UpdateFn<DistributedGraph<V, E>> update,
+    typename baselines::BulkSyncEngine<V, E>::Kernel kernel = nullptr,
+    typename baselines::BulkSyncEngine<V, E>::Selector selector = nullptr,
+    std::function<void(SyncManager<DistributedGraph<V, E>>*)> register_syncs =
+        nullptr) {
+  using Graph = DistributedGraph<V, E>;
+  GraphStructure structure = global->Structure();
+  ColorAssignment colors = GreedyColoring(structure);
+  PartitionAssignment atom_of = MakePartition(structure, cfg);
+  std::vector<rpc::MachineId> placement(cfg.machines);
+  for (size_t m = 0; m < cfg.machines; ++m) {
+    placement[m] = static_cast<rpc::MachineId>(m);
+  }
+
+  rpc::ClusterOptions cluster;
+  cluster.num_machines = cfg.machines;
+  cluster.threads_per_machine = cfg.threads;
+  cluster.comm.latency = std::chrono::microseconds(cfg.latency_us);
+  rpc::Runtime runtime(cluster);
+  SumAllReduce allreduce(&runtime.comm(), 1);
+  SyncManager<Graph> sync(&runtime.comm());
+  if (register_syncs) register_syncs(&sync);
+
+  std::vector<Graph> graphs(cfg.machines);
+  DistOutput out;
+  out.machines.resize(cfg.machines);
+  std::mutex out_mutex;
+
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    Graph& graph = graphs[ctx.id];
+    GL_CHECK_OK(graph.InitFromGlobal(*global, atom_of, colors, placement,
+                                     ctx.id, &ctx.comm()));
+    sync.AttachGraph(ctx.id, &graph);
+    ctx.barrier().Wait(ctx.id);
+    if (ctx.id == 0) ctx.comm().ResetStats();
+    ctx.barrier().Wait(ctx.id);
+
+    // Optional injected machine fault.
+    std::thread stall_thread;
+    if (cfg.stall_machine == ctx.id && cfg.stall_ms > 0) {
+      stall_thread = std::thread([&ctx, &cfg] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(cfg.stall_after_ms));
+        ctx.comm().InjectStall(ctx.id,
+                               std::chrono::milliseconds(cfg.stall_ms));
+      });
+    }
+
+    std::unique_ptr<SnapshotManager<V, E>> snapshot;
+    if (!cfg.snapshot_dir.empty()) {
+      snapshot =
+          std::make_unique<SnapshotManager<V, E>>(ctx, &graph,
+                                                  cfg.snapshot_dir);
+      snapshot->SetDfsBandwidth(cfg.snapshot_dfs_bandwidth);
+    }
+
+    RunResult result;
+    if (cfg.engine == "locking") {
+      typename LockingEngine<V, E>::Options eo;
+      eo.num_threads = cfg.threads;
+      eo.scheduler = cfg.scheduler;
+      eo.max_pipeline_length = cfg.pipeline;
+      eo.consistency = cfg.consistency;
+      eo.snapshot_mode = cfg.snapshot_mode;
+      eo.snapshot_trigger_updates = cfg.snapshot_trigger_updates;
+      eo.progress_sample_ms = cfg.progress_sample_ms;
+      eo.sync_interval_ms = cfg.sync_interval_ms;
+      eo.sync_keys = cfg.sync_keys;
+      LockingEngine<V, E> engine(ctx, &graph, &sync, &allreduce,
+                                 snapshot.get(), eo);
+      engine.SetUpdateFn(update);
+      engine.ScheduleAllOwned();
+      result = engine.Run();
+      std::lock_guard<std::mutex> lock(out_mutex);
+      out.machines[ctx.id].progress = engine.progress();
+      out.machines[ctx.id].updates = engine.local_updates();
+    } else if (cfg.engine == "bulksync") {
+      typename baselines::BulkSyncEngine<V, E>::Options eo;
+      eo.num_threads = cfg.threads;
+      eo.max_supersteps = cfg.max_sweeps == 0 ? 10 : cfg.max_sweeps;
+      baselines::BulkSyncEngine<V, E> engine(ctx, &graph, &allreduce, eo);
+      engine.SetKernel(kernel);
+      if (selector) engine.SetSelector(selector);
+      result = engine.Run();
+    } else {
+      typename ChromaticEngine<V, E>::Options eo;
+      eo.num_threads = cfg.threads;
+      eo.max_sweeps = cfg.max_sweeps;
+      eo.consistency = cfg.consistency;
+      eo.sync_keys = cfg.sync_keys;
+      ChromaticEngine<V, E> engine(ctx, &graph, &sync, &allreduce, eo);
+      engine.SetUpdateFn(update);
+      engine.ScheduleAllOwned();
+      result = engine.Run();
+      std::lock_guard<std::mutex> lock(out_mutex);
+      out.machines[ctx.id].updates = engine.local_updates();
+    }
+
+    if (stall_thread.joinable()) stall_thread.join();
+    ctx.barrier().Wait(ctx.id);
+    {
+      std::lock_guard<std::mutex> lock(out_mutex);
+      out.machines[ctx.id].busy_seconds = result.busy_seconds;
+      out.machines[ctx.id].bytes_sent =
+          ctx.comm().GetStats(ctx.id).bytes_sent;
+      if (ctx.id == 0) out.result = result;
+    }
+    ctx.barrier().Wait(ctx.id);
+  });
+
+  // Gather owned vertex data back into the global graph.
+  for (Graph& graph : graphs) {
+    for (LocalVid l : graph.owned_vertices()) {
+      global->vertex_data(graph.Gvid(l)) = graph.vertex_data(l);
+    }
+  }
+  return out;
+}
+
+/// Pretty printing helpers shared by the bench mains.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+inline void PrintNote(const std::string& note) {
+  std::printf("# %s\n", note.c_str());
+}
+
+}  // namespace bench
+}  // namespace graphlab
+
+#endif  // BENCH_BENCH_COMMON_H_

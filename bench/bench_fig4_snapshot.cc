@@ -1,0 +1,273 @@
+// Reproduces Figure 4 and Figure 8(d) (Sec. 4.3): fault tolerance.
+//
+//  F4a  Updates-completed vs time for baseline / synchronous snapshot /
+//       asynchronous (Chandy-Lamport) snapshot.  The synchronous curve
+//       shows the characteristic "flatline"; the asynchronous one only a
+//       slowdown.
+//  F4b  Same with a simulated machine fault: one machine stalls shortly
+//       after the snapshot begins (paper: 15 s on EC2; here scaled to
+//       300 ms).  The sync snapshot pays the full stall; the async one is
+//       barely affected.
+//  F8d  Snapshot overhead (% runtime increase) of one full snapshot per
+//       |V| updates for the three applications.
+//  Eq3  Young et al. optimal checkpoint interval table.
+//
+// These are latency/stall effects: measured wall time is meaningful even
+// on a single-core host.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.h"
+#include "graphlab/apps/als.h"
+#include "graphlab/apps/coem.h"
+#include "graphlab/apps/loopy_bp.h"
+
+namespace graphlab {
+namespace {
+
+using apps::BpEdge;
+using apps::BpVertex;
+
+struct SnapshotCurve {
+  double wall = 0;
+  uint64_t updates = 0;
+  std::vector<std::pair<double, uint64_t>> progress;  // aggregated
+};
+
+SnapshotCurve RunMeshWithSnapshot(SnapshotMode mode, bool inject_fault,
+                                  const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  auto structure = gen::Mesh3D(16, 16, 16, 26);
+  auto graph = apps::BuildMrf(structure, 2, 0.2, 1.2, 5, 64);
+
+  bench::DistConfig cfg;
+  cfg.machines = 4;
+  cfg.threads = 2;
+  cfg.engine = "locking";
+  cfg.scheduler = "fifo";
+  cfg.pipeline = 500;
+  cfg.latency_us = 100;
+  cfg.partition = "bfs";
+  cfg.snapshot_mode = mode;
+  cfg.snapshot_dir = dir;
+  // Fire mid-run: the 5-iteration workload does ~20k updates.
+  cfg.snapshot_trigger_updates = 8000;
+  cfg.snapshot_dfs_bandwidth = 10e6;  // scaled DFS (paper: minutes to HDFS)
+  cfg.progress_sample_ms = 20;
+  if (inject_fault) {
+    cfg.stall_machine = 2;
+    cfg.stall_after_ms = 250;  // shortly after the snapshot trigger
+    cfg.stall_ms = 300;        // paper: 15 s fault, scaled
+  }
+  using Graph = DistributedGraph<BpVertex, BpEdge>;
+  auto out = bench::RunDistributed<BpVertex, BpEdge>(
+      &graph, cfg,
+      apps::MakeBpSweepUpdateFn<Graph>(apps::PottsPotential{2.0}, 5));
+
+  SnapshotCurve curve;
+  curve.wall = out.result.seconds;
+  curve.updates = out.result.updates;
+  // Aggregate progress: sample times are per machine; sum updates at each
+  // machine-0 sample point using the latest sample <= t from each machine.
+  const auto& base = out.machines[0].progress;
+  for (const auto& [t, _] : base) {
+    uint64_t total = 0;
+    for (const auto& m : out.machines) {
+      uint64_t latest = 0;
+      for (const auto& [mt, mu] : m.progress) {
+        if (mt <= t) latest = mu;
+      }
+      total += latest;
+    }
+    curve.progress.emplace_back(t, total);
+  }
+  std::filesystem::remove_all(dir);
+  return curve;
+}
+
+void PrintCurves(const char* title, const SnapshotCurve& baseline,
+                 const SnapshotCurve& sync, const SnapshotCurve& async) {
+  bench::PrintHeader(title);
+  std::printf("time_s,baseline_updates,sync_snapshot_updates,"
+              "async_snapshot_updates\n");
+  size_t rows = std::max({baseline.progress.size(), sync.progress.size(),
+                          async.progress.size()});
+  auto at = [](const SnapshotCurve& c, size_t i) -> std::string {
+    if (i < c.progress.size()) {
+      return std::to_string(c.progress[i].second);
+    }
+    return "";
+  };
+  for (size_t i = 0; i < rows; ++i) {
+    double t = i < baseline.progress.size()
+                   ? baseline.progress[i].first
+                   : (i < sync.progress.size() ? sync.progress[i].first
+                                               : async.progress[i].first);
+    std::printf("%.2f,%s,%s,%s\n", t, at(baseline, i).c_str(),
+                at(sync, i).c_str(), at(async, i).c_str());
+  }
+  std::printf("total wall: baseline=%.3fs sync=%.3fs async=%.3fs\n",
+              baseline.wall, sync.wall, async.wall);
+}
+
+void Fig4aAnd4b() {
+  const std::string dir = "/tmp/gl_bench_snap";
+  auto base = RunMeshWithSnapshot(SnapshotMode::kNone, false, dir);
+  auto sync = RunMeshWithSnapshot(SnapshotMode::kSynchronous, false, dir);
+  auto async = RunMeshWithSnapshot(SnapshotMode::kAsynchronous, false, dir);
+  PrintCurves(
+      "Fig 4(a): updates vs time — baseline / sync snapshot / async "
+      "snapshot (paper: sync flatlines, async only slows)",
+      base, sync, async);
+
+  auto base_f = RunMeshWithSnapshot(SnapshotMode::kNone, true, dir);
+  auto sync_f = RunMeshWithSnapshot(SnapshotMode::kSynchronous, true, dir);
+  auto async_f = RunMeshWithSnapshot(SnapshotMode::kAsynchronous, true, dir);
+  PrintCurves(
+      "Fig 4(b): same with a 300 ms machine fault (paper: 15 s, scaled) — "
+      "sync pays the full stall, async a fraction",
+      base_f, sync_f, async_f);
+  std::printf(
+      "fault penalty vs own no-fault run: baseline=+%.0f ms, sync=+%.0f "
+      "ms, async=+%.0f ms\n",
+      (base_f.wall - base.wall) * 1e3, (sync_f.wall - sync.wall) * 1e3,
+      (async_f.wall - async.wall) * 1e3);
+  bench::PrintNote(
+      "single-core caveat: every run pays most of the stall because the "
+      "stalled machine sits on the termination critical path; the "
+      "distinguishing signal here is the sync snapshot's *flatline* being "
+      "stretched by the fault while async progress merely dents");
+}
+
+void Fig8dOverhead() {
+  bench::PrintHeader(
+      "Fig 8(d): snapshot overhead (%) of one full snapshot per |V| "
+      "updates, per application");
+  const std::string dir = "/tmp/gl_bench_snap8d";
+  std::printf("app,baseline_s,with_sync_snapshot_s,overhead_pct\n");
+
+  // Netflix-ALS on the locking engine (to allow mid-run snapshots).
+  {
+    apps::AlsProblem p;
+    p.num_users = 1000;
+    p.num_items = 100;
+    p.ratings_per_user = 10;
+    const uint32_t d = 8;
+    auto run = [&](SnapshotMode mode) {
+      std::filesystem::remove_all(dir);
+      auto g = apps::BuildAlsGraph(p, d);
+      bench::DistConfig cfg;
+      cfg.machines = 4;
+      cfg.threads = 2;
+      cfg.engine = "locking";
+      cfg.scheduler = "fifo";
+      cfg.pipeline = 200;
+      cfg.latency_us = 50;
+      cfg.snapshot_mode = mode;
+      cfg.snapshot_dir = dir;
+      // One-shot deterministic workload (tolerance never reschedules) so
+      // the runtime difference isolates the snapshot cost.
+      cfg.snapshot_trigger_updates = (p.num_users + p.num_items) / 2;
+      cfg.snapshot_dfs_bandwidth = 10e6;
+      using Graph = DistributedGraph<apps::AlsVertex, apps::AlsEdge>;
+      return bench::RunDistributed<apps::AlsVertex, apps::AlsEdge>(
+                 &g, cfg, apps::MakeAlsUpdateFn<Graph>(0.05, 1e18))
+          .result.seconds;
+    };
+    double baseline = run(SnapshotMode::kNone);
+    double with_snap = run(SnapshotMode::kSynchronous);
+    std::printf("Netflix(d=16),%.3f,%.3f,%.1f%%\n", baseline, with_snap,
+                100.0 * (with_snap - baseline) / baseline);
+  }
+  // CoSeg-like grid LBP.
+  {
+    auto run = [&](SnapshotMode mode) {
+      std::filesystem::remove_all(dir);
+      auto structure = gen::VideoGrid(16, 10, 16);
+      auto g = apps::BuildMrf(structure, 2, 0.2, 1.2, 7, 32);
+      bench::DistConfig cfg;
+      cfg.machines = 4;
+      cfg.threads = 2;
+      cfg.engine = "locking";
+      cfg.scheduler = "priority";
+      cfg.pipeline = 200;
+      cfg.latency_us = 50;
+      cfg.partition = "block";
+      cfg.snapshot_mode = mode;
+      cfg.snapshot_dir = dir;
+      cfg.snapshot_trigger_updates = structure.num_vertices;
+      cfg.snapshot_dfs_bandwidth = 10e6;
+      using Graph = DistributedGraph<BpVertex, BpEdge>;
+      return bench::RunDistributed<BpVertex, BpEdge>(
+                 &g, cfg,
+                 apps::MakeBpSweepUpdateFn<Graph>(apps::PottsPotential{1.5},
+                                                  5))
+          .result.seconds;
+    };
+    double baseline = run(SnapshotMode::kNone);
+    double with_snap = run(SnapshotMode::kSynchronous);
+    std::printf("CoSeg,%.3f,%.3f,%.1f%%\n", baseline, with_snap,
+                100.0 * (with_snap - baseline) / baseline);
+  }
+  // NER-CoEM.
+  {
+    apps::CoemProblem p;
+    p.num_noun_phrases = 2000;
+    p.num_contexts = 500;
+    p.contexts_per_np = 10;
+    auto run = [&](SnapshotMode mode) {
+      std::filesystem::remove_all(dir);
+      auto g = apps::BuildCoemGraph(p);
+      bench::DistConfig cfg;
+      cfg.machines = 4;
+      cfg.threads = 2;
+      cfg.engine = "locking";
+      cfg.scheduler = "fifo";
+      cfg.pipeline = 200;
+      cfg.latency_us = 50;
+      cfg.snapshot_mode = mode;
+      cfg.snapshot_dir = dir;
+      cfg.snapshot_trigger_updates = p.num_noun_phrases / 2;
+      cfg.snapshot_dfs_bandwidth = 10e6;
+      using Graph = DistributedGraph<apps::CoemVertex, apps::CoemEdge>;
+      return bench::RunDistributed<apps::CoemVertex, apps::CoemEdge>(
+                 &g, cfg, apps::MakeCoemUpdateFn<Graph>(1e18))
+          .result.seconds;
+    };
+    double baseline = run(SnapshotMode::kNone);
+    double with_snap = run(SnapshotMode::kSynchronous);
+    std::printf("NER,%.3f,%.3f,%.1f%%\n", baseline, with_snap,
+                100.0 * (with_snap - baseline) / baseline);
+  }
+  std::filesystem::remove_all(dir);
+  bench::PrintNote("paper: 4-8%% for Netflix/CoSeg, ~30%% for NER");
+}
+
+void YoungIntervalTable() {
+  bench::PrintHeader(
+      "Sec 4.3 / Eq. 3: Young's optimal checkpoint interval");
+  std::printf("machines,per_machine_MTBF_years,checkpoint_min,"
+              "optimal_interval_hours\n");
+  for (size_t machines : {16, 64, 256}) {
+    for (double checkpoint_min : {1.0, 2.0, 5.0}) {
+      double mtbf = 365.0 * 24 * 3600 / static_cast<double>(machines);
+      double interval =
+          OptimalCheckpointIntervalSeconds(checkpoint_min * 60.0, mtbf);
+      std::printf("%zu,1,%.0f,%.2f\n", machines, checkpoint_min,
+                  interval / 3600.0);
+    }
+  }
+  bench::PrintNote(
+      "paper example: 64 machines, 2 min checkpoint, 1 yr MTBF -> ~3 h");
+}
+
+}  // namespace
+}  // namespace graphlab
+
+int main() {
+  graphlab::Fig4aAnd4b();
+  graphlab::Fig8dOverhead();
+  graphlab::YoungIntervalTable();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Minimal dense linear algebra for the ALS application: symmetric positive
+// definite solves via Cholesky (with diagonal-boost fallback), stored in
+// flat row-major vectors so no external BLAS is needed.
+
+#ifndef GRAPHLAB_APPS_LINALG_H_
+#define GRAPHLAB_APPS_LINALG_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+namespace apps {
+
+/// In-place Cholesky factorization of the n x n row-major SPD matrix A
+/// (lower triangle).  Returns false when A is not positive definite.
+inline bool CholeskyFactor(std::vector<double>* a, size_t n) {
+  std::vector<double>& A = *a;
+  GL_CHECK_EQ(A.size(), n * n);
+  for (size_t j = 0; j < n; ++j) {
+    double d = A[j * n + j];
+    for (size_t k = 0; k < j; ++k) d -= A[j * n + k] * A[j * n + k];
+    if (d <= 0.0) return false;
+    d = std::sqrt(d);
+    A[j * n + j] = d;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = A[i * n + j];
+      for (size_t k = 0; k < j; ++k) s -= A[i * n + k] * A[j * n + k];
+      A[i * n + j] = s / d;
+    }
+  }
+  return true;
+}
+
+/// Solves L L^T x = b given the Cholesky factor L (lower triangle of `a`).
+inline void CholeskySolve(const std::vector<double>& a, size_t n,
+                          std::vector<double>* b) {
+  std::vector<double>& x = *b;
+  // Forward substitution L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double s = x[i];
+    for (size_t k = 0; k < i; ++k) s -= a[i * n + k] * x[k];
+    x[i] = s / a[i * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double s = x[i];
+    for (size_t k = i + 1; k < n; ++k) s -= a[k * n + i] * x[k];
+    x[i] = s / a[i * n + i];
+  }
+}
+
+/// Solves the SPD system A x = b (A row-major n x n), boosting the
+/// diagonal if the factorization fails.  x is written into b.
+inline void SolveSpd(std::vector<double> a, size_t n,
+                     std::vector<double>* b) {
+  double boost = 1e-9;
+  std::vector<double> original = a;
+  while (!CholeskyFactor(&a, n)) {
+    a = original;
+    for (size_t i = 0; i < n; ++i) a[i * n + i] += boost;
+    boost *= 10.0;
+    GL_CHECK_LT(boost, 1e3) << "SolveSpd: matrix irreparably singular";
+  }
+  CholeskySolve(a, n, b);
+}
+
+inline double Dot(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  GL_CHECK_EQ(a.size(), b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline double L2Distance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  GL_CHECK_EQ(a.size(), b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace apps
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_APPS_LINALG_H_

@@ -1,0 +1,167 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// BspEngine: a Pregel-style bulk synchronous baseline.
+//
+// The paper compares GraphLab's asynchronous/dynamic execution against
+// "Sync. (Pregel)" schedules (Fig. 1a, 1c, 9a).  This engine reproduces
+// those semantics: supersteps over the active vertex set in which every
+// kernel reads the *previous* superstep's neighbor values (double-buffered
+// vertex data — the message-free equivalent of Pregel's message passing
+// for the pull-style algorithms evaluated here), and vertices vote to halt
+// by not re-activating.
+//
+// Single-process by design: the paper uses Pregel semantics only for
+// convergence-shape comparisons (it could not benchmark Pregel's runtime);
+// the distributed synchronous runtime baseline is baselines/bulk_sync.h.
+
+#ifndef GRAPHLAB_BASELINES_BSP_ENGINE_H_
+#define GRAPHLAB_BASELINES_BSP_ENGINE_H_
+
+#include <functional>
+#include <vector>
+
+#include "graphlab/engine/context.h"
+#include "graphlab/graph/local_graph.h"
+#include "graphlab/util/dense_bitset.h"
+#include "graphlab/util/thread_pool.h"
+#include "graphlab/util/timer.h"
+
+namespace graphlab {
+namespace baselines {
+
+template <typename VertexData, typename EdgeData>
+class BspEngine {
+ public:
+  using GraphType = LocalGraph<VertexData, EdgeData>;
+
+  /// Scope view for one vertex in one superstep.
+  class BspContext {
+   public:
+    BspContext(BspEngine* engine, VertexId v) : engine_(engine), v_(v) {}
+
+    VertexId vertex_id() const { return v_; }
+
+    /// Mutable current-superstep value of the central vertex.
+    VertexData& vertex_data() { return engine_->graph_->vertex_data(v_); }
+
+    /// Previous-superstep value of any vertex (what a Pregel message
+    /// would have carried).
+    const VertexData& prev_data(VertexId u) const {
+      return engine_->prev_[u];
+    }
+
+    const EdgeData& edge_data(EdgeId e) const {
+      return engine_->graph_->edge_data(e);
+    }
+
+    /// Mutable edge access: BSP steps may write only the direction-slot
+    /// they own (source writes forward, target writes reverse), which the
+    /// superstep structure makes race-free.
+    EdgeData& mutable_edge_data(EdgeId e) {
+      return engine_->graph_->edge_data(e);
+    }
+
+    auto in_edges() const { return engine_->graph_->in_edges(v_); }
+    auto out_edges() const { return engine_->graph_->out_edges(v_); }
+    auto neighbors() const { return engine_->graph_->neighbors(v_); }
+    VertexId edge_source(EdgeId e) const {
+      return engine_->graph_->source(e);
+    }
+    VertexId edge_target(EdgeId e) const {
+      return engine_->graph_->target(e);
+    }
+
+    /// Activates `u` for the next superstep.
+    void Activate(VertexId u) { engine_->next_active_.SetBit(u); }
+    void ActivateSelf() { Activate(v_); }
+
+   private:
+    BspEngine* engine_;
+    VertexId v_;
+  };
+
+  using StepFn = std::function<void(BspContext&)>;
+
+  struct Options {
+    size_t num_threads = 4;
+    uint64_t max_supersteps = 0;  // 0 = until no vertex is active
+  };
+
+  BspEngine(GraphType* graph, Options options)
+      : graph_(graph),
+        options_(options),
+        active_(graph->num_vertices()),
+        next_active_(graph->num_vertices()) {
+    GL_CHECK(graph->finalized());
+  }
+
+  void SetStepFn(StepFn fn) { step_fn_ = std::move(fn); }
+
+  void ActivateAll() {
+    for (VertexId v = 0; v < graph_->num_vertices(); ++v) active_.SetBit(v);
+  }
+  void Activate(VertexId v) { active_.SetBit(v); }
+
+  /// Runs supersteps until quiescence (or max_supersteps).  The schedule
+  /// survives across calls so convergence curves can be sampled.
+  RunResult Run(uint64_t max_supersteps_this_call = 0) {
+    GL_CHECK(step_fn_) << "no step function";
+    Timer timer;
+    RunResult result;
+    uint64_t step_budget = max_supersteps_this_call != 0
+                               ? max_supersteps_this_call
+                               : options_.max_supersteps;
+    for (uint64_t step = 0; step_budget == 0 || step < step_budget; ++step) {
+      std::vector<VertexId> batch;
+      for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+        if (active_.Test(v)) batch.push_back(v);
+      }
+      if (batch.empty()) break;
+      active_.Clear();
+
+      // Freeze the previous superstep's values.
+      prev_.assign(graph_->num_vertices(), VertexData{});
+      for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+        prev_[v] = graph_->vertex_data(v);
+      }
+
+      ThreadPool::ParallelFor(
+          options_.num_threads, batch.size(), [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              BspContext ctx(this, batch[i]);
+              step_fn_(ctx);
+            }
+          });
+      result.updates += batch.size();
+      result.sweeps += 1;
+
+      // Swap activation sets.
+      for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+        if (next_active_.Test(v)) active_.SetBit(v);
+      }
+      next_active_.Clear();
+    }
+    result.seconds = timer.Seconds();
+    total_updates_ += result.updates;
+    return result;
+  }
+
+  uint64_t total_updates() const { return total_updates_; }
+  bool HasActiveVertices() const { return active_.PopCount() > 0; }
+
+ private:
+  friend class BspContext;
+
+  GraphType* graph_;
+  Options options_;
+  StepFn step_fn_;
+  DenseBitset active_;
+  DenseBitset next_active_;
+  std::vector<VertexData> prev_;
+  uint64_t total_updates_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_BASELINES_BSP_ENGINE_H_

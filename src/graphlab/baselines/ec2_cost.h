@@ -1,0 +1,29 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// EC2 price model for the cost-effectiveness comparison (Fig. 9b).
+// The paper computes costs with fine-grained (per-second) billing on
+// cc1.4xlarge HPC instances; the 2012 on-demand rate was $1.30/hour.
+
+#ifndef GRAPHLAB_BASELINES_EC2_COST_H_
+#define GRAPHLAB_BASELINES_EC2_COST_H_
+
+#include <cstdint>
+
+namespace graphlab {
+namespace baselines {
+
+/// 2012 on-demand hourly price of one cc1.4xlarge instance (USD).
+inline constexpr double kCc14xlargeHourlyUsd = 1.30;
+
+/// Fine-grained (per-second) cost of running `machines` instances for
+/// `runtime_seconds`.
+inline double Ec2CostUsd(size_t machines, double runtime_seconds,
+                         double hourly_rate = kCc14xlargeHourlyUsd) {
+  return static_cast<double>(machines) * hourly_rate * runtime_seconds /
+         3600.0;
+}
+
+}  // namespace baselines
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_BASELINES_EC2_COST_H_

@@ -1,0 +1,127 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// A small RPC all-reduce used by the engines for collective decisions
+// (e.g. the chromatic engine's "any work left?" check after each sweep).
+// Master-based: contributions flow to machine 0, the combined result is
+// broadcast back.  One instance serves the whole cluster; machines touch
+// only their own slot.
+
+#ifndef GRAPHLAB_ENGINE_ALLREDUCE_H_
+#define GRAPHLAB_ENGINE_ALLREDUCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "graphlab/engine/handler_ids.h"
+#include "graphlab/rpc/comm_layer.h"
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+
+/// Sum all-reduce over fixed-width vectors of uint64 values.
+class SumAllReduce {
+ public:
+  /// `width`: number of summed slots per reduction.
+  SumAllReduce(rpc::CommLayer* comm, size_t width)
+      : comm_(comm), width_(width) {
+    size_t n = comm->num_machines();
+    slots_.reserve(n);
+    for (size_t i = 0; i < n; ++i) slots_.push_back(std::make_unique<Slot>());
+    rounds_.resize(64);
+    for (rpc::MachineId m = 0; m < n; ++m) {
+      comm_->RegisterHandler(
+          m, kAllreduceValueHandler,
+          [this](rpc::MachineId src, InArchive& ia) { OnValue(src, ia); });
+      comm_->RegisterHandler(
+          m, kAllreduceResultHandler,
+          [this, m](rpc::MachineId, InArchive& ia) { OnResult(m, ia); });
+    }
+  }
+
+  /// Collective: every machine must call with the same round cadence.
+  /// Returns the element-wise sum across machines.  Blocks.
+  std::vector<uint64_t> Reduce(rpc::MachineId me,
+                               const std::vector<uint64_t>& value) {
+    GL_CHECK_EQ(value.size(), width_);
+    Slot& slot = *slots_[me];
+    uint64_t round;
+    {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      round = ++slot.round;
+    }
+    OutArchive oa;
+    oa << round << value;
+    comm_->Send(me, 0, kAllreduceValueHandler, std::move(oa));
+    std::unique_lock<std::mutex> lock(slot.mutex);
+    slot.cv.wait(lock, [&] { return slot.result_round >= round; });
+    return slot.result;
+  }
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    uint64_t round = 0;
+    uint64_t result_round = 0;
+    std::vector<uint64_t> result;
+  };
+  struct Round {
+    uint64_t id = 0;
+    size_t contributions = 0;
+    std::vector<uint64_t> sum;
+  };
+
+  void OnValue(rpc::MachineId src, InArchive& ia) {
+    uint64_t round = ia.ReadValue<uint64_t>();
+    std::vector<uint64_t> value;
+    ia >> value;
+    bool complete = false;
+    std::vector<uint64_t> sum;
+    {
+      std::lock_guard<std::mutex> lock(master_mutex_);
+      Round& r = rounds_[round % rounds_.size()];
+      if (r.id != round) {
+        r.id = round;
+        r.contributions = 0;
+        r.sum.assign(width_, 0);
+      }
+      for (size_t i = 0; i < width_; ++i) r.sum[i] += value[i];
+      if (++r.contributions == comm_->num_machines()) {
+        complete = true;
+        sum = r.sum;
+      }
+    }
+    if (complete) {
+      for (rpc::MachineId dst = 0; dst < comm_->num_machines(); ++dst) {
+        OutArchive oa;
+        oa << round << sum;
+        comm_->Send(0, dst, kAllreduceResultHandler, std::move(oa));
+      }
+    }
+  }
+
+  void OnResult(rpc::MachineId self, InArchive& ia) {
+    uint64_t round = ia.ReadValue<uint64_t>();
+    std::vector<uint64_t> sum;
+    ia >> sum;
+    Slot& slot = *slots_[self];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (round > slot.result_round) {
+      slot.result_round = round;
+      slot.result = std::move(sum);
+      slot.cv.notify_all();
+    }
+  }
+
+  rpc::CommLayer* comm_;
+  size_t width_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::mutex master_mutex_;
+  std::vector<Round> rounds_;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_ENGINE_ALLREDUCE_H_

@@ -1,0 +1,230 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// The Chromatic Engine (Sec. 4.2.1).
+//
+// Given a vertex coloring of the data graph, the edge consistency model is
+// satisfied by executing, synchronously, all scheduled vertices of one
+// color (a "color-step") before moving to the next color.  Full consistency
+// uses a second-order coloring and vertex consistency a single color — the
+// engine itself is agnostic: it trusts the colors stored in the graph.
+//
+// Inside a color-step, changes to ghosts are communicated *asynchronously
+// as they are made* (FlushVertexScope after each update), making full use
+// of network bandwidth and processor time; a full communication barrier
+// (RPC barrier + channel quiescence + RPC barrier) separates color-steps.
+// Sync operations run between color-steps.
+//
+// One engine instance lives on each machine; Run() is collective.
+
+#ifndef GRAPHLAB_ENGINE_CHROMATIC_ENGINE_H_
+#define GRAPHLAB_ENGINE_CHROMATIC_ENGINE_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "graphlab/engine/allreduce.h"
+#include "graphlab/engine/context.h"
+#include "graphlab/engine/handler_ids.h"
+#include "graphlab/engine/sync.h"
+#include "graphlab/graph/distributed_graph.h"
+#include "graphlab/rpc/runtime.h"
+#include "graphlab/util/dense_bitset.h"
+#include "graphlab/util/thread_pool.h"
+#include "graphlab/util/timer.h"
+
+namespace graphlab {
+
+template <typename VertexData, typename EdgeData>
+class ChromaticEngine {
+ public:
+  using GraphType = DistributedGraph<VertexData, EdgeData>;
+  using ContextType = Context<GraphType>;
+
+  struct Options {
+    ConsistencyModel consistency = ConsistencyModel::kEdgeConsistency;
+    /// Engine worker threads on this machine.
+    size_t num_threads = 2;
+    /// Stop after this many sweeps over all colors (0 = run until the
+    /// cluster-wide task set T empties).
+    uint64_t max_sweeps = 0;
+    /// Run these registered sync operations every `sync_interval_steps`
+    /// color-steps (0 = only explicit RunSyncs).
+    uint64_t sync_interval_steps = 0;
+    std::vector<std::string> sync_keys;
+  };
+
+  /// `sync` may be nullptr when no sync ops are used.
+  ChromaticEngine(rpc::MachineContext ctx, GraphType* graph,
+                  SyncManager<GraphType>* sync, SumAllReduce* allreduce,
+                  Options options)
+      : ctx_(ctx),
+        graph_(graph),
+        sync_(sync),
+        allreduce_(allreduce),
+        options_(options),
+        scheduled_(graph->num_local_vertices()),
+        pool_(options.num_threads) {
+    ctx_.comm().RegisterHandler(
+        ctx_.id, kScheduleForwardHandler,
+        [this](rpc::MachineId, InArchive& ia) {
+          while (!ia.AtEnd()) {
+            VertexId gvid = ia.ReadValue<VertexId>();
+            ia.ReadValue<double>();  // priority unused by this engine
+            LocalVid l = graph_->Lvid(gvid);
+            if (scheduled_.SetBit(l)) pending_.fetch_add(1);
+          }
+        });
+  }
+
+  void SetUpdateFn(UpdateFn<GraphType> fn) { update_fn_ = std::move(fn); }
+
+  /// Seeds T with every vertex owned by this machine.
+  void ScheduleAllOwned() {
+    for (LocalVid l : graph_->owned_vertices()) ScheduleLocal(l, 1.0);
+  }
+
+  /// Seeds T with one vertex (owned or ghost; ghosts are forwarded).
+  void ScheduleLocal(LocalVid l, double priority) {
+    if (graph_->is_owned(l)) {
+      if (scheduled_.SetBit(l)) pending_.fetch_add(1);
+    } else {
+      OutArchive oa;
+      oa << graph_->Gvid(l) << priority;
+      ctx_.comm().Send(ctx_.id, graph_->owner(l), kScheduleForwardHandler,
+                       std::move(oa));
+    }
+  }
+
+  /// Executes the schedule to completion (or max_sweeps).  Collective:
+  /// every machine's engine must call Run() concurrently.
+  RunResult Run() {
+    GL_CHECK(update_fn_) << "no update function";
+    Timer timer;
+    rpc::CommStats before = ctx_.comm().GetStats(ctx_.id);
+    uint64_t executed_total = 0;
+    uint64_t sweeps = 0;
+    const ColorId num_colors = graph_->num_colors();
+
+    // Align all machines before starting.
+    ctx_.barrier().Wait(ctx_.id);
+
+    for (;;) {
+      for (ColorId color = 0; color < num_colors; ++color) {
+        executed_total += RunColorStep(color);
+        // Full communication barrier between color-steps: everyone done
+        // sending, channels flushed, everyone observed the flush.
+        ctx_.barrier().Wait(ctx_.id);
+        ctx_.comm().WaitQuiescent();
+        ctx_.barrier().Wait(ctx_.id);
+        if (options_.sync_interval_steps != 0 && sync_ != nullptr &&
+            ++steps_since_sync_ >= options_.sync_interval_steps) {
+          steps_since_sync_ = 0;
+          for (const std::string& key : options_.sync_keys) {
+            sync_->RunSyncBlocking(key, ctx_.id);
+          }
+        }
+      }
+      ++sweeps;
+      // Cluster-wide continuation decision.
+      std::vector<uint64_t> totals = allreduce_->Reduce(
+          ctx_.id, {pending_.load(std::memory_order_acquire)});
+      if (totals[0] == 0) break;
+      if (options_.max_sweeps != 0 && sweeps >= options_.max_sweeps) break;
+    }
+
+    RunResult result;
+    result.updates = CollectTotalUpdates(executed_total);
+    result.seconds = timer.Seconds();
+    result.busy_seconds =
+        static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) / 1e9;
+    result.sweeps = sweeps;
+    rpc::CommStats after = ctx_.comm().GetStats(ctx_.id);
+    result.bytes_sent = after.bytes_sent - before.bytes_sent;
+    result.messages_sent = after.messages_sent - before.messages_sent;
+    return result;
+  }
+
+  /// Updates executed by this machine in the last Run().
+  uint64_t local_updates() const { return local_updates_; }
+
+  /// Per-vertex update counters (local ids) — used by the Fig. 1(b)
+  /// update-distribution experiment.
+  const std::vector<uint32_t>& update_counts() const {
+    return update_counts_;
+  }
+  void EnableUpdateCounting() {
+    update_counts_.assign(graph_->num_local_vertices(), 0);
+  }
+
+ private:
+  static void ScheduleTrampoline(void* self, LocalVid v, double priority) {
+    static_cast<ChromaticEngine*>(self)->ScheduleLocal(v, priority);
+  }
+
+  uint64_t RunColorStep(ColorId color) {
+    // Collect scheduled owned vertices of this color.
+    std::vector<LocalVid> batch;
+    for (LocalVid l : graph_->owned_vertices()) {
+      if (graph_->color(l) == color && scheduled_.Test(l)) {
+        if (scheduled_.ClearBit(l)) {
+          pending_.fetch_sub(1);
+          batch.push_back(l);
+        }
+      }
+    }
+    if (batch.empty()) return 0;
+
+    // Execute the color-step across the machine's worker threads; ghost
+    // changes stream out asynchronously as each update commits.
+    std::atomic<size_t> cursor{0};
+    size_t n = batch.size();
+    for (size_t t = 0; t < pool_.num_threads(); ++t) {
+      pool_.Submit([&] {
+        for (;;) {
+          size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          ExecuteUpdate(batch[i]);
+        }
+      });
+    }
+    pool_.Wait();
+    local_updates_ += n;
+    return n;
+  }
+
+  void ExecuteUpdate(LocalVid l) {
+    uint64_t cpu0 = Timer::ThreadCpuNanos();
+    ContextType context(graph_, l, 1.0, options_.consistency, this,
+                        &ScheduleTrampoline);
+    update_fn_(context);
+    graph_->FlushVertexScope(l);
+    if (!update_counts_.empty()) update_counts_[l]++;
+    busy_ns_.fetch_add(Timer::ThreadCpuNanos() - cpu0,
+                       std::memory_order_relaxed);
+  }
+
+  uint64_t CollectTotalUpdates(uint64_t local) {
+    std::vector<uint64_t> totals = allreduce_->Reduce(ctx_.id, {local});
+    return totals[0];
+  }
+
+  rpc::MachineContext ctx_;
+  GraphType* graph_;
+  SyncManager<GraphType>* sync_;
+  SumAllReduce* allreduce_;
+  Options options_;
+  UpdateFn<GraphType> update_fn_;
+
+  DenseBitset scheduled_;
+  std::atomic<uint64_t> pending_{0};
+  ThreadPool pool_;
+  std::atomic<uint64_t> busy_ns_{0};
+  uint64_t local_updates_ = 0;
+  uint64_t steps_since_sync_ = 0;
+  std::vector<uint32_t> update_counts_;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_ENGINE_CHROMATIC_ENGINE_H_

@@ -1,0 +1,33 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Central allocation of RPC handler ids used by the framework components,
+// so collisions are impossible.  DistributedGraph owns kFirstUserHandler
+// (16) and 17; engine-level protocols start at 18.
+
+#ifndef GRAPHLAB_ENGINE_HANDLER_IDS_H_
+#define GRAPHLAB_ENGINE_HANDLER_IDS_H_
+
+#include "graphlab/rpc/message.h"
+
+namespace graphlab {
+
+enum EngineHandlers : rpc::HandlerId {
+  // 16: DistributedGraph ghost data push.
+  // 17: DistributedGraph write-back (full consistency neighbor writes).
+  kWriteBackHandler = 17,
+  kScheduleForwardHandler = 18,  // remote vertex scheduling
+  kLockChainHandler = 19,        // pipelined lock chain hop
+  kLockGrantHandler = 20,        // scope-ready notification to requester
+  kLockReleaseHandler = 21,      // bulk lock release at a machine
+  kSyncPartialHandler = 22,      // sync op partial aggregate -> master
+  kSyncPublishHandler = 23,      // sync op finalized value broadcast
+  kAllreduceValueHandler = 24,   // engine allreduce contribution
+  kAllreduceResultHandler = 25,  // engine allreduce result broadcast
+  kBspMessageHandler = 26,       // BSP/Pregel baseline vertex messages
+  kBulkExchangeHandler = 27,     // MPI-style bulk all-to-all exchange
+  kSnapshotTriggerHandler = 28,  // coordinator-initiated snapshot trigger
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_ENGINE_HANDLER_IDS_H_

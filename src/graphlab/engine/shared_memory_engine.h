@@ -1,0 +1,201 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// SharedMemoryEngine: the original multicore GraphLab engine [24] that
+// Distributed GraphLab extends.  It executes the Alg. 2 loop over a
+// LocalGraph with a pool of worker threads, enforcing the chosen
+// consistency model with per-vertex shared_mutex scope locking in the
+// canonical ascending-vertex order.
+//
+// Used by the Fig. 1 motivation experiments (async vs sync convergence,
+// dynamic update-count distribution, serializable vs racing ALS — the
+// latter via `enforce_consistency = false`, with the application supplying
+// race-tolerant atomic vertex data so the experiment stays UB-free).
+
+#ifndef GRAPHLAB_ENGINE_SHARED_MEMORY_ENGINE_H_
+#define GRAPHLAB_ENGINE_SHARED_MEMORY_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graphlab/engine/context.h"
+#include "graphlab/graph/local_graph.h"
+#include "graphlab/scheduler/scheduler.h"
+#include "graphlab/util/timer.h"
+
+namespace graphlab {
+
+template <typename VertexData, typename EdgeData>
+class SharedMemoryEngine {
+ public:
+  using GraphType = LocalGraph<VertexData, EdgeData>;
+  using ContextType = Context<GraphType>;
+
+  struct Options {
+    ConsistencyModel consistency = ConsistencyModel::kEdgeConsistency;
+    size_t num_threads = 4;
+    std::string scheduler = "fifo";
+    /// When false, no scope locks are taken: the racing / non-serializable
+    /// execution of Fig. 1(d).  Only use with race-tolerant vertex data.
+    bool enforce_consistency = true;
+  };
+
+  SharedMemoryEngine(GraphType* graph, Options options)
+      : graph_(graph),
+        options_(options),
+        scheduler_(
+            CreateScheduler(options.scheduler, graph->num_vertices())),
+        locks_(graph->num_vertices()) {
+    GL_CHECK(graph->finalized());
+  }
+
+  void SetUpdateFn(UpdateFn<GraphType> fn) { update_fn_ = std::move(fn); }
+
+  void Schedule(VertexId v, double priority = 1.0) {
+    scheduler_->Schedule(v, priority);
+  }
+  void ScheduleAll(double priority = 1.0) {
+    for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+      scheduler_->Schedule(v, priority);
+    }
+  }
+
+  /// Tracks per-vertex update counts (Fig. 1(b)).
+  void EnableUpdateCounting() {
+    update_counts_.assign(graph_->num_vertices(), 0);
+  }
+  const std::vector<uint32_t>& update_counts() const {
+    return update_counts_;
+  }
+
+  /// Executes until the task set empties or `max_updates` additional
+  /// updates have run (0 = unlimited).  The schedule survives across
+  /// calls, so convergence curves can be sampled by running in slices.
+  RunResult Run(uint64_t max_updates = 0) {
+    GL_CHECK(update_fn_) << "no update function";
+    Timer timer;
+    uint64_t start_updates = total_updates_.load(std::memory_order_acquire);
+    uint64_t budget = max_updates == 0 ? ~uint64_t{0}
+                                       : start_updates + max_updates;
+    stop_.store(false, std::memory_order_release);
+    active_.store(0, std::memory_order_release);
+
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < options_.num_threads; ++t) {
+      workers.emplace_back([this, budget] { WorkerLoop(budget); });
+    }
+    for (auto& w : workers) w.join();
+
+    RunResult result;
+    result.updates =
+        total_updates_.load(std::memory_order_acquire) - start_updates;
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  uint64_t total_updates() const {
+    return total_updates_.load(std::memory_order_acquire);
+  }
+
+  bool ScheduleEmpty() const { return scheduler_->Empty(); }
+
+ private:
+  static void ScheduleTrampoline(void* self, LocalVid v, double priority) {
+    static_cast<SharedMemoryEngine*>(self)->scheduler_->Schedule(v, priority);
+  }
+
+  void WorkerLoop(uint64_t budget) {
+    int idle_spins = 0;
+    for (;;) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (total_updates_.load(std::memory_order_acquire) >= budget) {
+        stop_.store(true, std::memory_order_release);
+        return;
+      }
+      LocalVid v;
+      double priority;
+      if (!scheduler_->GetNext(&v, &priority)) {
+        // Empty now; terminate once no worker is mid-update (a running
+        // update may still schedule more work).
+        if (active_.load(std::memory_order_acquire) == 0 &&
+            scheduler_->Empty()) {
+          if (++idle_spins > 3) return;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      idle_spins = 0;
+      active_.fetch_add(1, std::memory_order_acq_rel);
+      ExecuteUpdate(v, priority);
+      active_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void ExecuteUpdate(LocalVid v, double priority) {
+    std::vector<std::pair<VertexId, bool>> lock_set;
+    if (options_.enforce_consistency) {
+      lock_set = LockSet(v);
+      for (auto [u, exclusive] : lock_set) {
+        if (exclusive) {
+          locks_[u].lock();
+        } else {
+          locks_[u].lock_shared();
+        }
+      }
+    }
+    ContextType ctx(graph_, v, priority, options_.consistency, this,
+                    &ScheduleTrampoline);
+    update_fn_(ctx);
+    if (!update_counts_.empty()) {
+      update_counts_[v]++;  // guarded by the central write lock
+    }
+    if (options_.enforce_consistency) {
+      for (auto it = lock_set.rbegin(); it != lock_set.rend(); ++it) {
+        if (it->second) {
+          locks_[it->first].unlock();
+        } else {
+          locks_[it->first].unlock_shared();
+        }
+      }
+    }
+    total_updates_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Scope lock set in ascending vertex order (deadlock-free canonical
+  /// ordering, Sec. 4.2.2 applied to the single machine case).
+  std::vector<std::pair<VertexId, bool>> LockSet(VertexId v) const {
+    std::vector<std::pair<VertexId, bool>> set;
+    switch (options_.consistency) {
+      case ConsistencyModel::kVertexConsistency:
+        set.emplace_back(v, true);
+        break;
+      case ConsistencyModel::kEdgeConsistency:
+      case ConsistencyModel::kFullConsistency: {
+        bool excl = options_.consistency == ConsistencyModel::kFullConsistency;
+        set.emplace_back(v, true);
+        for (VertexId n : graph_->neighbors(v)) set.emplace_back(n, excl);
+        std::sort(set.begin(), set.end());
+        break;
+      }
+    }
+    return set;
+  }
+
+  GraphType* graph_;
+  Options options_;
+  std::unique_ptr<IScheduler> scheduler_;
+  std::vector<std::shared_mutex> locks_;
+  UpdateFn<GraphType> update_fn_;
+
+  std::atomic<uint64_t> total_updates_{0};
+  std::atomic<uint32_t> active_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<uint32_t> update_counts_;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_ENGINE_SHARED_MEMORY_ENGINE_H_

@@ -1,0 +1,234 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// The Sync operation: global values (Sec. 3.5).
+//
+//   Z = Finalize( (+)_{v in V}  Map(S_v) )
+//
+// Each machine maps its owned vertices into a partial accumulator, sends
+// the partial to the coordinator, which combines all partials, runs the
+// finalization phase (the Pregel-missing feature used for normalization
+// and the CoSeg GMM re-estimation), and broadcasts the global value.
+// Update functions read the latest published value locally.
+//
+// Two cadences mirror the paper: the chromatic engine runs syncs between
+// color-steps; the locking engine runs them continuously in the background
+// every `interval` updates (consistent variant would require halting the
+// cluster; like the paper we default to the inconsistent-but-atomic
+// published snapshot).
+
+#ifndef GRAPHLAB_ENGINE_SYNC_H_
+#define GRAPHLAB_ENGINE_SYNC_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graphlab/engine/handler_ids.h"
+#include "graphlab/rpc/comm_layer.h"
+#include "graphlab/util/logging.h"
+#include "graphlab/util/serialization.h"
+
+namespace graphlab {
+
+/// Cluster-wide sync manager templated on the distributed graph type.
+/// One instance serves all machines; per-machine graphs are registered
+/// individually and machines only touch their own slot + the coordinator
+/// handlers run on machine 0's dispatch thread.
+template <typename Graph>
+class SyncManager {
+ public:
+  explicit SyncManager(rpc::CommLayer* comm) : comm_(comm) {
+    graphs_.resize(comm->num_machines(), nullptr);
+    for (rpc::MachineId m = 0; m < comm->num_machines(); ++m) {
+      comm_->RegisterHandler(
+          m, kSyncPartialHandler,
+          [this](rpc::MachineId src, InArchive& ia) { OnPartial(src, ia); });
+      comm_->RegisterHandler(
+          m, kSyncPublishHandler,
+          [this, m](rpc::MachineId, InArchive& ia) { OnPublish(m, ia); });
+    }
+  }
+
+  /// Attaches machine m's graph partition.  Collective, before first sync.
+  void AttachGraph(rpc::MachineId m, Graph* graph) { graphs_[m] = graph; }
+
+  /// Registers a sync operation under `key`.
+  ///   map:      folds one owned vertex into the accumulator
+  ///   combine:  merges a partial into the left accumulator
+  ///   finalize: optional post-processing with |V| available
+  /// Acc must be serializable and default/zero constructed from `zero`.
+  template <typename Acc>
+  void Register(
+      const std::string& key, Acc zero,
+      std::function<void(const Graph&, LocalVid, Acc*)> map,
+      std::function<void(Acc*, const Acc&)> combine,
+      std::function<void(Acc*, uint64_t)> finalize = nullptr) {
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    auto op = std::make_unique<Op<Acc>>();
+    op->zero = zero;
+    op->map = std::move(map);
+    op->combine = std::move(combine);
+    op->finalize = std::move(finalize);
+    op->num_machines = comm_->num_machines();
+    op->published.assign(comm_->num_machines(), zero);
+    op->published_round.assign(comm_->num_machines(), 0);
+    ops_[key] = std::move(op);
+  }
+
+  /// Machine m computes its partial for `key` and ships it to the
+  /// coordinator.  Non-blocking; the new value appears via OnPublish.
+  /// Collective cadence: all machines must call the same number of times.
+  void RunSyncAsync(const std::string& key, rpc::MachineId m) {
+    OpBase* op = FindOp(key);
+    uint64_t round = ++op->local_round[m];
+    OutArchive oa;
+    oa << key << round;
+    op->SerializePartial(*graphs_[m], &oa);
+    comm_->Send(m, 0, kSyncPartialHandler, std::move(oa));
+  }
+
+  /// Blocking variant: waits until the round started here is published.
+  void RunSyncBlocking(const std::string& key, rpc::MachineId m) {
+    OpBase* op = FindOp(key);
+    RunSyncAsync(key, m);
+    uint64_t round = op->local_round[m];
+    std::unique_lock<std::mutex> lock(op->mutex);
+    op->cv.wait(lock, [&] { return op->published_round[m] >= round; });
+  }
+
+  /// Latest published value on machine m (initially `zero`).
+  template <typename Acc>
+  Acc Get(const std::string& key, rpc::MachineId m) {
+    OpBase* base = FindOp(key);
+    auto* op = dynamic_cast<Op<Acc>*>(base);
+    GL_CHECK(op != nullptr) << "sync op type mismatch for " << key;
+    std::lock_guard<std::mutex> lock(op->mutex);
+    return op->published[m];
+  }
+
+  /// Round counter of the latest publish seen by machine m.
+  uint64_t PublishedRound(const std::string& key, rpc::MachineId m) {
+    OpBase* op = FindOp(key);
+    std::lock_guard<std::mutex> lock(op->mutex);
+    return op->published_round[m];
+  }
+
+ private:
+  struct OpBase {
+    virtual ~OpBase() = default;
+    virtual void SerializePartial(const Graph& graph, OutArchive* oa) = 0;
+    /// Coordinator: merge a serialized partial; returns true and fills
+    /// `publish` with the finalized serialized value when the round
+    /// completes.
+    virtual bool Accumulate(uint64_t round, InArchive& ia,
+                            uint64_t num_global_vertices,
+                            OutArchive* publish) = 0;
+    virtual void ApplyPublish(rpc::MachineId m, uint64_t round,
+                              InArchive& ia) = 0;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<uint64_t> local_round = std::vector<uint64_t>(1024, 0);
+    std::vector<uint64_t> published_round;
+    size_t num_machines = 0;
+  };
+
+  template <typename Acc>
+  struct Op : OpBase {
+    Acc zero{};
+    std::function<void(const Graph&, LocalVid, Acc*)> map;
+    std::function<void(Acc*, const Acc&)> combine;
+    std::function<void(Acc*, uint64_t)> finalize;
+    std::vector<Acc> published;
+
+    // Coordinator per-round accumulation (small ring keyed by round).
+    struct RoundAcc {
+      uint64_t id = 0;
+      size_t contributions = 0;
+      Acc acc{};
+    };
+    std::map<uint64_t, RoundAcc> rounds;
+
+    void SerializePartial(const Graph& graph, OutArchive* oa) override {
+      Acc acc = zero;
+      for (LocalVid l : graph.owned_vertices()) {
+        map(graph, l, &acc);
+      }
+      *oa << acc;
+    }
+
+    bool Accumulate(uint64_t round, InArchive& ia,
+                    uint64_t num_global_vertices,
+                    OutArchive* publish) override {
+      Acc partial;
+      ia >> partial;
+      std::lock_guard<std::mutex> lock(this->mutex);
+      RoundAcc& r = rounds[round];
+      if (r.contributions == 0) r.acc = zero;
+      r.id = round;
+      combine(&r.acc, partial);
+      if (++r.contributions < this->num_machines) return false;
+      Acc result = r.acc;
+      rounds.erase(round);
+      if (finalize) finalize(&result, num_global_vertices);
+      *publish << result;
+      return true;
+    }
+
+    void ApplyPublish(rpc::MachineId m, uint64_t round,
+                      InArchive& ia) override {
+      Acc value;
+      ia >> value;
+      std::lock_guard<std::mutex> lock(this->mutex);
+      if (round > this->published_round[m]) {
+        this->published_round[m] = round;
+        published[m] = std::move(value);
+        this->cv.notify_all();
+      }
+    }
+  };
+
+  OpBase* FindOp(const std::string& key) {
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    auto it = ops_.find(key);
+    GL_CHECK(it != ops_.end()) << "unknown sync op: " << key;
+    return it->second.get();
+  }
+
+  void OnPartial(rpc::MachineId src, InArchive& ia) {
+    std::string key;
+    uint64_t round;
+    ia >> key >> round;
+    OpBase* op = FindOp(key);
+    uint64_t nv = graphs_[0] != nullptr ? graphs_[0]->num_global_vertices()
+                                        : 0;
+    OutArchive publish;
+    if (op->Accumulate(round, ia, nv, &publish)) {
+      for (rpc::MachineId dst = 0; dst < comm_->num_machines(); ++dst) {
+        OutArchive oa;
+        oa << key << round;
+        oa.WriteBytes(publish.buffer().data(), publish.size());
+        comm_->Send(0, dst, kSyncPublishHandler, std::move(oa));
+      }
+    }
+  }
+
+  void OnPublish(rpc::MachineId self, InArchive& ia) {
+    std::string key;
+    uint64_t round;
+    ia >> key >> round;
+    FindOp(key)->ApplyPublish(self, round, ia);
+  }
+
+  rpc::CommLayer* comm_;
+  std::vector<Graph*> graphs_;
+  std::mutex ops_mutex_;
+  std::map<std::string, std::unique_ptr<OpBase>> ops_;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_ENGINE_SYNC_H_

@@ -1,0 +1,78 @@
+#include "graphlab/graph/atom.h"
+
+#include <algorithm>
+#include <set>
+
+namespace graphlab {
+
+Status AtomIndex::WriteToFile(const std::string& path) const {
+  OutArchive oa;
+  oa << *this;
+  return WriteFileBytes(path, oa.buffer());
+}
+
+Expected<AtomIndex> AtomIndex::ReadFromFile(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  AtomIndex index;
+  InArchive ia(*bytes);
+  ia >> index;
+  if (!ia.AtEnd()) return Status::Corruption("trailing bytes in " + path);
+  return index;
+}
+
+std::vector<rpc::MachineId> PlaceAtoms(const AtomIndex& index,
+                                       size_t num_machines) {
+  GL_CHECK_GE(num_machines, 1u);
+  const size_t k = index.num_atoms();
+  std::vector<rpc::MachineId> placement(k, 0);
+  if (num_machines == 1) return placement;
+
+  std::vector<uint64_t> load(num_machines, 0);
+  std::vector<bool> placed(k, false);
+  // Affinity[a][m] = cross-edge weight between atom a and atoms already on
+  // machine m.
+  std::vector<std::vector<uint64_t>> affinity(
+      k, std::vector<uint64_t>(num_machines, 0));
+
+  // Order atoms by descending size so big atoms anchor machines.
+  std::vector<AtomId> order(k);
+  for (AtomId a = 0; a < k; ++a) order[a] = a;
+  std::sort(order.begin(), order.end(), [&](AtomId a, AtomId b) {
+    return index.atoms[a].num_owned_vertices >
+           index.atoms[b].num_owned_vertices;
+  });
+
+  for (AtomId a : order) {
+    // Candidate machine: least loaded among those maximizing affinity,
+    // subject to not exceeding ~1.25x of ideal balance.
+    uint64_t total = index.num_vertices;
+    uint64_t cap = (total / num_machines) * 9 / 8 + 1;
+    rpc::MachineId best = 0;
+    bool have_best = false;
+    for (rpc::MachineId m = 0; m < num_machines; ++m) {
+      if (load[m] + index.atoms[a].num_owned_vertices > cap) continue;
+      if (!have_best || affinity[a][m] > affinity[a][best] ||
+          (affinity[a][m] == affinity[a][best] && load[m] < load[best])) {
+        best = m;
+        have_best = true;
+      }
+    }
+    if (!have_best) {
+      // Everyone over cap (tiny inputs): pick least loaded.
+      best = 0;
+      for (rpc::MachineId m = 1; m < num_machines; ++m) {
+        if (load[m] < load[best]) best = m;
+      }
+    }
+    placement[a] = best;
+    placed[a] = true;
+    load[best] += index.atoms[a].num_owned_vertices;
+    for (const auto& [nbr, weight] : index.atoms[a].neighbors) {
+      affinity[nbr][best] += weight;
+    }
+  }
+  return placement;
+}
+
+}  // namespace graphlab

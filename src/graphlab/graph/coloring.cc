@@ -1,0 +1,136 @@
+#include "graphlab/graph/coloring.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+
+const char* ConsistencyModelName(ConsistencyModel model) {
+  switch (model) {
+    case ConsistencyModel::kVertexConsistency: return "vertex";
+    case ConsistencyModel::kEdgeConsistency: return "edge";
+    case ConsistencyModel::kFullConsistency: return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Undirected adjacency lists from the edge list.
+std::vector<std::vector<VertexId>> BuildAdjacency(
+    const GraphStructure& s) {
+  std::vector<std::vector<VertexId>> adj(s.num_vertices);
+  for (const auto& [u, v] : s.edges) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  return adj;
+}
+
+ColorId FirstFreeColor(std::vector<uint8_t>* used,
+                       std::vector<ColorId>* touched) {
+  for (ColorId c = 0;; ++c) {
+    if (c >= used->size()) used->resize(c + 1, 0);
+    if (!(*used)[c]) return c;
+  }
+}
+
+}  // namespace
+
+ColorAssignment GreedyColoring(const GraphStructure& structure) {
+  auto adj = BuildAdjacency(structure);
+  ColorAssignment colors(structure.num_vertices, 0);
+  std::vector<uint8_t> used;
+  std::vector<ColorId> touched;
+  for (VertexId v = 0; v < structure.num_vertices; ++v) {
+    touched.clear();
+    for (VertexId n : adj[v]) {
+      if (n < v) {
+        ColorId c = colors[n];
+        if (c >= used.size()) used.resize(c + 1, 0);
+        if (!used[c]) {
+          used[c] = 1;
+          touched.push_back(c);
+        }
+      }
+    }
+    colors[v] = FirstFreeColor(&used, &touched);
+    for (ColorId c : touched) used[c] = 0;
+    if (colors[v] < used.size()) used[colors[v]] = 0;
+  }
+  return colors;
+}
+
+ColorAssignment SecondOrderColoring(const GraphStructure& structure) {
+  auto adj = BuildAdjacency(structure);
+  ColorAssignment colors(structure.num_vertices, 0);
+  std::vector<uint8_t> used;
+  std::vector<ColorId> touched;
+  auto mark = [&](VertexId n) {
+    ColorId c = colors[n];
+    if (c >= used.size()) used.resize(c + 1, 0);
+    if (!used[c]) {
+      used[c] = 1;
+      touched.push_back(c);
+    }
+  };
+  for (VertexId v = 0; v < structure.num_vertices; ++v) {
+    touched.clear();
+    for (VertexId n : adj[v]) {
+      if (n < v) mark(n);
+      for (VertexId nn : adj[n]) {
+        if (nn < v && nn != v) mark(nn);
+      }
+    }
+    colors[v] = FirstFreeColor(&used, &touched);
+    for (ColorId c : touched) used[c] = 0;
+  }
+  return colors;
+}
+
+ColorAssignment ColoringFor(const GraphStructure& structure,
+                            ConsistencyModel model) {
+  switch (model) {
+    case ConsistencyModel::kVertexConsistency:
+      return ColorAssignment(structure.num_vertices, 0);
+    case ConsistencyModel::kEdgeConsistency:
+      return GreedyColoring(structure);
+    case ConsistencyModel::kFullConsistency:
+      return SecondOrderColoring(structure);
+  }
+  GL_LOG(FATAL) << "unreachable";
+  return {};
+}
+
+ColorId NumColors(const ColorAssignment& colors) {
+  ColorId max_color = 0;
+  for (ColorId c : colors) max_color = std::max(max_color, c);
+  return colors.empty() ? 0 : max_color + 1;
+}
+
+bool ValidateColoring(const GraphStructure& structure,
+                      const ColorAssignment& colors) {
+  if (colors.size() != structure.num_vertices) return false;
+  for (const auto& [u, v] : structure.edges) {
+    if (colors[u] == colors[v]) return false;
+  }
+  return true;
+}
+
+bool ValidateSecondOrderColoring(const GraphStructure& structure,
+                                 const ColorAssignment& colors) {
+  if (!ValidateColoring(structure, colors)) return false;
+  auto adj = BuildAdjacency(structure);
+  for (VertexId v = 0; v < structure.num_vertices; ++v) {
+    for (VertexId n : adj[v]) {
+      for (VertexId nn : adj[n]) {
+        if (nn != v && colors[nn] == colors[v]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace graphlab

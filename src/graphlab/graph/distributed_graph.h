@@ -1,0 +1,522 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// DistributedGraph<V, E>: one machine's partition of the data graph plus
+// ghost caches of remote boundary data (Sec. 4.1).
+//
+// Each machine owns the vertices of its assigned atoms, stores every edge
+// incident to an owned vertex, and keeps ghost copies of remote endpoint
+// vertices.  "The ghosts are used as caches for their true counterparts
+// across the network.  Cache coherence is managed using a simple versioning
+// system, eliminating the transmission of unchanged or constant data."
+//
+// Coherence protocol: every write bumps the entity's version; after an
+// update function commits, FlushVertexScope() pushes entities whose version
+// exceeds their flushed version to the machines holding replicas, batched
+// into one message per destination.  Receivers apply a push only when its
+// version is newer.  Constant edge data (e.g. PageRank link weights) is
+// therefore transmitted at most zero times after load, reproducing the
+// paper's optimization.
+//
+// Memory-sharing discipline: machines interact with each other's
+// DistributedGraph instances only through CommLayer messages.
+
+#ifndef GRAPHLAB_GRAPH_DISTRIBUTED_GRAPH_H_
+#define GRAPHLAB_GRAPH_DISTRIBUTED_GRAPH_H_
+
+#include <algorithm>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graphlab/graph/atom.h"
+#include "graphlab/graph/local_graph.h"
+#include "graphlab/graph/types.h"
+#include "graphlab/rpc/comm_layer.h"
+#include "graphlab/util/stats.h"
+
+namespace graphlab {
+
+template <typename VertexData, typename EdgeData>
+class DistributedGraph {
+ public:
+  using vertex_data_type = VertexData;
+  using edge_data_type = EdgeData;
+
+  /// Handler id used for ghost data pushes.
+  static constexpr rpc::HandlerId kDataPushHandler = rpc::kFirstUserHandler;
+
+  DistributedGraph() = default;
+
+  // --------------------------------------------------------------------
+  // Ingress
+  // --------------------------------------------------------------------
+
+  /// Loads this machine's atoms from disk (journal playback) and registers
+  /// the ghost-push handler.  `placement` maps atom -> machine.
+  Status LoadAtoms(const AtomIndex& index,
+                   const std::vector<rpc::MachineId>& placement,
+                   rpc::MachineId me, rpc::CommLayer* comm) {
+    GL_CHECK_EQ(placement.size(), index.num_atoms());
+    std::vector<typename AtomContent<VertexData, EdgeData>::VertexCmd> vcmds;
+    std::vector<typename AtomContent<VertexData, EdgeData>::EdgeCmd> ecmds;
+    for (AtomId a = 0; a < index.num_atoms(); ++a) {
+      if (placement[a] != me) continue;
+      auto content = LoadAtom<VertexData, EdgeData>(index.atoms[a]);
+      if (!content.ok()) return content.status();
+      auto& c = *content;
+      vcmds.insert(vcmds.end(), c.vertices.begin(), c.vertices.end());
+      ecmds.insert(ecmds.end(), c.edges.begin(), c.edges.end());
+    }
+    return Ingest(index, placement, me, comm, std::move(vcmds),
+                  std::move(ecmds));
+  }
+
+  /// Test/bench convenience: cuts a fully materialized graph directly into
+  /// this machine's partition without touching disk.  `atom_of` may map
+  /// vertices straight to machines (num_atoms == num_machines) or to atoms
+  /// combined with a separate placement.
+  Status InitFromGlobal(const LocalGraph<VertexData, EdgeData>& global,
+                        const PartitionAssignment& atom_of,
+                        const ColorAssignment& colors,
+                        const std::vector<rpc::MachineId>& placement,
+                        rpc::MachineId me, rpc::CommLayer* comm) {
+    GL_CHECK(global.finalized());
+    GL_CHECK_EQ(atom_of.size(), global.num_vertices());
+    AtomIndex index;
+    index.num_vertices = global.num_vertices();
+    index.atom_of_vertex = atom_of;
+    index.color_of_vertex = colors;
+    ColorId max_color = 0;
+    for (ColorId c : colors) max_color = std::max(max_color, c);
+    index.num_colors = colors.empty() ? 1 : max_color + 1;
+
+    std::vector<typename AtomContent<VertexData, EdgeData>::VertexCmd> vcmds;
+    std::vector<typename AtomContent<VertexData, EdgeData>::EdgeCmd> ecmds;
+    auto machine_of_vertex = [&](VertexId v) { return placement[atom_of[v]]; };
+
+    std::vector<uint8_t> present(global.num_vertices(), 0);
+    for (VertexId v = 0; v < global.num_vertices(); ++v) {
+      if (machine_of_vertex(v) != me) continue;
+      vcmds.push_back({v, atom_of[v], colors[v], /*ghost=*/false,
+                       global.vertex_data(v)});
+      present[v] = 1;
+    }
+    for (EdgeId e = 0; e < global.num_edges(); ++e) {
+      VertexId u = global.source(e), v = global.target(e);
+      bool mine_u = machine_of_vertex(u) == me;
+      bool mine_v = machine_of_vertex(v) == me;
+      if (!mine_u && !mine_v) continue;
+      ecmds.push_back({u, v, global.edge_data(e)});
+      for (VertexId g : {u, v}) {
+        if (machine_of_vertex(g) != me && !present[g]) {
+          present[g] = 1;
+          vcmds.push_back({g, atom_of[g], colors[g], /*ghost=*/true,
+                           global.vertex_data(g)});
+        }
+      }
+    }
+    return Ingest(index, placement, me, comm, std::move(vcmds),
+                  std::move(ecmds));
+  }
+
+  // --------------------------------------------------------------------
+  // Topology accessors
+  // --------------------------------------------------------------------
+
+  size_t num_local_vertices() const { return vertices_.size(); }
+  size_t num_local_edges() const { return edges_.size(); }
+  size_t num_owned_vertices() const { return owned_.size(); }
+  uint64_t num_global_vertices() const { return num_global_vertices_; }
+  ColorId num_colors() const { return num_colors_; }
+  rpc::MachineId machine_id() const { return me_; }
+
+  /// Local ids of vertices owned by this machine, ascending by global id.
+  const std::vector<LocalVid>& owned_vertices() const { return owned_; }
+
+  LocalVid Lvid(VertexId gvid) const {
+    auto it = lvid_of_.find(gvid);
+    GL_CHECK(it != lvid_of_.end()) << "vertex " << gvid << " not local";
+    return it->second;
+  }
+  LocalVid TryLvid(VertexId gvid) const {
+    auto it = lvid_of_.find(gvid);
+    return it == lvid_of_.end() ? kInvalidLocalVid : it->second;
+  }
+
+  VertexId Gvid(LocalVid l) const { return vertices_[l].gvid; }
+  ColorId color(LocalVid l) const { return vertices_[l].color; }
+  bool is_owned(LocalVid l) const { return vertices_[l].owned; }
+  rpc::MachineId owner(LocalVid l) const { return vertices_[l].owner; }
+
+  /// Owner machine of any global vertex (resolved via the atom index data
+  /// replicated to every machine).
+  rpc::MachineId OwnerOfGlobal(VertexId gvid) const {
+    GL_CHECK_LT(gvid, atom_of_vertex_.size());
+    return placement_[atom_of_vertex_[gvid]];
+  }
+
+  std::span<const LocalEid> in_edges(LocalVid l) const {
+    return {in_list_.data() + in_index_[l], in_index_[l + 1] - in_index_[l]};
+  }
+  std::span<const LocalEid> out_edges(LocalVid l) const {
+    return {out_list_.data() + out_index_[l],
+            out_index_[l + 1] - out_index_[l]};
+  }
+  std::span<const LocalVid> neighbors(LocalVid l) const {
+    return {nbr_list_.data() + nbr_index_[l],
+            nbr_index_[l + 1] - nbr_index_[l]};
+  }
+  LocalVid edge_source(LocalEid e) const { return edges_[e].src; }
+  LocalVid edge_target(LocalEid e) const { return edges_[e].dst; }
+
+  /// Machines participating in the scope of owned vertex l (this machine
+  /// plus owners of all neighbors), ascending — the canonical machine order
+  /// used by the pipelined lock chains.
+  std::span<const rpc::MachineId> scope_machines(LocalVid l) const {
+    return {scope_machines_list_.data() + scope_machines_index_[l],
+            scope_machines_index_[l + 1] - scope_machines_index_[l]};
+  }
+
+  // --------------------------------------------------------------------
+  // Data access + versioning
+  // --------------------------------------------------------------------
+
+  VertexData& vertex_data(LocalVid l) { return vertices_[l].data; }
+  const VertexData& vertex_data(LocalVid l) const { return vertices_[l].data; }
+  EdgeData& edge_data(LocalEid e) { return edges_[e].data; }
+  const EdgeData& edge_data(LocalEid e) const { return edges_[e].data; }
+
+  /// Records that an update wrote the vertex / edge; bumps its version so
+  /// the next flush transmits it.
+  void MarkVertexModified(LocalVid l) { vertices_[l].version++; }
+  void MarkEdgeModified(LocalEid e) { edges_[e].version++; }
+
+  uint64_t vertex_version(LocalVid l) const { return vertices_[l].version; }
+  uint64_t edge_version(LocalEid e) const { return edges_[e].version; }
+
+  /// Pushes the modified data of owned vertex l and its adjacent edges to
+  /// every machine holding a replica, one batched message per destination.
+  /// Entities whose version has not advanced are skipped (the paper's
+  /// versioned cache coherence).  Must be called while the caller still
+  /// holds exclusive rights to the scope (before lock release / within the
+  /// color step).
+  void FlushVertexScope(LocalVid l) {
+    GL_CHECK(is_owned(l));
+    thread_local std::vector<std::pair<rpc::MachineId, OutArchive>> batches;
+    batches.clear();
+    auto archive_for = [&](rpc::MachineId m) -> OutArchive& {
+      for (auto& [dst, oa] : batches) {
+        if (dst == m) return oa;
+      }
+      batches.emplace_back(m, OutArchive());
+      return batches.back().second;
+    };
+
+    VertexRecord& vr = vertices_[l];
+    if (vr.version > vr.flushed_version) {
+      for (rpc::MachineId m : MirrorSpan(l)) {
+        OutArchive& oa = archive_for(m);
+        oa << uint8_t{0} << vr.gvid << vr.version << vr.data;
+      }
+      vr.flushed_version = vr.version;
+      pushes_sent_ += MirrorSpan(l).size();
+    } else {
+      pushes_skipped_++;
+    }
+    auto flush_edge = [&](LocalEid e) {
+      EdgeRecord& er = edges_[e];
+      if (er.version <= er.flushed_version) return;
+      rpc::MachineId other = EdgeMirror(e);
+      if (other != me_) {
+        OutArchive& oa = archive_for(other);
+        oa << uint8_t{1} << Gvid(er.src) << Gvid(er.dst) << er.version
+           << er.data;
+        pushes_sent_++;
+      }
+      er.flushed_version = er.version;
+    };
+    for (LocalEid e : in_edges(l)) flush_edge(e);
+    for (LocalEid e : out_edges(l)) flush_edge(e);
+
+    for (auto& [dst, oa] : batches) {
+      if (oa.size() > 0) {
+        comm_->Send(me_, dst, kDataPushHandler, std::move(oa));
+      }
+    }
+  }
+
+  /// Bulk variant used by the synchronous (MPI-style) baseline: pushes
+  /// every owned vertex whose version advanced since its last flush, one
+  /// batched message per destination machine for the whole pass (the
+  /// MPI_Alltoall analogue).  Edges are not exchanged (synchronous kernels
+  /// keep mutable state on vertices).
+  void FlushAllOwnedBulk() {
+    std::vector<OutArchive> batches(placement_.empty()
+                                        ? comm_->num_machines()
+                                        : comm_->num_machines());
+    for (LocalVid l : owned_) {
+      VertexRecord& vr = vertices_[l];
+      if (vr.version <= vr.flushed_version) {
+        pushes_skipped_++;
+        continue;
+      }
+      for (rpc::MachineId m : MirrorSpan(l)) {
+        batches[m] << uint8_t{0} << vr.gvid << vr.version << vr.data;
+        pushes_sent_++;
+      }
+      vr.flushed_version = vr.version;
+    }
+    for (rpc::MachineId m = 0; m < batches.size(); ++m) {
+      if (batches[m].size() > 0) {
+        comm_->Send(me_, m, kDataPushHandler, std::move(batches[m]));
+      }
+    }
+  }
+
+  /// Versioning-ablation counters.
+  uint64_t pushes_sent() const { return pushes_sent_; }
+  uint64_t pushes_skipped() const { return pushes_skipped_; }
+
+  /// Applies one batched ghost push (runs on the dispatch thread).
+  void ApplyDataPush(InArchive& ia) {
+    while (!ia.AtEnd()) {
+      uint8_t type = ia.ReadValue<uint8_t>();
+      if (type == 0) {
+        VertexId gvid = ia.ReadValue<VertexId>();
+        uint64_t version = ia.ReadValue<uint64_t>();
+        VertexData data;
+        ia >> data;
+        LocalVid l = Lvid(gvid);
+        VertexRecord& vr = vertices_[l];
+        GL_CHECK(!vr.owned) << "push for owned vertex " << gvid;
+        if (version > vr.version) {
+          vr.data = std::move(data);
+          vr.version = version;
+        }
+      } else {
+        VertexId gsrc = ia.ReadValue<VertexId>();
+        VertexId gdst = ia.ReadValue<VertexId>();
+        uint64_t version = ia.ReadValue<uint64_t>();
+        EdgeData data;
+        ia >> data;
+        LocalEid e = LeidOf(gsrc, gdst);
+        EdgeRecord& er = edges_[e];
+        if (version > er.version) {
+          er.data = std::move(data);
+          er.version = version;
+          // Keep flushed in sync so this machine does not re-push data it
+          // merely received.
+          er.flushed_version = version;
+        }
+      }
+    }
+  }
+
+  /// Local edge id for a global (src, dst) pair; CHECKs presence.
+  LocalEid LeidOf(VertexId gsrc, VertexId gdst) const {
+    auto it = leid_of_.find(EdgeKey(gsrc, gdst));
+    GL_CHECK(it != leid_of_.end())
+        << "edge " << gsrc << "->" << gdst << " not local";
+    return it->second;
+  }
+
+ private:
+  struct VertexRecord {
+    VertexId gvid = kInvalidVertex;
+    ColorId color = 0;
+    rpc::MachineId owner = 0;
+    bool owned = false;
+    uint64_t version = 0;
+    uint64_t flushed_version = 0;
+    VertexData data{};
+  };
+  struct EdgeRecord {
+    LocalVid src = kInvalidLocalVid;
+    LocalVid dst = kInvalidLocalVid;
+    uint64_t version = 0;
+    uint64_t flushed_version = 0;
+    EdgeData data{};
+  };
+
+  static uint64_t EdgeKey(VertexId s, VertexId d) {
+    return (static_cast<uint64_t>(s) << 32) | d;
+  }
+
+  /// Machines holding a ghost of owned vertex l.
+  std::span<const rpc::MachineId> MirrorSpan(LocalVid l) const {
+    return {mirror_list_.data() + mirror_index_[l],
+            mirror_index_[l + 1] - mirror_index_[l]};
+  }
+
+  /// The other machine holding edge e (or me_ if fully local).
+  rpc::MachineId EdgeMirror(LocalEid e) const {
+    rpc::MachineId os = vertices_[edges_[e].src].owner;
+    rpc::MachineId od = vertices_[edges_[e].dst].owner;
+    if (os != me_) return os;
+    if (od != me_) return od;
+    return me_;
+  }
+
+  Status Ingest(
+      const AtomIndex& index, const std::vector<rpc::MachineId>& placement,
+      rpc::MachineId me, rpc::CommLayer* comm,
+      std::vector<typename AtomContent<VertexData, EdgeData>::VertexCmd>
+          vcmds,
+      std::vector<typename AtomContent<VertexData, EdgeData>::EdgeCmd>
+          ecmds) {
+    me_ = me;
+    comm_ = comm;
+    num_global_vertices_ = index.num_vertices;
+    num_colors_ = index.num_colors;
+    atom_of_vertex_ = index.atom_of_vertex;
+    placement_ = placement;
+
+    // Deduplicate vertices: owned records win over ghost records.
+    std::sort(vcmds.begin(), vcmds.end(), [](const auto& a, const auto& b) {
+      if (a.gvid != b.gvid) return a.gvid < b.gvid;
+      return a.ghost < b.ghost;  // owned (ghost=false) first
+    });
+    vertices_.clear();
+    lvid_of_.clear();
+    owned_.clear();
+    for (const auto& vc : vcmds) {
+      if (!vertices_.empty() && vertices_.back().gvid == vc.gvid) continue;
+      VertexRecord vr;
+      vr.gvid = vc.gvid;
+      vr.color = vc.color;
+      vr.owner = placement_[atom_of_vertex_[vc.gvid]];
+      vr.owned = (vr.owner == me_);
+      vr.data = vc.data;
+      if (vc.ghost && vr.owned) {
+        return Status::Corruption("ghost record for locally owned vertex");
+      }
+      lvid_of_[vc.gvid] = static_cast<LocalVid>(vertices_.size());
+      if (vr.owned) owned_.push_back(static_cast<LocalVid>(vertices_.size()));
+      vertices_.push_back(std::move(vr));
+    }
+
+    // Deduplicate edges (cross-atom edges journaled twice).
+    edges_.clear();
+    leid_of_.clear();
+    leid_of_.reserve(ecmds.size());
+    for (const auto& ec : ecmds) {
+      uint64_t key = EdgeKey(ec.src, ec.dst);
+      if (leid_of_.count(key)) continue;
+      EdgeRecord er;
+      auto its = lvid_of_.find(ec.src);
+      auto itd = lvid_of_.find(ec.dst);
+      if (its == lvid_of_.end() || itd == lvid_of_.end()) {
+        return Status::Corruption("edge references vertex missing locally");
+      }
+      er.src = its->second;
+      er.dst = itd->second;
+      er.data = ec.data;
+      leid_of_[key] = static_cast<LocalEid>(edges_.size());
+      edges_.push_back(std::move(er));
+    }
+
+    BuildAdjacency();
+    BuildMirrors();
+    RegisterHandler();
+    return Status::OK();
+  }
+
+  void BuildAdjacency() {
+    const size_t n = vertices_.size();
+    auto build = [&](auto key_fn, std::vector<uint64_t>* idx,
+                     std::vector<LocalEid>* list) {
+      idx->assign(n + 1, 0);
+      for (const EdgeRecord& er : edges_) (*idx)[key_fn(er) + 1]++;
+      for (size_t i = 0; i < n; ++i) (*idx)[i + 1] += (*idx)[i];
+      list->resize(edges_.size());
+      std::vector<uint64_t> cursor(idx->begin(), idx->end() - 1);
+      for (LocalEid e = 0; e < edges_.size(); ++e) {
+        (*list)[cursor[key_fn(edges_[e])]++] = e;
+      }
+    };
+    build([](const EdgeRecord& e) { return e.dst; }, &in_index_, &in_list_);
+    build([](const EdgeRecord& e) { return e.src; }, &out_index_, &out_list_);
+
+    // Distinct-neighbor CSR.
+    nbr_index_.assign(n + 1, 0);
+    nbr_list_.clear();
+    std::vector<LocalVid> scratch;
+    for (LocalVid l = 0; l < n; ++l) {
+      scratch.clear();
+      for (LocalEid e : in_edges(l)) scratch.push_back(edges_[e].src);
+      for (LocalEid e : out_edges(l)) scratch.push_back(edges_[e].dst);
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      nbr_list_.insert(nbr_list_.end(), scratch.begin(), scratch.end());
+      nbr_index_[l + 1] = nbr_list_.size();
+    }
+  }
+
+  void BuildMirrors() {
+    const size_t n = vertices_.size();
+    mirror_index_.assign(n + 1, 0);
+    mirror_list_.clear();
+    scope_machines_index_.assign(n + 1, 0);
+    scope_machines_list_.clear();
+    std::vector<rpc::MachineId> scratch;
+    for (LocalVid l = 0; l < n; ++l) {
+      scratch.clear();
+      for (LocalVid nb : neighbors(l)) scratch.push_back(vertices_[nb].owner);
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      // Mirrors: remote machines owning neighbors (only meaningful for
+      // owned vertices but computed for all).
+      for (rpc::MachineId m : scratch) {
+        if (m != me_) mirror_list_.push_back(m);
+      }
+      mirror_index_[l + 1] = mirror_list_.size();
+      // Scope machines: mirrors plus this machine, ascending.
+      bool inserted_me = false;
+      for (rpc::MachineId m : scratch) {
+        if (!inserted_me && me_ < m) {
+          scope_machines_list_.push_back(me_);
+          inserted_me = true;
+        }
+        scope_machines_list_.push_back(m);
+        if (m == me_) inserted_me = true;
+      }
+      if (!inserted_me) scope_machines_list_.push_back(me_);
+      scope_machines_index_[l + 1] = scope_machines_list_.size();
+    }
+  }
+
+  void RegisterHandler() {
+    comm_->RegisterHandler(me_, kDataPushHandler,
+                           [this](rpc::MachineId, InArchive& ia) {
+                             ApplyDataPush(ia);
+                           });
+  }
+
+  rpc::MachineId me_ = 0;
+  rpc::CommLayer* comm_ = nullptr;
+  uint64_t num_global_vertices_ = 0;
+  ColorId num_colors_ = 1;
+  PartitionAssignment atom_of_vertex_;
+  std::vector<rpc::MachineId> placement_;
+
+  std::vector<VertexRecord> vertices_;
+  std::vector<EdgeRecord> edges_;
+  std::unordered_map<VertexId, LocalVid> lvid_of_;
+  std::unordered_map<uint64_t, LocalEid> leid_of_;
+  std::vector<LocalVid> owned_;
+
+  std::vector<uint64_t> in_index_, out_index_, nbr_index_;
+  std::vector<LocalEid> in_list_, out_list_;
+  std::vector<LocalVid> nbr_list_;
+  std::vector<uint64_t> mirror_index_, scope_machines_index_;
+  std::vector<rpc::MachineId> mirror_list_, scope_machines_list_;
+
+  std::atomic<uint64_t> pushes_sent_{0};
+  std::atomic<uint64_t> pushes_skipped_{0};
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_GRAPH_DISTRIBUTED_GRAPH_H_

@@ -1,0 +1,142 @@
+#include "graphlab/graph/generators.h"
+
+#include <unordered_set>
+
+#include "graphlab/util/logging.h"
+#include "graphlab/util/random.h"
+
+namespace graphlab {
+namespace gen {
+
+GraphStructure PowerLawWeb(uint64_t num_vertices, uint32_t out_degree,
+                           double alpha, uint64_t seed) {
+  GL_CHECK_GE(num_vertices, 2u);
+  GL_CHECK_LT(out_degree, num_vertices);
+  GraphStructure s;
+  s.num_vertices = num_vertices;
+  s.edges.reserve(num_vertices * out_degree);
+  Rng rng(seed);
+  ZipfSampler zipf(num_vertices, alpha);
+  // Map popularity ranks to vertex ids through a fixed random permutation
+  // so the hubs are spread across the id space (and therefore across
+  // block/striped partitions) while the global in-degree skew is exact.
+  std::vector<VertexId> perm(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) perm[v] = v;
+  rng.Shuffle(&perm);
+  std::unordered_set<VertexId> picked;
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    picked.clear();
+    while (picked.size() < out_degree) {
+      VertexId v = perm[zipf.Sample(&rng)];
+      if (v == u || picked.count(v)) continue;
+      picked.insert(v);
+      s.edges.emplace_back(u, v);
+    }
+  }
+  return s;
+}
+
+namespace {
+inline VertexId MeshId(uint32_t nx, uint32_t ny, uint32_t x, uint32_t y,
+                       uint32_t z) {
+  return static_cast<VertexId>((static_cast<uint64_t>(z) * ny + y) * nx + x);
+}
+}  // namespace
+
+GraphStructure Mesh3D(uint32_t nx, uint32_t ny, uint32_t nz,
+                      uint32_t connectivity) {
+  GL_CHECK(connectivity == 6 || connectivity == 26)
+      << "connectivity must be 6 or 26";
+  GraphStructure s;
+  s.num_vertices = static_cast<uint64_t>(nx) * ny * nz;
+  for (uint32_t z = 0; z < nz; ++z) {
+    for (uint32_t y = 0; y < ny; ++y) {
+      for (uint32_t x = 0; x < nx; ++x) {
+        VertexId u = MeshId(nx, ny, x, y, z);
+        // Emit each undirected adjacency once: only offsets that are
+        // lexicographically positive.
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              if (connectivity == 6 &&
+                  (std::abs(dx) + std::abs(dy) + std::abs(dz)) != 1) {
+                continue;
+              }
+              // Positive direction filter (dz, then dy, then dx).
+              if (dz < 0 || (dz == 0 && dy < 0) ||
+                  (dz == 0 && dy == 0 && dx < 0)) {
+                continue;
+              }
+              int64_t X = static_cast<int64_t>(x) + dx;
+              int64_t Y = static_cast<int64_t>(y) + dy;
+              int64_t Z = static_cast<int64_t>(z) + dz;
+              if (X < 0 || Y < 0 || Z < 0 || X >= nx || Y >= ny || Z >= nz) {
+                continue;
+              }
+              s.edges.emplace_back(
+                  u, MeshId(nx, ny, static_cast<uint32_t>(X),
+                            static_cast<uint32_t>(Y),
+                            static_cast<uint32_t>(Z)));
+            }
+          }
+        }
+      }
+    }
+  }
+  return s;
+}
+
+GraphStructure Grid2D(uint32_t rows, uint32_t cols) {
+  GraphStructure s;
+  s.num_vertices = static_cast<uint64_t>(rows) * cols;
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      VertexId u = static_cast<VertexId>(static_cast<uint64_t>(r) * cols + c);
+      if (c + 1 < cols) s.edges.emplace_back(u, u + 1);
+      if (r + 1 < rows) s.edges.emplace_back(u, u + cols);
+    }
+  }
+  return s;
+}
+
+GraphStructure BipartiteZipf(uint64_t num_users, uint64_t num_items,
+                             uint32_t ratings_per_user, double alpha,
+                             uint64_t seed) {
+  GL_CHECK_GE(num_items, ratings_per_user);
+  GraphStructure s;
+  s.num_vertices = num_users + num_items;
+  s.edges.reserve(num_users * ratings_per_user);
+  Rng rng(seed);
+  ZipfSampler zipf(num_items, alpha);
+  std::unordered_set<VertexId> picked;
+  for (VertexId u = 0; u < num_users; ++u) {
+    picked.clear();
+    while (picked.size() < ratings_per_user) {
+      VertexId item = static_cast<VertexId>(num_users + zipf.Sample(&rng));
+      if (picked.count(item)) continue;
+      picked.insert(item);
+      s.edges.emplace_back(u, item);
+    }
+  }
+  return s;
+}
+
+GraphStructure VideoGrid(uint32_t frames, uint32_t rows, uint32_t cols) {
+  GraphStructure s;
+  s.num_vertices = static_cast<uint64_t>(frames) * rows * cols;
+  for (uint32_t f = 0; f < frames; ++f) {
+    for (uint32_t r = 0; r < rows; ++r) {
+      for (uint32_t c = 0; c < cols; ++c) {
+        VertexId u = GridVertex(rows, cols, f, r, c);
+        if (c + 1 < cols) s.edges.emplace_back(u, GridVertex(rows, cols, f, r, c + 1));
+        if (r + 1 < rows) s.edges.emplace_back(u, GridVertex(rows, cols, f, r + 1, c));
+        if (f + 1 < frames) s.edges.emplace_back(u, GridVertex(rows, cols, f + 1, r, c));
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace gen
+}  // namespace graphlab

@@ -1,0 +1,60 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Synthetic workload topology generators.
+//
+// These stand in for the paper's datasets (DESIGN.md §1): a Zipf/power-law
+// web graph for PageRank, a 26-connected 3-D mesh for the synthetic loopy
+// BP experiment of Sec. 4.2.2, bipartite rating and noun-phrase/context
+// graphs for Netflix-ALS and NER-CoEM, and 2-D/3-D super-pixel grids for
+// CoSeg.  Every generator is deterministic given its seed.
+
+#ifndef GRAPHLAB_GRAPH_GENERATORS_H_
+#define GRAPHLAB_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graphlab/graph/types.h"
+
+namespace graphlab {
+namespace gen {
+
+/// Power-law "web graph": every vertex links to `out_degree` targets drawn
+/// from a Zipf(alpha) popularity distribution (duplicate/self links are
+/// re-drawn).  In-degrees follow the heavy-tailed skew of natural graphs
+/// highlighted in Sec. 2.
+GraphStructure PowerLawWeb(uint64_t num_vertices, uint32_t out_degree,
+                           double alpha, uint64_t seed);
+
+/// nx*ny*nz lattice.  connectivity = 6 (axis neighbors) or 26 (axis +
+/// diagonals, matching the Sec. 4.2.2 synthetic mesh).  Each undirected
+/// adjacency appears once (u < v).
+GraphStructure Mesh3D(uint32_t nx, uint32_t ny, uint32_t nz,
+                      uint32_t connectivity);
+
+/// 2-D 4-connected grid (rows*cols), each undirected adjacency once.
+GraphStructure Grid2D(uint32_t rows, uint32_t cols);
+
+/// Bipartite rating graph: `num_users` user vertices [0, num_users) and
+/// `num_items` item vertices [num_users, num_users+num_items).  Each user
+/// rates `ratings_per_user` items sampled Zipf(alpha) (popular movies get
+/// most ratings).  Edge (user -> item).
+GraphStructure BipartiteZipf(uint64_t num_users, uint64_t num_items,
+                             uint32_t ratings_per_user, double alpha,
+                             uint64_t seed);
+
+/// Vertex index helpers for the CoSeg video grid: frames of rows*cols
+/// super-pixels connected 4-way in-frame plus to the same position in the
+/// previous/next frame (the paper's 3-D spatio-temporal grid).
+GraphStructure VideoGrid(uint32_t frames, uint32_t rows, uint32_t cols);
+
+/// Deterministic position helpers for grid-shaped graphs.
+inline VertexId GridVertex(uint32_t rows, uint32_t cols, uint32_t f,
+                           uint32_t r, uint32_t c) {
+  return static_cast<VertexId>((static_cast<uint64_t>(f) * rows + r) * cols +
+                               c);
+}
+
+}  // namespace gen
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_GRAPH_GENERATORS_H_

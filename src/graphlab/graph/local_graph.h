@@ -1,0 +1,185 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// LocalGraph<V, E>: the single-machine data graph (Sec. 3.1).
+//
+// The data graph G = (V, E, D) stores mutable user data on vertices and
+// edges over a static structure.  This container backs the shared-memory
+// engine, the BSP/Pregel baseline, and serves as the in-memory staging
+// representation from which atoms are cut for distributed ingress.
+//
+// Structure is append-then-freeze: AddVertex/AddEdge while building, then
+// Finalize() compiles CSR-style in/out adjacency indexes.  Mutating data is
+// allowed after finalization; mutating structure is not (the abstraction
+// fixes the graph structure during execution).
+
+#ifndef GRAPHLAB_GRAPH_LOCAL_GRAPH_H_
+#define GRAPHLAB_GRAPH_LOCAL_GRAPH_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "graphlab/graph/types.h"
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+
+template <typename VertexData, typename EdgeData>
+class LocalGraph {
+ public:
+  using vertex_data_type = VertexData;
+  using edge_data_type = EdgeData;
+
+  LocalGraph() = default;
+
+  /// Builds a graph with `n` default-initialized vertices.
+  explicit LocalGraph(size_t n) { AddVertices(n); }
+
+  /// Appends one vertex; returns its id.
+  VertexId AddVertex(VertexData data = VertexData{}) {
+    GL_CHECK(!finalized_) << "structure is static after Finalize()";
+    vertex_data_.push_back(std::move(data));
+    return static_cast<VertexId>(vertex_data_.size() - 1);
+  }
+
+  /// Appends `n` default vertices.
+  void AddVertices(size_t n) {
+    GL_CHECK(!finalized_);
+    vertex_data_.resize(vertex_data_.size() + n);
+  }
+
+  /// Appends a directed edge; returns its id.  Self edges are rejected
+  /// (the scope model gives a vertex access to itself already).
+  EdgeId AddEdge(VertexId src, VertexId dst, EdgeData data = EdgeData{}) {
+    GL_CHECK(!finalized_);
+    GL_CHECK_NE(src, dst) << "self edge";
+    GL_CHECK_LT(src, vertex_data_.size());
+    GL_CHECK_LT(dst, vertex_data_.size());
+    sources_.push_back(src);
+    targets_.push_back(dst);
+    edge_data_.push_back(std::move(data));
+    return static_cast<EdgeId>(edge_data_.size() - 1);
+  }
+
+  /// Freezes the structure and builds adjacency indexes.  Idempotent.
+  void Finalize() {
+    if (finalized_) return;
+    BuildIndex(sources_, &out_index_, &out_edges_);
+    BuildIndex(targets_, &in_index_, &in_edges_);
+    finalized_ = true;
+  }
+
+  bool finalized() const { return finalized_; }
+  size_t num_vertices() const { return vertex_data_.size(); }
+  size_t num_edges() const { return edge_data_.size(); }
+
+  VertexData& vertex_data(VertexId v) {
+    GL_CHECK_LT(v, vertex_data_.size());
+    return vertex_data_[v];
+  }
+  const VertexData& vertex_data(VertexId v) const {
+    GL_CHECK_LT(v, vertex_data_.size());
+    return vertex_data_[v];
+  }
+
+  EdgeData& edge_data(EdgeId e) {
+    GL_CHECK_LT(e, edge_data_.size());
+    return edge_data_[e];
+  }
+  const EdgeData& edge_data(EdgeId e) const {
+    GL_CHECK_LT(e, edge_data_.size());
+    return edge_data_[e];
+  }
+
+  VertexId source(EdgeId e) const { return sources_[e]; }
+  VertexId target(EdgeId e) const { return targets_[e]; }
+
+  /// Edge ids whose target is v (requires Finalize()).
+  std::span<const EdgeId> in_edges(VertexId v) const {
+    GL_CHECK(finalized_);
+    return {in_edges_.data() + in_index_[v],
+            in_index_[v + 1] - in_index_[v]};
+  }
+
+  /// Edge ids whose source is v (requires Finalize()).
+  std::span<const EdgeId> out_edges(VertexId v) const {
+    GL_CHECK(finalized_);
+    return {out_edges_.data() + out_index_[v],
+            out_index_[v + 1] - out_index_[v]};
+  }
+
+  size_t in_degree(VertexId v) const { return in_edges(v).size(); }
+  size_t out_degree(VertexId v) const { return out_edges(v).size(); }
+
+  /// All distinct neighbors of v in either direction, ascending.
+  std::vector<VertexId> neighbors(VertexId v) const {
+    std::vector<VertexId> out;
+    out.reserve(in_degree(v) + out_degree(v));
+    for (EdgeId e : in_edges(v)) out.push_back(source(e));
+    for (EdgeId e : out_edges(v)) out.push_back(target(e));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  // ------------------------------------------------------------------
+  // API shims so LocalGraph satisfies the same graph concept the engines'
+  // Context uses for DistributedGraph (single-machine setting: local and
+  // global ids coincide, versioning is a no-op).
+  // ------------------------------------------------------------------
+  VertexId Gvid(VertexId v) const { return v; }
+  LocalVid Lvid(VertexId v) const { return v; }
+  bool is_owned(VertexId) const { return true; }
+  void MarkVertexModified(VertexId) {}
+  void MarkEdgeModified(EdgeId) {}
+  VertexId edge_source(EdgeId e) const { return sources_[e]; }
+  VertexId edge_target(EdgeId e) const { return targets_[e]; }
+  uint64_t num_global_vertices() const { return num_vertices(); }
+
+  /// Extracts topology (for coloring / partitioning utilities).
+  GraphStructure Structure() const {
+    GraphStructure s;
+    s.num_vertices = num_vertices();
+    s.edges.reserve(num_edges());
+    for (EdgeId e = 0; e < num_edges(); ++e) {
+      s.edges.emplace_back(sources_[e], targets_[e]);
+    }
+    return s;
+  }
+
+  /// Builds structure + default data from topology.
+  static LocalGraph FromStructure(const GraphStructure& s) {
+    LocalGraph g;
+    g.AddVertices(s.num_vertices);
+    for (const auto& [u, v] : s.edges) g.AddEdge(u, v);
+    g.Finalize();
+    return g;
+  }
+
+ private:
+  void BuildIndex(const std::vector<VertexId>& keys,
+                  std::vector<uint64_t>* index,
+                  std::vector<EdgeId>* order) const {
+    const size_t n = vertex_data_.size();
+    index->assign(n + 1, 0);
+    for (VertexId k : keys) (*index)[k + 1]++;
+    for (size_t i = 0; i < n; ++i) (*index)[i + 1] += (*index)[i];
+    order->resize(keys.size());
+    std::vector<uint64_t> cursor(index->begin(), index->end() - 1);
+    for (EdgeId e = 0; e < keys.size(); ++e) {
+      (*order)[cursor[keys[e]]++] = e;
+    }
+  }
+
+  bool finalized_ = false;
+  std::vector<VertexData> vertex_data_;
+  std::vector<EdgeData> edge_data_;
+  std::vector<VertexId> sources_;
+  std::vector<VertexId> targets_;
+  std::vector<uint64_t> in_index_, out_index_;   // CSR offsets
+  std::vector<EdgeId> in_edges_, out_edges_;     // CSR payloads
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_GRAPH_LOCAL_GRAPH_H_

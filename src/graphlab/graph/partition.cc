@@ -1,0 +1,140 @@
+#include "graphlab/graph/partition.h"
+
+#include <deque>
+#include <vector>
+
+#include "graphlab/util/logging.h"
+#include "graphlab/util/random.h"
+
+namespace graphlab {
+
+PartitionAssignment RandomPartition(uint64_t num_vertices, AtomId num_atoms,
+                                    uint64_t seed) {
+  GL_CHECK_GE(num_atoms, 1u);
+  PartitionAssignment out(num_vertices);
+  Rng rng(seed);
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    out[v] = static_cast<AtomId>(rng.UniformInt(num_atoms));
+  }
+  return out;
+}
+
+PartitionAssignment BlockPartition(uint64_t num_vertices, AtomId num_atoms) {
+  GL_CHECK_GE(num_atoms, 1u);
+  PartitionAssignment out(num_vertices);
+  uint64_t per = (num_vertices + num_atoms - 1) / num_atoms;
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    out[v] = static_cast<AtomId>(v / per);
+  }
+  return out;
+}
+
+PartitionAssignment StripedPartition(uint64_t num_vertices,
+                                     AtomId num_atoms) {
+  GL_CHECK_GE(num_atoms, 1u);
+  PartitionAssignment out(num_vertices);
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    out[v] = static_cast<AtomId>(v % num_atoms);
+  }
+  return out;
+}
+
+PartitionAssignment BfsPartition(const GraphStructure& structure,
+                                 AtomId num_atoms, uint64_t seed) {
+  GL_CHECK_GE(num_atoms, 1u);
+  const uint64_t n = structure.num_vertices;
+  // Build adjacency.
+  std::vector<std::vector<VertexId>> adj(n);
+  for (const auto& [u, v] : structure.edges) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  PartitionAssignment out(n, num_atoms);  // num_atoms == unassigned marker
+  const uint64_t capacity = (n + num_atoms - 1) / num_atoms;
+  std::vector<uint64_t> size(num_atoms, 0);
+  Rng rng(seed);
+
+  // Seed each region with a random unassigned vertex, then grow all
+  // regions round-robin so they stay balanced.
+  std::vector<std::deque<VertexId>> frontier(num_atoms);
+  uint64_t assigned = 0;
+  auto claim = [&](VertexId v, AtomId a) {
+    out[v] = a;
+    size[a]++;
+    assigned++;
+    frontier[a].push_back(v);
+  };
+  for (AtomId a = 0; a < num_atoms && assigned < n; ++a) {
+    for (int tries = 0; tries < 64; ++tries) {
+      VertexId v = static_cast<VertexId>(rng.UniformInt(n));
+      if (out[v] == num_atoms) {
+        claim(v, a);
+        break;
+      }
+    }
+  }
+  bool progress = true;
+  while (assigned < n) {
+    progress = false;
+    for (AtomId a = 0; a < num_atoms; ++a) {
+      if (size[a] >= capacity) continue;
+      while (!frontier[a].empty() && size[a] < capacity) {
+        VertexId v = frontier[a].front();
+        bool grew = false;
+        for (VertexId w : adj[v]) {
+          if (out[w] == num_atoms) {
+            claim(w, a);
+            grew = true;
+            progress = true;
+            break;
+          }
+        }
+        if (!grew) {
+          frontier[a].pop_front();
+        } else {
+          break;  // round-robin: one growth per atom per pass
+        }
+      }
+    }
+    if (!progress) {
+      // Disconnected remainder or all frontiers exhausted: re-seed the
+      // least-loaded atom with any unassigned vertex.
+      AtomId smallest = 0;
+      for (AtomId a = 1; a < num_atoms; ++a) {
+        if (size[a] < size[smallest]) smallest = a;
+      }
+      for (VertexId v = 0; v < n; ++v) {
+        if (out[v] == num_atoms) {
+          claim(v, smallest);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+PartitionQuality EvaluatePartition(const GraphStructure& structure,
+                                   const PartitionAssignment& assignment,
+                                   AtomId num_atoms) {
+  PartitionQuality q;
+  std::vector<uint64_t> sizes(num_atoms, 0);
+  for (AtomId a : assignment) {
+    GL_CHECK_LT(a, num_atoms);
+    sizes[a]++;
+  }
+  for (const auto& [u, v] : structure.edges) {
+    if (assignment[u] != assignment[v]) q.cut_edges++;
+  }
+  q.cut_fraction = structure.edges.empty()
+                       ? 0.0
+                       : static_cast<double>(q.cut_edges) /
+                             static_cast<double>(structure.edges.size());
+  for (uint64_t s : sizes) q.max_atom_size = std::max(q.max_atom_size, s);
+  double ideal = static_cast<double>(structure.num_vertices) /
+                 static_cast<double>(num_atoms);
+  q.balance = ideal > 0 ? static_cast<double>(q.max_atom_size) / ideal : 0.0;
+  return q;
+}
+
+}  // namespace graphlab

@@ -1,0 +1,56 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Graph partitioning heuristics for the two-phase (atom) partitioning
+// scheme of Sec. 4.1.
+//
+// Phase 1 over-partitions the graph into k atoms (k >> #machines) with one
+// of the heuristics below; phase 2 balances atoms over machines using the
+// atom meta-graph (atom_index.h).  The paper uses ParMetis or random
+// hashing for phase 1; we provide random hashing, contiguous blocks,
+// striping (the CoSeg worst case), and a BFS region-growing heuristic that
+// plays the role of Metis for meshes.
+
+#ifndef GRAPHLAB_GRAPH_PARTITION_H_
+#define GRAPHLAB_GRAPH_PARTITION_H_
+
+#include <cstdint>
+
+#include "graphlab/graph/types.h"
+
+namespace graphlab {
+
+/// Uniform random assignment by hashing vertex ids.
+PartitionAssignment RandomPartition(uint64_t num_vertices, AtomId num_atoms,
+                                    uint64_t seed);
+
+/// Contiguous, equally sized ranges of vertex ids.  For grids generated in
+/// scan order this yields spatially coherent blocks ("optimal" CoSeg
+/// partition: consecutive frame blocks).
+PartitionAssignment BlockPartition(uint64_t num_vertices, AtomId num_atoms);
+
+/// v -> v mod k.  For the video grid this stripes adjacent frames across
+/// atoms — the paper's worst-case CoSeg partition (Sec. 5.2).
+PartitionAssignment StripedPartition(uint64_t num_vertices,
+                                     AtomId num_atoms);
+
+/// Multi-seed BFS region growing with strict per-atom capacity, a cheap
+/// stand-in for Metis on mesh-like graphs: grows k balanced connected
+/// regions that give low edge cut on lattices.
+PartitionAssignment BfsPartition(const GraphStructure& structure,
+                                 AtomId num_atoms, uint64_t seed);
+
+/// Quality metrics.
+struct PartitionQuality {
+  uint64_t cut_edges = 0;       // edges whose endpoints differ in atom
+  double cut_fraction = 0.0;    // cut_edges / num_edges
+  uint64_t max_atom_size = 0;   // vertices in the largest atom
+  double balance = 0.0;         // max_atom_size / (n / k); 1.0 is perfect
+};
+
+PartitionQuality EvaluatePartition(const GraphStructure& structure,
+                                   const PartitionAssignment& assignment,
+                                   AtomId num_atoms);
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_GRAPH_PARTITION_H_

@@ -1,0 +1,52 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Shared identifier types for the graph subsystem.
+
+#ifndef GRAPHLAB_GRAPH_TYPES_H_
+#define GRAPHLAB_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace graphlab {
+
+/// Global vertex identifier (stable across the cluster).
+using VertexId = uint32_t;
+/// Global edge identifier.
+using EdgeId = uint64_t;
+/// Machine-local vertex index into a machine's storage arrays.
+using LocalVid = uint32_t;
+/// Machine-local edge index.
+using LocalEid = uint32_t;
+/// Atom (two-phase partition part) identifier.
+using AtomId = uint32_t;
+/// Vertex color produced by the coloring heuristics.
+using ColorId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+inline constexpr LocalVid kInvalidLocalVid = ~LocalVid{0};
+inline constexpr LocalEid kInvalidLocalEid = ~LocalEid{0};
+
+/// Pure topology: what the workload generators produce and what the
+/// coloring/partitioning utilities consume.  Data is attached later when a
+/// LocalGraph or atom set is built from the structure.
+struct GraphStructure {
+  uint64_t num_vertices = 0;
+  /// Directed edge list.  The GraphLab abstraction is direction-agnostic
+  /// for scopes (Sec. 3.1: D_{u<->v}); generators emit each undirected
+  /// adjacency once unless the algorithm needs true direction (PageRank).
+  std::vector<std::pair<VertexId, VertexId>> edges;
+
+  uint64_t num_edges() const { return edges.size(); }
+};
+
+/// vertex -> atom assignment produced by the partitioners.
+using PartitionAssignment = std::vector<AtomId>;
+
+/// vertex -> color assignment produced by the coloring heuristics.
+using ColorAssignment = std::vector<ColorId>;
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_GRAPH_TYPES_H_

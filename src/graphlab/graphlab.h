@@ -1,0 +1,41 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Umbrella header: the public API of the Distributed GraphLab
+// reproduction.  See README.md for a quickstart and DESIGN.md for the
+// architecture map.
+
+#ifndef GRAPHLAB_GRAPHLAB_H_
+#define GRAPHLAB_GRAPHLAB_H_
+
+// Substrate utilities.
+#include "graphlab/util/logging.h"
+#include "graphlab/util/options.h"
+#include "graphlab/util/random.h"
+#include "graphlab/util/serialization.h"
+#include "graphlab/util/status.h"
+#include "graphlab/util/timer.h"
+
+// Simulated cluster runtime.
+#include "graphlab/rpc/comm_layer.h"
+#include "graphlab/rpc/runtime.h"
+
+// Data graph: local, atoms, distributed.
+#include "graphlab/graph/atom.h"
+#include "graphlab/graph/coloring.h"
+#include "graphlab/graph/distributed_graph.h"
+#include "graphlab/graph/generators.h"
+#include "graphlab/graph/local_graph.h"
+#include "graphlab/graph/partition.h"
+
+// Engines + sync + snapshots.
+#include "graphlab/engine/chromatic_engine.h"
+#include "graphlab/engine/context.h"
+#include "graphlab/engine/locking_engine.h"
+#include "graphlab/engine/shared_memory_engine.h"
+#include "graphlab/engine/snapshot.h"
+#include "graphlab/engine/sync.h"
+
+// Schedulers.
+#include "graphlab/scheduler/scheduler.h"
+
+#endif  // GRAPHLAB_GRAPHLAB_H_

@@ -1,0 +1,72 @@
+#include "graphlab/rpc/barrier.h"
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+namespace rpc {
+
+Barrier::Barrier(CommLayer* comm) : comm_(comm), arrivals_(kGenWindow, 0) {
+  slots_.reserve(comm->num_machines());
+  for (size_t i = 0; i < comm->num_machines(); ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  for (MachineId m = 0; m < comm->num_machines(); ++m) {
+    comm_->RegisterHandler(
+        m, kBarrierEnter,
+        [this](MachineId src, InArchive& ia) { OnEnter(src, ia); });
+    comm_->RegisterHandler(
+        m, kBarrierRelease,
+        [this, m](MachineId src, InArchive& ia) { OnRelease(m, ia); });
+  }
+}
+
+void Barrier::Wait(MachineId m) {
+  GL_CHECK_LT(m, slots_.size());
+  Slot& slot = *slots_[m];
+  uint64_t my_generation;
+  {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    my_generation = ++slot.entered_generation;
+  }
+  OutArchive oa;
+  oa << my_generation;
+  comm_->Send(m, /*dst=*/0, kBarrierEnter, std::move(oa));
+
+  std::unique_lock<std::mutex> lock(slot.mutex);
+  slot.cv.wait(lock,
+               [&] { return slot.released_generation >= my_generation; });
+}
+
+void Barrier::OnEnter(MachineId src, InArchive& payload) {
+  // Runs on machine 0's dispatch thread.
+  uint64_t generation = payload.ReadValue<uint64_t>();
+  bool complete = false;
+  {
+    std::lock_guard<std::mutex> lock(master_mutex_);
+    uint64_t& count = arrivals_[generation % kGenWindow];
+    if (++count == comm_->num_machines()) {
+      count = 0;
+      complete = true;
+    }
+  }
+  if (complete) {
+    for (MachineId dst = 0; dst < comm_->num_machines(); ++dst) {
+      OutArchive oa;
+      oa << generation;
+      comm_->Send(/*src=*/0, dst, kBarrierRelease, std::move(oa));
+    }
+  }
+}
+
+void Barrier::OnRelease(MachineId self, InArchive& payload) {
+  uint64_t generation = payload.ReadValue<uint64_t>();
+  Slot& slot = *slots_[self];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.released_generation < generation) {
+    slot.released_generation = generation;
+    slot.cv.notify_all();
+  }
+}
+
+}  // namespace rpc
+}  // namespace graphlab

@@ -1,0 +1,57 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// A cluster-wide barrier implemented purely with RPC messages (no shared
+// state between machines beyond per-machine slots inside this object).
+//
+// Protocol: every machine sends BARRIER_ENTER(generation) to machine 0;
+// machine 0's handler counts entries and, when all machines of a generation
+// have arrived, broadcasts BARRIER_RELEASE(generation).  Each machine's
+// release handler wakes its waiting thread.
+
+#ifndef GRAPHLAB_RPC_BARRIER_H_
+#define GRAPHLAB_RPC_BARRIER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "graphlab/rpc/comm_layer.h"
+
+namespace graphlab {
+namespace rpc {
+
+/// RPC-based sense-reversing barrier.  One instance serves the whole
+/// cluster; each machine interacts only with its own slot.
+class Barrier {
+ public:
+  explicit Barrier(CommLayer* comm);
+
+  /// Blocks the calling (machine `m`) thread until all machines have
+  /// entered the barrier for the same generation.
+  void Wait(MachineId m);
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    uint64_t entered_generation = 0;
+    uint64_t released_generation = 0;
+  };
+
+  void OnEnter(MachineId src, InArchive& payload);
+  void OnRelease(MachineId self, InArchive& payload);
+
+  CommLayer* comm_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  // Master (machine 0) bookkeeping: arrivals per generation.
+  std::mutex master_mutex_;
+  std::vector<uint64_t> arrivals_;  // generation -> count (ring by index)
+  static constexpr size_t kGenWindow = 64;
+};
+
+}  // namespace rpc
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_RPC_BARRIER_H_

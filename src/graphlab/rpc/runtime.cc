@@ -1,0 +1,55 @@
+#include "graphlab/rpc/runtime.h"
+
+#include <thread>
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+namespace rpc {
+
+size_t MachineContext::num_machines() const {
+  return runtime->num_machines();
+}
+CommLayer& MachineContext::comm() const { return runtime->comm(); }
+Barrier& MachineContext::barrier() const { return runtime->barrier(); }
+TerminationDetector& MachineContext::termination() const {
+  return runtime->termination();
+}
+StatsRegistry& MachineContext::stats() const { return runtime->stats(id); }
+const ClusterOptions& MachineContext::options() const {
+  return runtime->options();
+}
+
+Runtime::Runtime(ClusterOptions options) : options_(options) {
+  GL_CHECK_GE(options_.num_machines, 1u);
+  GL_CHECK_GE(options_.threads_per_machine, 1u);
+  comm_ = std::make_unique<CommLayer>(options_.num_machines, options_.comm);
+  barrier_ = std::make_unique<Barrier>(comm_.get());
+  termination_ = std::make_unique<TerminationDetector>(comm_.get());
+  stats_.reserve(options_.num_machines);
+  for (size_t i = 0; i < options_.num_machines; ++i) {
+    stats_.push_back(std::make_unique<StatsRegistry>());
+  }
+  comm_->Start();
+}
+
+Runtime::~Runtime() {
+  if (comm_) comm_->Stop();
+}
+
+void Runtime::Run(const std::function<void(MachineContext&)>& program) {
+  std::vector<std::thread> threads;
+  threads.reserve(options_.num_machines);
+  for (MachineId m = 0; m < options_.num_machines; ++m) {
+    threads.emplace_back([this, m, &program] {
+      MachineContext ctx;
+      ctx.id = m;
+      ctx.runtime = this;
+      program(ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace rpc
+}  // namespace graphlab

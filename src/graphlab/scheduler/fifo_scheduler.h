@@ -1,0 +1,64 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// FIFO scheduler: vertices are executed in schedule order; re-scheduling a
+// queued vertex is a no-op (set semantics).
+
+#ifndef GRAPHLAB_SCHEDULER_FIFO_SCHEDULER_H_
+#define GRAPHLAB_SCHEDULER_FIFO_SCHEDULER_H_
+
+#include <deque>
+#include <mutex>
+
+#include "graphlab/scheduler/scheduler.h"
+#include "graphlab/util/dense_bitset.h"
+
+namespace graphlab {
+
+class FifoScheduler final : public IScheduler {
+ public:
+  explicit FifoScheduler(size_t num_vertices) : queued_(num_vertices) {}
+
+  void Schedule(LocalVid v, double priority) override {
+    (void)priority;
+    if (!queued_.SetBit(v)) return;  // already queued
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(v);
+  }
+
+  bool GetNext(LocalVid* v, double* priority) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    *v = queue_.front();
+    queue_.pop_front();
+    *priority = 1.0;
+    queued_.ClearBit(*v);
+    return true;
+  }
+
+  bool Empty() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.empty();
+  }
+
+  size_t ApproxSize() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  void Clear() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.clear();
+    queued_.Clear();
+  }
+
+  const char* name() const override { return "fifo"; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<LocalVid> queue_;
+  DenseBitset queued_;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_SCHEDULER_FIFO_SCHEDULER_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Per-machine vertex schedulers maintaining the task set T of Alg. 2.
+//
+// Semantics required by the abstraction (Sec. 3.3): T is a *set* —
+// duplicate schedules of a vertex collapse — and every vertex in T is
+// eventually executed.  The run-time is free to pick the execution order;
+// we provide the paper's relaxed orderings: FIFO, sweep, and approximate
+// priority (Sec. 2 "we relax some of the original GraphLab scheduling
+// requirements ... to enable efficient distributed FIFO and priority
+// scheduling").
+//
+// Scheduling is decentralized: each machine schedules only its own owned
+// vertices; engines forward remote requests to the owner over RPC.
+
+#ifndef GRAPHLAB_SCHEDULER_SCHEDULER_H_
+#define GRAPHLAB_SCHEDULER_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+
+#include "graphlab/graph/types.h"
+
+namespace graphlab {
+
+/// Abstract per-machine scheduler over local vertex ids.
+class IScheduler {
+ public:
+  virtual ~IScheduler() = default;
+
+  /// Adds v to T (idempotent).  When v is already queued the priorities are
+  /// merged (max).  Thread safe.
+  virtual void Schedule(LocalVid v, double priority) = 0;
+
+  /// Pops the next vertex.  Returns false when T is currently empty.
+  /// Thread safe.
+  virtual bool GetNext(LocalVid* v, double* priority) = 0;
+
+  /// True when T is empty.  A transiently-true answer is acceptable; the
+  /// engines combine this with distributed termination detection.
+  virtual bool Empty() const = 0;
+
+  /// Approximate |T|.
+  virtual size_t ApproxSize() const = 0;
+
+  /// Drops all queued tasks (between engine runs).
+  virtual void Clear() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Factory: "fifo", "sweep" or "priority".  `num_vertices` is the local
+/// vertex count (owned + ghost; only owned ids are ever scheduled).
+std::unique_ptr<IScheduler> CreateScheduler(const std::string& name,
+                                            size_t num_vertices);
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_SCHEDULER_SCHEDULER_H_

@@ -1,0 +1,178 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Thread-safe queues used by the comm layer and worker pools.
+//
+// BlockingQueue<T>   — unbounded MPMC queue with shutdown semantics.
+// TimedQueue<T>      — queue whose elements carry a not-before deadline;
+//                      used by the simulated network to model link latency.
+
+#ifndef GRAPHLAB_UTIL_BLOCKING_QUEUE_H_
+#define GRAPHLAB_UTIL_BLOCKING_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace graphlab {
+
+/// Unbounded multi-producer multi-consumer blocking queue.
+///
+/// Shutdown() wakes all blocked consumers; subsequent Pop() calls drain any
+/// remaining elements and then return std::nullopt.
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Enqueues an element; wakes one waiting consumer.  Returns false when
+  /// the queue has been shut down (element is dropped).
+  bool Push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return false;
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available or the queue is shut down and
+  /// drained.  Returns nullopt only in the latter case.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Blocks up to `timeout`; returns nullopt on timeout or shutdown-drain.
+  template <typename Rep, typename Period>
+  std::optional<T> PopWithTimeout(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || shutdown_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Marks the queue closed and wakes all consumers.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool IsShutdown() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool shutdown_ = false;
+};
+
+/// A priority queue of (deliver-at, element).  Pop() blocks until the
+/// earliest element's deadline has passed.  The simulated network's delivery
+/// thread uses this to inject per-message latency.
+template <typename T>
+class TimedQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  bool PushAt(T value, Clock::time_point deliver_at) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return false;
+      heap_.push(Entry{deliver_at, seq_++, std::move(value)});
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  bool PushAfter(T value, std::chrono::nanoseconds delay) {
+    return PushAt(std::move(value), Clock::now() + delay);
+  }
+
+  /// Blocks until an element is deliverable or the queue is shut down and
+  /// drained (elements still pending at shutdown are delivered immediately).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (heap_.empty()) {
+        if (shutdown_) return std::nullopt;
+        cv_.wait(lock);
+        continue;
+      }
+      if (shutdown_) break;  // drain immediately on shutdown
+      auto now = Clock::now();
+      if (heap_.top().deliver_at <= now) break;
+      cv_.wait_until(lock, heap_.top().deliver_at);
+    }
+    // const_cast is safe: we pop immediately after moving out.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    T value = std::move(top.value);
+    heap_.pop();
+    return value;
+  }
+
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return heap_.size();
+  }
+
+ private:
+  struct Entry {
+    Clock::time_point deliver_at;
+    uint64_t seq;  // FIFO tie-break for equal deadlines
+    T value;
+    bool operator>(const Entry& o) const {
+      if (deliver_at != o.deliver_at) return deliver_at > o.deliver_at;
+      return seq > o.seq;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  uint64_t seq_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_UTIL_BLOCKING_QUEUE_H_

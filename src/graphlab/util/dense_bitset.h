@@ -1,0 +1,91 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// A fixed-size bitset with atomic set/test-and-set, used by schedulers for
+// the "T is a set: duplicate vertices are ignored" semantics (Alg. 2) and by
+// the snapshot algorithm to mark snapshotted vertices.
+
+#ifndef GRAPHLAB_UTIL_DENSE_BITSET_H_
+#define GRAPHLAB_UTIL_DENSE_BITSET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+
+/// Fixed capacity bitset with lock-free per-bit operations.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(size_t num_bits) { Resize(num_bits); }
+
+  /// Resizes and clears.  Not thread safe w.r.t. concurrent bit ops.
+  void Resize(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_ = std::vector<std::atomic<uint64_t>>((num_bits + 63) / 64);
+    Clear();
+  }
+
+  void Clear() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  size_t size() const { return num_bits_; }
+
+  bool Test(size_t i) const {
+    GL_CHECK_LT(i, num_bits_);
+    return (words_[i >> 6].load(std::memory_order_acquire) >> (i & 63)) & 1;
+  }
+
+  /// Sets bit i; returns true iff the bit was previously clear.
+  bool SetBit(size_t i) {
+    GL_CHECK_LT(i, num_bits_);
+    uint64_t mask = uint64_t{1} << (i & 63);
+    uint64_t old = words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (old & mask) == 0;
+  }
+
+  /// Clears bit i; returns true iff the bit was previously set.
+  bool ClearBit(size_t i) {
+    GL_CHECK_LT(i, num_bits_);
+    uint64_t mask = uint64_t{1} << (i & 63);
+    uint64_t old = words_[i >> 6].fetch_and(~mask, std::memory_order_acq_rel);
+    return (old & mask) != 0;
+  }
+
+  /// Number of set bits (not atomic with respect to concurrent writers).
+  size_t PopCount() const {
+    size_t n = 0;
+    for (const auto& w : words_) {
+      n += __builtin_popcountll(w.load(std::memory_order_relaxed));
+    }
+    return n;
+  }
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  size_t FindFirstFrom(size_t from) const {
+    if (from >= num_bits_) return num_bits_;
+    size_t word = from >> 6;
+    uint64_t w = words_[word].load(std::memory_order_acquire) &
+                 (~uint64_t{0} << (from & 63));
+    for (;;) {
+      if (w != 0) {
+        size_t bit = (word << 6) + __builtin_ctzll(w);
+        return bit < num_bits_ ? bit : num_bits_;
+      }
+      if (++word >= words_.size()) return num_bits_;
+      w = words_[word].load(std::memory_order_acquire);
+    }
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_UTIL_DENSE_BITSET_H_

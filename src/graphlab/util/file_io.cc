@@ -1,0 +1,50 @@
+#include "graphlab/util/file_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace graphlab {
+
+namespace fs = std::filesystem;
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<char>& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Expected<std::vector<char>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<char> data(static_cast<size_t>(size));
+  if (size > 0 && !in.read(data.data(), size)) {
+    return Status::IOError("short read: " + path);
+  }
+  return data;
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec && !fs::exists(dir)) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IOError("cannot remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) { return fs::exists(path); }
+
+}  // namespace graphlab

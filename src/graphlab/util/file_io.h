@@ -1,0 +1,34 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Small binary file helpers for the atom store and snapshot journals.
+// A local directory plays the role of the paper's distributed file system
+// (HDFS / S3); see DESIGN.md §1.
+
+#ifndef GRAPHLAB_UTIL_FILE_IO_H_
+#define GRAPHLAB_UTIL_FILE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graphlab/util/status.h"
+
+namespace graphlab {
+
+/// Writes `data` to `path`, replacing any existing file.
+Status WriteFileBytes(const std::string& path, const std::vector<char>& data);
+
+/// Reads the whole file at `path`.
+Expected<std::vector<char>> ReadFileBytes(const std::string& path);
+
+/// Creates `dir` (and parents).  OK if it already exists.
+Status EnsureDirectory(const std::string& dir);
+
+/// Removes a file if present (missing file is not an error).
+Status RemoveFileIfExists(const std::string& path);
+
+/// True when the path exists.
+bool FileExists(const std::string& path);
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_UTIL_FILE_IO_H_

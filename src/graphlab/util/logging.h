@@ -1,0 +1,91 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Minimal leveled logging plus CHECK macros, modeled on glog.  Thread safe:
+// each log statement builds its line in a local stream and emits it with a
+// single write.
+
+#ifndef GRAPHLAB_UTIL_LOGGING_H_
+#define GRAPHLAB_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace graphlab {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum level; statements below this level are dropped.
+/// Default is kInfo (kDebug statements compiled in but suppressed).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (to stderr) on destruction.
+/// A kFatal message aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the statement is disabled.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace graphlab
+
+#define GL_LOG_INTERNAL(level)                                              \
+  ::graphlab::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define GL_LOG(severity) GL_LOG_##severity
+#define GL_LOG_DEBUG GL_LOG_INTERNAL(::graphlab::LogLevel::kDebug)
+#define GL_LOG_INFO GL_LOG_INTERNAL(::graphlab::LogLevel::kInfo)
+#define GL_LOG_WARNING GL_LOG_INTERNAL(::graphlab::LogLevel::kWarning)
+#define GL_LOG_ERROR GL_LOG_INTERNAL(::graphlab::LogLevel::kError)
+#define GL_LOG_FATAL GL_LOG_INTERNAL(::graphlab::LogLevel::kFatal)
+
+/// CHECK aborts with a message when the condition is false.  It is always
+/// enabled (used for invariants whose violation means a library bug).
+#define GL_CHECK(cond)                                                      \
+  (cond) ? (void)0                                                          \
+         : ::graphlab::internal::LogMessageVoidify() &                      \
+               GL_LOG_INTERNAL(::graphlab::LogLevel::kFatal)                \
+                   << "Check failed: " #cond " "
+
+#define GL_CHECK_OP(op, a, b)                                               \
+  GL_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define GL_CHECK_EQ(a, b) GL_CHECK_OP(==, a, b)
+#define GL_CHECK_NE(a, b) GL_CHECK_OP(!=, a, b)
+#define GL_CHECK_LT(a, b) GL_CHECK_OP(<, a, b)
+#define GL_CHECK_LE(a, b) GL_CHECK_OP(<=, a, b)
+#define GL_CHECK_GT(a, b) GL_CHECK_OP(>, a, b)
+#define GL_CHECK_GE(a, b) GL_CHECK_OP(>=, a, b)
+
+/// Aborts when a Status-returning expression fails.
+#define GL_CHECK_OK(expr)                                                   \
+  do {                                                                      \
+    ::graphlab::Status _st = (expr);                                        \
+    GL_CHECK(_st.ok()) << _st.ToString();                                   \
+  } while (0)
+
+#endif  // GRAPHLAB_UTIL_LOGGING_H_

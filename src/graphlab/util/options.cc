@@ -1,0 +1,86 @@
+#include "graphlab/util/options.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace graphlab {
+
+namespace {
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+Expected<OptionMap> OptionMap::Parse(const std::string& text) {
+  OptionMap out;
+  std::stringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    token = Trim(token);
+    if (token.empty()) continue;
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("missing '=' in option token: " + token);
+    }
+    out.Set(Trim(token.substr(0, eq)), Trim(token.substr(eq + 1)));
+  }
+  return out;
+}
+
+size_t OptionMap::ParseArgs(int argc, char** argv) {
+  size_t consumed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      Set(arg.substr(2), "true");
+    } else {
+      Set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+    }
+    ++consumed;
+  }
+  return consumed;
+}
+
+std::string OptionMap::GetString(const std::string& key,
+                                 const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t OptionMap::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double OptionMap::GetDouble(const std::string& key,
+                            double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool OptionMap::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string OptionMap::ToString() const {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& [k, v] : values_) {
+    if (!first) oss << ",";
+    oss << k << "=" << v;
+    first = false;
+  }
+  return oss.str();
+}
+
+}  // namespace graphlab

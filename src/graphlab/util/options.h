@@ -1,0 +1,51 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// A small string-keyed option map (RocksDB-style "option string") used to
+// configure engines and benchmark harnesses from the command line.
+
+#ifndef GRAPHLAB_UTIL_OPTIONS_H_
+#define GRAPHLAB_UTIL_OPTIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graphlab/util/status.h"
+
+namespace graphlab {
+
+/// Key=value option bag with typed accessors and defaults.
+class OptionMap {
+ public:
+  OptionMap() = default;
+
+  /// Parses "a=1,b=2.5,c=hello".  Whitespace around tokens is trimmed.
+  static Expected<OptionMap> Parse(const std::string& text);
+
+  /// Parses argv-style "--key=value" tokens; unknown tokens are ignored
+  /// and returned count reports how many were consumed.
+  size_t ParseArgs(int argc, char** argv);
+
+  void Set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_UTIL_OPTIONS_H_

@@ -1,0 +1,100 @@
+#include "graphlab/util/random.h"
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  s0_ = SplitMix64(&sm);
+  s1_ = SplitMix64(&sm);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift state must be nonzero
+  has_cached_gaussian_ = false;
+}
+
+uint64_t Rng::Next() {
+  // xorshift128+
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  GL_CHECK_GE(bound, 1u);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  u2 = UniformDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  GL_CHECK_GE(n, 1u);
+  GL_CHECK_GT(alpha, 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of x^-alpha (antiderivative), handling alpha == 1.
+  if (std::abs(alpha_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::abs(alpha_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - alpha_), 1.0 / (1.0 - alpha_));
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  // Rejection-inversion (Hormann & Derflinger 1996).
+  for (;;) {
+    const double u = h_n_ + rng->UniformDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(k, -alpha_)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace graphlab

@@ -1,0 +1,95 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// The generators here power the synthetic dataset builders (power-law web
+// graphs, Zipf-degree bipartite rating graphs, Gaussian feature fields), so
+// they must be fast, seedable and reproducible across runs.  The core engine
+// is splitmix64/xoshiro-style; distribution helpers cover the shapes the
+// paper's workloads need.
+
+#ifndef GRAPHLAB_UTIL_RANDOM_H_
+#define GRAPHLAB_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace graphlab {
+
+/// A small, fast, seedable PRNG (xorshift128+ seeded via splitmix64).
+/// Not cryptographic; intended for synthetic data and sampling decisions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) for bound >= 1.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[UniformInt(i)]);
+    }
+  }
+
+ private:
+  uint64_t s0_, s1_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Samples integers in [0, n) with probability proportional to
+/// 1 / (i+1)^alpha (a Zipf law).  Used for power-law degree sequences,
+/// matching the natural-graph skew the paper highlights (Sec. 2).
+///
+/// Uses the rejection-inversion method of Hormann & Derflinger, which is
+/// O(1) per sample independent of n.
+class ZipfSampler {
+ public:
+  /// n: support size, alpha: skew exponent (> 0; alpha != 1 handled too).
+  ZipfSampler(uint64_t n, double alpha);
+
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_, h_n_, s_;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_UTIL_RANDOM_H_

@@ -1,0 +1,247 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Binary serialization archives.
+//
+// Everything that crosses a simulated machine boundary — RPC payloads, ghost
+// vertex/edge updates, scheduler forwards, atom journal records, snapshot
+// journals — is serialized through these archives.  Keeping the discipline
+// honest (no shared-memory shortcuts between machines) is what makes the
+// byte accounting in the network-utilization figures meaningful.
+//
+// Supported out of the box: arithmetic types and enums, std::string,
+// std::pair, std::vector, std::array, std::map/unordered_map.  User types
+// participate by defining member functions
+//     void Save(OutArchive* oa) const;
+//     void Load(InArchive* ia);
+
+#ifndef GRAPHLAB_UTIL_SERIALIZATION_H_
+#define GRAPHLAB_UTIL_SERIALIZATION_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+
+class OutArchive;
+class InArchive;
+
+namespace internal {
+template <typename T, typename = void>
+struct HasSaveMember : std::false_type {};
+template <typename T>
+struct HasSaveMember<T, std::void_t<decltype(std::declval<const T&>().Save(
+                            std::declval<OutArchive*>()))>>
+    : std::true_type {};
+
+template <typename T, typename = void>
+struct HasLoadMember : std::false_type {};
+template <typename T>
+struct HasLoadMember<T, std::void_t<decltype(std::declval<T&>().Load(
+                            std::declval<InArchive*>()))>>
+    : std::true_type {};
+}  // namespace internal
+
+/// Serializes values into a growable byte buffer.
+class OutArchive {
+ public:
+  OutArchive() = default;
+
+  /// Raw byte append.
+  void WriteBytes(const void* data, size_t n) {
+    const char* p = static_cast<const char*>(data);
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+
+  template <typename T>
+  OutArchive& operator<<(const T& value) {
+    Write(value);
+    return *this;
+  }
+
+  template <typename T>
+  void Write(const T& value) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      WriteBytes(&value, sizeof(T));
+    } else if constexpr (internal::HasSaveMember<T>::value) {
+      value.Save(this);
+    } else {
+      static_assert(internal::HasSaveMember<T>::value,
+                    "type is not serializable: add Save/Load members");
+    }
+  }
+
+  void Write(const std::string& s) {
+    Write<uint64_t>(s.size());
+    WriteBytes(s.data(), s.size());
+  }
+
+  template <typename A, typename B>
+  void Write(const std::pair<A, B>& p) {
+    Write(p.first);
+    Write(p.second);
+  }
+
+  template <typename T>
+  void Write(const std::vector<T>& v) {
+    Write<uint64_t>(v.size());
+    if constexpr (std::is_arithmetic_v<T>) {
+      WriteBytes(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const T& e : v) Write(e);
+    }
+  }
+
+  template <typename T, size_t N>
+  void Write(const std::array<T, N>& a) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      WriteBytes(a.data(), N * sizeof(T));
+    } else {
+      for (const T& e : a) Write(e);
+    }
+  }
+
+  template <typename K, typename V>
+  void Write(const std::map<K, V>& m) {
+    Write<uint64_t>(m.size());
+    for (const auto& kv : m) Write(kv);
+  }
+
+  template <typename K, typename V>
+  void Write(const std::unordered_map<K, V>& m) {
+    Write<uint64_t>(m.size());
+    for (const auto& kv : m) Write(kv);
+  }
+
+  const std::vector<char>& buffer() const { return buffer_; }
+  std::vector<char> TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+  void Clear() { buffer_.clear(); }
+
+ private:
+  std::vector<char> buffer_;
+};
+
+/// Deserializes values from a byte buffer produced by OutArchive.
+class InArchive {
+ public:
+  InArchive(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  explicit InArchive(const std::vector<char>& buf)
+      : InArchive(buf.data(), buf.size()) {}
+
+  void ReadBytes(void* out, size_t n) {
+    GL_CHECK_LE(pos_ + n, size_) << "archive underflow";
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  InArchive& operator>>(T& value) {
+    Read(&value);
+    return *this;
+  }
+
+  template <typename T>
+  void Read(T* value) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      ReadBytes(value, sizeof(T));
+    } else if constexpr (internal::HasLoadMember<T>::value) {
+      value->Load(this);
+    } else {
+      static_assert(internal::HasLoadMember<T>::value,
+                    "type is not deserializable: add Save/Load members");
+    }
+  }
+
+  template <typename T>
+  T ReadValue() {
+    T v{};
+    Read(&v);
+    return v;
+  }
+
+  void Read(std::string* s) {
+    uint64_t n = ReadValue<uint64_t>();
+    s->resize(n);
+    ReadBytes(s->data(), n);
+  }
+
+  template <typename A, typename B>
+  void Read(std::pair<A, B>* p) {
+    Read(&p->first);
+    Read(&p->second);
+  }
+
+  template <typename T>
+  void Read(std::vector<T>* v) {
+    uint64_t n = ReadValue<uint64_t>();
+    v->resize(n);
+    if constexpr (std::is_arithmetic_v<T>) {
+      ReadBytes(v->data(), n * sizeof(T));
+    } else {
+      for (uint64_t i = 0; i < n; ++i) Read(&(*v)[i]);
+    }
+  }
+
+  template <typename T, size_t N>
+  void Read(std::array<T, N>* a) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      ReadBytes(a->data(), N * sizeof(T));
+    } else {
+      for (T& e : *a) Read(&e);
+    }
+  }
+
+  template <typename K, typename V>
+  void Read(std::map<K, V>* m) {
+    uint64_t n = ReadValue<uint64_t>();
+    m->clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      std::pair<K, V> kv;
+      Read(&kv);
+      m->insert(std::move(kv));
+    }
+  }
+
+  template <typename K, typename V>
+  void Read(std::unordered_map<K, V>* m) {
+    uint64_t n = ReadValue<uint64_t>();
+    m->clear();
+    m->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      std::pair<K, V> kv;
+      Read(&kv);
+      m->insert(std::move(kv));
+    }
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Convenience: serialized byte size of a value.
+template <typename T>
+size_t SerializedSize(const T& value) {
+  OutArchive oa;
+  oa << value;
+  return oa.size();
+}
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_UTIL_SERIALIZATION_H_

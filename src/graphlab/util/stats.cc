@@ -1,0 +1,99 @@
+#include "graphlab/util/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace graphlab {
+
+namespace {
+int BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - __builtin_clzll(value);
+}
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  int b = BucketFor(value);
+  if (b >= kNumBuckets) b = kNumBuckets - 1;
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<int64_t>(value), std::memory_order_relaxed);
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t n = 0;
+  for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+double Histogram::Mean() const {
+  int64_t n = TotalCount();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  int64_t n = TotalCount();
+  if (n == 0) return 0.0;
+  int64_t target = static_cast<int64_t>(q * static_cast<double>(n));
+  int64_t acc = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    int64_t c = counts_[b].load(std::memory_order_relaxed);
+    if (acc + c > target) {
+      // Midpoint of bucket [2^(b-1), 2^b).
+      double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      double hi = std::ldexp(1.0, b);
+      return (lo + hi) / 2.0;
+    }
+    acc += c;
+  }
+  return std::ldexp(1.0, kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter* StatsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* StatsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::map<std::string, int64_t> StatsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->Get();
+  return out;
+}
+
+std::string StatsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream oss;
+  for (const auto& [name, counter] : counters_) {
+    oss << name << " = " << counter->Get() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    oss << name << " : count=" << hist->TotalCount()
+        << " mean=" << hist->Mean() << " p50=" << hist->Quantile(0.5)
+        << " p99=" << hist->Quantile(0.99) << "\n";
+  }
+  return oss.str();
+}
+
+void StatsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace graphlab

@@ -1,0 +1,74 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Lightweight runtime statistics: named atomic counters and fixed-bucket
+// histograms.  The engines and the comm layer publish their instrumentation
+// (updates executed, bytes sent, lock latencies, ...) through a StatsRegistry
+// owned by each simulated machine; the benchmark harnesses aggregate these
+// into the paper's figures.
+
+#ifndef GRAPHLAB_UTIL_STATS_H_
+#define GRAPHLAB_UTIL_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace graphlab {
+
+/// A monotonically increasing atomic counter.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-scale latency/size histogram (power-of-two buckets).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(uint64_t value);
+  int64_t TotalCount() const;
+  double Mean() const;
+  /// Approximate quantile (q in [0,1]) from bucket interpolation.
+  double Quantile(double q) const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> counts_[kNumBuckets] = {};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// A named collection of counters and histograms.  Lookup creates on first
+/// use; pointers remain valid for the registry's lifetime.
+class StatsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Snapshot of all counter values.
+  std::map<std::string, int64_t> CounterValues() const;
+
+  /// Human-readable dump of all stats.
+  std::string ToString() const;
+
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_UTIL_STATS_H_

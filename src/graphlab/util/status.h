@@ -1,0 +1,127 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Status: lightweight error propagation for the GraphLab library.
+//
+// The library follows the RocksDB/Arrow convention of returning a Status
+// (or Expected<T>) from any operation that can fail for reasons other than
+// programmer error.  Programmer errors are handled with CHECK macros from
+// logging.h instead.
+
+#ifndef GRAPHLAB_UTIL_STATUS_H_
+#define GRAPHLAB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace graphlab {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kFailedPrecondition,
+  kOutOfRange,
+  kAborted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human readable name for a status code ("OK", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A Status holds an error code plus a free-form message.  The default
+/// constructed Status is OK.  Statuses are cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Expected<T> is either a value or an error Status.  It is the return type
+/// of fallible operations that produce a value (file loads, lookups, ...).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : repr_(std::move(value)) {}            // NOLINT
+  Expected(Status status) : repr_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  /// Status of the error alternative; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define GRAPHLAB_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::graphlab::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_UTIL_STATUS_H_

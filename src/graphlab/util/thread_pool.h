@@ -1,0 +1,112 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// A fixed-size worker pool.  Each simulated machine owns a pool for its
+// engine worker threads; utilities (parallel graph loading, generators) use
+// a transient pool.
+
+#ifndef GRAPHLAB_UTIL_THREAD_POOL_H_
+#define GRAPHLAB_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graphlab/util/blocking_queue.h"
+
+namespace graphlab {
+
+/// Fixed-size thread pool executing std::function tasks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    threads_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ~ThreadPool() { Shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Returns false after Shutdown().
+  bool Submit(std::function<void()> task) {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    if (!queue_.Push(std::move(task))) {
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(wait_mutex_);
+        wait_cv_.notify_all();
+      }
+      return false;
+    }
+    return true;
+  }
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    wait_cv_.wait(lock, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  /// Stops accepting tasks, drains the queue, joins all workers.
+  void Shutdown() {
+    queue_.Shutdown();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is chunked so each thread gets a contiguous range.
+  static void ParallelFor(size_t num_threads, size_t n,
+                          const std::function<void(size_t, size_t)>& fn) {
+    if (n == 0) return;
+    if (num_threads <= 1 || n == 1) {
+      fn(0, n);
+      return;
+    }
+    std::vector<std::thread> threads;
+    size_t chunks = std::min(num_threads, n);
+    size_t per = (n + chunks - 1) / chunks;
+    for (size_t c = 0; c < chunks; ++c) {
+      size_t begin = c * per;
+      size_t end = std::min(n, begin + per);
+      if (begin >= end) break;
+      threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+ private:
+  void WorkerLoop(size_t worker_id) {
+    (void)worker_id;
+    for (;;) {
+      auto task = queue_.Pop();
+      if (!task.has_value()) return;
+      (*task)();
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(wait_mutex_);
+        wait_cv_.notify_all();
+      }
+    }
+  }
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::atomic<int64_t> outstanding_{0};
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_UTIL_THREAD_POOL_H_

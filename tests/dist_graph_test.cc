@@ -1,0 +1,292 @@
+// Tests for DistributedGraph: ingress (direct and via atom files), ghost
+// placement, versioned coherence pushes, bulk flush, and ownership maps.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "graphlab/graph/atom.h"
+#include "graphlab/graph/coloring.h"
+#include "graphlab/graph/distributed_graph.h"
+#include "graphlab/graph/generators.h"
+#include "graphlab/graph/partition.h"
+#include "graphlab/rpc/runtime.h"
+
+namespace graphlab {
+namespace {
+
+struct TV {
+  double x = 0;
+  uint32_t snapshot_epoch = 0;
+  void Save(OutArchive* oa) const { *oa << x << snapshot_epoch; }
+  void Load(InArchive* ia) { *ia >> x >> snapshot_epoch; }
+};
+struct TE {
+  double w = 0;
+  void Save(OutArchive* oa) const { *oa << w; }
+  void Load(InArchive* ia) { *ia >> w; }
+};
+
+using DGraph = DistributedGraph<TV, TE>;
+using LGraph = LocalGraph<TV, TE>;
+
+/// Builds a path graph 0-1-2-...-(n-1) with x = vid, w = eid.
+LGraph PathGraph(size_t n) {
+  LGraph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex({static_cast<double>(i), 0});
+  for (size_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1),
+              {static_cast<double>(i)});
+  }
+  g.Finalize();
+  return g;
+}
+
+rpc::ClusterOptions TestCluster(size_t machines) {
+  rpc::ClusterOptions o;
+  o.num_machines = machines;
+  o.comm.latency = std::chrono::microseconds(0);
+  return o;
+}
+
+TEST(DistributedGraphTest, PartitionsAndGhosts) {
+  LGraph g = PathGraph(12);
+  auto structure = g.Structure();
+  auto atom_of = BlockPartition(12, 3);  // 0-3 | 4-7 | 8-11
+  auto colors = GreedyColoring(structure);
+  std::vector<rpc::MachineId> placement = {0, 1, 2};
+
+  rpc::Runtime runtime(TestCluster(3));
+  std::vector<DGraph> graphs(3);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    ASSERT_TRUE(graphs[ctx.id]
+                    .InitFromGlobal(g, atom_of, colors, placement, ctx.id,
+                                    &ctx.comm())
+                    .ok());
+  });
+
+  // Machine 1 owns 4..7, has ghosts 3 and 8, and edges 3-4..7-8 (5 edges).
+  DGraph& m1 = graphs[1];
+  EXPECT_EQ(m1.num_owned_vertices(), 4u);
+  EXPECT_EQ(m1.num_local_vertices(), 6u);
+  EXPECT_EQ(m1.num_local_edges(), 5u);
+  EXPECT_FALSE(m1.is_owned(m1.Lvid(3)));
+  EXPECT_TRUE(m1.is_owned(m1.Lvid(4)));
+  EXPECT_EQ(m1.owner(m1.Lvid(3)), 0u);
+  EXPECT_EQ(m1.OwnerOfGlobal(11), 2u);
+  // Ghost data was loaded.
+  EXPECT_EQ(m1.vertex_data(m1.Lvid(3)).x, 3.0);
+
+  // Scope machines of boundary vertex 4: {0, 1}.
+  auto sm = m1.scope_machines(m1.Lvid(4));
+  ASSERT_EQ(sm.size(), 2u);
+  EXPECT_EQ(sm[0], 0u);
+  EXPECT_EQ(sm[1], 1u);
+  // Interior vertex 6: {1} only... 6 neighbors 5 and 7, both owned by 1.
+  EXPECT_EQ(m1.scope_machines(m1.Lvid(6)).size(), 1u);
+}
+
+TEST(DistributedGraphTest, GhostPushPropagates) {
+  LGraph g = PathGraph(8);
+  auto structure = g.Structure();
+  auto atom_of = BlockPartition(8, 2);
+  auto colors = GreedyColoring(structure);
+  std::vector<rpc::MachineId> placement = {0, 1};
+
+  rpc::Runtime runtime(TestCluster(2));
+  std::vector<DGraph> graphs(2);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    ASSERT_TRUE(graphs[ctx.id]
+                    .InitFromGlobal(g, atom_of, colors, placement, ctx.id,
+                                    &ctx.comm())
+                    .ok());
+    ctx.barrier().Wait(ctx.id);
+    if (ctx.id == 0) {
+      // Modify boundary vertex 3 (ghosted on machine 1) and its edge 3-4.
+      LocalVid l = graphs[0].Lvid(3);
+      graphs[0].vertex_data(l).x = 333.0;
+      graphs[0].MarkVertexModified(l);
+      LocalEid e = graphs[0].LeidOf(3, 4);
+      graphs[0].edge_data(e).w = 34.0;
+      graphs[0].MarkEdgeModified(e);
+      graphs[0].FlushVertexScope(l);
+    }
+    ctx.barrier().Wait(ctx.id);
+    ctx.comm().WaitQuiescent();
+    ctx.barrier().Wait(ctx.id);
+    if (ctx.id == 1) {
+      EXPECT_EQ(graphs[1].vertex_data(graphs[1].Lvid(3)).x, 333.0);
+      EXPECT_EQ(graphs[1].edge_data(graphs[1].LeidOf(3, 4)).w, 34.0);
+    }
+  });
+}
+
+TEST(DistributedGraphTest, VersioningSkipsUnchangedData) {
+  LGraph g = PathGraph(8);
+  auto structure = g.Structure();
+  auto atom_of = BlockPartition(8, 2);
+  auto colors = GreedyColoring(structure);
+  std::vector<rpc::MachineId> placement = {0, 1};
+
+  rpc::Runtime runtime(TestCluster(2));
+  std::vector<DGraph> graphs(2);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    ASSERT_TRUE(graphs[ctx.id]
+                    .InitFromGlobal(g, atom_of, colors, placement, ctx.id,
+                                    &ctx.comm())
+                    .ok());
+    ctx.barrier().Wait(ctx.id);
+    if (ctx.id == 0) {
+      LocalVid l = graphs[0].Lvid(3);
+      graphs[0].MarkVertexModified(l);
+      graphs[0].FlushVertexScope(l);
+      uint64_t sent_after_first = graphs[0].pushes_sent();
+      EXPECT_GT(sent_after_first, 0u);
+      // Second flush with no modification: nothing to send.
+      graphs[0].FlushVertexScope(l);
+      EXPECT_EQ(graphs[0].pushes_sent(), sent_after_first);
+      EXPECT_GT(graphs[0].pushes_skipped(), 0u);
+    }
+    ctx.barrier().Wait(ctx.id);
+  });
+}
+
+TEST(DistributedGraphTest, StaleVersionNotApplied) {
+  // A push with an older version must not clobber fresher ghost data.
+  LGraph g = PathGraph(4);
+  auto atom_of = BlockPartition(4, 2);
+  auto colors = GreedyColoring(g.Structure());
+  std::vector<rpc::MachineId> placement = {0, 1};
+  rpc::Runtime runtime(TestCluster(2));
+  std::vector<DGraph> graphs(2);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    ASSERT_TRUE(graphs[ctx.id]
+                    .InitFromGlobal(g, atom_of, colors, placement, ctx.id,
+                                    &ctx.comm())
+                    .ok());
+    ctx.barrier().Wait(ctx.id);
+    if (ctx.id == 1) {
+      // Craft a stale push (version 0 == initial) for ghosted vertex 1.
+      LocalVid l = graphs[1].Lvid(1);
+      OutArchive oa;
+      oa << uint8_t{0} << VertexId{1} << uint64_t{0} << TV{999.0, 0};
+      InArchive ia(oa.buffer());
+      graphs[1].ApplyDataPush(ia);
+      EXPECT_EQ(graphs[1].vertex_data(l).x, 1.0) << "stale push applied";
+      // A fresh one (version 5) applies.
+      OutArchive oa2;
+      oa2 << uint8_t{0} << VertexId{1} << uint64_t{5} << TV{555.0, 0};
+      InArchive ia2(oa2.buffer());
+      graphs[1].ApplyDataPush(ia2);
+      EXPECT_EQ(graphs[1].vertex_data(l).x, 555.0);
+    }
+    ctx.barrier().Wait(ctx.id);
+  });
+}
+
+TEST(DistributedGraphTest, LoadFromAtomFilesMatchesDirectIngress) {
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("glatoms_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  auto structure = gen::Mesh3D(4, 4, 4, 6);
+  LGraph g = LGraph::FromStructure(structure);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    g.vertex_data(v).x = static_cast<double>(v) * 0.5;
+  }
+  auto colors = GreedyColoring(structure);
+  auto atom_of = BfsPartition(structure, 8, 1);  // 8 atoms, 2 machines
+  AtomIndex index;
+  ASSERT_TRUE(WriteAtoms(g, atom_of, colors, 8, dir, &index).ok());
+  auto placement = PlaceAtoms(index, 2);
+
+  rpc::Runtime runtime(TestCluster(2));
+  std::vector<DGraph> from_files(2), direct(2);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    ASSERT_TRUE(from_files[ctx.id]
+                    .LoadAtoms(index, placement, ctx.id, &ctx.comm())
+                    .ok());
+    ASSERT_TRUE(direct[ctx.id]
+                    .InitFromGlobal(g, atom_of, colors, placement, ctx.id,
+                                    &ctx.comm())
+                    .ok());
+  });
+
+  uint64_t total_owned = 0;
+  for (int m = 0; m < 2; ++m) {
+    EXPECT_EQ(from_files[m].num_owned_vertices(),
+              direct[m].num_owned_vertices());
+    EXPECT_EQ(from_files[m].num_local_vertices(),
+              direct[m].num_local_vertices());
+    EXPECT_EQ(from_files[m].num_local_edges(), direct[m].num_local_edges());
+    total_owned += from_files[m].num_owned_vertices();
+    // Data made it through the journal.
+    for (LocalVid l : from_files[m].owned_vertices()) {
+      VertexId gv = from_files[m].Gvid(l);
+      EXPECT_EQ(from_files[m].vertex_data(l).x, static_cast<double>(gv) * 0.5);
+      EXPECT_EQ(from_files[m].color(l), colors[gv]);
+    }
+  }
+  EXPECT_EQ(total_owned, structure.num_vertices);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DistributedGraphTest, EveryEdgeIncidentToOwnedVertexPresent) {
+  auto structure = gen::PowerLawWeb(300, 5, 0.8, 9);
+  LGraph g = LGraph::FromStructure(structure);
+  auto colors = GreedyColoring(structure);
+  auto atom_of = RandomPartition(300, 4, 2);
+  std::vector<rpc::MachineId> placement = {0, 1, 2, 3};
+
+  rpc::Runtime runtime(TestCluster(4));
+  std::vector<DGraph> graphs(4);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    ASSERT_TRUE(graphs[ctx.id]
+                    .InitFromGlobal(g, atom_of, colors, placement, ctx.id,
+                                    &ctx.comm())
+                    .ok());
+  });
+  // Count each edge on the owner(s): edges with endpoints on two machines
+  // appear twice, intra-machine edges once.
+  uint64_t expected = 0;
+  for (auto [u, v] : structure.edges) {
+    expected += (atom_of[u] == atom_of[v]) ? 1 : 2;
+  }
+  uint64_t actual = 0;
+  for (auto& dg : graphs) actual += dg.num_local_edges();
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(DistributedGraphTest, BulkFlushSynchronizesAllBoundaries) {
+  LGraph g = PathGraph(16);
+  auto atom_of = BlockPartition(16, 4);
+  auto colors = GreedyColoring(g.Structure());
+  std::vector<rpc::MachineId> placement = {0, 1, 2, 3};
+  rpc::Runtime runtime(TestCluster(4));
+  std::vector<DGraph> graphs(4);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    ASSERT_TRUE(graphs[ctx.id]
+                    .InitFromGlobal(g, atom_of, colors, placement, ctx.id,
+                                    &ctx.comm())
+                    .ok());
+    ctx.barrier().Wait(ctx.id);
+    // Everyone rewrites all owned vertices, then bulk-flushes.
+    for (LocalVid l : graphs[ctx.id].owned_vertices()) {
+      graphs[ctx.id].vertex_data(l).x += 100.0;
+      graphs[ctx.id].MarkVertexModified(l);
+    }
+    graphs[ctx.id].FlushAllOwnedBulk();
+    ctx.barrier().Wait(ctx.id);
+    ctx.comm().WaitQuiescent();
+    ctx.barrier().Wait(ctx.id);
+    // All ghosts must now show +100.
+    for (LocalVid l = 0; l < graphs[ctx.id].num_local_vertices(); ++l) {
+      VertexId gv = graphs[ctx.id].Gvid(l);
+      EXPECT_EQ(graphs[ctx.id].vertex_data(l).x,
+                static_cast<double>(gv) + 100.0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace graphlab

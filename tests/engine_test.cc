@@ -1,0 +1,433 @@
+// Integration tests for the execution engines: shared-memory, chromatic,
+// locking — all running PageRank to convergence and checked against the
+// exact power-iteration solution; plus scheduler unit tests, consistency
+// model enforcement, and the sync operation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphlab/apps/pagerank.h"
+#include "graphlab/engine/allreduce.h"
+#include "graphlab/engine/chromatic_engine.h"
+#include "graphlab/engine/locking_engine.h"
+#include "graphlab/engine/shared_memory_engine.h"
+#include "graphlab/engine/sync.h"
+#include "graphlab/graph/coloring.h"
+#include "graphlab/graph/generators.h"
+#include "graphlab/graph/partition.h"
+#include "graphlab/rpc/runtime.h"
+#include "graphlab/scheduler/scheduler.h"
+
+namespace graphlab {
+namespace {
+
+using apps::BuildPageRankGraph;
+using apps::ExactPageRank;
+using apps::MakePageRankUpdateFn;
+using apps::PageRankEdge;
+using apps::PageRankVertex;
+
+using DPRGraph = DistributedGraph<PageRankVertex, PageRankEdge>;
+
+rpc::ClusterOptions TestCluster(size_t machines, uint64_t latency_us = 0) {
+  rpc::ClusterOptions o;
+  o.num_machines = machines;
+  o.comm.latency = std::chrono::microseconds(latency_us);
+  return o;
+}
+
+// ---------------------------------------------------------------------
+// Schedulers
+// ---------------------------------------------------------------------
+
+class SchedulerParamTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchedulerParamTest, SetSemantics) {
+  auto sched = CreateScheduler(GetParam(), 100);
+  sched->Schedule(5, 1.0);
+  sched->Schedule(5, 2.0);  // duplicate collapses
+  sched->Schedule(9, 1.0);
+  EXPECT_EQ(sched->ApproxSize(), 2u);
+  LocalVid v;
+  double p;
+  std::set<LocalVid> seen;
+  while (sched->GetNext(&v, &p)) seen.insert(v);
+  EXPECT_EQ(seen, (std::set<LocalVid>{5, 9}));
+  EXPECT_TRUE(sched->Empty());
+}
+
+TEST_P(SchedulerParamTest, EveryScheduledVertexEventuallyPops) {
+  auto sched = CreateScheduler(GetParam(), 1000);
+  for (LocalVid v = 0; v < 1000; v += 3) sched->Schedule(v, 1.0);
+  std::set<LocalVid> seen;
+  LocalVid v;
+  double p;
+  while (sched->GetNext(&v, &p)) seen.insert(v);
+  EXPECT_EQ(seen.size(), 334u);
+}
+
+TEST_P(SchedulerParamTest, ClearEmpties) {
+  auto sched = CreateScheduler(GetParam(), 10);
+  sched->Schedule(1, 1.0);
+  sched->Clear();
+  EXPECT_TRUE(sched->Empty());
+  LocalVid v;
+  double p;
+  EXPECT_FALSE(sched->GetNext(&v, &p));
+}
+
+TEST_P(SchedulerParamTest, RescheduleAfterPopWorks) {
+  auto sched = CreateScheduler(GetParam(), 10);
+  sched->Schedule(3, 1.0);
+  LocalVid v;
+  double p;
+  ASSERT_TRUE(sched->GetNext(&v, &p));
+  sched->Schedule(3, 1.0);
+  ASSERT_TRUE(sched->GetNext(&v, &p));
+  EXPECT_EQ(v, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerParamTest,
+                         ::testing::Values("fifo", "sweep", "priority"));
+
+TEST(PrioritySchedulerTest, PopsHighestFirst) {
+  auto sched = CreateScheduler("priority", 10);
+  sched->Schedule(1, 1.0);
+  sched->Schedule(2, 5.0);
+  sched->Schedule(3, 3.0);
+  LocalVid v;
+  double p;
+  ASSERT_TRUE(sched->GetNext(&v, &p));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(p, 5.0);
+  ASSERT_TRUE(sched->GetNext(&v, &p));
+  EXPECT_EQ(v, 3u);
+}
+
+TEST(PrioritySchedulerTest, MergeKeepsMaxPriority) {
+  auto sched = CreateScheduler("priority", 10);
+  sched->Schedule(1, 2.0);
+  sched->Schedule(1, 7.0);
+  sched->Schedule(2, 5.0);
+  LocalVid v;
+  double p;
+  ASSERT_TRUE(sched->GetNext(&v, &p));
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(p, 7.0);
+}
+
+// ---------------------------------------------------------------------
+// Shared-memory engine
+// ---------------------------------------------------------------------
+
+TEST(SharedMemoryEngineTest, PageRankConvergesToExact) {
+  auto structure = gen::PowerLawWeb(2000, 6, 0.8, 11);
+  auto g = BuildPageRankGraph(structure);
+  auto exact = ExactPageRank(g);
+
+  SharedMemoryEngine<PageRankVertex, PageRankEdge>::Options opts;
+  opts.num_threads = 4;
+  opts.scheduler = "fifo";
+  SharedMemoryEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
+  engine.SetUpdateFn(
+      MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-9));
+  engine.ScheduleAll();
+  RunResult result = engine.Run();
+  EXPECT_GT(result.updates, structure.num_vertices);
+  EXPECT_LT(apps::PageRankL1Error(g, exact), 1e-3);
+}
+
+TEST(SharedMemoryEngineTest, DynamicDoesFewerUpdatesThanUniform) {
+  auto structure = gen::PowerLawWeb(2000, 6, 0.8, 12);
+
+  auto run_with_tol = [&](double tol) {
+    auto g = BuildPageRankGraph(structure);
+    SharedMemoryEngine<PageRankVertex, PageRankEdge>::Options opts;
+    opts.num_threads = 2;
+    SharedMemoryEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
+    engine.SetUpdateFn(MakePageRankUpdateFn<apps::PageRankGraph>(0.85, tol));
+    engine.ScheduleAll();
+    return engine.Run().updates;
+  };
+  // Tight tolerance does strictly more updates than loose tolerance.
+  EXPECT_GT(run_with_tol(1e-8), run_with_tol(1e-2));
+}
+
+TEST(SharedMemoryEngineTest, UpdateCountingWorks) {
+  auto structure = gen::PowerLawWeb(500, 4, 0.8, 13);
+  auto g = BuildPageRankGraph(structure);
+  SharedMemoryEngine<PageRankVertex, PageRankEdge>::Options opts;
+  SharedMemoryEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
+  engine.EnableUpdateCounting();
+  engine.SetUpdateFn(MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-4));
+  engine.ScheduleAll();
+  RunResult r = engine.Run();
+  uint64_t counted = 0;
+  for (uint32_t c : engine.update_counts()) counted += c;
+  EXPECT_EQ(counted, r.updates);
+  // Every vertex ran at least once.
+  for (uint32_t c : engine.update_counts()) EXPECT_GE(c, 1u);
+}
+
+TEST(SharedMemoryEngineTest, MaxUpdatesSlicesRun) {
+  auto structure = gen::PowerLawWeb(500, 4, 0.8, 14);
+  auto g = BuildPageRankGraph(structure);
+  SharedMemoryEngine<PageRankVertex, PageRankEdge>::Options opts;
+  opts.num_threads = 1;
+  SharedMemoryEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
+  engine.SetUpdateFn(MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-9));
+  engine.ScheduleAll();
+  RunResult slice = engine.Run(/*max_updates=*/100);
+  EXPECT_LE(slice.updates, 110u);  // small overshoot from in-flight updates
+  EXPECT_FALSE(engine.ScheduleEmpty());
+  engine.Run();  // drain to convergence
+  EXPECT_TRUE(engine.ScheduleEmpty());
+}
+
+// ---------------------------------------------------------------------
+// Distributed engines on PageRank
+// ---------------------------------------------------------------------
+
+struct DistributedPageRankResult {
+  double l1_error = 0.0;
+  uint64_t updates = 0;
+};
+
+/// Runs distributed PageRank on `machines` machines with the given engine
+/// kind ("chromatic" or "locking") and returns the error vs exact.
+DistributedPageRankResult RunDistributedPageRank(const std::string& kind,
+                                                 size_t machines,
+                                                 uint64_t latency_us) {
+  auto structure = gen::PowerLawWeb(1500, 5, 0.8, 21);
+  auto global = BuildPageRankGraph(structure);
+  auto exact = ExactPageRank(global);
+  auto colors = GreedyColoring(structure);
+  auto atom_of = RandomPartition(structure.num_vertices, machines, 3);
+  std::vector<rpc::MachineId> placement(machines);
+  for (size_t i = 0; i < machines; ++i) placement[i] = i;
+
+  rpc::Runtime runtime(TestCluster(machines, latency_us));
+  SumAllReduce allreduce(&runtime.comm(), 1);
+  std::vector<DPRGraph> graphs(machines);
+  std::atomic<uint64_t> total_updates{0};
+
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    DPRGraph& graph = graphs[ctx.id];
+    ASSERT_TRUE(graph
+                    .InitFromGlobal(global, atom_of, colors, placement,
+                                    ctx.id, &ctx.comm())
+                    .ok());
+    ctx.barrier().Wait(ctx.id);
+    auto update = MakePageRankUpdateFn<DPRGraph>(0.85, 1e-7);
+    RunResult result;
+    if (kind == "chromatic") {
+      ChromaticEngine<PageRankVertex, PageRankEdge>::Options opts;
+      opts.num_threads = 2;
+      ChromaticEngine<PageRankVertex, PageRankEdge> engine(
+          ctx, &graph, nullptr, &allreduce, opts);
+      engine.SetUpdateFn(update);
+      engine.ScheduleAllOwned();
+      result = engine.Run();
+    } else {
+      LockingEngine<PageRankVertex, PageRankEdge>::Options opts;
+      opts.num_threads = 2;
+      opts.max_pipeline_length = 64;
+      opts.scheduler = "fifo";
+      LockingEngine<PageRankVertex, PageRankEdge> engine(
+          ctx, &graph, nullptr, &allreduce, nullptr, opts);
+      engine.SetUpdateFn(update);
+      engine.ScheduleAllOwned();
+      result = engine.Run();
+    }
+    if (ctx.id == 0) total_updates.store(result.updates);
+  });
+
+  // Gather ranks from the owners and compare against exact.
+  DistributedPageRankResult out;
+  out.updates = total_updates.load();
+  std::vector<double> ranks(structure.num_vertices, 0.0);
+  for (auto& graph : graphs) {
+    for (LocalVid l : graph.owned_vertices()) {
+      ranks[graph.Gvid(l)] = graph.vertex_data(l).rank;
+    }
+  }
+  for (VertexId v = 0; v < structure.num_vertices; ++v) {
+    out.l1_error += std::fabs(ranks[v] - exact[v]);
+  }
+  return out;
+}
+
+TEST(ChromaticEngineTest, DistributedPageRankMatchesExact) {
+  auto result = RunDistributedPageRank("chromatic", 4, 0);
+  EXPECT_GT(result.updates, 1500u);
+  EXPECT_LT(result.l1_error, 1e-2);
+}
+
+TEST(ChromaticEngineTest, WorksWithLatency) {
+  auto result = RunDistributedPageRank("chromatic", 3, 100);
+  EXPECT_LT(result.l1_error, 1e-2);
+}
+
+TEST(ChromaticEngineTest, SingleMachineDegenerate) {
+  auto result = RunDistributedPageRank("chromatic", 1, 0);
+  EXPECT_LT(result.l1_error, 1e-2);
+}
+
+TEST(LockingEngineTest, DistributedPageRankMatchesExact) {
+  auto result = RunDistributedPageRank("locking", 4, 0);
+  EXPECT_GT(result.updates, 1500u);
+  EXPECT_LT(result.l1_error, 1e-2);
+}
+
+TEST(LockingEngineTest, WorksWithLatency) {
+  auto result = RunDistributedPageRank("locking", 3, 100);
+  EXPECT_LT(result.l1_error, 1e-2);
+}
+
+TEST(LockingEngineTest, SingleMachineDegenerate) {
+  auto result = RunDistributedPageRank("locking", 1, 0);
+  EXPECT_LT(result.l1_error, 1e-2);
+}
+
+TEST(LockingEngineTest, DeepPipelineStillCorrect) {
+  auto structure = gen::PowerLawWeb(800, 5, 0.8, 22);
+  auto global = BuildPageRankGraph(structure);
+  auto exact = ExactPageRank(global);
+  auto colors = GreedyColoring(structure);
+  auto atom_of = RandomPartition(structure.num_vertices, 3, 4);
+  std::vector<rpc::MachineId> placement = {0, 1, 2};
+
+  rpc::Runtime runtime(TestCluster(3, 50));
+  SumAllReduce allreduce(&runtime.comm(), 1);
+  std::vector<DPRGraph> graphs(3);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    DPRGraph& graph = graphs[ctx.id];
+    ASSERT_TRUE(graph
+                    .InitFromGlobal(global, atom_of, colors, placement,
+                                    ctx.id, &ctx.comm())
+                    .ok());
+    ctx.barrier().Wait(ctx.id);
+    LockingEngine<PageRankVertex, PageRankEdge>::Options opts;
+    opts.num_threads = 2;
+    opts.max_pipeline_length = 2000;
+    opts.scheduler = "priority";
+    LockingEngine<PageRankVertex, PageRankEdge> engine(
+        ctx, &graph, nullptr, &allreduce, nullptr, opts);
+    engine.SetUpdateFn(MakePageRankUpdateFn<DPRGraph>(0.85, 1e-7));
+    engine.ScheduleAllOwned();
+    engine.Run();
+  });
+  double err = 0;
+  for (auto& graph : graphs) {
+    for (LocalVid l : graph.owned_vertices()) {
+      err += std::fabs(graph.vertex_data(l).rank - exact[graph.Gvid(l)]);
+    }
+  }
+  EXPECT_LT(err, 1e-2);
+}
+
+// ---------------------------------------------------------------------
+// Sync operation
+// ---------------------------------------------------------------------
+
+TEST(SyncTest, ComputesGlobalAggregateWithFinalize) {
+  // Sum of ranks over all machines, finalized into a mean.
+  auto structure = gen::PowerLawWeb(400, 4, 0.8, 31);
+  auto global = BuildPageRankGraph(structure);
+  auto colors = GreedyColoring(structure);
+  auto atom_of = RandomPartition(structure.num_vertices, 3, 5);
+  std::vector<rpc::MachineId> placement = {0, 1, 2};
+
+  rpc::Runtime runtime(TestCluster(3));
+  SyncManager<DPRGraph> sync(&runtime.comm());
+  std::vector<DPRGraph> graphs(3);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    ASSERT_TRUE(graphs[ctx.id]
+                    .InitFromGlobal(global, atom_of, colors, placement,
+                                    ctx.id, &ctx.comm())
+                    .ok());
+    sync.AttachGraph(ctx.id, &graphs[ctx.id]);
+    if (ctx.id == 0) {
+      sync.Register<double>(
+          "mean_rank", 0.0,
+          [](const DPRGraph& g, LocalVid l, double* acc) {
+            *acc += g.vertex_data(l).rank;
+          },
+          [](double* a, const double& b) { *a += b; },
+          [](double* a, uint64_t n) { *a /= static_cast<double>(n); });
+    }
+    ctx.barrier().Wait(ctx.id);
+    sync.RunSyncBlocking("mean_rank", ctx.id);
+    // All ranks start at 1.0, so the mean is 1.0 on every machine.
+    EXPECT_NEAR(sync.Get<double>("mean_rank", ctx.id), 1.0, 1e-12);
+    ctx.barrier().Wait(ctx.id);
+  });
+}
+
+TEST(SyncTest, RoundsAdvanceMonotonically) {
+  auto structure = gen::Grid2D(10, 10);
+  auto global = BuildPageRankGraph(structure);
+  auto colors = GreedyColoring(structure);
+  auto atom_of = BlockPartition(structure.num_vertices, 2);
+  std::vector<rpc::MachineId> placement = {0, 1};
+  rpc::Runtime runtime(TestCluster(2));
+  SyncManager<DPRGraph> sync(&runtime.comm());
+  std::vector<DPRGraph> graphs(2);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    ASSERT_TRUE(graphs[ctx.id]
+                    .InitFromGlobal(global, atom_of, colors, placement,
+                                    ctx.id, &ctx.comm())
+                    .ok());
+    sync.AttachGraph(ctx.id, &graphs[ctx.id]);
+    if (ctx.id == 0) {
+      sync.Register<uint64_t>(
+          "count", uint64_t{0},
+          [](const DPRGraph&, LocalVid, uint64_t* acc) { *acc += 1; },
+          [](uint64_t* a, const uint64_t& b) { *a += b; });
+    }
+    ctx.barrier().Wait(ctx.id);
+    for (int round = 1; round <= 3; ++round) {
+      sync.RunSyncBlocking("count", ctx.id);
+      EXPECT_EQ(sync.PublishedRound("count", ctx.id),
+                static_cast<uint64_t>(round));
+      EXPECT_EQ(sync.Get<uint64_t>("count", ctx.id), 100u);
+    }
+    ctx.barrier().Wait(ctx.id);
+  });
+}
+
+// ---------------------------------------------------------------------
+// Consistency model scope rights
+// ---------------------------------------------------------------------
+
+TEST(ContextTest, VertexConsistencyForbidsNeighborAccess) {
+  auto structure = gen::Grid2D(3, 3);
+  auto g = BuildPageRankGraph(structure);
+  Context<apps::PageRankGraph> ctx(&g, 4, 1.0,
+                                   ConsistencyModel::kVertexConsistency,
+                                   nullptr, [](void*, LocalVid, double) {});
+  EXPECT_DEATH(ctx.neighbor_data(1), "consistency");
+}
+
+TEST(ContextTest, EdgeConsistencyForbidsNeighborWrite) {
+  auto structure = gen::Grid2D(3, 3);
+  auto g = BuildPageRankGraph(structure);
+  Context<apps::PageRankGraph> ctx(&g, 4, 1.0,
+                                   ConsistencyModel::kEdgeConsistency,
+                                   nullptr, [](void*, LocalVid, double) {});
+  EXPECT_DEATH(ctx.mutable_neighbor_data(1), "full consistency");
+}
+
+TEST(ContextTest, FullConsistencyAllowsNeighborWrite) {
+  auto structure = gen::Grid2D(3, 3);
+  auto g = BuildPageRankGraph(structure);
+  Context<apps::PageRankGraph> ctx(&g, 4, 1.0,
+                                   ConsistencyModel::kFullConsistency,
+                                   nullptr, [](void*, LocalVid, double) {});
+  ctx.mutable_neighbor_data(1).rank = 2.0;
+  EXPECT_EQ(g.vertex_data(1).rank, 2.0);
+}
+
+}  // namespace
+}  // namespace graphlab

@@ -1,0 +1,339 @@
+// Property-style tests: parameterized sweeps asserting the invariants the
+// abstraction promises across engines, consistency models, cluster sizes,
+// partitioners and random inputs.
+//
+//  * Engine equivalence: chromatic and locking engines, any machine count,
+//    any partitioner, must converge PageRank to the same fixed point.
+//  * Serialization: random nested structures round-trip bit-exactly.
+//  * Lock table: random acquire/release interleavings never violate the
+//    readers-writer invariant and never lose a callback.
+//  * Coloring/partitioning: valid on random graphs of many shapes.
+//  * Atom store: WriteAtoms -> LoadAtoms is lossless for random data.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+
+#include "graphlab/apps/pagerank.h"
+#include "graphlab/engine/allreduce.h"
+#include "graphlab/engine/chromatic_engine.h"
+#include "graphlab/engine/locking/lock_table.h"
+#include "graphlab/engine/locking_engine.h"
+#include "graphlab/graph/atom.h"
+#include "graphlab/graph/coloring.h"
+#include "graphlab/graph/generators.h"
+#include "graphlab/util/random.h"
+#include "graphlab/graph/partition.h"
+#include "graphlab/rpc/runtime.h"
+
+namespace graphlab {
+namespace {
+
+using apps::PageRankEdge;
+using apps::PageRankVertex;
+using DGraph = DistributedGraph<PageRankVertex, PageRankEdge>;
+
+// ---------------------------------------------------------------------
+// Engine x machines x partition equivalence
+// ---------------------------------------------------------------------
+
+struct EngineCase {
+  const char* engine;
+  size_t machines;
+  const char* partition;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineEquivalence, PageRankFixedPointIndependentOfDeployment) {
+  const EngineCase& c = GetParam();
+  auto structure = gen::PowerLawWeb(800, 5, 0.9, 77);
+  auto global = apps::BuildPageRankGraph(structure);
+  auto exact = apps::ExactPageRank(global);
+  auto colors = GreedyColoring(structure);
+
+  PartitionAssignment atom_of;
+  if (std::string(c.partition) == "block") {
+    atom_of = BlockPartition(structure.num_vertices, c.machines);
+  } else if (std::string(c.partition) == "striped") {
+    atom_of = StripedPartition(structure.num_vertices, c.machines);
+  } else {
+    atom_of = RandomPartition(structure.num_vertices, c.machines, 5);
+  }
+  std::vector<rpc::MachineId> placement(c.machines);
+  for (size_t m = 0; m < c.machines; ++m) placement[m] = m;
+
+  rpc::ClusterOptions copts;
+  copts.num_machines = c.machines;
+  copts.comm.latency = std::chrono::microseconds(20);
+  rpc::Runtime runtime(copts);
+  SumAllReduce allreduce(&runtime.comm(), 1);
+  std::vector<DGraph> graphs(c.machines);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    DGraph& graph = graphs[ctx.id];
+    ASSERT_TRUE(graph
+                    .InitFromGlobal(global, atom_of, colors, placement,
+                                    ctx.id, &ctx.comm())
+                    .ok());
+    ctx.barrier().Wait(ctx.id);
+    auto update = apps::MakePageRankUpdateFn<DGraph>(0.85, 1e-7);
+    if (std::string(c.engine) == "locking") {
+      LockingEngine<PageRankVertex, PageRankEdge>::Options eo;
+      eo.num_threads = 2;
+      eo.max_pipeline_length = 64;
+      eo.scheduler = "fifo";
+      LockingEngine<PageRankVertex, PageRankEdge> engine(
+          ctx, &graph, nullptr, &allreduce, nullptr, eo);
+      engine.SetUpdateFn(update);
+      engine.ScheduleAllOwned();
+      engine.Run();
+    } else {
+      ChromaticEngine<PageRankVertex, PageRankEdge>::Options eo;
+      eo.num_threads = 2;
+      ChromaticEngine<PageRankVertex, PageRankEdge> engine(
+          ctx, &graph, nullptr, &allreduce, eo);
+      engine.SetUpdateFn(update);
+      engine.ScheduleAllOwned();
+      engine.Run();
+    }
+  });
+
+  double err = 0;
+  uint64_t owned_total = 0;
+  for (auto& graph : graphs) {
+    owned_total += graph.num_owned_vertices();
+    for (LocalVid l : graph.owned_vertices()) {
+      err += std::fabs(graph.vertex_data(l).rank - exact[graph.Gvid(l)]);
+    }
+  }
+  EXPECT_EQ(owned_total, structure.num_vertices);
+  EXPECT_LT(err, 5e-2) << "engine=" << c.engine
+                       << " machines=" << c.machines
+                       << " partition=" << c.partition;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deployments, EngineEquivalence,
+    ::testing::Values(EngineCase{"chromatic", 1, "random"},
+                      EngineCase{"chromatic", 2, "block"},
+                      EngineCase{"chromatic", 3, "striped"},
+                      EngineCase{"chromatic", 5, "random"},
+                      EngineCase{"locking", 1, "random"},
+                      EngineCase{"locking", 2, "striped"},
+                      EngineCase{"locking", 3, "block"},
+                      EngineCase{"locking", 5, "random"}));
+
+// ---------------------------------------------------------------------
+// Serialization fuzz round-trip
+// ---------------------------------------------------------------------
+
+struct FuzzRecord {
+  uint32_t a = 0;
+  double b = 0;
+  std::string s;
+  std::vector<float> v;
+  std::map<uint32_t, std::string> m;
+
+  bool operator==(const FuzzRecord& o) const {
+    return a == o.a && b == o.b && s == o.s && v == o.v && m == o.m;
+  }
+  void Save(OutArchive* oa) const { *oa << a << b << s << v << m; }
+  void Load(InArchive* ia) { *ia >> a >> b >> s >> v >> m; }
+};
+
+class SerializationFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializationFuzz, RandomStructuresRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<FuzzRecord> records(1 + rng.UniformInt(20));
+  for (auto& r : records) {
+    r.a = static_cast<uint32_t>(rng.Next());
+    r.b = rng.Gaussian() * 1e10;
+    r.s.resize(rng.UniformInt(64));
+    for (char& ch : r.s) ch = static_cast<char>(rng.UniformInt(256));
+    r.v.resize(rng.UniformInt(32));
+    for (float& f : r.v) f = static_cast<float>(rng.Gaussian());
+    size_t entries = rng.UniformInt(8);
+    for (size_t i = 0; i < entries; ++i) {
+      r.m[static_cast<uint32_t>(rng.Next())] =
+          std::to_string(rng.Next());
+    }
+  }
+  OutArchive oa;
+  oa << records;
+  InArchive ia(oa.buffer());
+  std::vector<FuzzRecord> decoded;
+  ia >> decoded;
+  EXPECT_EQ(records, decoded);
+  EXPECT_TRUE(ia.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationFuzz,
+                         ::testing::Range<uint64_t>(1, 17));
+
+// ---------------------------------------------------------------------
+// Lock table invariants under random interleavings
+// ---------------------------------------------------------------------
+
+class LockTableFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LockTableFuzz, ReaderWriterInvariantHolds) {
+  CallbackLockTable locks(16);
+  Rng rng(GetParam());
+  // Track held locks; every granted callback must observe the invariant:
+  // a writer excludes everyone, readers exclude writers.
+  struct Held {
+    int readers = 0;
+    int writers = 0;
+  };
+  std::vector<Held> held(16);
+  std::vector<std::pair<LocalVid, bool>> to_release;
+  int granted = 0, requested = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (!to_release.empty() && rng.Bernoulli(0.5)) {
+      size_t i = rng.UniformInt(to_release.size());
+      auto [v, write] = to_release[i];
+      to_release.erase(to_release.begin() + i);
+      if (write) {
+        held[v].writers--;
+      } else {
+        held[v].readers--;
+      }
+      locks.Release(v, write);
+    } else {
+      LocalVid v = static_cast<LocalVid>(rng.UniformInt(16));
+      bool write = rng.Bernoulli(0.3);
+      requested++;
+      locks.Acquire(v, write, [&, v, write] {
+        if (write) {
+          EXPECT_EQ(held[v].readers, 0);
+          EXPECT_EQ(held[v].writers, 0);
+          held[v].writers++;
+        } else {
+          EXPECT_EQ(held[v].writers, 0);
+          held[v].readers++;
+        }
+        to_release.emplace_back(v, write);
+        granted++;
+      });
+    }
+  }
+  // Drain: release everything; every queued request must eventually fire.
+  while (!to_release.empty()) {
+    auto [v, write] = to_release.back();
+    to_release.pop_back();
+    if (write) {
+      held[v].writers--;
+    } else {
+      held[v].readers--;
+    }
+    locks.Release(v, write);
+  }
+  EXPECT_EQ(granted, requested) << "lost callbacks";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockTableFuzz,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------
+// Coloring / partitioning on random shapes
+// ---------------------------------------------------------------------
+
+class RandomGraphSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGraphSweep, ColoringAlwaysValid) {
+  Rng rng(GetParam());
+  uint64_t n = 50 + rng.UniformInt(500);
+  uint32_t deg = 2 + static_cast<uint32_t>(rng.UniformInt(6));
+  auto s = gen::PowerLawWeb(n, deg, 0.7 + rng.UniformDouble() * 0.8,
+                            GetParam());
+  EXPECT_TRUE(ValidateColoring(s, GreedyColoring(s)));
+  EXPECT_TRUE(ValidateSecondOrderColoring(s, SecondOrderColoring(s)));
+}
+
+TEST_P(RandomGraphSweep, PartitionersCoverAllVertices) {
+  Rng rng(GetParam());
+  uint64_t n = 50 + rng.UniformInt(500);
+  auto s = gen::PowerLawWeb(n, 3, 0.9, GetParam());
+  AtomId k = 2 + static_cast<AtomId>(rng.UniformInt(7));
+  for (auto part : {RandomPartition(n, k, GetParam()),
+                    BlockPartition(n, k), StripedPartition(n, k),
+                    BfsPartition(s, k, GetParam())}) {
+    ASSERT_EQ(part.size(), n);
+    for (AtomId a : part) EXPECT_LT(a, k);
+    auto q = EvaluatePartition(s, part, k);
+    EXPECT_LE(q.cut_edges, s.num_edges());
+  }
+}
+
+TEST_P(RandomGraphSweep, AtomRoundTripPreservesData) {
+  Rng rng(GetParam() ^ 0xA70A);
+  uint64_t n = 30 + rng.UniformInt(100);
+  auto s = gen::PowerLawWeb(n, 3, 0.8, GetParam());
+  auto g = apps::BuildPageRankGraph(s);
+  for (VertexId v = 0; v < n; ++v) g.vertex_data(v).rank = rng.Gaussian();
+
+  std::string dir = "/tmp/gl_prop_atoms_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(GetParam());
+  AtomId k = 2 + static_cast<AtomId>(rng.UniformInt(5));
+  auto atom_of = RandomPartition(n, k, GetParam());
+  auto colors = GreedyColoring(s);
+  AtomIndex index;
+  ASSERT_TRUE(WriteAtoms(g, atom_of, colors, k, dir, &index).ok());
+
+  // Load every atom and verify owned data matches the source graph.
+  uint64_t owned_seen = 0;
+  for (AtomId a = 0; a < k; ++a) {
+    auto content =
+        LoadAtom<PageRankVertex, PageRankEdge>(index.atoms[a]);
+    ASSERT_TRUE(content.ok());
+    for (const auto& vc : content->vertices) {
+      if (!vc.ghost) {
+        EXPECT_EQ(vc.data.rank, g.vertex_data(vc.gvid).rank);
+        owned_seen++;
+      }
+    }
+  }
+  EXPECT_EQ(owned_seen, n);
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSweep,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------
+// Zipf sampler distribution property
+// ---------------------------------------------------------------------
+
+class ZipfSweep
+    : public ::testing::TestWithParam<std::pair<uint64_t, double>> {};
+
+TEST_P(ZipfSweep, RankFrequenciesMonotone) {
+  auto [n, alpha] = GetParam();
+  Rng rng(9);
+  ZipfSampler zipf(n, alpha);
+  std::vector<uint64_t> counts(n, 0);
+  for (int i = 0; i < 200000; ++i) counts[zipf.Sample(&rng)]++;
+  // Check coarse monotonicity over decades (individual adjacent ranks are
+  // noisy; decades must be ordered).
+  uint64_t last_bucket = ~uint64_t{0};
+  for (uint64_t lo = 1; lo < n; lo *= 4) {
+    uint64_t hi = std::min(n, lo * 4);
+    uint64_t bucket = 0;
+    for (uint64_t r = lo - 1; r < hi - 1; ++r) bucket += counts[r];
+    bucket /= (hi - lo);
+    EXPECT_LE(bucket, last_bucket) << "alpha=" << alpha << " lo=" << lo;
+    last_bucket = bucket;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZipfSweep,
+    ::testing::Values(std::pair<uint64_t, double>{100, 0.7},
+                      std::pair<uint64_t, double>{1000, 1.0},
+                      std::pair<uint64_t, double>{1000, 1.5},
+                      std::pair<uint64_t, double>{10000, 0.9}));
+
+}  // namespace
+}  // namespace graphlab

@@ -1,0 +1,211 @@
+// Fault tolerance tests: synchronous and asynchronous (Chandy-Lamport)
+// snapshots on the locking engine, journal recovery, and the Young
+// optimal-interval formula.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "graphlab/apps/pagerank.h"
+#include "graphlab/engine/allreduce.h"
+#include "graphlab/engine/locking_engine.h"
+#include "graphlab/engine/snapshot.h"
+#include "graphlab/graph/coloring.h"
+#include "graphlab/graph/generators.h"
+#include "graphlab/graph/partition.h"
+#include "graphlab/rpc/runtime.h"
+
+namespace graphlab {
+namespace {
+
+using apps::BuildPageRankGraph;
+using apps::MakePageRankUpdateFn;
+using apps::PageRankEdge;
+using apps::PageRankVertex;
+using DPRGraph = DistributedGraph<PageRankVertex, PageRankEdge>;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("glsnap_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST(SnapshotFormulaTest, YoungOptimalInterval) {
+  // Paper example: 64 machines, 1-year per-machine MTBF, 2-min checkpoint.
+  double mtbf_cluster = 365.0 * 24 * 3600 / 64.0;  // seconds
+  double interval = OptimalCheckpointIntervalSeconds(120.0, mtbf_cluster);
+  // "leads to optimal checkpoint intervals of 3 hrs" (Sec. 4.3).
+  EXPECT_NEAR(interval / 3600.0, 3.0, 0.35);
+}
+
+/// Runs distributed PageRank with the given snapshot mode; returns the
+/// gathered post-run ranks and keeps journals in `dir`.
+struct SnapRun {
+  std::vector<double> ranks;
+  uint64_t updates = 0;
+};
+
+SnapRun RunWithSnapshot(const std::string& dir, SnapshotMode mode,
+                        size_t machines,
+                        std::vector<DPRGraph>* graphs_out = nullptr) {
+  auto structure = gen::PowerLawWeb(600, 5, 0.8, 33);
+  auto global = BuildPageRankGraph(structure);
+  auto colors = GreedyColoring(structure);
+  auto atom_of = RandomPartition(structure.num_vertices, machines, 5);
+  std::vector<rpc::MachineId> placement(machines);
+  for (size_t i = 0; i < machines; ++i) placement[i] = i;
+
+  rpc::ClusterOptions copts;
+  copts.num_machines = machines;
+  copts.comm.latency = std::chrono::microseconds(0);
+  rpc::Runtime runtime(copts);
+  SumAllReduce allreduce(&runtime.comm(), 1);
+  std::vector<DPRGraph> graphs(machines);
+  std::atomic<uint64_t> updates{0};
+
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    DPRGraph& graph = graphs[ctx.id];
+    ASSERT_TRUE(graph
+                    .InitFromGlobal(global, atom_of, colors, placement,
+                                    ctx.id, &ctx.comm())
+                    .ok());
+    SnapshotManager<PageRankVertex, PageRankEdge> snapshot(ctx, &graph, dir);
+    ctx.barrier().Wait(ctx.id);
+    LockingEngine<PageRankVertex, PageRankEdge>::Options opts;
+    opts.num_threads = 2;
+    opts.scheduler = "fifo";
+    opts.max_pipeline_length = 32;
+    opts.snapshot_mode = mode;
+    opts.snapshot_trigger_updates = mode == SnapshotMode::kNone ? 0 : 200;
+    LockingEngine<PageRankVertex, PageRankEdge> engine(
+        ctx, &graph, nullptr, &allreduce, &snapshot, opts);
+    engine.SetUpdateFn(MakePageRankUpdateFn<DPRGraph>(0.85, 1e-7));
+    engine.ScheduleAllOwned();
+    RunResult r = engine.Run();
+    if (ctx.id == 0) updates.store(r.updates);
+  });
+
+  SnapRun out;
+  out.updates = updates.load();
+  out.ranks.assign(structure.num_vertices, 0.0);
+  for (auto& graph : graphs) {
+    for (LocalVid l : graph.owned_vertices()) {
+      out.ranks[graph.Gvid(l)] = graph.vertex_data(l).rank;
+    }
+  }
+  if (graphs_out != nullptr) *graphs_out = std::move(graphs);
+  return out;
+}
+
+TEST_F(SnapshotTest, SynchronousSnapshotWritesAllMachines) {
+  SnapRun run = RunWithSnapshot(dir_, SnapshotMode::kSynchronous, 3);
+  EXPECT_GT(run.updates, 600u);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_TRUE(std::filesystem::exists(
+        dir_ + "/snap_1_m" + std::to_string(m) + ".glsnap"))
+        << "machine " << m << " journal missing";
+  }
+}
+
+TEST_F(SnapshotTest, AsynchronousSnapshotCoversEveryVertex) {
+  SnapRun run = RunWithSnapshot(dir_, SnapshotMode::kAsynchronous, 3);
+  EXPECT_GT(run.updates, 600u);
+  // Every journal exists and, combined, the journals contain every vertex
+  // exactly once.
+  std::set<VertexId> seen;
+  for (int m = 0; m < 3; ++m) {
+    std::string path = dir_ + "/snap_1_m" + std::to_string(m) + ".glsnap";
+    ASSERT_TRUE(std::filesystem::exists(path));
+    auto bytes = ReadFileBytes(path);
+    ASSERT_TRUE(bytes.ok());
+    InArchive ia(*bytes);
+    while (!ia.AtEnd()) {
+      uint8_t type = ia.ReadValue<uint8_t>();
+      if (type == 0) {
+        VertexId gvid = ia.ReadValue<VertexId>();
+        PageRankVertex data;
+        ia >> data;
+        EXPECT_TRUE(seen.insert(gvid).second)
+            << "vertex " << gvid << " journaled twice";
+      } else {
+        VertexId s = ia.ReadValue<VertexId>();
+        VertexId d = ia.ReadValue<VertexId>();
+        (void)s;
+        (void)d;
+        PageRankEdge e;
+        ia >> e;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 600u);
+}
+
+TEST_F(SnapshotTest, RestoreRecoversJournaledState) {
+  // Take a synchronous snapshot mid-run, then clobber the graphs and
+  // restore: data must equal the journal.
+  std::vector<DPRGraph> graphs;
+  SnapRun run = RunWithSnapshot(dir_, SnapshotMode::kSynchronous, 2, &graphs);
+  (void)run;
+
+  // Clobber every owned rank, then restore from the journal.
+  rpc::ClusterOptions copts;
+  copts.num_machines = 2;
+  copts.comm.latency = std::chrono::microseconds(0);
+  // NOTE: graphs hold a pointer to the *old* runtime's comm layer, which is
+  // destroyed; rebuild distributed state in a fresh runtime by re-running
+  // the whole pipeline instead.
+  auto structure = gen::PowerLawWeb(600, 5, 0.8, 33);
+  auto global = BuildPageRankGraph(structure);
+  auto colors = GreedyColoring(structure);
+  auto atom_of = RandomPartition(structure.num_vertices, 2, 5);
+  std::vector<rpc::MachineId> placement = {0, 1};
+  rpc::Runtime runtime(copts);
+  std::vector<DPRGraph> fresh(2);
+  std::vector<std::map<VertexId, double>> restored(2);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    DPRGraph& graph = fresh[ctx.id];
+    ASSERT_TRUE(graph
+                    .InitFromGlobal(global, atom_of, colors, placement,
+                                    ctx.id, &ctx.comm())
+                    .ok());
+    SnapshotManager<PageRankVertex, PageRankEdge> snapshot(ctx, &graph, dir_);
+    ctx.barrier().Wait(ctx.id);
+    // Freshly loaded graph has rank 1.0 everywhere (pre-run state); the
+    // journal holds the mid-run snapshot — restoring must change values.
+    ASSERT_TRUE(snapshot.Restore(1).ok());
+    ctx.barrier().Wait(ctx.id);
+    ctx.comm().WaitQuiescent();
+    ctx.barrier().Wait(ctx.id);
+    for (LocalVid l : graph.owned_vertices()) {
+      restored[ctx.id][graph.Gvid(l)] = graph.vertex_data(l).rank;
+    }
+  });
+
+  // The restored state must differ from the initial state (computation had
+  // progressed past the trigger) and ghosts must agree with owners.
+  size_t moved = 0;
+  for (const auto& m : restored) {
+    for (const auto& [gvid, rank] : m) {
+      if (std::fabs(rank - 1.0) > 1e-12) moved++;
+    }
+  }
+  EXPECT_GT(moved, 100u) << "snapshot appears to hold pre-run state only";
+  // Ghost coherence after restore.
+  for (int m = 0; m < 2; ++m) {
+    for (LocalVid l = 0; l < fresh[m].num_local_vertices(); ++l) {
+      if (fresh[m].is_owned(l)) continue;
+      VertexId gvid = fresh[m].Gvid(l);
+      rpc::MachineId owner = fresh[m].owner(l);
+      EXPECT_DOUBLE_EQ(fresh[m].vertex_data(l).rank, restored[owner][gvid]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphlab
