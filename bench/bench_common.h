@@ -38,10 +38,8 @@
 #include <string>
 #include <vector>
 
-#include "graphlab/baselines/bulk_sync_engine.h"
 #include "graphlab/engine/allreduce.h"
-#include "graphlab/engine/chromatic_engine.h"
-#include "graphlab/engine/locking_engine.h"
+#include "graphlab/engine/engine_factory.h"
 #include "graphlab/engine/snapshot.h"
 #include "graphlab/engine/sync.h"
 #include "graphlab/graph/coloring.h"
@@ -203,46 +201,43 @@ DistOutput RunDistributed(
       snapshot->SetDfsBandwidth(cfg.snapshot_dfs_bandwidth);
     }
 
-    RunResult result;
-    if (cfg.engine == "locking") {
-      typename LockingEngine<V, E>::Options eo;
-      eo.num_threads = cfg.threads;
-      eo.scheduler = cfg.scheduler;
-      eo.max_pipeline_length = cfg.pipeline;
-      eo.consistency = cfg.consistency;
-      eo.snapshot_mode = cfg.snapshot_mode;
-      eo.snapshot_trigger_updates = cfg.snapshot_trigger_updates;
-      eo.progress_sample_ms = cfg.progress_sample_ms;
-      eo.sync_interval_ms = cfg.sync_interval_ms;
-      eo.sync_keys = cfg.sync_keys;
-      LockingEngine<V, E> engine(ctx, &graph, &sync, &allreduce,
-                                 snapshot.get(), eo);
-      engine.SetUpdateFn(update);
-      engine.ScheduleAllOwned();
-      result = engine.Run();
-      std::lock_guard<std::mutex> lock(out_mutex);
-      out.machines[ctx.id].progress = engine.progress();
-      out.machines[ctx.id].updates = engine.local_updates();
-    } else if (cfg.engine == "bulksync") {
-      typename baselines::BulkSyncEngine<V, E>::Options eo;
-      eo.num_threads = cfg.threads;
-      eo.max_supersteps = cfg.max_sweeps == 0 ? 10 : cfg.max_sweeps;
-      baselines::BulkSyncEngine<V, E> engine(ctx, &graph, &allreduce, eo);
-      engine.SetKernel(kernel);
-      if (selector) engine.SetSelector(selector);
-      result = engine.Run();
+    // One options struct + the factory serve every strategy.
+    EngineOptions eo;
+    eo.num_threads = cfg.threads;
+    eo.scheduler = cfg.scheduler;
+    eo.max_pipeline_length = cfg.pipeline;
+    eo.consistency = cfg.consistency;
+    eo.max_sweeps = cfg.max_sweeps;
+    eo.snapshot_mode = cfg.snapshot_mode;
+    eo.snapshot_trigger_updates = cfg.snapshot_trigger_updates;
+    eo.progress_sample_ms = cfg.progress_sample_ms;
+    eo.sync_interval_ms = cfg.sync_interval_ms;
+    eo.sync_keys = cfg.sync_keys;
+    DistributedEngineDeps<V, E> deps;
+    deps.allreduce = &allreduce;
+    deps.sync = &sync;
+    deps.snapshot = snapshot.get();
+    auto created = CreateEngine(cfg.engine, ctx, &graph, eo, deps);
+    GL_CHECK(created.ok()) << created.status().ToString();
+    auto engine = std::move(created.value());
+    if (kernel) {
+      // The hand-tuned kernel/selector surface is specific to the MPI
+      // baseline, so it is installed past the uniform interface.
+      auto* bulk =
+          dynamic_cast<baselines::BulkSyncEngine<V, E>*>(engine.get());
+      GL_CHECK(bulk != nullptr)
+          << "kernel provided but engine is " << engine->name();
+      bulk->SetKernel(kernel);
+      if (selector) bulk->SetSelector(selector);
     } else {
-      typename ChromaticEngine<V, E>::Options eo;
-      eo.num_threads = cfg.threads;
-      eo.max_sweeps = cfg.max_sweeps;
-      eo.consistency = cfg.consistency;
-      eo.sync_keys = cfg.sync_keys;
-      ChromaticEngine<V, E> engine(ctx, &graph, &sync, &allreduce, eo);
-      engine.SetUpdateFn(update);
-      engine.ScheduleAllOwned();
-      result = engine.Run();
+      engine->SetUpdateFn(update);
+      engine->ScheduleAll();
+    }
+    RunResult result = engine->Start();
+    {
       std::lock_guard<std::mutex> lock(out_mutex);
-      out.machines[ctx.id].updates = engine.local_updates();
+      out.machines[ctx.id].progress = engine->progress();
+      out.machines[ctx.id].updates = engine->local_updates();
     }
 
     if (stall_thread.joinable()) stall_thread.join();

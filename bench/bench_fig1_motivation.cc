@@ -21,7 +21,7 @@
 #include "graphlab/apps/loopy_bp.h"
 #include "graphlab/apps/pagerank.h"
 #include "graphlab/baselines/bsp_engine.h"
-#include "graphlab/engine/shared_memory_engine.h"
+#include "graphlab/engine/engine_factory.h"
 
 namespace graphlab {
 namespace {
@@ -51,7 +51,7 @@ void Fig1aAsyncVsSyncPageRank() {
   // Sync (Pregel / BSP) run.
   auto bsp_graph = apps::BuildPageRankGraph(structure);
   init_ranks(&bsp_graph);
-  baselines::BspEngine<PageRankVertex, PageRankEdge>::Options bsp_opts;
+  EngineOptions bsp_opts;
   bsp_opts.num_threads = 2;
   baselines::BspEngine<PageRankVertex, PageRankEdge> bsp(&bsp_graph,
                                                          bsp_opts);
@@ -61,18 +61,18 @@ void Fig1aAsyncVsSyncPageRank() {
   // Async (GraphLab shared-memory) run: sweep order, dynamic tolerance.
   auto async_graph = apps::BuildPageRankGraph(structure);
   init_ranks(&async_graph);
-  SharedMemoryEngine<PageRankVertex, PageRankEdge>::Options sm_opts;
+  EngineOptions sm_opts;
   sm_opts.num_threads = 2;
   sm_opts.scheduler = "sweep";
-  SharedMemoryEngine<PageRankVertex, PageRankEdge> async_engine(&async_graph,
-                                                                sm_opts);
-  async_engine.SetUpdateFn(
+  auto async_engine =
+      std::move(CreateEngine("shared_memory", &async_graph, sm_opts).value());
+  async_engine->SetUpdateFn(
       apps::MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-5));
-  async_engine.ScheduleAll();
+  async_engine->ScheduleAll();
 
   for (int sample = 1; sample <= 12; ++sample) {
-    bsp.Run(/*supersteps=*/1);  // one superstep = |V| updates
-    async_engine.Run(/*max_updates=*/slice);
+    bsp.RunSupersteps(1);  // one superstep = |V| updates
+    async_engine->Start(/*max_updates=*/slice);
     std::printf("%llu,%.6g,%.6g\n",
                 static_cast<unsigned long long>(sample * slice),
                 apps::PageRankL1Error(bsp_graph, exact),
@@ -93,19 +93,19 @@ void Fig1bUpdateCountDistribution() {
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     g.vertex_data(v).rank = 0.15;
   }
-  SharedMemoryEngine<PageRankVertex, PageRankEdge>::Options opts;
+  EngineOptions opts;
   opts.num_threads = 2;
   opts.scheduler = "fifo";
-  SharedMemoryEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
-  engine.EnableUpdateCounting();
-  engine.SetUpdateFn(
+  auto engine = std::move(CreateEngine("shared_memory", &g, opts).value());
+  engine->EnableUpdateCounting();
+  engine->SetUpdateFn(
       apps::MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 0.01));
-  engine.ScheduleAll();
-  RunResult r = engine.Run();
+  engine->ScheduleAll();
+  RunResult r = engine->Start();
 
   std::map<uint32_t, uint64_t> histogram;
-  for (uint32_t c : engine.update_counts()) histogram[c]++;
-  uint64_t total = engine.update_counts().size();
+  for (uint32_t c : engine->update_counts()) histogram[c]++;
+  uint64_t total = engine->update_counts().size();
   uint64_t one_update = histogram.count(1) ? histogram[1] : 0;
   std::printf("total updates: %llu over %llu vertices (mean %.2f)\n",
               static_cast<unsigned long long>(r.updates),
@@ -133,13 +133,13 @@ void Fig1cLoopyBpConvergence() {
   // Reference: converged beliefs from a long dynamic run.
   auto ref_graph = apps::BuildMrf(structure, 2, 0.2, 1.2, 3);
   {
-    SharedMemoryEngine<apps::BpVertex, apps::BpEdge>::Options o;
+    EngineOptions o;
     o.num_threads = 2;
     o.scheduler = "priority";
-    SharedMemoryEngine<apps::BpVertex, apps::BpEdge> e(&ref_graph, o);
-    e.SetUpdateFn(apps::MakeBpUpdateFn<apps::BpGraph>(psi, 1e-8));
-    e.ScheduleAll();
-    e.Run();
+    auto e = std::move(CreateEngine("shared_memory", &ref_graph, o).value());
+    e->SetUpdateFn(apps::MakeBpUpdateFn<apps::BpGraph>(psi, 1e-8));
+    e->ScheduleAll();
+    e->Start();
   }
   std::vector<std::vector<double>> reference(n);
   for (VertexId v = 0; v < n; ++v) {
@@ -148,7 +148,7 @@ void Fig1cLoopyBpConvergence() {
 
   // Sync (BSP) curve.
   auto sync_graph = apps::BuildMrf(structure, 2, 0.2, 1.2, 3);
-  baselines::BspEngine<apps::BpVertex, apps::BpEdge>::Options bo;
+  EngineOptions bo;
   bo.num_threads = 2;
   baselines::BspEngine<apps::BpVertex, apps::BpEdge> bsp(&sync_graph, bo);
   bsp.SetStepFn(apps::MakeBpBspStep(psi, 1e-9));
@@ -158,12 +158,11 @@ void Fig1cLoopyBpConvergence() {
   auto make_async = [&](const char* sched) {
     auto graph = std::make_unique<apps::BpGraph>(
         apps::BuildMrf(structure, 2, 0.2, 1.2, 3));
-    SharedMemoryEngine<apps::BpVertex, apps::BpEdge>::Options o;
+    EngineOptions o;
     o.num_threads = 2;
     o.scheduler = sched;
     auto engine =
-        std::make_unique<SharedMemoryEngine<apps::BpVertex, apps::BpEdge>>(
-            graph.get(), o);
+        std::move(CreateEngine("shared_memory", graph.get(), o).value());
     engine->SetUpdateFn(apps::MakeBpUpdateFn<apps::BpGraph>(psi, 1e-9));
     engine->ScheduleAll();
     return std::make_pair(std::move(graph), std::move(engine));
@@ -173,9 +172,9 @@ void Fig1cLoopyBpConvergence() {
 
   std::printf("sweeps,sync_pregel,async_fifo,dynamic_async\n");
   for (int sweep = 1; sweep <= 10; ++sweep) {
-    bsp.Run(1);
-    fifo_engine->Run(n);
-    dyn_engine->Run(n);
+    bsp.RunSupersteps(1);
+    fifo_engine->Start(n);
+    dyn_engine->Start(n);
     std::printf("%d,%.6g,%.6g,%.6g\n", sweep,
                 apps::BeliefL1(sync_graph, reference),
                 apps::BeliefL1(*fifo_graph, reference),
@@ -203,18 +202,18 @@ void Fig1dAlsConsistency() {
 
   // Serializable: asynchronous dynamic ALS under edge consistency.
   auto ser_graph = apps::BuildAlsGraph(p, d);
-  SharedMemoryEngine<apps::AlsVertex, apps::AlsEdge>::Options so;
+  EngineOptions so;
   so.num_threads = 2;
   so.scheduler = "fifo";
-  SharedMemoryEngine<apps::AlsVertex, apps::AlsEdge> ser_engine(&ser_graph,
-                                                                so);
-  ser_engine.SetUpdateFn(apps::MakeAlsUpdateFn<apps::AlsGraph>(0.02, 1e-6));
-  ser_engine.ScheduleAll();
+  auto ser_engine =
+      std::move(CreateEngine("shared_memory", &ser_graph, so).value());
+  ser_engine->SetUpdateFn(apps::MakeAlsUpdateFn<apps::AlsGraph>(0.02, 1e-6));
+  ser_engine->ScheduleAll();
 
   // Racing: simultaneous solves from stale values (BSP over all vertices
   // at once — no user/movie alternation, no consistency).
   auto race_graph = apps::BuildAlsGraph(p, d);
-  baselines::BspEngine<apps::AlsVertex, apps::AlsEdge>::Options ro;
+  EngineOptions ro;
   ro.num_threads = 2;
   baselines::BspEngine<apps::AlsVertex, apps::AlsEdge> race_engine(
       &race_graph, ro);
@@ -223,8 +222,8 @@ void Fig1dAlsConsistency() {
 
   std::printf("updates,serializable_rmse,racing_rmse\n");
   for (int s = 1; s <= 12; ++s) {
-    ser_engine.Run(/*max_updates=*/n);
-    race_engine.Run(1);
+    ser_engine->Start(/*max_updates=*/n);
+    race_engine.RunSupersteps(1);
     std::printf("%llu,%.6f,%.6f\n",
                 static_cast<unsigned long long>(s * n),
                 apps::AlsRmse(ser_graph, false),

@@ -14,7 +14,7 @@
 #include "graphlab/baselines/bsp_engine.h"
 #include "graphlab/baselines/ec2_cost.h"
 #include "graphlab/baselines/hadoop_sim.h"
-#include "graphlab/engine/shared_memory_engine.h"
+#include "graphlab/engine/engine_factory.h"
 
 namespace graphlab {
 namespace {
@@ -32,7 +32,7 @@ void Fig9aDynamicVsBsp() {
 
   // Dynamic: residual-prioritized asynchronous ALS.
   auto dyn_graph = apps::BuildAlsGraph(p, d);
-  SharedMemoryEngine<apps::AlsVertex, apps::AlsEdge>::Options so;
+  EngineOptions so;
   so.num_threads = 2;
   so.scheduler = "fifo";
   SharedMemoryEngine<apps::AlsVertex, apps::AlsEdge> dyn_engine(&dyn_graph,
@@ -43,7 +43,7 @@ void Fig9aDynamicVsBsp() {
   // BSP: alternating supersteps (users even / movies odd) from stale
   // values — the Pregel-expressible static schedule.
   auto bsp_graph = apps::BuildAlsGraph(p, d);
-  baselines::BspEngine<apps::AlsVertex, apps::AlsEdge>::Options bo;
+  EngineOptions bo;
   bo.num_threads = 2;
   baselines::BspEngine<apps::AlsVertex, apps::AlsEdge> bsp(&bsp_graph, bo);
   bsp.SetStepFn(apps::MakeAlsBspStep(0.05, /*self_reactivate=*/false));
@@ -56,7 +56,7 @@ void Fig9aDynamicVsBsp() {
     for (VertexId v = 0; v < n; ++v) {
       if ((v < p.num_users) == users) bsp.Activate(v);
     }
-    RunResult r = bsp.Run(1);
+    RunResult r = bsp.RunSupersteps(1);
     bsp_updates += r.updates;
     std::printf("bsp,%llu,%.6f\n",
                 static_cast<unsigned long long>(bsp_updates),
@@ -65,7 +65,7 @@ void Fig9aDynamicVsBsp() {
   // Dynamic: run to convergence, sampling every half-graph of updates.
   uint64_t dyn_total = 0;
   for (int s = 0; s < 24 && !(s > 0 && dyn_engine.ScheduleEmpty()); ++s) {
-    RunResult r = dyn_engine.Run(n / 2);
+    RunResult r = dyn_engine.Start(n / 2);
     dyn_total += r.updates;
     std::printf("dynamic,%llu,%.6f\n",
                 static_cast<unsigned long long>(dyn_total),

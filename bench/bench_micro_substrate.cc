@@ -67,7 +67,8 @@ BENCHMARK(BM_CommLayerRoundtrip);
 
 void BM_SchedulerScheduleGetNext(benchmark::State& state) {
   const char* names[] = {"fifo", "sweep", "priority"};
-  auto sched = CreateScheduler(names[state.range(0)], 1 << 16);
+  auto sched =
+      std::move(CreateScheduler(names[state.range(0)], 1 << 16).value());
   Rng rng(1);
   for (auto _ : state) {
     LocalVid v = static_cast<LocalVid>(rng.UniformInt(1 << 16));

@@ -53,18 +53,21 @@ int main(int argc, char** argv) {
                                                            snapshot_dir);
     ctx.barrier().Wait(ctx.id);
 
-    LockingEngine<apps::BpVertex, apps::BpEdge>::Options eo;
+    EngineOptions eo;
     eo.num_threads = 2;
     eo.scheduler = "priority";  // residual (dynamic) BP
     eo.max_pipeline_length = pipeline;
     eo.snapshot_mode = SnapshotMode::kAsynchronous;
     eo.snapshot_trigger_updates = mesh.num_vertices;  // mid-run
-    LockingEngine<apps::BpVertex, apps::BpEdge> engine(
-        ctx, &graph, nullptr, &allreduce, &snapshot, eo);
-    engine.SetUpdateFn(apps::MakeBpUpdateFn<Graph>(
+    DistributedEngineDeps<apps::BpVertex, apps::BpEdge> deps;
+    deps.allreduce = &allreduce;
+    deps.snapshot = &snapshot;
+    auto engine =
+        std::move(CreateEngine("locking", ctx, &graph, eo, deps).value());
+    engine->SetUpdateFn(apps::MakeBpUpdateFn<Graph>(
         apps::PottsPotential{2.0}, /*tolerance=*/1e-3));
-    engine.ScheduleAllOwned();
-    RunResult result = engine.Run();
+    engine->ScheduleAll();
+    RunResult result = engine->Start();
     if (ctx.id == 0) {
       std::printf(
           "LBP converged: %llu updates in %.3fs, pipeline=%zu, "

@@ -56,14 +56,16 @@ int main(int argc, char** argv) {
                                      ctx.id, &ctx.comm()));
     ctx.barrier().Wait(ctx.id);
     ctx.comm().ResetStats();
-    ChromaticEngine<apps::CoemVertex, apps::CoemEdge>::Options eo;
+    EngineOptions eo;
     eo.num_threads = 2;
     eo.max_sweeps = 15;
-    ChromaticEngine<apps::CoemVertex, apps::CoemEdge> engine(
-        ctx, &graph, nullptr, &allreduce, eo);
-    engine.SetUpdateFn(apps::MakeCoemUpdateFn<Graph>(1e-3));
-    engine.ScheduleAllOwned();
-    RunResult result = engine.Run();
+    DistributedEngineDeps<apps::CoemVertex, apps::CoemEdge> deps;
+    deps.allreduce = &allreduce;
+    auto engine =
+        std::move(CreateEngine("chromatic", ctx, &graph, eo, deps).value());
+    engine->SetUpdateFn(apps::MakeCoemUpdateFn<Graph>(1e-3));
+    engine->ScheduleAll();
+    RunResult result = engine->Start();
     ctx.barrier().Wait(ctx.id);
     if (ctx.id == 0) {
       wall = result.seconds;

@@ -57,14 +57,16 @@ int main(int argc, char** argv) {
     GL_CHECK_OK(graph.InitFromGlobal(global, atom_of, colors, placement,
                                      ctx.id, &ctx.comm()));
     ctx.barrier().Wait(ctx.id);
-    ChromaticEngine<apps::AlsVertex, apps::AlsEdge>::Options eo;
+    EngineOptions eo;
     eo.num_threads = 2;
     eo.max_sweeps = 20;
-    ChromaticEngine<apps::AlsVertex, apps::AlsEdge> engine(
-        ctx, &graph, nullptr, &allreduce, eo);
-    engine.SetUpdateFn(apps::MakeAlsUpdateFn<Graph>(lambda, 5e-3));
-    engine.ScheduleAllOwned();
-    RunResult result = engine.Run();
+    DistributedEngineDeps<apps::AlsVertex, apps::AlsEdge> deps;
+    deps.allreduce = &allreduce;
+    auto engine =
+        std::move(CreateEngine("chromatic", ctx, &graph, eo, deps).value());
+    engine->SetUpdateFn(apps::MakeAlsUpdateFn<Graph>(lambda, 5e-3));
+    engine->ScheduleAll();
+    RunResult result = engine->Start();
     if (ctx.id == 0) {
       wall = result.seconds;
       std::printf("ALS finished: %llu updates in %.3fs over %llu sweeps\n",

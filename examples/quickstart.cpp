@@ -9,6 +9,7 @@
 // Usage: ./quickstart [--vertices=20000] [--machines=4] [--engine=chromatic]
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 
 #include "graphlab/apps/pagerank.h"
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
 
   using Graph = DistributedGraph<apps::PageRankVertex, apps::PageRankEdge>;
   std::vector<Graph> partitions(machines);
+  std::atomic<bool> failed{false};
 
   runtime.Run([&](rpc::MachineContext& ctx) {
     Graph& graph = partitions[ctx.id];
@@ -52,26 +54,29 @@ int main(int argc, char** argv) {
                                      ctx.id, &ctx.comm()));
     ctx.barrier().Wait(ctx.id);
 
-    RunResult result;
-    if (engine_kind == "locking") {
-      LockingEngine<apps::PageRankVertex, apps::PageRankEdge>::Options eo;
-      eo.num_threads = 2;
-      eo.scheduler = "priority";
-      eo.max_pipeline_length = 256;
-      LockingEngine<apps::PageRankVertex, apps::PageRankEdge> engine(
-          ctx, &graph, nullptr, &allreduce, nullptr, eo);
-      engine.SetUpdateFn(apps::MakePageRankUpdateFn<Graph>(0.85, 1e-4));
-      engine.ScheduleAllOwned();
-      result = engine.Run();
-    } else {
-      ChromaticEngine<apps::PageRankVertex, apps::PageRankEdge>::Options eo;
-      eo.num_threads = 2;
-      ChromaticEngine<apps::PageRankVertex, apps::PageRankEdge> engine(
-          ctx, &graph, nullptr, &allreduce, eo);
-      engine.SetUpdateFn(apps::MakePageRankUpdateFn<Graph>(0.85, 1e-4));
-      engine.ScheduleAllOwned();
-      result = engine.Run();
+    // The factory makes the engine a runtime string choice; a bad
+    // --engine= is a clean error instead of an abort.
+    EngineOptions eo;
+    eo.num_threads = 2;
+    eo.scheduler = "priority";
+    eo.max_pipeline_length = 256;
+    DistributedEngineDeps<apps::PageRankVertex, apps::PageRankEdge> deps;
+    deps.allreduce = &allreduce;
+    // A bad --engine= fails identically on every machine, so all of
+    // them return here together and the runtime winds down cleanly.
+    auto created = CreateEngine(engine_kind, ctx, &graph, eo, deps);
+    if (!created.ok()) {
+      if (ctx.id == 0) {
+        std::printf("cannot create engine: %s\n",
+                    created.status().ToString().c_str());
+      }
+      failed.store(true);
+      return;
     }
+    auto engine = std::move(created.value());
+    engine->SetUpdateFn(apps::MakePageRankUpdateFn<Graph>(0.85, 1e-4));
+    engine->ScheduleAll();
+    RunResult result = engine->Start();
     if (ctx.id == 0) {
       rpc::CommStats total = ctx.comm().GetTotalStats();
       std::printf(
@@ -82,6 +87,8 @@ int main(int argc, char** argv) {
           static_cast<double>(total.bytes_sent) / 1e6);
     }
   });
+
+  if (failed.load()) return 1;
 
   // 4. Gather ranks from owners and print the top 10 pages.
   std::vector<std::pair<double, VertexId>> ranked;

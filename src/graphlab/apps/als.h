@@ -25,6 +25,7 @@
 
 #include "graphlab/apps/linalg.h"
 #include "graphlab/baselines/bsp_engine.h"
+#include "graphlab/engine/engine_factory.h"
 #include "graphlab/engine/context.h"
 #include "graphlab/graph/generators.h"
 #include "graphlab/graph/local_graph.h"
@@ -210,6 +211,21 @@ inline double AlsRmse(const AlsGraph& g, bool test_edges) {
     ++n;
   }
   return n == 0 ? 0.0 : std::sqrt(se / static_cast<double>(n));
+}
+
+
+/// Engine-agnostic entry point: trains ALS on any engine the factory
+/// knows.
+inline Expected<RunResult> SolveAls(AlsGraph* graph,
+                                    const std::string& engine_name,
+                                    EngineOptions options = {},
+                                    double lambda = 0.05,
+                                    double tolerance = 1e-3) {
+  auto engine = CreateEngine(engine_name, graph, options);
+  if (!engine.ok()) return engine.status();
+  (*engine)->SetUpdateFn(MakeAlsUpdateFn<AlsGraph>(lambda, tolerance));
+  (*engine)->ScheduleAll();
+  return (*engine)->Start();
 }
 
 }  // namespace apps

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graphlab/engine/context.h"
+#include "graphlab/engine/engine_factory.h"
 #include "graphlab/graph/generators.h"
 #include "graphlab/graph/local_graph.h"
 #include "graphlab/util/random.h"
@@ -146,6 +147,20 @@ inline double CoemEntropy(const CoemGraph& g) {
     ++n;
   }
   return n ? h / static_cast<double>(n) : 0.0;
+}
+
+
+/// Engine-agnostic entry point: runs CoEM label propagation on any
+/// engine the factory knows.
+inline Expected<RunResult> SolveCoem(CoemGraph* graph,
+                                     const std::string& engine_name,
+                                     EngineOptions options = {},
+                                     double tolerance = 1e-3) {
+  auto engine = CreateEngine(engine_name, graph, options);
+  if (!engine.ok()) return engine.status();
+  (*engine)->SetUpdateFn(MakeCoemUpdateFn<CoemGraph>(tolerance));
+  (*engine)->ScheduleAll();
+  return (*engine)->Start();
 }
 
 }  // namespace apps

@@ -23,6 +23,7 @@
 #include "graphlab/apps/loopy_bp.h"
 #include "graphlab/engine/context.h"
 #include "graphlab/engine/sync.h"
+#include "graphlab/engine/engine_factory.h"
 #include "graphlab/graph/generators.h"
 #include "graphlab/graph/local_graph.h"
 #include "graphlab/util/random.h"
@@ -260,6 +261,29 @@ inline double CosegLabelAgreement(const CosegGraph& g,
     total++;
   }
   return total ? static_cast<double>(same) / static_cast<double>(total) : 0.0;
+}
+
+
+/// Engine-agnostic entry point for the distributed co-segmentation EM
+/// loop: creates this machine's engine member through the factory, wires
+/// the GMM-parameter getter into the update function, and runs to
+/// quiescence.  Collective.
+template <typename Graph>
+Expected<RunResult> SolveCoseg(const std::string& engine_name,
+                               rpc::MachineContext ctx, Graph* graph,
+                               const DistributedEngineDeps<
+                                   CosegVertex, CosegEdge>& deps,
+                               EngineOptions options,
+                               std::function<GmmParams()> gmm,
+                               PottsPotential psi = {1.5},
+                               double tolerance = 1e-2,
+                               uint32_t max_updates_per_vertex = 10) {
+  auto engine = CreateEngine(engine_name, ctx, graph, options, deps);
+  if (!engine.ok()) return engine.status();
+  (*engine)->SetUpdateFn(MakeCosegUpdateFn<Graph>(
+      std::move(gmm), psi, tolerance, max_updates_per_vertex));
+  (*engine)->ScheduleAll();
+  return (*engine)->Start();
 }
 
 }  // namespace apps

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graphlab/baselines/bsp_engine.h"
+#include "graphlab/engine/engine_factory.h"
 #include "graphlab/engine/context.h"
 #include "graphlab/graph/generators.h"
 #include "graphlab/graph/local_graph.h"
@@ -243,6 +244,21 @@ inline double BeliefL1(const BpGraph& g,
     }
   }
   return err / static_cast<double>(g.num_vertices());
+}
+
+
+/// Engine-agnostic entry point: runs loopy BP to convergence on any
+/// engine the factory knows.
+inline Expected<RunResult> SolveBp(BpGraph* graph,
+                                   const std::string& engine_name,
+                                   EngineOptions options = {},
+                                   PottsPotential psi = {},
+                                   double tolerance = 1e-4) {
+  auto engine = CreateEngine(engine_name, graph, options);
+  if (!engine.ok()) return engine.status();
+  (*engine)->SetUpdateFn(MakeBpUpdateFn<BpGraph>(psi, tolerance));
+  (*engine)->ScheduleAll();
+  return (*engine)->Start();
 }
 
 }  // namespace apps

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graphlab/baselines/bsp_engine.h"
+#include "graphlab/engine/engine_factory.h"
 #include "graphlab/engine/context.h"
 #include "graphlab/graph/local_graph.h"
 #include "graphlab/util/serialization.h"
@@ -131,6 +132,22 @@ double PageRankL1Error(const GraphT& g, const std::vector<double>& exact) {
     err += std::fabs(g.vertex_data(v).rank - exact[v]);
   }
   return err;
+}
+
+
+/// Engine-agnostic entry point: runs dynamic PageRank to convergence on
+/// any engine the factory knows ("shared_memory", "bsp", ...).
+inline Expected<RunResult> SolvePageRank(PageRankGraph* graph,
+                                         const std::string& engine_name,
+                                         EngineOptions options = {},
+                                         double damping = 0.85,
+                                         double tolerance = 1e-6) {
+  auto engine = CreateEngine(engine_name, graph, options);
+  if (!engine.ok()) return engine.status();
+  (*engine)->SetUpdateFn(MakePageRankUpdateFn<PageRankGraph>(damping,
+                                                             tolerance));
+  (*engine)->ScheduleAll();
+  return (*engine)->Start();
 }
 
 }  // namespace apps

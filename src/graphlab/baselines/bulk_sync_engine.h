@@ -7,34 +7,58 @@
 // into super-steps ... between super-steps the new user and movie values
 // are scattered (using MPI_Alltoall) to the machines that need them."
 //
-// This engine reproduces that structure on the simulated cluster: per
-// superstep each machine runs a kernel over (a selected subset of) its
-// owned vertices with no locking — neighbor reads come from the ghost
-// values of the previous exchange — then performs one bulk all-to-all
-// exchange of modified vertex data (one message per machine pair) and a
-// barrier.  Per-vertex overheads are zero, matching a hand-tuned MPI code.
+// Two programming surfaces:
+//   * SetKernel()/SetSelector(): the native hand-tuned-MPI shape — per
+//     superstep each machine runs the kernel over (a selected subset of)
+//     its owned vertices with no locking (neighbor reads come from the
+//     ghost values of the previous exchange), then one bulk all-to-all
+//     exchange of modified vertex data and a barrier.  Per-vertex
+//     overheads are zero, matching a hand-tuned MPI code.
+//   * SetUpdateFn() via IEngine: the uniform GraphLab update function run
+//     in dense supersteps over every owned vertex.  Schedule() requests
+//     are counted and all-reduced: the run ends when no update anywhere
+//     asked for more work (or at max_sweeps).  Because update functions
+//     may touch shared scope data, the substrate's scope locks enforce
+//     the configured consistency model within the machine, and flushing
+//     uses the per-scope path so modified *edge* data propagates too
+//     (FlushAllOwnedBulk ships vertices only).  Cross-machine replicas of
+//     the same edge may still diverge for edge-writing apps — run those
+//     on one machine or on the locking/chromatic engines.
 //
-// One instance per machine; Run() is collective.
+// Superstep batches execute on the substrate's batch workers; the engine
+// itself owns no threads.  One instance per machine; Start() is
+// collective.
 
 #ifndef GRAPHLAB_BASELINES_BULK_SYNC_ENGINE_H_
 #define GRAPHLAB_BASELINES_BULK_SYNC_ENGINE_H_
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstring>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "graphlab/engine/allreduce.h"
 #include "graphlab/engine/context.h"
+#include "graphlab/engine/execution_substrate.h"
+#include "graphlab/engine/iengine.h"
 #include "graphlab/graph/distributed_graph.h"
 #include "graphlab/rpc/runtime.h"
-#include "graphlab/util/thread_pool.h"
 #include "graphlab/util/timer.h"
 
 namespace graphlab {
 namespace baselines {
 
 template <typename VertexData, typename EdgeData>
-class BulkSyncEngine {
+class BulkSyncEngine final
+    : public EngineBase<DistributedGraph<VertexData, EdgeData>> {
  public:
   using GraphType = DistributedGraph<VertexData, EdgeData>;
+  using ContextType = Context<GraphType>;
+  using Base = EngineBase<GraphType>;
+  using Options = EngineOptions;
 
   /// Kernel over one owned vertex; returns a residual contribution used
   /// for convergence detection (return 0 when not needed).  May read any
@@ -48,48 +72,73 @@ class BulkSyncEngine {
   using Selector = std::function<bool(const GraphType&, LocalVid,
                                       uint64_t superstep)>;
 
-  struct Options {
-    size_t num_threads = 2;
-    uint64_t max_supersteps = 10;
-    /// Stop early when the summed residual drops below this (0 = never).
-    double residual_tolerance = 0.0;
-  };
-
   BulkSyncEngine(rpc::MachineContext ctx, GraphType* graph,
-                 SumAllReduce* allreduce, Options options)
-      : ctx_(ctx), graph_(graph), allreduce_(allreduce), options_(options) {}
+                 SumAllReduce* allreduce, EngineOptions options)
+      : Base(std::move(options)),
+        ctx_(ctx),
+        graph_(graph),
+        allreduce_(allreduce),
+        scope_locks_(graph->num_local_vertices()) {}
+
+  const char* name() const override { return "bulk_sync"; }
 
   void SetKernel(Kernel kernel) { kernel_ = std::move(kernel); }
   void SetSelector(Selector selector) { selector_ = std::move(selector); }
 
-  /// Collective superstep loop.
-  RunResult Run() {
-    GL_CHECK(kernel_) << "no kernel";
+  /// Dense supersteps run everything; Schedule() only counts as a
+  /// continuation request in update-fn mode.
+  void Schedule(LocalVid /*v*/, double /*priority*/ = 1.0) override {
+    schedule_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ScheduleAll(double /*priority*/ = 1.0) override {}
+
+  /// Collective superstep loop.  In kernel mode runs exactly as the
+  /// MPI baseline (max_sweeps supersteps, 0 = legacy default 10, with the
+  /// optional residual-tolerance early exit); in update-fn mode runs
+  /// until no update function anywhere requested further work.
+  /// `max_updates` budgets are not supported (pass 0).
+  RunResult Start(uint64_t max_updates = 0) override {
+    GL_CHECK(kernel_ || this->update_fn_) << "no kernel or update function";
+    GL_CHECK_EQ(max_updates, uint64_t{0})
+        << "bulk_sync engine runs whole supersteps; bound the run with "
+           "EngineOptions::max_sweeps";
+    const bool kernel_mode = static_cast<bool>(kernel_);
     Timer timer;
+    this->substrate_.BeginRun();
     rpc::CommStats before = ctx_.comm().GetStats(ctx_.id);
+    const double busy_before = this->substrate_.busy_seconds();
     RunResult result;
     ctx_.barrier().Wait(ctx_.id);
 
+    uint64_t max_supersteps = this->options_.max_sweeps;
+    if (kernel_mode && max_supersteps == 0) max_supersteps = 10;
+
     const auto& owned = graph_->owned_vertices();
-    for (uint64_t step = 0; step < options_.max_supersteps; ++step) {
+    for (uint64_t step = 0;
+         max_supersteps == 0 || step < max_supersteps; ++step) {
       // Compute phase.
       std::vector<LocalVid> batch;
       batch.reserve(owned.size());
       for (LocalVid l : owned) {
         if (!selector_ || selector_(*graph_, l, step)) batch.push_back(l);
       }
+      schedule_requests_.store(0, std::memory_order_relaxed);
       std::atomic<uint64_t> residual_bits{0};
-      std::atomic<uint64_t> busy_ns{0};
-      ThreadPool::ParallelFor(
-          options_.num_threads, batch.size(), [&](size_t begin, size_t end) {
-            uint64_t cpu0 = Timer::ThreadCpuNanos();
+      this->substrate_.RunBatch(
+          this->options_.num_threads, batch.size(),
+          [&](size_t begin, size_t end) {
+            const uint64_t cpu0 = Timer::ThreadCpuNanos();
             double local_res = 0;
             for (size_t i = begin; i < end; ++i) {
-              local_res += kernel_(*graph_, batch[i], step);
-              graph_->MarkVertexModified(batch[i]);
+              if (kernel_mode) {
+                local_res += kernel_(*graph_, batch[i], step);
+                graph_->MarkVertexModified(batch[i]);
+              } else {
+                this->RunLockedUpdate(graph_, &scope_locks_, batch[i], 1.0);
+              }
+              this->substrate_.CountUpdate();
             }
-            busy_ns.fetch_add(Timer::ThreadCpuNanos() - cpu0,
-                              std::memory_order_relaxed);
+            this->substrate_.AddBusyNanos(Timer::ThreadCpuNanos() - cpu0);
             // Accumulate double via compare-exchange on the bit pattern.
             uint64_t observed =
                 residual_bits.load(std::memory_order_relaxed);
@@ -105,25 +154,53 @@ class BulkSyncEngine {
           });
       result.updates += batch.size();
       result.sweeps += 1;
-      result.busy_seconds +=
-          static_cast<double>(busy_ns.load(std::memory_order_relaxed)) / 1e9;
 
-      // Scatter phase (MPI_Alltoall analogue) + full barrier.
-      graph_->FlushAllOwnedBulk();
+      // Scatter phase (MPI_Alltoall analogue) + full barrier.  Kernel
+      // mode ships vertices in one bulk message per machine pair; the
+      // update-fn surface flushes per scope so edge writes travel too.
+      if (kernel_mode) {
+        graph_->FlushAllOwnedBulk();
+      } else {
+        for (LocalVid l : batch) graph_->FlushVertexScope(l);
+      }
       ctx_.barrier().Wait(ctx_.id);
       ctx_.comm().WaitQuiescent();
       ctx_.barrier().Wait(ctx_.id);
 
-      if (options_.residual_tolerance > 0.0) {
+      // Collective continuation decision.  Kernel mode without a residual
+      // tolerance skips it entirely — the hand-tuned MPI baseline sends
+      // zero control traffic and runs its fixed superstep count (aborts
+      // then only take effect at run end).  The condition is config-
+      // uniform across machines, so the cluster always agrees.  One word
+      // carries the kernel residual (fixed-point) or the schedule-request
+      // count, plus one kAbortUnit per aborted machine so aborts end the
+      // run everywhere.
+      const bool check_residual =
+          kernel_mode && this->options_.residual_tolerance > 0.0;
+      if (!check_residual && kernel_mode) continue;
+      uint64_t word;
+      if (kernel_mode) {
+        // Fixed-point encode the residual, clamped into [0, kPayloadCap]
+        // so huge early-superstep residuals (or a stray negative kernel
+        // return) cannot masquerade as an abort.
         double local = std::bit_cast<double>(
             residual_bits.load(std::memory_order_relaxed));
-        // Fixed-point encode for the integer allreduce.
-        uint64_t encoded = static_cast<uint64_t>(local * 1e6);
-        std::vector<uint64_t> total = allreduce_->Reduce(ctx_.id, {encoded});
-        if (static_cast<double>(total[0]) / 1e6 <
-            options_.residual_tolerance) {
-          break;
-        }
+        double encoded = std::max(0.0, local * 1e6);
+        word = static_cast<uint64_t>(
+            std::min(encoded, static_cast<double>(kPayloadCap)));
+      } else {
+        word = std::min<uint64_t>(
+            schedule_requests_.load(std::memory_order_relaxed), kPayloadCap);
+      }
+      if (this->substrate_.aborted()) word += kAbortUnit;
+      std::vector<uint64_t> continue_totals =
+          allreduce_->Reduce(ctx_.id, {word});
+      if (continue_totals[0] >= kAbortUnit) break;  // someone aborted
+      uint64_t payload = continue_totals[0] & (kAbortUnit - 1);
+      if (!kernel_mode && payload == 0) break;  // no continuation request
+      if (check_residual && static_cast<double>(payload) / 1e6 <
+                                this->options_.residual_tolerance) {
+        break;
       }
     }
 
@@ -132,19 +209,28 @@ class BulkSyncEngine {
         allreduce_->Reduce(ctx_.id, {result.updates});
     result.updates = totals[0];
     result.seconds = timer.Seconds();
+    result.busy_seconds = this->substrate_.busy_seconds() - busy_before;
     rpc::CommStats after = ctx_.comm().GetStats(ctx_.id);
     result.bytes_sent = after.bytes_sent - before.bytes_sent;
     result.messages_sent = after.messages_sent - before.messages_sent;
+    this->last_result_ = result;
+    this->substrate_.EndRun();
     return result;
   }
 
  private:
+  static constexpr uint64_t kAbortUnit = uint64_t{1} << 48;
+  /// Per-machine payloads are capped so that even a 256-machine sum
+  /// cannot carry into the abort bits of the reduced word.
+  static constexpr uint64_t kPayloadCap = (kAbortUnit >> 8) - 1;
+
   rpc::MachineContext ctx_;
   GraphType* graph_;
   SumAllReduce* allreduce_;
-  Options options_;
+  ScopeLockTable scope_locks_;
   Kernel kernel_;
   Selector selector_;
+  std::atomic<uint64_t> schedule_requests_{0};
 };
 
 }  // namespace baselines

@@ -12,59 +12,52 @@
 // as they are made* (FlushVertexScope after each update), making full use
 // of network bandwidth and processor time; a full communication barrier
 // (RPC barrier + channel quiescence + RPC barrier) separates color-steps.
-// Sync operations run between color-steps.
+// Sync operations run between color-steps.  The color-step batches execute
+// on the substrate's self-scheduling batch workers; the engine itself owns
+// no threads.
 //
-// One engine instance lives on each machine; Run() is collective.
+// One engine instance lives on each machine; Start() is collective.
 
 #ifndef GRAPHLAB_ENGINE_CHROMATIC_ENGINE_H_
 #define GRAPHLAB_ENGINE_CHROMATIC_ENGINE_H_
 
 #include <atomic>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graphlab/engine/allreduce.h"
 #include "graphlab/engine/context.h"
+#include "graphlab/engine/execution_substrate.h"
 #include "graphlab/engine/handler_ids.h"
+#include "graphlab/engine/iengine.h"
 #include "graphlab/engine/sync.h"
 #include "graphlab/graph/distributed_graph.h"
 #include "graphlab/rpc/runtime.h"
 #include "graphlab/util/dense_bitset.h"
-#include "graphlab/util/thread_pool.h"
 #include "graphlab/util/timer.h"
 
 namespace graphlab {
 
 template <typename VertexData, typename EdgeData>
-class ChromaticEngine {
+class ChromaticEngine final
+    : public EngineBase<DistributedGraph<VertexData, EdgeData>> {
  public:
   using GraphType = DistributedGraph<VertexData, EdgeData>;
   using ContextType = Context<GraphType>;
-
-  struct Options {
-    ConsistencyModel consistency = ConsistencyModel::kEdgeConsistency;
-    /// Engine worker threads on this machine.
-    size_t num_threads = 2;
-    /// Stop after this many sweeps over all colors (0 = run until the
-    /// cluster-wide task set T empties).
-    uint64_t max_sweeps = 0;
-    /// Run these registered sync operations every `sync_interval_steps`
-    /// color-steps (0 = only explicit RunSyncs).
-    uint64_t sync_interval_steps = 0;
-    std::vector<std::string> sync_keys;
-  };
+  using Base = EngineBase<GraphType>;
+  using Options = EngineOptions;
 
   /// `sync` may be nullptr when no sync ops are used.
   ChromaticEngine(rpc::MachineContext ctx, GraphType* graph,
                   SyncManager<GraphType>* sync, SumAllReduce* allreduce,
-                  Options options)
-      : ctx_(ctx),
+                  EngineOptions options)
+      : Base(std::move(options)),
+        ctx_(ctx),
         graph_(graph),
         sync_(sync),
         allreduce_(allreduce),
-        options_(options),
-        scheduled_(graph->num_local_vertices()),
-        pool_(options.num_threads) {
+        scheduled_(graph->num_local_vertices()) {
     ctx_.comm().RegisterHandler(
         ctx_.id, kScheduleForwardHandler,
         [this](rpc::MachineId, InArchive& ia) {
@@ -77,15 +70,11 @@ class ChromaticEngine {
         });
   }
 
-  void SetUpdateFn(UpdateFn<GraphType> fn) { update_fn_ = std::move(fn); }
-
-  /// Seeds T with every vertex owned by this machine.
-  void ScheduleAllOwned() {
-    for (LocalVid l : graph_->owned_vertices()) ScheduleLocal(l, 1.0);
-  }
+  const char* name() const override { return "chromatic"; }
 
   /// Seeds T with one vertex (owned or ghost; ghosts are forwarded).
-  void ScheduleLocal(LocalVid l, double priority) {
+  void Schedule(LocalVid l, double priority = 1.0) override {
+    if (this->substrate_.aborted()) return;
     if (graph_->is_owned(l)) {
       if (scheduled_.SetBit(l)) pending_.fetch_add(1);
     } else {
@@ -96,13 +85,27 @@ class ChromaticEngine {
     }
   }
 
-  /// Executes the schedule to completion (or max_sweeps).  Collective:
-  /// every machine's engine must call Run() concurrently.
-  RunResult Run() {
-    GL_CHECK(update_fn_) << "no update function";
+  /// Seeds T with every vertex owned by this machine.
+  void ScheduleAll(double priority = 1.0) override {
+    for (LocalVid l : graph_->owned_vertices()) Schedule(l, priority);
+  }
+  void ScheduleAllOwned(double priority = 1.0) { ScheduleAll(priority); }
+
+  /// Executes the schedule to completion (or options().max_sweeps).
+  /// Collective: every machine's engine must call Start() concurrently.
+  /// The cluster-wide continuation decision runs after each sweep, so
+  /// `max_updates` budgets are not supported (pass 0); use max_sweeps to
+  /// bound the run instead.
+  RunResult Start(uint64_t max_updates = 0) override {
+    GL_CHECK(this->update_fn_) << "no update function";
+    GL_CHECK_EQ(max_updates, uint64_t{0})
+        << "chromatic engine runs to collective termination; bound the run "
+           "with EngineOptions::max_sweeps";
     Timer timer;
+    this->substrate_.BeginRun();
     rpc::CommStats before = ctx_.comm().GetStats(ctx_.id);
-    uint64_t executed_total = 0;
+    const double busy_before = this->substrate_.busy_seconds();
+    local_updates_ = 0;
     uint64_t sweeps = 0;
     const ColorId num_colors = graph_->num_colors();
 
@@ -111,56 +114,65 @@ class ChromaticEngine {
 
     for (;;) {
       for (ColorId color = 0; color < num_colors; ++color) {
-        executed_total += RunColorStep(color);
+        RunColorStep(color);
         // Full communication barrier between color-steps: everyone done
         // sending, channels flushed, everyone observed the flush.
         ctx_.barrier().Wait(ctx_.id);
         ctx_.comm().WaitQuiescent();
         ctx_.barrier().Wait(ctx_.id);
-        if (options_.sync_interval_steps != 0 && sync_ != nullptr &&
-            ++steps_since_sync_ >= options_.sync_interval_steps) {
+        if (this->options_.sync_interval_steps != 0 && sync_ != nullptr &&
+            ++steps_since_sync_ >= this->options_.sync_interval_steps) {
           steps_since_sync_ = 0;
-          for (const std::string& key : options_.sync_keys) {
+          for (const std::string& key : this->options_.sync_keys) {
             sync_->RunSyncBlocking(key, ctx_.id);
           }
         }
       }
       ++sweeps;
-      // Cluster-wide continuation decision.
-      std::vector<uint64_t> totals = allreduce_->Reduce(
-          ctx_.id, {pending_.load(std::memory_order_acquire)});
-      if (totals[0] == 0) break;
-      if (options_.max_sweeps != 0 && sweeps >= options_.max_sweeps) break;
+      // Cluster-wide continuation decision; a local abort propagates to
+      // every machine through the high bits of the reduced word so the
+      // cluster breaks out of the sweep loop together.
+      uint64_t word = pending_.load(std::memory_order_acquire);
+      if (this->substrate_.aborted()) word += kAbortUnit;
+      std::vector<uint64_t> totals = allreduce_->Reduce(ctx_.id, {word});
+      if (totals[0] >= kAbortUnit) break;                  // someone aborted
+      if ((totals[0] & (kAbortUnit - 1)) == 0) break;      // T empty
+      if (this->options_.max_sweeps != 0 &&
+          sweeps >= this->options_.max_sweeps) {
+        break;
+      }
     }
 
-    RunResult result;
-    result.updates = CollectTotalUpdates(executed_total);
-    result.seconds = timer.Seconds();
-    result.busy_seconds =
-        static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) / 1e9;
-    result.sweeps = sweeps;
+    this->last_result_ = RunResult{};
+    this->last_result_.updates = CollectTotalUpdates(local_updates_);
+    this->last_result_.seconds = timer.Seconds();
+    this->last_result_.busy_seconds =
+        this->substrate_.busy_seconds() - busy_before;
+    this->last_result_.sweeps = sweeps;
     rpc::CommStats after = ctx_.comm().GetStats(ctx_.id);
-    result.bytes_sent = after.bytes_sent - before.bytes_sent;
-    result.messages_sent = after.messages_sent - before.messages_sent;
-    return result;
+    this->last_result_.bytes_sent = after.bytes_sent - before.bytes_sent;
+    this->last_result_.messages_sent =
+        after.messages_sent - before.messages_sent;
+    this->substrate_.EndRun();
+    return this->last_result_;
   }
 
-  /// Updates executed by this machine in the last Run().
-  uint64_t local_updates() const { return local_updates_; }
+  /// Updates executed by this machine in the last Start().
+  uint64_t local_updates() const override { return local_updates_; }
 
   /// Per-vertex update counters (local ids) — used by the Fig. 1(b)
   /// update-distribution experiment.
-  const std::vector<uint32_t>& update_counts() const {
+  const std::vector<uint32_t>& update_counts() const override {
     return update_counts_;
   }
-  void EnableUpdateCounting() {
+  void EnableUpdateCounting() override {
     update_counts_.assign(graph_->num_local_vertices(), 0);
   }
 
  private:
-  static void ScheduleTrampoline(void* self, LocalVid v, double priority) {
-    static_cast<ChromaticEngine*>(self)->ScheduleLocal(v, priority);
-  }
+  /// Sweeps-with-abort are reduced in one word: low 48 bits carry the
+  /// pending-task count, each aborted machine adds one kAbortUnit.
+  static constexpr uint64_t kAbortUnit = uint64_t{1} << 48;
 
   uint64_t RunColorStep(ColorId color) {
     // Collect scheduled owned vertices of this color.
@@ -175,33 +187,26 @@ class ChromaticEngine {
     }
     if (batch.empty()) return 0;
 
-    // Execute the color-step across the machine's worker threads; ghost
+    // Execute the color-step across the substrate's batch workers; ghost
     // changes stream out asynchronously as each update commits.
-    std::atomic<size_t> cursor{0};
-    size_t n = batch.size();
-    for (size_t t = 0; t < pool_.num_threads(); ++t) {
-      pool_.Submit([&] {
-        for (;;) {
-          size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
-          ExecuteUpdate(batch[i]);
-        }
-      });
-    }
-    pool_.Wait();
-    local_updates_ += n;
-    return n;
+    this->substrate_.RunBatch(
+        this->options_.num_threads, batch.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) ExecuteUpdate(batch[i]);
+        });
+    local_updates_ += batch.size();
+    return batch.size();
   }
 
   void ExecuteUpdate(LocalVid l) {
-    uint64_t cpu0 = Timer::ThreadCpuNanos();
-    ContextType context(graph_, l, 1.0, options_.consistency, this,
-                        &ScheduleTrampoline);
-    update_fn_(context);
+    const uint64_t cpu0 = Timer::ThreadCpuNanos();
+    ContextType context(graph_, l, 1.0, this->options_.consistency,
+                        static_cast<Base*>(this), &Base::ScheduleTrampoline);
+    this->update_fn_(context);
     graph_->FlushVertexScope(l);
     if (!update_counts_.empty()) update_counts_[l]++;
-    busy_ns_.fetch_add(Timer::ThreadCpuNanos() - cpu0,
-                       std::memory_order_relaxed);
+    this->substrate_.CountUpdate();
+    this->substrate_.AddBusyNanos(Timer::ThreadCpuNanos() - cpu0);
   }
 
   uint64_t CollectTotalUpdates(uint64_t local) {
@@ -213,13 +218,9 @@ class ChromaticEngine {
   GraphType* graph_;
   SyncManager<GraphType>* sync_;
   SumAllReduce* allreduce_;
-  Options options_;
-  UpdateFn<GraphType> update_fn_;
 
   DenseBitset scheduled_;
   std::atomic<uint64_t> pending_{0};
-  ThreadPool pool_;
-  std::atomic<uint64_t> busy_ns_{0};
   uint64_t local_updates_ = 0;
   uint64_t steps_since_sync_ = 0;
   std::vector<uint32_t> update_counts_;

@@ -6,25 +6,32 @@
 // Pipelined locking and prefetching: each machine keeps a pipeline of
 // scope-lock requests in flight (Alg. 4).  The local scheduler feeds the
 // pipeline; scopes whose distributed locks complete move to a ready queue
-// consumed by worker threads; after executing the update the worker pushes
-// ghost changes *then* releases the locks (the order the FIFO-channel
-// coherence argument requires).  Termination uses the distributed counting
-// consensus (rpc/termination.h).  Sync operations run continuously in the
-// background.  Snapshots (sync or async Chandy-Lamport) are triggered by
-// the coordinator mid-run (Sec. 4.3).
+// consumed by the substrate's worker loop; after executing the update the
+// worker pushes ghost changes *then* releases the locks (the order the
+// FIFO-channel coherence argument requires).  Termination uses the
+// distributed counting consensus (rpc/termination.h) polled by the
+// coordinator hook running on the substrate's calling thread.  Sync
+// operations run continuously in the background.  Snapshots (sync or
+// async Chandy-Lamport) are triggered by the coordinator mid-run
+// (Sec. 4.3).
 //
-// One engine per machine; Run() is collective.
+// One engine per machine; Start() is collective and single-use:
+// construct a fresh engine per run.
 
 #ifndef GRAPHLAB_ENGINE_LOCKING_ENGINE_H_
 #define GRAPHLAB_ENGINE_LOCKING_ENGINE_H_
 
 #include <atomic>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "graphlab/engine/allreduce.h"
 #include "graphlab/engine/context.h"
+#include "graphlab/engine/execution_substrate.h"
 #include "graphlab/engine/handler_ids.h"
+#include "graphlab/engine/iengine.h"
 #include "graphlab/engine/locking/lock_manager.h"
 #include "graphlab/engine/snapshot.h"
 #include "graphlab/engine/sync.h"
@@ -36,50 +43,33 @@
 
 namespace graphlab {
 
-enum class SnapshotMode { kNone, kSynchronous, kAsynchronous };
-
 template <typename VertexData, typename EdgeData>
-class LockingEngine {
+class LockingEngine final
+    : public EngineBase<DistributedGraph<VertexData, EdgeData>> {
  public:
   using GraphType = DistributedGraph<VertexData, EdgeData>;
   using ContextType = Context<GraphType>;
-
-  struct Options {
-    ConsistencyModel consistency = ConsistencyModel::kEdgeConsistency;
-    size_t num_threads = 2;
-    /// Maximum scope-lock requests in flight (Sec. 4.2.2 pipeline length).
-    /// Clamped to >= 1.
-    size_t max_pipeline_length = 100;
-    std::string scheduler = "priority";
-    /// Background sync cadence in milliseconds (0 = no background syncs).
-    uint64_t sync_interval_ms = 0;
-    std::vector<std::string> sync_keys;
-    /// Record (elapsed seconds, local updates) samples at this cadence for
-    /// the Fig. 4 updates-vs-time curves (0 = off).
-    uint64_t progress_sample_ms = 0;
-    /// Snapshot configuration: fire one snapshot once the cluster-wide
-    /// update estimate crosses `snapshot_trigger_updates`.
-    SnapshotMode snapshot_mode = SnapshotMode::kNone;
-    uint64_t snapshot_trigger_updates = 0;
-    uint32_t snapshot_epoch = 1;
-  };
+  using Base = EngineBase<GraphType>;
+  using Options = EngineOptions;
 
   LockingEngine(rpc::MachineContext ctx, GraphType* graph,
                 SyncManager<GraphType>* sync, SumAllReduce* allreduce,
                 SnapshotManager<VertexData, EdgeData>* snapshot,
-                Options options)
-      : ctx_(ctx),
+                EngineOptions options)
+      : Base(std::move(options)),
+        ctx_(ctx),
         graph_(graph),
         sync_(sync),
         allreduce_(allreduce),
         snapshot_(snapshot),
-        options_(options),
-        lock_manager_(ctx, graph, options.consistency),
-        scheduler_(CreateScheduler(options.scheduler,
-                                   graph->num_local_vertices())),
+        lock_manager_(ctx, graph, this->options_.consistency),
+        scheduler_(
+            this->MakeScheduler(graph->num_local_vertices(), "priority")),
         user_pending_(graph->num_local_vertices()),
         snapshot_pending_(graph->num_local_vertices()) {
-    if (options_.max_pipeline_length == 0) options_.max_pipeline_length = 1;
+    if (this->options_.max_pipeline_length == 0) {
+      this->options_.max_pipeline_length = 1;
+    }
     ctx_.comm().RegisterHandler(
         ctx_.id, kScheduleForwardHandler,
         [this](rpc::MachineId, InArchive& ia) {
@@ -108,32 +98,46 @@ class LockingEngine {
         });
   }
 
-  void SetUpdateFn(UpdateFn<GraphType> fn) { update_fn_ = std::move(fn); }
+  const char* name() const override { return "locking"; }
+
+  /// Schedules a local-or-ghost vertex; ghosts are forwarded.
+  void Schedule(LocalVid l, double priority = 1.0) override {
+    if (this->substrate_.aborted()) return;
+    if (graph_->is_owned(l)) {
+      ScheduleUserLocal(l, priority);
+    } else {
+      ForwardSchedule(l, priority, /*snapshot=*/false);
+    }
+  }
 
   /// Seeds T with every owned vertex at the given priority.
-  void ScheduleAllOwned(double priority = 1.0) {
+  void ScheduleAll(double priority = 1.0) override {
     for (LocalVid l : graph_->owned_vertices()) {
       ScheduleUserLocal(l, priority);
     }
   }
-
-  /// Schedules a local-or-ghost vertex (pre-run seeding or test use).
-  void Schedule(LocalVid l, double priority = 1.0) {
-    ScheduleUser(this, l, priority);
-  }
+  void ScheduleAllOwned(double priority = 1.0) { ScheduleAll(priority); }
 
   /// Runs the engine until global quiescence.  Collective, and single-use:
-  /// construct a fresh engine per run.
-  RunResult Run() {
-    GL_CHECK(update_fn_) << "no update function";
+  /// construct a fresh engine per run.  `max_updates` budgets are not
+  /// supported (the run ends at the distributed termination consensus);
+  /// AbortAndJoin() drains the cluster early instead.
+  RunResult Start(uint64_t max_updates = 0) override {
+    GL_CHECK(this->update_fn_) << "no update function";
+    GL_CHECK_EQ(max_updates, uint64_t{0})
+        << "locking engine runs to the distributed termination consensus";
     Timer timer;
+    // Bracket the whole run — including the collective teardown after the
+    // workers join — so AbortAndJoin() callers cannot observe Start() as
+    // finished while this machine is still inside allreduce/barriers.
+    this->substrate_.BeginRun();
     rpc::CommStats before = ctx_.comm().GetStats(ctx_.id);
-    local_updates_.store(0, std::memory_order_relaxed);
+    const uint64_t updates_at_start = this->substrate_.total_updates();
+    const double busy_before = this->substrate_.busy_seconds();
     progress_.clear();
-    done_local_.store(false, std::memory_order_release);
     if (snapshot_ != nullptr &&
-        options_.snapshot_mode == SnapshotMode::kAsynchronous) {
-      snapshot_->BeginAsyncEpoch(options_.snapshot_epoch);
+        this->options_.snapshot_mode == SnapshotMode::kAsynchronous) {
+      snapshot_->BeginAsyncEpoch(this->options_.snapshot_epoch);
       snapshot_fn_ = snapshot_->MakeSnapshotUpdateFn();
     }
 
@@ -149,52 +153,71 @@ class LockingEngine {
     if (ctx_.id == 0) ctx_.termination().NewRun();
     ctx_.barrier().Wait(ctx_.id);
 
-    // Workers.
-    std::vector<std::thread> workers;
-    for (size_t t = 0; t < options_.num_threads; ++t) {
-      workers.emplace_back([this] { WorkerLoop(); });
-    }
-
-    CoordinatorLoop(timer);
-
-    // Drain a snapshot trigger that raced with the termination verdict so
-    // no machine is left alone at the snapshot barrier.
-    if (sync_snapshot_requested_.exchange(false, std::memory_order_acq_rel)) {
-      PerformSyncSnapshot();
-    }
-
-    done_local_.store(true, std::memory_order_release);
-    ready_.Shutdown();
-    for (auto& w : workers) w.join();
+    // Workers drain the granted-scope queue; the coordinator hook runs on
+    // this thread until the cluster-wide termination verdict.
+    ExecutionSubstrate::WorkerHooks hooks;
+    hooks.exit_on_quiescence = false;
+    hooks.tick = [this] {
+      if (ctx_.comm().StallActive(ctx_.id)) {
+        // Simulated machine fault: freeze like the comm dispatcher does.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return false;
+      }
+      // While paused (synchronous snapshot) the pipeline is not refilled
+      // (TryFillPipeline checks), but already-granted scopes must still
+      // execute so their locks release and the cluster can drain.
+      TryFillPipeline();
+      return true;
+    };
+    hooks.next_task = [this](LocalVid* v, double* priority) {
+      auto task = ready_.PopWithTimeout(std::chrono::microseconds(500));
+      if (!task.has_value()) return false;
+      *v = task->vid;
+      *priority = task->priority;
+      return true;
+    };
+    hooks.execute = [this](LocalVid v, double priority) {
+      ExecuteTask(v, priority);
+      TryFillPipeline();
+    };
+    this->substrate_.RunWorkers(
+        this->options_.num_threads, /*max_updates=*/0, hooks, [this, &timer] {
+          CoordinatorLoop(timer);
+          // Drain a snapshot trigger that raced with the termination
+          // verdict so no machine is left alone at the snapshot barrier.
+          if (sync_snapshot_requested_.exchange(false,
+                                                std::memory_order_acq_rel)) {
+            PerformSyncSnapshot();
+          }
+          ready_.Shutdown();  // unblock the workers' timed pops
+        });
 
     if (snapshot_ != nullptr && snapshot_fired_ &&
-        options_.snapshot_mode == SnapshotMode::kAsynchronous) {
+        this->options_.snapshot_mode == SnapshotMode::kAsynchronous) {
       GL_CHECK_OK(snapshot_->FinishAsync());
     }
 
-    RunResult result;
+    this->last_result_ = RunResult{};
     std::vector<uint64_t> totals = allreduce_->Reduce(
-        ctx_.id, {local_updates_.load(std::memory_order_acquire)});
-    result.updates = totals[0];
-    result.seconds = timer.Seconds();
-    result.busy_seconds =
-        static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) / 1e9;
+        ctx_.id, {this->substrate_.total_updates() - updates_at_start});
+    this->last_result_.updates = totals[0];
+    this->last_result_.seconds = timer.Seconds();
+    this->last_result_.busy_seconds =
+        this->substrate_.busy_seconds() - busy_before;
     rpc::CommStats after = ctx_.comm().GetStats(ctx_.id);
-    result.bytes_sent = after.bytes_sent - before.bytes_sent;
-    result.messages_sent = after.messages_sent - before.messages_sent;
+    this->last_result_.bytes_sent = after.bytes_sent - before.bytes_sent;
+    this->last_result_.messages_sent =
+        after.messages_sent - before.messages_sent;
     // Let in-flight release / push messages land before anyone tears the
     // engine down, then align all machines.
     ctx_.comm().WaitQuiescent();
     ctx_.barrier().Wait(ctx_.id);
-    return result;
+    this->substrate_.EndRun();
+    return this->last_result_;
   }
 
-  uint64_t local_updates() const {
-    return local_updates_.load(std::memory_order_acquire);
-  }
-
-  /// (elapsed seconds, cumulative local updates) samples of the last Run().
-  const std::vector<std::pair<double, uint64_t>>& progress() const {
+  /// (elapsed seconds, cumulative local updates) samples of the last run.
+  const std::vector<std::pair<double, uint64_t>>& progress() const override {
     return progress_;
   }
 
@@ -207,15 +230,6 @@ class LockingEngine {
   // ------------------------------------------------------------------
   // Scheduling
   // ------------------------------------------------------------------
-  static void ScheduleUser(void* self, LocalVid v, double priority) {
-    auto* e = static_cast<LockingEngine*>(self);
-    if (e->graph_->is_owned(v)) {
-      e->ScheduleUserLocal(v, priority);
-    } else {
-      e->ForwardSchedule(v, priority, /*snapshot=*/false);
-    }
-  }
-
   static void ScheduleSnapshot(void* self, LocalVid v, double priority) {
     auto* e = static_cast<LockingEngine*>(self);
     if (e->graph_->is_owned(v)) {
@@ -226,6 +240,7 @@ class LockingEngine {
   }
 
   void ScheduleUserLocal(LocalVid l, double priority) {
+    if (this->substrate_.aborted()) return;
     user_pending_.SetBit(l);
     scheduler_->Schedule(l, priority);
   }
@@ -244,6 +259,11 @@ class LockingEngine {
                      std::move(oa));
   }
 
+  /// Abort: stop feeding the pipeline and drop queued tasks; granted
+  /// scopes still execute and release, so the cluster drains and the
+  /// termination consensus ends the run on every machine.
+  void OnAbort() override { scheduler_->Clear(); }
+
   // ------------------------------------------------------------------
   // Pipeline
   // ------------------------------------------------------------------
@@ -251,7 +271,7 @@ class LockingEngine {
     if (paused_.load(std::memory_order_acquire)) return;
     for (;;) {
       size_t cur = in_pipeline_.load(std::memory_order_acquire);
-      if (cur >= options_.max_pipeline_length) return;
+      if (cur >= this->options_.max_pipeline_length) return;
       if (!in_pipeline_.compare_exchange_weak(cur, cur + 1,
                                               std::memory_order_acq_rel)) {
         continue;
@@ -272,55 +292,33 @@ class LockingEngine {
   bool LocallyIdle() const {
     return scheduler_->Empty() &&
            in_pipeline_.load(std::memory_order_acquire) == 0 &&
-           ready_.Size() == 0 &&
-           executing_.load(std::memory_order_acquire) == 0 &&
+           ready_.Size() == 0 && this->substrate_.active_workers() == 0 &&
            !paused_.load(std::memory_order_acquire);
   }
 
   // ------------------------------------------------------------------
   // Execution
   // ------------------------------------------------------------------
-  void WorkerLoop() {
-    while (!done_local_.load(std::memory_order_acquire)) {
-      if (ctx_.comm().StallActive(ctx_.id)) {
-        // Simulated machine fault: freeze like the comm dispatcher does.
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        continue;
-      }
-      // While paused (synchronous snapshot) the pipeline is not refilled
-      // (TryFillPipeline checks), but already-granted scopes must still
-      // execute so their locks release and the cluster can drain.
-      TryFillPipeline();
-      auto task = ready_.PopWithTimeout(std::chrono::microseconds(500));
-      if (!task.has_value()) continue;
-      executing_.fetch_add(1, std::memory_order_acq_rel);
-      ExecuteTask(task->vid, task->priority);
-      executing_.fetch_sub(1, std::memory_order_acq_rel);
-      TryFillPipeline();
-    }
-  }
-
   void ExecuteTask(LocalVid v, double priority) {
-    uint64_t cpu0 = Timer::ThreadCpuNanos();
+    const uint64_t cpu0 = Timer::ThreadCpuNanos();
     bool run_snapshot = snapshot_pending_.ClearBit(v);
     bool run_user = user_pending_.ClearBit(v);
     if (run_snapshot && snapshot_fn_) {
-      ContextType sctx(graph_, v, kSnapshotPriority, options_.consistency,
-                       this, &ScheduleSnapshot);
+      ContextType sctx(graph_, v, kSnapshotPriority,
+                       this->options_.consistency, this, &ScheduleSnapshot);
       snapshot_fn_(sctx);
     }
     if (run_user) {
-      ContextType uctx(graph_, v, priority, options_.consistency, this,
-                       &ScheduleUser);
-      update_fn_(uctx);
-      local_updates_.fetch_add(1, std::memory_order_acq_rel);
+      ContextType uctx(graph_, v, priority, this->options_.consistency,
+                       static_cast<Base*>(this), &Base::ScheduleTrampoline);
+      this->update_fn_(uctx);
+      this->substrate_.CountUpdate();
     }
     // Push ghost changes *before* releasing locks: the FIFO channels then
     // guarantee every subsequent lock holder observes this write.
     graph_->FlushVertexScope(v);
     lock_manager_.ReleaseScope(v);
-    busy_ns_.fetch_add(Timer::ThreadCpuNanos() - cpu0,
-                       std::memory_order_relaxed);
+    this->substrate_.AddBusyNanos(Timer::ThreadCpuNanos() - cpu0);
   }
 
   // ------------------------------------------------------------------
@@ -332,18 +330,18 @@ class LockingEngine {
     while (!ctx_.termination().Done(ctx_.id)) {
       ctx_.termination().Poll(ctx_.id);
 
-      if (options_.progress_sample_ms != 0 &&
+      if (this->options_.progress_sample_ms != 0 &&
           timer.Seconds() * 1e3 >= next_sample) {
-        next_sample += static_cast<double>(options_.progress_sample_ms);
-        progress_.emplace_back(
-            timer.Seconds(), local_updates_.load(std::memory_order_acquire));
+        next_sample += static_cast<double>(this->options_.progress_sample_ms);
+        progress_.emplace_back(timer.Seconds(),
+                               this->substrate_.total_updates());
       }
 
-      if (sync_ != nullptr && options_.sync_interval_ms != 0 &&
+      if (sync_ != nullptr && this->options_.sync_interval_ms != 0 &&
           since_sync.Millis() >=
-              static_cast<double>(options_.sync_interval_ms)) {
+              static_cast<double>(this->options_.sync_interval_ms)) {
         since_sync.Start();
-        for (const std::string& key : options_.sync_keys) {
+        for (const std::string& key : this->options_.sync_keys) {
           sync_->RunSyncAsync(key, ctx_.id);
         }
       }
@@ -369,16 +367,16 @@ class LockingEngine {
 
   void MaybeTriggerSnapshot() {
     if (ctx_.id != 0 || snapshot_fired_ ||
-        options_.snapshot_mode == SnapshotMode::kNone ||
+        this->options_.snapshot_mode == SnapshotMode::kNone ||
         snapshot_ == nullptr) {
       return;
     }
-    uint64_t estimate = local_updates_.load(std::memory_order_acquire) *
-                        ctx_.num_machines();
-    if (estimate < options_.snapshot_trigger_updates) return;
+    uint64_t estimate =
+        this->substrate_.total_updates() * ctx_.num_machines();
+    if (estimate < this->options_.snapshot_trigger_updates) return;
     snapshot_fired_ = true;
     uint8_t mode =
-        options_.snapshot_mode == SnapshotMode::kSynchronous ? 1 : 2;
+        this->options_.snapshot_mode == SnapshotMode::kSynchronous ? 1 : 2;
     for (rpc::MachineId dst = 0; dst < ctx_.num_machines(); ++dst) {
       OutArchive oa;
       oa << mode;
@@ -393,13 +391,13 @@ class LockingEngine {
     paused_.store(true, std::memory_order_release);
     while (!(in_pipeline_.load(std::memory_order_acquire) == 0 &&
              ready_.Size() == 0 &&
-             executing_.load(std::memory_order_acquire) == 0)) {
+             this->substrate_.active_workers() == 0)) {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
     ctx_.barrier().Wait(ctx_.id);
     ctx_.comm().WaitQuiescent();
     ctx_.barrier().Wait(ctx_.id);
-    GL_CHECK_OK(snapshot_->WriteSyncSnapshot(options_.snapshot_epoch));
+    GL_CHECK_OK(snapshot_->WriteSyncSnapshot(this->options_.snapshot_epoch));
     ctx_.barrier().Wait(ctx_.id);
     paused_.store(false, std::memory_order_release);
   }
@@ -409,23 +407,17 @@ class LockingEngine {
   SyncManager<GraphType>* sync_;
   SumAllReduce* allreduce_;
   SnapshotManager<VertexData, EdgeData>* snapshot_;
-  Options options_;
 
   DistributedLockManager<VertexData, EdgeData> lock_manager_;
   std::unique_ptr<IScheduler> scheduler_;
   DenseBitset user_pending_;
   DenseBitset snapshot_pending_;
-  UpdateFn<GraphType> update_fn_;
   UpdateFn<GraphType> snapshot_fn_;
 
   BlockingQueue<Task> ready_;
   std::atomic<size_t> in_pipeline_{0};
-  std::atomic<uint64_t> executing_{0};
-  std::atomic<uint64_t> busy_ns_{0};
-  std::atomic<uint64_t> local_updates_{0};
   std::atomic<uint64_t> tasks_sent_{0};
   std::atomic<uint64_t> tasks_received_{0};
-  std::atomic<bool> done_local_{false};
   std::atomic<bool> paused_{false};
   std::atomic<bool> sync_snapshot_requested_{false};
   std::atomic<bool> async_snapshot_requested_{false};

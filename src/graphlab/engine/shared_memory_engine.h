@@ -1,10 +1,11 @@
 // Copyright 2026 The Distributed GraphLab Reproduction Authors.
 //
 // SharedMemoryEngine: the original multicore GraphLab engine [24] that
-// Distributed GraphLab extends.  It executes the Alg. 2 loop over a
-// LocalGraph with a pool of worker threads, enforcing the chosen
-// consistency model with per-vertex shared_mutex scope locking in the
-// canonical ascending-vertex order.
+// Distributed GraphLab extends.  A thin strategy over the execution
+// substrate: the substrate's worker loop drains this engine's scheduler
+// and the substrate's scope-lock table enforces the chosen consistency
+// model in the canonical ascending-vertex order; the engine contributes
+// only the policy glue.
 //
 // Used by the Fig. 1 motivation experiments (async vs sync convergence,
 // dynamic update-count distribution, serializable vs racing ALS — the
@@ -14,14 +15,13 @@
 #ifndef GRAPHLAB_ENGINE_SHARED_MEMORY_ENGINE_H_
 #define GRAPHLAB_ENGINE_SHARED_MEMORY_ENGINE_H_
 
-#include <atomic>
 #include <memory>
-#include <shared_mutex>
-#include <string>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "graphlab/engine/context.h"
+#include "graphlab/engine/execution_substrate.h"
+#include "graphlab/engine/iengine.h"
 #include "graphlab/graph/local_graph.h"
 #include "graphlab/scheduler/scheduler.h"
 #include "graphlab/util/timer.h"
@@ -29,170 +29,87 @@
 namespace graphlab {
 
 template <typename VertexData, typename EdgeData>
-class SharedMemoryEngine {
+class SharedMemoryEngine final : public EngineBase<LocalGraph<VertexData, EdgeData>> {
  public:
   using GraphType = LocalGraph<VertexData, EdgeData>;
   using ContextType = Context<GraphType>;
+  using Base = EngineBase<GraphType>;
+  using Options = EngineOptions;
 
-  struct Options {
-    ConsistencyModel consistency = ConsistencyModel::kEdgeConsistency;
-    size_t num_threads = 4;
-    std::string scheduler = "fifo";
-    /// When false, no scope locks are taken: the racing / non-serializable
-    /// execution of Fig. 1(d).  Only use with race-tolerant vertex data.
-    bool enforce_consistency = true;
-  };
-
-  SharedMemoryEngine(GraphType* graph, Options options)
-      : graph_(graph),
-        options_(options),
-        scheduler_(
-            CreateScheduler(options.scheduler, graph->num_vertices())),
-        locks_(graph->num_vertices()) {
+  SharedMemoryEngine(GraphType* graph, EngineOptions options)
+      : Base(std::move(options)),
+        graph_(graph),
+        scheduler_(this->MakeScheduler(graph->num_vertices(), "fifo")),
+        scope_locks_(graph->num_vertices()) {
     GL_CHECK(graph->finalized());
   }
 
-  void SetUpdateFn(UpdateFn<GraphType> fn) { update_fn_ = std::move(fn); }
+  const char* name() const override { return "shared_memory"; }
 
-  void Schedule(VertexId v, double priority = 1.0) {
+  void Schedule(LocalVid v, double priority = 1.0) override {
+    if (this->substrate_.aborted()) return;
     scheduler_->Schedule(v, priority);
   }
-  void ScheduleAll(double priority = 1.0) {
+  void ScheduleAll(double priority = 1.0) override {
     for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
-      scheduler_->Schedule(v, priority);
+      Schedule(v, priority);
     }
   }
 
   /// Tracks per-vertex update counts (Fig. 1(b)).
-  void EnableUpdateCounting() {
+  void EnableUpdateCounting() override {
     update_counts_.assign(graph_->num_vertices(), 0);
   }
-  const std::vector<uint32_t>& update_counts() const {
+  const std::vector<uint32_t>& update_counts() const override {
     return update_counts_;
   }
 
   /// Executes until the task set empties or `max_updates` additional
   /// updates have run (0 = unlimited).  The schedule survives across
   /// calls, so convergence curves can be sampled by running in slices.
-  RunResult Run(uint64_t max_updates = 0) {
-    GL_CHECK(update_fn_) << "no update function";
+  RunResult Start(uint64_t max_updates = 0) override {
+    GL_CHECK(this->update_fn_) << "no update function";
     Timer timer;
-    uint64_t start_updates = total_updates_.load(std::memory_order_acquire);
-    uint64_t budget = max_updates == 0 ? ~uint64_t{0}
-                                       : start_updates + max_updates;
-    stop_.store(false, std::memory_order_release);
-    active_.store(0, std::memory_order_release);
+    const double busy_before = this->substrate_.busy_seconds();
 
-    std::vector<std::thread> workers;
-    for (size_t t = 0; t < options_.num_threads; ++t) {
-      workers.emplace_back([this, budget] { WorkerLoop(budget); });
-    }
-    for (auto& w : workers) w.join();
+    ExecutionSubstrate::WorkerHooks hooks;
+    hooks.next_task = [this](LocalVid* v, double* priority) {
+      return scheduler_->GetNext(v, priority);
+    };
+    hooks.execute = [this](LocalVid v, double priority) {
+      ExecuteUpdate(v, priority);
+    };
+    hooks.locally_idle = [this] { return scheduler_->Empty(); };
+    uint64_t ran = this->substrate_.RunWorkers(this->options_.num_threads,
+                                               max_updates, hooks);
 
-    RunResult result;
-    result.updates =
-        total_updates_.load(std::memory_order_acquire) - start_updates;
-    result.seconds = timer.Seconds();
-    return result;
-  }
-
-  uint64_t total_updates() const {
-    return total_updates_.load(std::memory_order_acquire);
+    this->last_result_ = RunResult{};
+    this->last_result_.updates = ran;
+    this->last_result_.seconds = timer.Seconds();
+    this->last_result_.busy_seconds =
+        this->substrate_.busy_seconds() - busy_before;
+    return this->last_result_;
   }
 
   bool ScheduleEmpty() const { return scheduler_->Empty(); }
 
  private:
-  static void ScheduleTrampoline(void* self, LocalVid v, double priority) {
-    static_cast<SharedMemoryEngine*>(self)->scheduler_->Schedule(v, priority);
-  }
-
-  void WorkerLoop(uint64_t budget) {
-    int idle_spins = 0;
-    for (;;) {
-      if (stop_.load(std::memory_order_acquire)) return;
-      if (total_updates_.load(std::memory_order_acquire) >= budget) {
-        stop_.store(true, std::memory_order_release);
-        return;
-      }
-      LocalVid v;
-      double priority;
-      if (!scheduler_->GetNext(&v, &priority)) {
-        // Empty now; terminate once no worker is mid-update (a running
-        // update may still schedule more work).
-        if (active_.load(std::memory_order_acquire) == 0 &&
-            scheduler_->Empty()) {
-          if (++idle_spins > 3) return;
-        }
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-        continue;
-      }
-      idle_spins = 0;
-      active_.fetch_add(1, std::memory_order_acq_rel);
-      ExecuteUpdate(v, priority);
-      active_.fetch_sub(1, std::memory_order_acq_rel);
-    }
-  }
+  void OnAbort() override { scheduler_->Clear(); }
 
   void ExecuteUpdate(LocalVid v, double priority) {
-    std::vector<std::pair<VertexId, bool>> lock_set;
-    if (options_.enforce_consistency) {
-      lock_set = LockSet(v);
-      for (auto [u, exclusive] : lock_set) {
-        if (exclusive) {
-          locks_[u].lock();
-        } else {
-          locks_[u].lock_shared();
-        }
+    const uint64_t cpu0 = Timer::ThreadCpuNanos();
+    this->RunLockedUpdate(graph_, &scope_locks_, v, priority, [this, v] {
+      if (!update_counts_.empty()) {
+        update_counts_[v]++;  // guarded by the central write lock
       }
-    }
-    ContextType ctx(graph_, v, priority, options_.consistency, this,
-                    &ScheduleTrampoline);
-    update_fn_(ctx);
-    if (!update_counts_.empty()) {
-      update_counts_[v]++;  // guarded by the central write lock
-    }
-    if (options_.enforce_consistency) {
-      for (auto it = lock_set.rbegin(); it != lock_set.rend(); ++it) {
-        if (it->second) {
-          locks_[it->first].unlock();
-        } else {
-          locks_[it->first].unlock_shared();
-        }
-      }
-    }
-    total_updates_.fetch_add(1, std::memory_order_acq_rel);
-  }
-
-  /// Scope lock set in ascending vertex order (deadlock-free canonical
-  /// ordering, Sec. 4.2.2 applied to the single machine case).
-  std::vector<std::pair<VertexId, bool>> LockSet(VertexId v) const {
-    std::vector<std::pair<VertexId, bool>> set;
-    switch (options_.consistency) {
-      case ConsistencyModel::kVertexConsistency:
-        set.emplace_back(v, true);
-        break;
-      case ConsistencyModel::kEdgeConsistency:
-      case ConsistencyModel::kFullConsistency: {
-        bool excl = options_.consistency == ConsistencyModel::kFullConsistency;
-        set.emplace_back(v, true);
-        for (VertexId n : graph_->neighbors(v)) set.emplace_back(n, excl);
-        std::sort(set.begin(), set.end());
-        break;
-      }
-    }
-    return set;
+    });
+    this->substrate_.CountUpdate();
+    this->substrate_.AddBusyNanos(Timer::ThreadCpuNanos() - cpu0);
   }
 
   GraphType* graph_;
-  Options options_;
   std::unique_ptr<IScheduler> scheduler_;
-  std::vector<std::shared_mutex> locks_;
-  UpdateFn<GraphType> update_fn_;
-
-  std::atomic<uint64_t> total_updates_{0};
-  std::atomic<uint32_t> active_{0};
-  std::atomic<bool> stop_{false};
+  ScopeLockTable scope_locks_;
   std::vector<uint32_t> update_counts_;
 };
 

@@ -27,9 +27,15 @@
 #include "graphlab/graph/local_graph.h"
 #include "graphlab/graph/partition.h"
 
-// Engines + sync + snapshots.
+// Engine concept, shared execution substrate, factory, strategies,
+// sync + snapshots.
+#include "graphlab/baselines/bsp_engine.h"
+#include "graphlab/baselines/bulk_sync_engine.h"
 #include "graphlab/engine/chromatic_engine.h"
 #include "graphlab/engine/context.h"
+#include "graphlab/engine/engine_factory.h"
+#include "graphlab/engine/execution_substrate.h"
+#include "graphlab/engine/iengine.h"
 #include "graphlab/engine/locking_engine.h"
 #include "graphlab/engine/shared_memory_engine.h"
 #include "graphlab/engine/snapshot.h"

@@ -3,20 +3,31 @@
 #include "graphlab/scheduler/fifo_scheduler.h"
 #include "graphlab/scheduler/priority_scheduler.h"
 #include "graphlab/scheduler/sweep_scheduler.h"
-#include "graphlab/util/logging.h"
 
 namespace graphlab {
 
-std::unique_ptr<IScheduler> CreateScheduler(const std::string& name,
-                                            size_t num_vertices) {
-  if (name == "fifo") return std::make_unique<FifoScheduler>(num_vertices);
-  if (name == "sweep") return std::make_unique<SweepScheduler>(num_vertices);
-  if (name == "priority") {
-    return std::make_unique<PriorityScheduler>(num_vertices);
+Expected<std::unique_ptr<IScheduler>> CreateScheduler(
+    const std::string& name, size_t num_vertices) {
+  if (name == "fifo") {
+    return std::unique_ptr<IScheduler>(
+        std::make_unique<FifoScheduler>(num_vertices));
   }
-  GL_LOG(FATAL) << "unknown scheduler: " << name
-                << " (expected fifo|sweep|priority)";
-  return nullptr;
+  if (name == "sweep") {
+    return std::unique_ptr<IScheduler>(
+        std::make_unique<SweepScheduler>(num_vertices));
+  }
+  if (name == "priority") {
+    return std::unique_ptr<IScheduler>(
+        std::make_unique<PriorityScheduler>(num_vertices));
+  }
+  return Status::InvalidArgument("unknown scheduler: " + name +
+                                 " (expected fifo|sweep|priority)");
+}
+
+const std::vector<std::string>& KnownSchedulerNames() {
+  static const std::vector<std::string> kNames = {"fifo", "sweep",
+                                                  "priority"};
+  return kNames;
 }
 
 }  // namespace graphlab

@@ -18,8 +18,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "graphlab/graph/types.h"
+#include "graphlab/util/status.h"
 
 namespace graphlab {
 
@@ -51,8 +53,14 @@ class IScheduler {
 
 /// Factory: "fifo", "sweep" or "priority".  `num_vertices` is the local
 /// vertex count (owned + ghost; only owned ids are ever scheduled).
-std::unique_ptr<IScheduler> CreateScheduler(const std::string& name,
-                                            size_t num_vertices);
+/// Unknown names return InvalidArgument so callers can surface bad config
+/// instead of aborting.  An EngineOptions-routed overload lives in
+/// engine/iengine.h.
+Expected<std::unique_ptr<IScheduler>> CreateScheduler(
+    const std::string& name, size_t num_vertices);
+
+/// Scheduler names CreateScheduler accepts, for error messages and CLIs.
+const std::vector<std::string>& KnownSchedulerNames();
 
 }  // namespace graphlab
 

@@ -9,8 +9,7 @@
 #include "graphlab/apps/coseg.h"
 #include "graphlab/apps/linalg.h"
 #include "graphlab/apps/loopy_bp.h"
-#include "graphlab/engine/locking_engine.h"
-#include "graphlab/engine/shared_memory_engine.h"
+#include "graphlab/engine/engine_factory.h"
 #include "graphlab/graph/partition.h"
 #include "graphlab/rpc/runtime.h"
 
@@ -99,12 +98,10 @@ TEST(AlsTest, TrainingReducesRmse) {
   auto g = apps::BuildAlsGraph(p, 8);
   double rmse_before = apps::AlsRmse(g, /*test=*/false);
 
-  SharedMemoryEngine<apps::AlsVertex, apps::AlsEdge>::Options opts;
+  EngineOptions opts;
   opts.num_threads = 4;
-  SharedMemoryEngine<apps::AlsVertex, apps::AlsEdge> engine(&g, opts);
-  engine.SetUpdateFn(apps::MakeAlsUpdateFn<apps::AlsGraph>(0.05, 1e-3));
-  engine.ScheduleAll();
-  engine.Run();
+  ASSERT_TRUE(
+      apps::SolveAls(&g, "shared_memory", opts, 0.05, 1e-3).ok());
 
   double rmse_after = apps::AlsRmse(g, /*test=*/false);
   EXPECT_LT(rmse_after, rmse_before * 0.5)
@@ -119,13 +116,13 @@ TEST(AlsTest, SerializableBeatsRacingStability) {
   auto p = SmallAls();
   auto run = [&](bool enforce) {
     auto g = apps::BuildAlsGraph(p, 8);
-    SharedMemoryEngine<apps::AlsVertex, apps::AlsEdge>::Options opts;
+    EngineOptions opts;
     opts.num_threads = 8;  // more threads = more racing
     opts.enforce_consistency = enforce;
-    SharedMemoryEngine<apps::AlsVertex, apps::AlsEdge> engine(&g, opts);
-    engine.SetUpdateFn(apps::MakeAlsUpdateFn<apps::AlsGraph>(0.05, 1e-4));
-    engine.ScheduleAll();
-    engine.Run(/*max_updates=*/4000);
+    auto engine = std::move(CreateEngine("shared_memory", &g, opts).value());
+    engine->SetUpdateFn(apps::MakeAlsUpdateFn<apps::AlsGraph>(0.05, 1e-4));
+    engine->ScheduleAll();
+    engine->Start(/*max_updates=*/4000);
     return apps::AlsRmse(g, false);
   };
   double serializable = run(true);
@@ -153,13 +150,13 @@ TEST(LoopyBpTest, BeliefsSharpenTowardEvidence) {
   auto structure = gen::Grid2D(20, 20);
   auto g = apps::BuildMrf(structure, 2, /*noise=*/0.1,
                           /*evidence_strength=*/1.5, 17);
-  SharedMemoryEngine<apps::BpVertex, apps::BpEdge>::Options opts;
+  EngineOptions opts;
   opts.num_threads = 4;
-  SharedMemoryEngine<apps::BpVertex, apps::BpEdge> engine(&g, opts);
-  engine.SetUpdateFn(
+  auto engine = std::move(CreateEngine("shared_memory", &g, opts).value());
+  engine->SetUpdateFn(
       apps::MakeBpUpdateFn<apps::BpGraph>(apps::PottsPotential{1.0}, 1e-4));
-  engine.ScheduleAll();
-  RunResult r = engine.Run();
+  engine->ScheduleAll();
+  RunResult r = engine->Start();
   EXPECT_GT(r.updates, 400u);
   // Smoothing should push most beliefs away from uniform.
   size_t confident = 0;
@@ -174,14 +171,14 @@ TEST(LoopyBpTest, DynamicSchedulingDoesFewerUpdates) {
   auto structure = gen::Grid2D(25, 25);
   auto run = [&](const char* sched, double tol) {
     auto g = apps::BuildMrf(structure, 2, 0.15, 1.5, 18);
-    SharedMemoryEngine<apps::BpVertex, apps::BpEdge>::Options opts;
+    EngineOptions opts;
     opts.num_threads = 2;
     opts.scheduler = sched;
-    SharedMemoryEngine<apps::BpVertex, apps::BpEdge> engine(&g, opts);
-    engine.SetUpdateFn(
+    auto engine = std::move(CreateEngine("shared_memory", &g, opts).value());
+    engine->SetUpdateFn(
         apps::MakeBpUpdateFn<apps::BpGraph>(apps::PottsPotential{1.0}, tol));
-    engine.ScheduleAll();
-    return engine.Run().updates;
+    engine->ScheduleAll();
+    return engine->Start().updates;
   };
   // Residual-prioritized converges in fewer updates than plain FIFO at the
   // same tolerance (the Fig. 1(c) story).
@@ -194,13 +191,13 @@ TEST(LoopyBpTest, DynamicSchedulingDoesFewerUpdates) {
 TEST(LoopyBpTest, SweepVariantRunsExactIterations) {
   auto structure = gen::Grid2D(10, 10);
   auto g = apps::BuildMrf(structure, 2, 0.1, 1.0, 19);
-  SharedMemoryEngine<apps::BpVertex, apps::BpEdge>::Options opts;
+  EngineOptions opts;
   opts.num_threads = 2;
-  SharedMemoryEngine<apps::BpVertex, apps::BpEdge> engine(&g, opts);
-  engine.SetUpdateFn(apps::MakeBpSweepUpdateFn<apps::BpGraph>(
+  auto engine = std::move(CreateEngine("shared_memory", &g, opts).value());
+  engine->SetUpdateFn(apps::MakeBpSweepUpdateFn<apps::BpGraph>(
       apps::PottsPotential{1.0}, /*iterations=*/5));
-  engine.ScheduleAll();
-  RunResult r = engine.Run();
+  engine->ScheduleAll();
+  RunResult r = engine->Start();
   EXPECT_EQ(r.updates, 100u * 5);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     EXPECT_EQ(g.vertex_data(v).updates_done, 5u);
@@ -219,12 +216,12 @@ TEST(CoemTest, PropagationReducesEntropy) {
   auto g = apps::BuildCoemGraph(p);
   double entropy_before = apps::CoemEntropy(g);
 
-  SharedMemoryEngine<apps::CoemVertex, apps::CoemEdge>::Options opts;
+  EngineOptions opts;
   opts.num_threads = 4;
-  SharedMemoryEngine<apps::CoemVertex, apps::CoemEdge> engine(&g, opts);
-  engine.SetUpdateFn(apps::MakeCoemUpdateFn<apps::CoemGraph>(1e-3));
-  engine.ScheduleAll();
-  RunResult r = engine.Run();
+  auto engine = std::move(CreateEngine("shared_memory", &g, opts).value());
+  engine->SetUpdateFn(apps::MakeCoemUpdateFn<apps::CoemGraph>(1e-3));
+  engine->ScheduleAll();
+  RunResult r = engine->Start();
   EXPECT_GT(r.updates, p.num_noun_phrases);
   EXPECT_LT(apps::CoemEntropy(g), entropy_before)
       << "label propagation should concentrate type distributions";
@@ -247,11 +244,7 @@ TEST(CoemTest, SeedsStayFixed) {
   }
   ASSERT_GT(seeds.size(), 10u);
 
-  SharedMemoryEngine<apps::CoemVertex, apps::CoemEdge>::Options opts;
-  SharedMemoryEngine<apps::CoemVertex, apps::CoemEdge> engine(&g, opts);
-  engine.SetUpdateFn(apps::MakeCoemUpdateFn<apps::CoemGraph>(1e-3));
-  engine.ScheduleAll();
-  engine.Run();
+  ASSERT_TRUE(apps::SolveCoem(&g, "shared_memory").ok());
   for (size_t i = 0; i < seeds.size(); ++i) {
     EXPECT_EQ(g.vertex_data(seeds[i]).types, seed_dists[i]);
   }
@@ -294,20 +287,22 @@ TEST(CosegTest, DistributedEmWithSyncProducesCoherentSegmentation) {
     // Prime the GMM once so update functions see finite parameters.
     sync.RunSyncBlocking("gmm", ctx.id);
 
-    LockingEngine<apps::CosegVertex, apps::CosegEdge>::Options opts;
+    EngineOptions opts;
     opts.num_threads = 2;
     opts.scheduler = "priority";
     opts.max_pipeline_length = 64;
     opts.sync_interval_ms = 20;  // background GMM refresh
     opts.sync_keys = {"gmm"};
-    LockingEngine<apps::CosegVertex, apps::CosegEdge> engine(
-        ctx, &graph, &sync, &allreduce, nullptr, opts);
+    DistributedEngineDeps<apps::CosegVertex, apps::CosegEdge> deps;
+    deps.allreduce = &allreduce;
+    deps.sync = &sync;
     rpc::MachineId me = ctx.id;
-    engine.SetUpdateFn(apps::MakeCosegUpdateFn<Graph>(
+    auto run = apps::SolveCoseg<Graph>(
+        "locking", ctx, &graph, deps, opts,
         [&sync, me] { return sync.Get<apps::GmmParams>("gmm", me); },
-        apps::PottsPotential{1.5}, 1e-2, /*max_updates_per_vertex=*/10));
-    engine.ScheduleAllOwned();
-    RunResult r = engine.Run();
+        apps::PottsPotential{1.5}, 1e-2, /*max_updates_per_vertex=*/10);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    RunResult r = *run;
     if (ctx.id == 0) {
       EXPECT_GT(r.updates, structure.num_vertices);
     }

@@ -32,12 +32,12 @@ TEST(BspEngineTest, PageRankConvergesToExact) {
   auto g = apps::BuildPageRankGraph(structure);
   auto exact = apps::ExactPageRank(g);
 
-  baselines::BspEngine<PageRankVertex, PageRankEdge>::Options opts;
+  EngineOptions opts;
   opts.num_threads = 4;
   baselines::BspEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
   engine.SetStepFn(apps::MakePageRankBspStep(0.85, 1e-9));
   engine.ActivateAll();
-  RunResult r = engine.Run(/*max_supersteps=*/200);
+  RunResult r = engine.RunSupersteps(/*max_supersteps=*/200);
   EXPECT_GT(r.sweeps, 10u);
   EXPECT_LT(apps::PageRankL1Error(g, exact), 1e-3);
 }
@@ -47,11 +47,11 @@ TEST(BspEngineTest, InactiveVerticesSkipSupersteps) {
   // reactivates, so exactly one update runs.
   auto structure = gen::Grid2D(5, 5);
   auto g = apps::BuildPageRankGraph(structure);
-  baselines::BspEngine<PageRankVertex, PageRankEdge>::Options opts;
-  baselines::BspEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
+  baselines::BspEngine<PageRankVertex, PageRankEdge> engine(&g,
+                                                             EngineOptions{});
   engine.SetStepFn(apps::MakePageRankBspStep(0.85, /*tolerance=*/100.0));
   engine.Activate(12);
-  RunResult r = engine.Run(10);
+  RunResult r = engine.RunSupersteps(10);
   EXPECT_EQ(r.updates, 1u);
   EXPECT_EQ(r.sweeps, 1u);
 }
@@ -66,12 +66,12 @@ TEST(BspEngineTest, SupersteppedValuesUsePreviousIteration) {
   g.Finalize();
   g.vertex_data(0).rank = 1.0;
   g.vertex_data(1).rank = 3.0;
-  baselines::BspEngine<PageRankVertex, PageRankEdge>::Options opts;
-  opts.num_threads = 2;
-  baselines::BspEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
+  EngineOptions bsp_opts;
+  bsp_opts.num_threads = 2;
+  baselines::BspEngine<PageRankVertex, PageRankEdge> engine(&g, bsp_opts);
   engine.SetStepFn(apps::MakePageRankBspStep(0.85, 1e9));
   engine.ActivateAll();
-  engine.Run(1);
+  engine.RunSupersteps(1);
   // rank0 = 0.15 + 0.85*3 ; rank1 = 0.15 + 0.85*1 (from prev values).
   EXPECT_NEAR(g.vertex_data(0).rank, 0.15 + 0.85 * 3.0, 1e-12);
   EXPECT_NEAR(g.vertex_data(1).rank, 0.15 + 0.85 * 1.0, 1e-12);
@@ -110,9 +110,9 @@ TEST(BulkSyncEngineTest, DistributedAlsReducesRmse) {
                                     ctx.id, &ctx.comm())
                     .ok());
     ctx.barrier().Wait(ctx.id);
-    baselines::BulkSyncEngine<AlsVertex, AlsEdge>::Options opts;
+    EngineOptions opts;
     opts.num_threads = 2;
-    opts.max_supersteps = 10;
+    opts.max_sweeps = 10;
     baselines::BulkSyncEngine<AlsVertex, AlsEdge> engine(ctx, &graph,
                                                          &allreduce, opts);
     // ALS alternation: users on even supersteps, movies on odd.
@@ -131,7 +131,7 @@ TEST(BulkSyncEngineTest, DistributedAlsReducesRmse) {
       apps::StoreFactors(solution, &g.vertex_data(l).factors);
       return apps::L2Distance(solution, old);
     });
-    RunResult r = engine.Run();
+    RunResult r = engine.Start();
     if (ctx.id == 0) EXPECT_EQ(r.sweeps, 10u);
   });
 
@@ -166,9 +166,9 @@ TEST(BulkSyncEngineTest, ResidualToleranceStopsEarly) {
                                     ctx.id, &ctx.comm())
                     .ok());
     ctx.barrier().Wait(ctx.id);
-    baselines::BulkSyncEngine<PageRankVertex, PageRankEdge>::Options opts;
+    EngineOptions opts;
     opts.num_threads = 1;
-    opts.max_supersteps = 500;
+    opts.max_sweeps = 500;
     opts.residual_tolerance = 1e-3;
     baselines::BulkSyncEngine<PageRankVertex, PageRankEdge> engine(
         ctx, &graph, &allreduce, opts);
@@ -182,7 +182,7 @@ TEST(BulkSyncEngineTest, ResidualToleranceStopsEarly) {
       g.vertex_data(l).rank = next;
       return residual;
     });
-    RunResult r = engine.Run();
+    RunResult r = engine.Start();
     if (ctx.id == 0) sweeps.store(r.sweeps);
   });
   EXPECT_GE(sweeps.load(), 2u);

@@ -1,7 +1,8 @@
 // Integration tests for the execution engines: shared-memory, chromatic,
 // locking — all running PageRank to convergence and checked against the
-// exact power-iteration solution; plus scheduler unit tests, consistency
-// model enforcement, and the sync operation.
+// exact power-iteration solution; plus scheduler unit tests, the
+// CreateEngine/CreateScheduler factories' error paths, consistency model
+// enforcement, and the sync operation.
 
 #include <gtest/gtest.h>
 
@@ -9,8 +10,7 @@
 
 #include "graphlab/apps/pagerank.h"
 #include "graphlab/engine/allreduce.h"
-#include "graphlab/engine/chromatic_engine.h"
-#include "graphlab/engine/locking_engine.h"
+#include "graphlab/engine/engine_factory.h"
 #include "graphlab/engine/shared_memory_engine.h"
 #include "graphlab/engine/sync.h"
 #include "graphlab/graph/coloring.h"
@@ -44,7 +44,7 @@ rpc::ClusterOptions TestCluster(size_t machines, uint64_t latency_us = 0) {
 class SchedulerParamTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(SchedulerParamTest, SetSemantics) {
-  auto sched = CreateScheduler(GetParam(), 100);
+  auto sched = std::move(CreateScheduler(GetParam(), 100).value());
   sched->Schedule(5, 1.0);
   sched->Schedule(5, 2.0);  // duplicate collapses
   sched->Schedule(9, 1.0);
@@ -58,7 +58,7 @@ TEST_P(SchedulerParamTest, SetSemantics) {
 }
 
 TEST_P(SchedulerParamTest, EveryScheduledVertexEventuallyPops) {
-  auto sched = CreateScheduler(GetParam(), 1000);
+  auto sched = std::move(CreateScheduler(GetParam(), 1000).value());
   for (LocalVid v = 0; v < 1000; v += 3) sched->Schedule(v, 1.0);
   std::set<LocalVid> seen;
   LocalVid v;
@@ -68,7 +68,7 @@ TEST_P(SchedulerParamTest, EveryScheduledVertexEventuallyPops) {
 }
 
 TEST_P(SchedulerParamTest, ClearEmpties) {
-  auto sched = CreateScheduler(GetParam(), 10);
+  auto sched = std::move(CreateScheduler(GetParam(), 10).value());
   sched->Schedule(1, 1.0);
   sched->Clear();
   EXPECT_TRUE(sched->Empty());
@@ -78,7 +78,7 @@ TEST_P(SchedulerParamTest, ClearEmpties) {
 }
 
 TEST_P(SchedulerParamTest, RescheduleAfterPopWorks) {
-  auto sched = CreateScheduler(GetParam(), 10);
+  auto sched = std::move(CreateScheduler(GetParam(), 10).value());
   sched->Schedule(3, 1.0);
   LocalVid v;
   double p;
@@ -91,8 +91,23 @@ TEST_P(SchedulerParamTest, RescheduleAfterPopWorks) {
 INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerParamTest,
                          ::testing::Values("fifo", "sweep", "priority"));
 
+TEST(SchedulerFactoryTest, UnknownNameReturnsInvalidArgument) {
+  auto sched = CreateScheduler("no-such-scheduler", 10);
+  ASSERT_FALSE(sched.ok());
+  EXPECT_EQ(sched.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(sched.status().message().find("no-such-scheduler"),
+            std::string::npos);
+}
+
+TEST(SchedulerFactoryTest, RoutesThroughEngineOptions) {
+  EngineOptions options;
+  options.scheduler = "priority";
+  auto sched = std::move(CreateScheduler(options, 10).value());
+  EXPECT_STREQ(sched->name(), "priority");
+}
+
 TEST(PrioritySchedulerTest, PopsHighestFirst) {
-  auto sched = CreateScheduler("priority", 10);
+  auto sched = std::move(CreateScheduler("priority", 10).value());
   sched->Schedule(1, 1.0);
   sched->Schedule(2, 5.0);
   sched->Schedule(3, 3.0);
@@ -106,7 +121,7 @@ TEST(PrioritySchedulerTest, PopsHighestFirst) {
 }
 
 TEST(PrioritySchedulerTest, MergeKeepsMaxPriority) {
-  auto sched = CreateScheduler("priority", 10);
+  auto sched = std::move(CreateScheduler("priority", 10).value());
   sched->Schedule(1, 2.0);
   sched->Schedule(1, 7.0);
   sched->Schedule(2, 5.0);
@@ -118,7 +133,46 @@ TEST(PrioritySchedulerTest, MergeKeepsMaxPriority) {
 }
 
 // ---------------------------------------------------------------------
-// Shared-memory engine
+// Engine factory error paths
+// ---------------------------------------------------------------------
+
+TEST(EngineFactoryTest, UnknownLocalEngineReturnsInvalidArgument) {
+  auto structure = gen::Grid2D(3, 3);
+  auto g = BuildPageRankGraph(structure);
+  auto engine = CreateEngine("no-such-engine", &g, EngineOptions{});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineFactoryTest, BadSchedulerNameSurfacesAsStatus) {
+  auto structure = gen::Grid2D(3, 3);
+  auto g = BuildPageRankGraph(structure);
+  EngineOptions options;
+  options.scheduler = "no-such-scheduler";
+  auto engine = CreateEngine("shared_memory", &g, options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineFactoryTest, ZeroThreadsRejected) {
+  auto structure = gen::Grid2D(3, 3);
+  auto g = BuildPageRankGraph(structure);
+  EngineOptions options;
+  options.num_threads = 0;
+  auto engine = CreateEngine("shared_memory", &g, options);
+  ASSERT_FALSE(engine.ok());
+}
+
+TEST(EngineFactoryTest, UnfinalizedGraphRejected) {
+  apps::PageRankGraph g;
+  g.AddVertices(4);
+  auto engine = CreateEngine("shared_memory", &g, EngineOptions{});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Shared-memory engine (selected through the factory)
 // ---------------------------------------------------------------------
 
 TEST(SharedMemoryEngineTest, PageRankConvergesToExact) {
@@ -126,15 +180,17 @@ TEST(SharedMemoryEngineTest, PageRankConvergesToExact) {
   auto g = BuildPageRankGraph(structure);
   auto exact = ExactPageRank(g);
 
-  SharedMemoryEngine<PageRankVertex, PageRankEdge>::Options opts;
+  EngineOptions opts;
   opts.num_threads = 4;
   opts.scheduler = "fifo";
-  SharedMemoryEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
-  engine.SetUpdateFn(
-      MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-9));
-  engine.ScheduleAll();
-  RunResult result = engine.Run();
+  auto engine = std::move(CreateEngine("shared_memory", &g, opts).value());
+  EXPECT_STREQ(engine->name(), "shared_memory");
+  engine->SetUpdateFn(MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-9));
+  engine->ScheduleAll();
+  RunResult result = engine->Start();
   EXPECT_GT(result.updates, structure.num_vertices);
+  EXPECT_EQ(engine->last_result().updates, result.updates);
+  EXPECT_EQ(engine->metrics().updates, result.updates);
   EXPECT_LT(apps::PageRankL1Error(g, exact), 1e-3);
 }
 
@@ -143,12 +199,12 @@ TEST(SharedMemoryEngineTest, DynamicDoesFewerUpdatesThanUniform) {
 
   auto run_with_tol = [&](double tol) {
     auto g = BuildPageRankGraph(structure);
-    SharedMemoryEngine<PageRankVertex, PageRankEdge>::Options opts;
+    EngineOptions opts;
     opts.num_threads = 2;
-    SharedMemoryEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
-    engine.SetUpdateFn(MakePageRankUpdateFn<apps::PageRankGraph>(0.85, tol));
-    engine.ScheduleAll();
-    return engine.Run().updates;
+    auto engine = std::move(CreateEngine("shared_memory", &g, opts).value());
+    engine->SetUpdateFn(MakePageRankUpdateFn<apps::PageRankGraph>(0.85, tol));
+    engine->ScheduleAll();
+    return engine->Start().updates;
   };
   // Tight tolerance does strictly more updates than loose tolerance.
   EXPECT_GT(run_with_tol(1e-8), run_with_tol(1e-2));
@@ -157,32 +213,78 @@ TEST(SharedMemoryEngineTest, DynamicDoesFewerUpdatesThanUniform) {
 TEST(SharedMemoryEngineTest, UpdateCountingWorks) {
   auto structure = gen::PowerLawWeb(500, 4, 0.8, 13);
   auto g = BuildPageRankGraph(structure);
-  SharedMemoryEngine<PageRankVertex, PageRankEdge>::Options opts;
-  SharedMemoryEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
-  engine.EnableUpdateCounting();
-  engine.SetUpdateFn(MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-4));
-  engine.ScheduleAll();
-  RunResult r = engine.Run();
+  auto engine =
+      std::move(CreateEngine("shared_memory", &g, EngineOptions{}).value());
+  engine->EnableUpdateCounting();
+  engine->SetUpdateFn(MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-4));
+  engine->ScheduleAll();
+  RunResult r = engine->Start();
   uint64_t counted = 0;
-  for (uint32_t c : engine.update_counts()) counted += c;
+  for (uint32_t c : engine->update_counts()) counted += c;
   EXPECT_EQ(counted, r.updates);
   // Every vertex ran at least once.
-  for (uint32_t c : engine.update_counts()) EXPECT_GE(c, 1u);
+  for (uint32_t c : engine->update_counts()) EXPECT_GE(c, 1u);
 }
 
 TEST(SharedMemoryEngineTest, MaxUpdatesSlicesRun) {
+  // Direct construction (the factory is a convenience, not a requirement)
+  // plus the slicing path of Start().
   auto structure = gen::PowerLawWeb(500, 4, 0.8, 14);
   auto g = BuildPageRankGraph(structure);
-  SharedMemoryEngine<PageRankVertex, PageRankEdge>::Options opts;
+  EngineOptions opts;
   opts.num_threads = 1;
   SharedMemoryEngine<PageRankVertex, PageRankEdge> engine(&g, opts);
   engine.SetUpdateFn(MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-9));
   engine.ScheduleAll();
-  RunResult slice = engine.Run(/*max_updates=*/100);
+  RunResult slice = engine.Start(/*max_updates=*/100);
   EXPECT_LE(slice.updates, 110u);  // small overshoot from in-flight updates
   EXPECT_FALSE(engine.ScheduleEmpty());
-  engine.Run();  // drain to convergence
+  engine.Start();  // drain to convergence
   EXPECT_TRUE(engine.ScheduleEmpty());
+}
+
+TEST(SharedMemoryEngineTest, AbortAndJoinDrainsAndStops) {
+  auto structure = gen::PowerLawWeb(2000, 6, 0.8, 15);
+  auto g = BuildPageRankGraph(structure);
+  EngineOptions opts;
+  opts.num_threads = 2;
+  auto engine = std::move(CreateEngine("shared_memory", &g, opts).value());
+  // An update function that keeps rescheduling itself forever.
+  engine->SetUpdateFn([](Context<apps::PageRankGraph>& ctx) {
+    ctx.ScheduleSelf(1.0);
+  });
+  engine->ScheduleAll();
+  std::thread aborter([&engine] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    engine->AbortAndJoin();
+  });
+  RunResult r = engine->Start();
+  aborter.join();
+  EXPECT_TRUE(engine->aborted());
+  EXPECT_GT(r.updates, 0u);
+  // Aborted engines drop new schedules and run nothing further.
+  engine->ScheduleAll();
+  EXPECT_EQ(engine->Start().updates, 0u);
+}
+
+TEST(SharedMemoryEngineTest, AbortFromInsideUpdateFunctionReturns) {
+  // An update function may abort its own engine (e.g. on detecting
+  // convergence); the call must flag-and-return, not self-join.
+  auto structure = gen::PowerLawWeb(500, 4, 0.8, 16);
+  auto g = BuildPageRankGraph(structure);
+  EngineOptions opts;
+  opts.num_threads = 2;
+  auto engine = std::move(CreateEngine("shared_memory", &g, opts).value());
+  std::atomic<uint64_t> executed{0};
+  IEngine<apps::PageRankGraph>* raw = engine.get();
+  engine->SetUpdateFn([&executed, raw](Context<apps::PageRankGraph>& ctx) {
+    ctx.ScheduleSelf(1.0);  // would run forever without the abort
+    if (executed.fetch_add(1) == 200) raw->AbortAndJoin();
+  });
+  engine->ScheduleAll();
+  RunResult r = engine->Start();  // must return, not deadlock
+  EXPECT_TRUE(engine->aborted());
+  EXPECT_GT(r.updates, 200u);
 }
 
 // ---------------------------------------------------------------------
@@ -219,27 +321,17 @@ DistributedPageRankResult RunDistributedPageRank(const std::string& kind,
                                     ctx.id, &ctx.comm())
                     .ok());
     ctx.barrier().Wait(ctx.id);
-    auto update = MakePageRankUpdateFn<DPRGraph>(0.85, 1e-7);
-    RunResult result;
-    if (kind == "chromatic") {
-      ChromaticEngine<PageRankVertex, PageRankEdge>::Options opts;
-      opts.num_threads = 2;
-      ChromaticEngine<PageRankVertex, PageRankEdge> engine(
-          ctx, &graph, nullptr, &allreduce, opts);
-      engine.SetUpdateFn(update);
-      engine.ScheduleAllOwned();
-      result = engine.Run();
-    } else {
-      LockingEngine<PageRankVertex, PageRankEdge>::Options opts;
-      opts.num_threads = 2;
-      opts.max_pipeline_length = 64;
-      opts.scheduler = "fifo";
-      LockingEngine<PageRankVertex, PageRankEdge> engine(
-          ctx, &graph, nullptr, &allreduce, nullptr, opts);
-      engine.SetUpdateFn(update);
-      engine.ScheduleAllOwned();
-      result = engine.Run();
-    }
+    EngineOptions opts;
+    opts.num_threads = 2;
+    opts.max_pipeline_length = 64;
+    opts.scheduler = "fifo";
+    DistributedEngineDeps<PageRankVertex, PageRankEdge> deps;
+    deps.allreduce = &allreduce;
+    auto engine =
+        std::move(CreateEngine(kind, ctx, &graph, opts, deps).value());
+    engine->SetUpdateFn(MakePageRankUpdateFn<DPRGraph>(0.85, 1e-7));
+    engine->ScheduleAll();
+    RunResult result = engine->Start();
     if (ctx.id == 0) total_updates.store(result.updates);
   });
 
@@ -308,15 +400,17 @@ TEST(LockingEngineTest, DeepPipelineStillCorrect) {
                                     ctx.id, &ctx.comm())
                     .ok());
     ctx.barrier().Wait(ctx.id);
-    LockingEngine<PageRankVertex, PageRankEdge>::Options opts;
+    EngineOptions opts;
     opts.num_threads = 2;
     opts.max_pipeline_length = 2000;
     opts.scheduler = "priority";
-    LockingEngine<PageRankVertex, PageRankEdge> engine(
-        ctx, &graph, nullptr, &allreduce, nullptr, opts);
-    engine.SetUpdateFn(MakePageRankUpdateFn<DPRGraph>(0.85, 1e-7));
-    engine.ScheduleAllOwned();
-    engine.Run();
+    DistributedEngineDeps<PageRankVertex, PageRankEdge> deps;
+    deps.allreduce = &allreduce;
+    auto engine =
+        std::move(CreateEngine("locking", ctx, &graph, opts, deps).value());
+    engine->SetUpdateFn(MakePageRankUpdateFn<DPRGraph>(0.85, 1e-7));
+    engine->ScheduleAll();
+    engine->Start();
   });
   double err = 0;
   for (auto& graph : graphs) {

@@ -17,9 +17,8 @@
 
 #include "graphlab/apps/pagerank.h"
 #include "graphlab/engine/allreduce.h"
-#include "graphlab/engine/chromatic_engine.h"
+#include "graphlab/engine/engine_factory.h"
 #include "graphlab/engine/locking/lock_table.h"
-#include "graphlab/engine/locking_engine.h"
 #include "graphlab/graph/atom.h"
 #include "graphlab/graph/coloring.h"
 #include "graphlab/graph/generators.h"
@@ -78,25 +77,17 @@ TEST_P(EngineEquivalence, PageRankFixedPointIndependentOfDeployment) {
                     .ok());
     ctx.barrier().Wait(ctx.id);
     auto update = apps::MakePageRankUpdateFn<DGraph>(0.85, 1e-7);
-    if (std::string(c.engine) == "locking") {
-      LockingEngine<PageRankVertex, PageRankEdge>::Options eo;
-      eo.num_threads = 2;
-      eo.max_pipeline_length = 64;
-      eo.scheduler = "fifo";
-      LockingEngine<PageRankVertex, PageRankEdge> engine(
-          ctx, &graph, nullptr, &allreduce, nullptr, eo);
-      engine.SetUpdateFn(update);
-      engine.ScheduleAllOwned();
-      engine.Run();
-    } else {
-      ChromaticEngine<PageRankVertex, PageRankEdge>::Options eo;
-      eo.num_threads = 2;
-      ChromaticEngine<PageRankVertex, PageRankEdge> engine(
-          ctx, &graph, nullptr, &allreduce, eo);
-      engine.SetUpdateFn(update);
-      engine.ScheduleAllOwned();
-      engine.Run();
-    }
+    EngineOptions eo;
+    eo.num_threads = 2;
+    eo.max_pipeline_length = 64;
+    eo.scheduler = "fifo";
+    DistributedEngineDeps<PageRankVertex, PageRankEdge> deps;
+    deps.allreduce = &allreduce;
+    auto engine =
+        std::move(CreateEngine(c.engine, ctx, &graph, eo, deps).value());
+    engine->SetUpdateFn(update);
+    engine->ScheduleAll();
+    engine->Start();
   });
 
   double err = 0;

@@ -8,7 +8,7 @@
 
 #include "graphlab/apps/pagerank.h"
 #include "graphlab/engine/allreduce.h"
-#include "graphlab/engine/locking_engine.h"
+#include "graphlab/engine/engine_factory.h"
 #include "graphlab/engine/snapshot.h"
 #include "graphlab/graph/coloring.h"
 #include "graphlab/graph/generators.h"
@@ -77,17 +77,20 @@ SnapRun RunWithSnapshot(const std::string& dir, SnapshotMode mode,
                     .ok());
     SnapshotManager<PageRankVertex, PageRankEdge> snapshot(ctx, &graph, dir);
     ctx.barrier().Wait(ctx.id);
-    LockingEngine<PageRankVertex, PageRankEdge>::Options opts;
+    EngineOptions opts;
     opts.num_threads = 2;
     opts.scheduler = "fifo";
     opts.max_pipeline_length = 32;
     opts.snapshot_mode = mode;
     opts.snapshot_trigger_updates = mode == SnapshotMode::kNone ? 0 : 200;
-    LockingEngine<PageRankVertex, PageRankEdge> engine(
-        ctx, &graph, nullptr, &allreduce, &snapshot, opts);
-    engine.SetUpdateFn(MakePageRankUpdateFn<DPRGraph>(0.85, 1e-7));
-    engine.ScheduleAllOwned();
-    RunResult r = engine.Run();
+    DistributedEngineDeps<PageRankVertex, PageRankEdge> deps;
+    deps.allreduce = &allreduce;
+    deps.snapshot = &snapshot;
+    auto engine =
+        std::move(CreateEngine("locking", ctx, &graph, opts, deps).value());
+    engine->SetUpdateFn(MakePageRankUpdateFn<DPRGraph>(0.85, 1e-7));
+    engine->ScheduleAll();
+    RunResult r = engine->Start();
     if (ctx.id == 0) updates.store(r.updates);
   });
 
