@@ -1,0 +1,155 @@
+// Measures what the GAS abstraction costs over a handwritten update
+// function, and what the gather delta cache refunds.
+//
+//  E1  PageRank: classic update fn vs compiled GAS program (cache off /
+//      on) — per-update CPU cost and total update count to convergence,
+//      plus cache hit rate and delta traffic.  PageRank's gather is one
+//      multiply-add per in-edge, so this is the worst case for GAS
+//      dispatch overhead and a mild case for the cache.
+//  E2  Loopy BP (K states): the gather folds K-vector message products,
+//      so a cache hit saves real work; reports the same table.
+//  E3  Cache hit rate vs re-execution pressure: dynamic PageRank at
+//      decreasing tolerances (more re-executions per vertex) to show the
+//      hit rate climbing as vertices re-run against unchanged regions.
+//
+// Usage: ./bench_gas_overhead [--vertices=20000] [--threads=2]
+//                             [--engine=shared_memory] [--help]
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "graphlab/apps/loopy_bp.h"
+#include "graphlab/apps/pagerank.h"
+#include "graphlab/engine/engine_factory.h"
+#include "graphlab/util/options.h"
+#include "graphlab/vertex_program/gas_compiler.h"
+
+namespace graphlab {
+namespace {
+
+struct Row {
+  const char* variant;
+  RunResult run;
+  GasStats gas;     // zeroed for the classic row
+  bool has_gas = false;
+};
+
+void PrintRow(const Row& r) {
+  std::printf("%-22s %10llu %9.3f %12.3f", r.variant,
+              static_cast<unsigned long long>(r.run.updates), r.run.seconds,
+              r.run.updates == 0
+                  ? 0.0
+                  : 1e6 * r.run.busy_seconds / r.run.updates);
+  if (r.has_gas) {
+    std::printf(" %9.1f%% %12llu\n", 100.0 * r.gas.cache_hit_rate(),
+                static_cast<unsigned long long>(r.gas.cache.deltas_applied));
+  } else {
+    std::printf(" %10s %12s\n", "-", "-");
+  }
+}
+
+void PrintTableHeader() {
+  std::printf("%-22s %10s %9s %12s %10s %12s\n", "variant", "updates",
+              "wall_s", "us/update", "hit_rate", "deltas");
+}
+
+void E1PageRank(uint64_t n, size_t threads, const std::string& engine) {
+  bench::PrintHeader("GAS overhead, PageRank (engine=" + engine + ")");
+  auto web = gen::PowerLawWeb(n, 8, 0.85, 1);
+  EngineOptions eo;
+  eo.num_threads = threads;
+  PrintTableHeader();
+
+  {
+    auto g = apps::BuildPageRankGraph(web);
+    auto r = apps::SolvePageRank(&g, engine, eo, 0.85, 1e-6);
+    GL_CHECK_OK(r.status());
+    PrintRow({"classic update fn", r.value(), {}, false});
+  }
+  for (bool cache : {false, true}) {
+    auto g = apps::BuildPageRankGraph(web);
+    EngineOptions gas_eo = eo;
+    gas_eo.gather_cache = cache;
+    GasStats stats;
+    auto r = apps::SolveGasPageRank(&g, engine, gas_eo, 0.85, 1e-6, &stats);
+    GL_CHECK_OK(r.status());
+    PrintRow({cache ? "gas (delta cache)" : "gas (no cache)", r.value(),
+              stats, true});
+  }
+}
+
+void E2LoopyBp(uint64_t side, size_t threads, const std::string& engine) {
+  bench::PrintHeader("GAS overhead, loopy BP on a " +
+                     std::to_string(side) + "x" + std::to_string(side) +
+                     " grid, 5 states (engine=" + engine + ")");
+  auto structure = gen::Grid2D(side, side);
+  EngineOptions eo;
+  eo.num_threads = threads;
+  apps::PottsPotential psi{1.5};
+  PrintTableHeader();
+
+  {
+    auto g = apps::BuildMrf(structure, 5, 0.15, 1.2, 7);
+    auto r = apps::SolveBp(&g, engine, eo, psi, 1e-5);
+    GL_CHECK_OK(r.status());
+    PrintRow({"classic update fn", r.value(), {}, false});
+  }
+  for (bool cache : {false, true}) {
+    auto g = apps::BuildMrf(structure, 5, 0.15, 1.2, 7);
+    EngineOptions gas_eo = eo;
+    gas_eo.gather_cache = cache;
+    GasStats stats;
+    auto r = apps::SolveGasBp(&g, engine, gas_eo, psi, 1e-5, &stats);
+    GL_CHECK_OK(r.status());
+    PrintRow({cache ? "gas (delta cache)" : "gas (no cache)", r.value(),
+              stats, true});
+  }
+}
+
+void E3HitRateVsPressure(uint64_t n, size_t threads,
+                         const std::string& engine) {
+  bench::PrintHeader(
+      "delta-cache hit rate vs re-execution pressure (GAS PageRank)");
+  auto web = gen::PowerLawWeb(n, 8, 0.85, 1);
+  std::printf("tolerance,updates,updates_per_vertex,hit_rate,deltas\n");
+  for (double tol : {1e-4, 1e-6, 1e-8, 1e-10}) {
+    auto g = apps::BuildPageRankGraph(web);
+    EngineOptions eo;
+    eo.num_threads = threads;
+    eo.gather_cache = true;
+    GasStats stats;
+    auto r = apps::SolveGasPageRank(&g, engine, eo, 0.85, tol, &stats);
+    GL_CHECK_OK(r.status());
+    std::printf("%.0e,%llu,%.1f,%.3f,%llu\n", tol,
+                static_cast<unsigned long long>(r.value().updates),
+                static_cast<double>(r.value().updates) / n,
+                stats.cache_hit_rate(),
+                static_cast<unsigned long long>(stats.cache.deltas_applied));
+  }
+}
+
+}  // namespace
+}  // namespace graphlab
+
+int main(int argc, char** argv) {
+  graphlab::OptionMap opts;
+  opts.ParseArgs(argc, argv);
+  if (opts.Has("help")) {
+    std::printf(
+        "GAS-vs-handwritten overhead bench.\n"
+        "  --vertices=N   PageRank graph size (default 20000)\n"
+        "  --threads=T    engine workers      (default 2)\n"
+        "  --engine=NAME  strategy: %s        (default shared_memory)\n",
+        graphlab::JoinNames(graphlab::ListLocalEngineNames()).c_str());
+    return 0;
+  }
+  const uint64_t n = opts.GetInt("vertices", 20000);
+  const size_t threads = opts.GetInt("threads", 2);
+  const std::string engine = opts.GetString("engine", "shared_memory");
+
+  graphlab::E1PageRank(n, threads, engine);
+  graphlab::E2LoopyBp(60, threads, engine);
+  graphlab::E3HitRateVsPressure(n, threads, engine);
+  return 0;
+}

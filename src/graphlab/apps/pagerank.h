@@ -18,6 +18,7 @@
 #include "graphlab/engine/context.h"
 #include "graphlab/graph/local_graph.h"
 #include "graphlab/util/serialization.h"
+#include "graphlab/vertex_program/gas_compiler.h"
 
 namespace graphlab {
 namespace apps {
@@ -76,6 +77,62 @@ UpdateFn<Graph> MakePageRankUpdateFn(double damping = 0.85,
       }
     }
   };
+}
+
+/// PageRank in gather-apply-scatter form (the same math as Alg. 1,
+/// factored for the GAS compiler): gather sums weighted in-neighbor
+/// ranks, apply damps, scatter pushes the rank change to the
+/// out-neighbors — as a cache delta always (keeping their cached gather
+/// totals exact) and as a scheduler signal only past `tolerance`.
+template <typename Graph>
+struct PageRankProgram : public IVertexProgram<Graph, double> {
+  using context_type = GasContext<Graph, double>;
+
+  double damping = 0.85;
+  double tolerance = 1e-3;
+
+  double gather(const context_type& ctx, LocalEid e) const {
+    return ctx.const_edge_data(e).weight *
+           ctx.neighbor_data(ctx.edge_source(e)).rank;
+  }
+
+  void apply(context_type& ctx, const double& total) {
+    const double new_rank = (1.0 - damping) + damping * total;
+    rank_change_ = new_rank - ctx.const_vertex_data().rank;
+    ctx.vertex_data().rank = new_rank;
+  }
+
+  void scatter(context_type& ctx, LocalEid e) {
+    const LocalVid target = ctx.edge_target(e);
+    ctx.PostDelta(target, ctx.const_edge_data(e).weight * rank_change_);
+    const double residual = std::fabs(rank_change_);
+    if (residual > tolerance) ctx.Signal(target, residual);
+  }
+
+ private:
+  double rank_change_ = 0.0;  // apply -> scatter (per-update copy)
+};
+
+/// Engine-agnostic GAS entry point, the vertex-program twin of
+/// SolvePageRank.  `stats_out` (optional) receives the compiled
+/// program's gather/cache counters.
+inline Expected<RunResult> SolveGasPageRank(PageRankGraph* graph,
+                                            const std::string& engine_name,
+                                            EngineOptions options = {},
+                                            double damping = 0.85,
+                                            double tolerance = 1e-6,
+                                            GasStats* stats_out = nullptr) {
+  auto engine = CreateEngine(engine_name, graph, options);
+  if (!engine.ok()) return engine.status();
+  PageRankProgram<PageRankGraph> program;
+  program.damping = damping;
+  program.tolerance = tolerance;
+  auto compiled = CompileVertexProgram(graph, options, program);
+  (*engine)->SetUpdateFn(compiled.update_fn());
+  (*engine)->ScheduleAll();
+  auto result = (*engine)->Start();
+  if (stats_out != nullptr) *stats_out = compiled.stats();
+  return result;
 }
 
 /// The synchronous (Pregel-style) step function for the BSP baseline:

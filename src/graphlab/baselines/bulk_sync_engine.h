@@ -155,6 +155,12 @@ class BulkSyncEngine final
       result.updates += batch.size();
       result.sweeps += 1;
 
+      // Close the compute phase cluster-wide before anyone transmits:
+      // pushes are applied by the dispatch thread without scope locks,
+      // so one may not land while another machine's workers still read
+      // ghosts (the MPI_Alltoall this models is just as synchronizing).
+      ctx_.barrier().Wait(ctx_.id);
+
       // Scatter phase (MPI_Alltoall analogue) + full barrier.  Kernel
       // mode ships vertices in one bulk message per machine pair; the
       // update-fn surface flushes per scope so edge writes travel too.

@@ -37,20 +37,35 @@
 #include "graphlab/graph/distributed_graph.h"
 #include "graphlab/graph/local_graph.h"
 #include "graphlab/rpc/runtime.h"
+#include "graphlab/scheduler/scheduler.h"
+#include "graphlab/util/options.h"
 #include "graphlab/util/status.h"
 
 namespace graphlab {
 
 /// Engine names accepted by the local CreateEngine overload.
-inline const std::vector<std::string>& KnownLocalEngineNames() {
+inline const std::vector<std::string>& ListLocalEngineNames() {
   static const std::vector<std::string> kNames = {"shared_memory", "bsp"};
   return kNames;
 }
 
 /// Engine names accepted by the distributed CreateEngine overload.
-inline const std::vector<std::string>& KnownDistributedEngineNames() {
+inline const std::vector<std::string>& ListDistributedEngineNames() {
   static const std::vector<std::string> kNames = {"chromatic", "locking",
                                                   "bulk_sync"};
+  return kNames;
+}
+
+/// Every execution strategy CreateEngine knows, local then distributed —
+/// the single source of truth for --help text, unknown-name errors, and
+/// all-engine sweeps (tests, benches).
+inline const std::vector<std::string>& ListEngineNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names = ListLocalEngineNames();
+    const auto& dist = ListDistributedEngineNames();
+    names.insert(names.end(), dist.begin(), dist.end());
+    return names;
+  }();
   return kNames;
 }
 
@@ -64,24 +79,15 @@ inline Status ValidateEngineOptions(const EngineOptions& options) {
   // suffices — constructing a scheduler here would allocate per-vertex
   // state twice.  Empty means "strategy default", always valid.
   if (!options.scheduler.empty()) {
-    const auto& names = KnownSchedulerNames();
+    const auto& names = ListSchedulerNames();
     if (std::find(names.begin(), names.end(), options.scheduler) ==
         names.end()) {
       return Status::InvalidArgument("unknown scheduler: " +
-                                     options.scheduler +
-                                     " (expected fifo|sweep|priority)");
+                                     options.scheduler + " (expected " +
+                                     JoinedSchedulerNames() + ")");
     }
   }
   return Status::OK();
-}
-
-inline std::string JoinNames(const std::vector<std::string>& names) {
-  std::string out;
-  for (const std::string& n : names) {
-    if (!out.empty()) out += "|";
-    out += n;
-  }
-  return out;
 }
 }  // namespace detail
 
@@ -117,7 +123,7 @@ CreateEngine(const std::string& name,
   }
   return Status::InvalidArgument(
       "unknown local engine: " + name + " (expected " +
-      detail::JoinNames(KnownLocalEngineNames()) + ")");
+      JoinNames(ListLocalEngineNames()) + ")");
 }
 
 /// Creates this machine's member of a distributed engine.  Collective:
@@ -153,7 +159,7 @@ CreateEngine(const std::string& name, rpc::MachineContext ctx,
   }
   return Status::InvalidArgument(
       "unknown distributed engine: " + name + " (expected " +
-      detail::JoinNames(KnownDistributedEngineNames()) + ")");
+      JoinNames(ListDistributedEngineNames()) + ")");
 }
 
 }  // namespace graphlab

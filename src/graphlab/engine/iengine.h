@@ -72,6 +72,13 @@ struct EngineOptions {
   /// (bulk_sync kernel mode).
   double residual_tolerance = 0.0;
 
+  /// Enables the per-vertex gather delta cache of the GAS runtime
+  /// (consumed by CompileVertexProgram, not by the engines themselves):
+  /// scatter-side PostDelta() keeps cached gather totals fresh so
+  /// repeated updates skip their gather loop.  Ignored by classic update
+  /// functions.  See vertex_program/gas_compiler.h.
+  bool gather_cache = false;
+
   /// Background sync cadence in milliseconds (locking; 0 = off).
   uint64_t sync_interval_ms = 0;
   /// Sync cadence in color-steps (chromatic; 0 = off).

@@ -24,6 +24,7 @@
 #define GRAPHLAB_GRAPH_DISTRIBUTED_GRAPH_H_
 
 #include <algorithm>
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -277,6 +278,18 @@ class DistributedGraph {
   uint64_t pushes_sent() const { return pushes_sent_; }
   uint64_t pushes_skipped() const { return pushes_skipped_; }
 
+  /// Registers callbacks fired (from the comm dispatch thread) whenever a
+  /// coherence push actually overwrites a local replica — the hook layers
+  /// above use to invalidate derived per-vertex state (the GAS gather
+  /// delta cache, see vertex_program/gas_compiler.h).  Replaces any
+  /// previous listener; pass empty functions to clear.  Callbacks must be
+  /// thread-safe against concurrently running update functions.
+  void SetCoherenceListener(std::function<void(LocalVid)> on_vertex,
+                            std::function<void(LocalEid)> on_edge) {
+    on_remote_vertex_ = std::move(on_vertex);
+    on_remote_edge_ = std::move(on_edge);
+  }
+
   /// Applies one batched ghost push (runs on the dispatch thread).
   void ApplyDataPush(InArchive& ia) {
     while (!ia.AtEnd()) {
@@ -292,6 +305,7 @@ class DistributedGraph {
         if (version > vr.version) {
           vr.data = std::move(data);
           vr.version = version;
+          if (on_remote_vertex_) on_remote_vertex_(l);
         }
       } else {
         VertexId gsrc = ia.ReadValue<VertexId>();
@@ -307,6 +321,7 @@ class DistributedGraph {
           // Keep flushed in sync so this machine does not re-push data it
           // merely received.
           er.flushed_version = version;
+          if (on_remote_edge_) on_remote_edge_(e);
         }
       }
     }
@@ -515,6 +530,11 @@ class DistributedGraph {
 
   std::atomic<uint64_t> pushes_sent_{0};
   std::atomic<uint64_t> pushes_skipped_{0};
+
+  // Coherence listener (set before Start(); fired from the dispatch
+  // thread while it holds no graph locks).
+  std::function<void(LocalVid)> on_remote_vertex_;
+  std::function<void(LocalEid)> on_remote_edge_;
 };
 
 }  // namespace graphlab

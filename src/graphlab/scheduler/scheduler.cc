@@ -3,6 +3,7 @@
 #include "graphlab/scheduler/fifo_scheduler.h"
 #include "graphlab/scheduler/priority_scheduler.h"
 #include "graphlab/scheduler/sweep_scheduler.h"
+#include "graphlab/util/options.h"
 
 namespace graphlab {
 
@@ -21,13 +22,16 @@ Expected<std::unique_ptr<IScheduler>> CreateScheduler(
         std::make_unique<PriorityScheduler>(num_vertices));
   }
   return Status::InvalidArgument("unknown scheduler: " + name +
-                                 " (expected fifo|sweep|priority)");
+                                 " (expected " + JoinedSchedulerNames() +
+                                 ")");
 }
 
-const std::vector<std::string>& KnownSchedulerNames() {
+const std::vector<std::string>& ListSchedulerNames() {
   static const std::vector<std::string> kNames = {"fifo", "sweep",
                                                   "priority"};
   return kNames;
 }
+
+std::string JoinedSchedulerNames() { return JoinNames(ListSchedulerNames()); }
 
 }  // namespace graphlab

@@ -59,8 +59,14 @@ class IScheduler {
 Expected<std::unique_ptr<IScheduler>> CreateScheduler(
     const std::string& name, size_t num_vertices);
 
-/// Scheduler names CreateScheduler accepts, for error messages and CLIs.
-const std::vector<std::string>& KnownSchedulerNames();
+/// Scheduler names CreateScheduler accepts — the single source of truth
+/// for --help text and unknown-name errors (ListEngineNames() is the
+/// engine-factory counterpart).
+const std::vector<std::string>& ListSchedulerNames();
+
+/// JoinNames (util/options.h) over ListSchedulerNames(), ready for
+/// usage strings.
+std::string JoinedSchedulerNames();
 
 }  // namespace graphlab
 

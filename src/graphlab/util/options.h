@@ -9,10 +9,23 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "graphlab/util/status.h"
 
 namespace graphlab {
+
+/// Joins a name list with '|' for usage strings and error messages
+/// ("fifo|sweep|priority") — shared by the scheduler and engine
+/// factories and their CLI callers.
+inline std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += "|";
+    out += n;
+  }
+  return out;
+}
 
 /// Key=value option bag with typed accessors and defaults.
 class OptionMap {

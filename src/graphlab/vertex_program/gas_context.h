@@ -1,0 +1,176 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// GasContext: the program-facing view of one GAS update.
+//
+// Wraps the engine's Context<Graph> (the scope the engine locked under
+// its consistency model) and adds the GAS surface: phase-gated data
+// access, Signal() into the scheduler, and the delta-cache maintenance
+// calls PostDelta() / ClearGatherCache().
+//
+// Phase rights (checked, not just documented — a program that writes in
+// gather would silently break the cached-gather equivalence):
+//
+//   phase     reads                 writes            cache / scheduling
+//   -------   -------------------   ---------------   -------------------
+//   gather    center, nbrs, edges   —                 —
+//   apply     center, nbrs, edges   vertex_data()     —
+//   scatter   center, nbrs, edges   edge_data()       Signal, PostDelta,
+//                                                     ClearGatherCache
+//
+// Neighbor vertex data is never writable through the GAS surface: GAS
+// programs are edge-consistency programs by construction, which is what
+// lets them run unmodified on every engine.
+//
+// The context also records what the update touched (center written, edges
+// written, neighbors whose cache the scatter maintained) — the compiler
+// reads that ledger to invalidate exactly the neighbor caches this update
+// made stale (gas_compiler.h).
+
+#ifndef GRAPHLAB_VERTEX_PROGRAM_GAS_CONTEXT_H_
+#define GRAPHLAB_VERTEX_PROGRAM_GAS_CONTEXT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graphlab/engine/context.h"
+#include "graphlab/util/logging.h"
+#include "graphlab/vertex_program/gather_cache.h"
+#include "graphlab/vertex_program/ivertex_program.h"
+
+namespace graphlab {
+
+enum class GasPhase : uint8_t { kGather, kApply, kScatter };
+
+template <typename Graph, typename GatherT>
+class GasContext {
+ public:
+  using base_context_type = Context<Graph>;
+  using vertex_data_type = typename Graph::vertex_data_type;
+  using edge_data_type = typename Graph::edge_data_type;
+  using gather_type = GatherT;
+
+  GasContext(base_context_type* ctx, GatherCache<GatherT>* cache)
+      : ctx_(ctx), cache_(cache) {}
+
+  // ------------------------------------------------------------------
+  // Identity / topology (any phase)
+  // ------------------------------------------------------------------
+  LocalVid lvid() const { return ctx_->lvid(); }
+  VertexId vertex_id() const { return ctx_->vertex_id(); }
+  double priority() const { return ctx_->priority(); }
+  auto in_edges() const { return ctx_->in_edges(); }
+  auto out_edges() const { return ctx_->out_edges(); }
+  LocalVid edge_source(LocalEid e) const { return ctx_->edge_source(e); }
+  LocalVid edge_target(LocalEid e) const { return ctx_->edge_target(e); }
+  size_t num_neighbors() const { return ctx_->num_neighbors(); }
+
+  /// The non-central endpoint of an adjacent edge.
+  LocalVid other(LocalEid e) const {
+    const LocalVid src = edge_source(e);
+    return src == lvid() ? edge_target(e) : src;
+  }
+
+  // ------------------------------------------------------------------
+  // Reads (any phase)
+  // ------------------------------------------------------------------
+  const vertex_data_type& const_vertex_data() const {
+    return ctx_->const_vertex_data();
+  }
+  const vertex_data_type& neighbor_data(LocalVid n) const {
+    return ctx_->neighbor_data(n);
+  }
+  const edge_data_type& const_edge_data(LocalEid e) const {
+    return ctx_->const_edge_data(e);
+  }
+
+  // ------------------------------------------------------------------
+  // Writes (phase-gated)
+  // ------------------------------------------------------------------
+  /// Central vertex write — apply only.
+  vertex_data_type& vertex_data() {
+    GL_CHECK(phase_ == GasPhase::kApply)
+        << "vertex_data() is writable in apply only";
+    center_written_ = true;
+    return ctx_->vertex_data();
+  }
+
+  /// Adjacent edge write — scatter only.
+  edge_data_type& edge_data(LocalEid e) {
+    GL_CHECK(phase_ == GasPhase::kScatter)
+        << "edge_data() is writable in scatter only";
+    if (cache_ != nullptr) written_edges_.push_back(e);
+    return ctx_->edge_data(e);
+  }
+
+  // ------------------------------------------------------------------
+  // Scheduling and cache maintenance (scatter only)
+  // ------------------------------------------------------------------
+  /// Requests a future execution of `v` (ghosts are forwarded to their
+  /// owner by the engine, exactly like Context::Schedule).
+  void Signal(LocalVid v, double priority = 1.0) {
+    GL_CHECK(phase_ == GasPhase::kScatter) << "Signal() from scatter only";
+    ctx_->Schedule(v, priority);
+  }
+  void SignalSelf(double priority = 1.0) { Signal(lvid(), priority); }
+
+  /// Folds `delta` into v's cached gather total, declaring "this update's
+  /// effect on v's gather is exactly `delta`" — which exempts v from the
+  /// compiler's conservative invalidation.  No-op without the cache.
+  void PostDelta(LocalVid v, const gather_type& delta) {
+    GL_CHECK(phase_ == GasPhase::kScatter) << "PostDelta() from scatter only";
+    if (cache_ == nullptr) return;
+    cache_->PostDelta(v, delta);
+    MarkHandled(v);
+  }
+
+  /// Drops v's cached gather total, forcing its next update to gather
+  /// fresh.  Use when this update changed v's gather inputs in a way no
+  /// single delta expresses.  No-op without the cache.
+  void ClearGatherCache(LocalVid v) {
+    GL_CHECK(phase_ == GasPhase::kScatter)
+        << "ClearGatherCache() from scatter only";
+    if (cache_ == nullptr) return;
+    cache_->Invalidate(v);
+    MarkHandled(v);
+  }
+
+  bool caching_enabled() const { return cache_ != nullptr; }
+
+  // ------------------------------------------------------------------
+  // Compiler internals (gas_compiler.h) — not part of the program API.
+  // ------------------------------------------------------------------
+  void BeginPhase(GasPhase p) { phase_ = p; }
+  bool center_written() const { return center_written_; }
+
+  /// Sorts the write/handled ledgers so the lookups below are
+  /// O(log degree).  Call once, after scatter, before querying.
+  void FinalizeLedger() {
+    std::sort(written_edges_.begin(), written_edges_.end());
+    std::sort(handled_.begin(), handled_.end());
+  }
+  bool edge_written(LocalEid e) const {
+    return std::binary_search(written_edges_.begin(), written_edges_.end(),
+                              e);
+  }
+  bool handled(LocalVid v) const {
+    return std::binary_search(handled_.begin(), handled_.end(), v);
+  }
+  base_context_type& base() { return *ctx_; }
+
+ private:
+  // Appends may duplicate (a scatter can touch a neighbor twice); the
+  // ledgers stay O(scatter calls) and FinalizeLedger sorts once, so no
+  // per-append dedup scan on the hot path.
+  void MarkHandled(LocalVid v) { handled_.push_back(v); }
+
+  base_context_type* ctx_;
+  GatherCache<GatherT>* cache_;
+  GasPhase phase_ = GasPhase::kGather;
+  bool center_written_ = false;
+  std::vector<LocalEid> written_edges_;  // scatter writes (cache mode only)
+  std::vector<LocalVid> handled_;        // PostDelta/Clear targets
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_VERTEX_PROGRAM_GAS_CONTEXT_H_

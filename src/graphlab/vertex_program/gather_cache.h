@@ -1,0 +1,208 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// GatherCache: the per-vertex gather delta cache of the GAS runtime.
+//
+// A slot caches the accumulated gather total of one vertex together with
+// the edge direction that gather read.  Scatter-side PostDelta() folds a
+// neighbor's change directly into the cached total so the next update of
+// the vertex skips its gather loop entirely; anything that changes scope
+// data without posting a delta (a conservative scatter, a ghost-coherence
+// push) invalidates the slot instead.
+//
+// Concurrency: slots are guarded by per-slot spinlocks because distinct
+// updates may touch the same slot concurrently — under edge consistency
+// two non-adjacent neighbors of v can both run and PostDelta(v), and on
+// distributed graphs the comm dispatch thread invalidates slots while
+// workers execute updates.  Each slot carries an epoch that every
+// invalidation bumps; a gather records the epoch it started from and its
+// deposit is discarded when the epoch moved, closing the race where scope
+// data changes between the fold and the deposit.
+
+#ifndef GRAPHLAB_VERTEX_PROGRAM_GATHER_CACHE_H_
+#define GRAPHLAB_VERTEX_PROGRAM_GATHER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "graphlab/graph/types.h"
+#include "graphlab/util/logging.h"
+#include "graphlab/vertex_program/ivertex_program.h"
+
+namespace graphlab {
+
+/// Point-in-time counters for cache effectiveness (bench_gas_overhead and
+/// the vertex-program tests read these).
+struct GatherCacheStats {
+  uint64_t hits = 0;            // gathers answered from the cache
+  uint64_t deposits = 0;        // fresh totals stored
+  uint64_t stale_deposits = 0;  // deposits discarded by an epoch race
+  uint64_t deltas_applied = 0;  // PostDelta folded into a valid slot
+  uint64_t deltas_dropped = 0;  // PostDelta against an empty slot
+  uint64_t invalidations = 0;   // valid slots cleared
+
+  double hit_rate() const {
+    const uint64_t gathers = hits + deposits + stale_deposits;
+    return gathers == 0 ? 0.0 : static_cast<double>(hits) / gathers;
+  }
+};
+
+template <typename GatherT>
+class GatherCache {
+ public:
+  explicit GatherCache(size_t num_vertices)
+      : size_(num_vertices), slots_(std::make_unique<Slot[]>(num_vertices)) {}
+
+  size_t size() const { return size_; }
+
+  /// Cache hit: copies the cached total into `out`.  A slot only hits
+  /// when it was gathered over `dir` — a program whose gather_edges()
+  /// answer changed since the deposit must re-gather, not reuse a total
+  /// folded over the wrong edge set.  A direction mismatch also clears
+  /// the slot: while the re-gather is in flight the slot must read as
+  /// empty, so concurrent deltas/invalidations take the epoch-bumping
+  /// paths that discard the eventual deposit (the stored direction no
+  /// longer describes what the in-flight gather reads).  On a miss
+  /// returns false and reports the slot epoch the caller must pass to
+  /// Deposit().
+  bool TryGet(LocalVid v, EdgeDirection dir, GatherT* out,
+              uint64_t* miss_epoch) {
+    Slot& s = slot(v);
+    SpinGuard g(s);
+    if (s.valid) {
+      if (s.dir == dir) {
+        *out = s.acc;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      InvalidateLocked(&s);
+    }
+    *miss_epoch = s.epoch;
+    return false;
+  }
+
+  /// Stores a freshly gathered total.  `dir` is the direction the gather
+  /// read (recorded for dependency-aware invalidation); `observed_epoch`
+  /// is what TryGet reported — if an invalidation bumped the epoch while
+  /// the gather ran, the total may already be stale and is discarded.
+  void Deposit(LocalVid v, const GatherT& total, EdgeDirection dir,
+               uint64_t observed_epoch) {
+    Slot& s = slot(v);
+    SpinGuard g(s);
+    if (s.epoch != observed_epoch) {
+      stale_deposits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    s.acc = total;
+    s.dir = dir;
+    s.valid = true;
+    deposits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Folds `delta` into v's cached total (scatter-side maintenance).
+  /// Against an empty slot the delta has nothing to maintain and is
+  /// dropped — but the epoch still advances, so a gather of v racing
+  /// with this change (possible under vertex consistency or with
+  /// enforcement off) cannot deposit a total that misses it.
+  void PostDelta(LocalVid v, const GatherT& delta) {
+    Slot& s = slot(v);
+    SpinGuard g(s);
+    if (s.valid) {
+      s.acc += delta;
+      deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      s.epoch++;
+      deltas_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Unconditionally clears v's slot (the program-facing
+  /// ClearGatherCache()).
+  void Invalidate(LocalVid v) {
+    Slot& s = slot(v);
+    SpinGuard g(s);
+    InvalidateLocked(&s);
+  }
+
+  /// Clears v's slot iff its cached gather read the changed entity:
+  /// `reached_via_in_edge` says whether the entity is reachable from v
+  /// through an in-edge (a changed in-edge or its source vertex) or an
+  /// out-edge.  An invalid slot still gets its epoch bumped — a gather
+  /// may be in flight, and its deposit must not resurrect a stale total.
+  void InvalidateIfCovers(LocalVid v, bool reached_via_in_edge) {
+    Slot& s = slot(v);
+    SpinGuard g(s);
+    if (!s.valid) {
+      s.epoch++;
+      return;
+    }
+    const bool covered = reached_via_in_edge ? CoversInEdges(s.dir)
+                                             : CoversOutEdges(s.dir);
+    if (covered) InvalidateLocked(&s);
+  }
+
+  /// True when v currently holds a usable cached total (tests).
+  bool IsCached(LocalVid v) {
+    Slot& s = slot(v);
+    SpinGuard g(s);
+    return s.valid;
+  }
+
+  GatherCacheStats stats() const {
+    GatherCacheStats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.deposits = deposits_.load(std::memory_order_relaxed);
+    st.stale_deposits = stale_deposits_.load(std::memory_order_relaxed);
+    st.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+    st.deltas_dropped = deltas_dropped_.load(std::memory_order_relaxed);
+    st.invalidations = invalidations_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+ private:
+  struct Slot {
+    std::atomic_flag busy;  // spinlock (default-initialized clear, C++20)
+    bool valid = false;
+    EdgeDirection dir = EdgeDirection::kNone;
+    uint64_t epoch = 0;
+    GatherT acc{};
+  };
+
+  class SpinGuard {
+   public:
+    explicit SpinGuard(Slot& s) : s_(s) {
+      while (s_.busy.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~SpinGuard() { s_.busy.clear(std::memory_order_release); }
+    SpinGuard(const SpinGuard&) = delete;
+    SpinGuard& operator=(const SpinGuard&) = delete;
+
+   private:
+    Slot& s_;
+  };
+
+  void InvalidateLocked(Slot* s) {
+    s->valid = false;
+    s->epoch++;
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Slot& slot(LocalVid v) {
+    GL_CHECK_LT(v, size_);
+    return slots_[v];
+  }
+
+  size_t size_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> deposits_{0};
+  std::atomic<uint64_t> stale_deposits_{0};
+  std::atomic<uint64_t> deltas_applied_{0};
+  std::atomic<uint64_t> deltas_dropped_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_VERTEX_PROGRAM_GATHER_CACHE_H_

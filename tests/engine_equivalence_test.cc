@@ -4,7 +4,10 @@
 // loopy BP (vs the shared-memory reference run) are executed through the
 // factory on every engine name — local strategies on a LocalGraph,
 // distributed strategies on a simulated cluster — and the converged
-// vertex values must agree within tolerance.
+// vertex values must agree within tolerance.  The GAS subsystem rides the
+// same harness: a compiled vertex program must reach the same fixed point
+// as the handwritten update function on every engine, with the gather
+// delta cache enabled and disabled.
 
 #include <gtest/gtest.h>
 
@@ -20,34 +23,38 @@
 #include "graphlab/graph/generators.h"
 #include "graphlab/graph/partition.h"
 #include "graphlab/rpc/runtime.h"
+#include "graphlab/vertex_program/gas_compiler.h"
 
 namespace graphlab {
 namespace {
 
 bool IsLocalEngine(const std::string& name) {
-  for (const std::string& n : KnownLocalEngineNames()) {
+  for (const std::string& n : ListLocalEngineNames()) {
     if (n == name) return true;
   }
   return false;
 }
 
-/// Runs `update` through CreateEngine(`name`) over a copy of `global` —
-/// locally or on a `machines`-wide simulated cluster — and returns the
-/// converged global graph.
+/// Runs an update function through CreateEngine(`name`) over a copy of
+/// `global` — locally or on a `machines`-wide simulated cluster — and
+/// returns the converged global graph.  The update-function builders
+/// receive the graph instance they will run on, so they can bind
+/// graph-coupled state (the GAS compiler's delta cache does).
 template <typename V, typename E>
 LocalGraph<V, E> RunThroughFactory(
     const std::string& name, const LocalGraph<V, E>& global_in,
     size_t machines,
-    const std::function<UpdateFn<LocalGraph<V, E>>()>& make_local_update,
-    const std::function<UpdateFn<DistributedGraph<V, E>>()>&
-        make_dist_update) {
+    const std::function<UpdateFn<LocalGraph<V, E>>(LocalGraph<V, E>*)>&
+        make_local_update,
+    const std::function<UpdateFn<DistributedGraph<V, E>>(
+        DistributedGraph<V, E>*)>& make_dist_update,
+    EngineOptions opts = {}) {
   LocalGraph<V, E> global = global_in;
-  EngineOptions opts;
   opts.num_threads = 2;
   if (IsLocalEngine(name)) {
     auto engine = std::move(CreateEngine(name, &global, opts).value());
     EXPECT_EQ(engine->name(), name);
-    engine->SetUpdateFn(make_local_update());
+    engine->SetUpdateFn(make_local_update(&global));
     engine->ScheduleAll();
     RunResult r = engine->Start();
     EXPECT_GT(r.updates, 0u);
@@ -79,7 +86,7 @@ LocalGraph<V, E> RunThroughFactory(
     auto engine =
         std::move(CreateEngine(name, ctx, &graph, opts, deps).value());
     EXPECT_EQ(engine->name(), name);
-    engine->SetUpdateFn(make_dist_update());
+    engine->SetUpdateFn(make_dist_update(&graph));
     engine->ScheduleAll();
     RunResult r = engine->Start();
     if (ctx.id == 0) EXPECT_GT(r.updates, 0u);
@@ -96,7 +103,7 @@ LocalGraph<V, E> RunThroughFactory(
 // PageRank: every engine vs the exact solution
 // ---------------------------------------------------------------------
 
-class EngineEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+class EngineEquivalenceTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(EngineEquivalenceTest, PageRankConvergesToExactFixedPoint) {
   const std::string name = GetParam();
@@ -107,9 +114,10 @@ TEST_P(EngineEquivalenceTest, PageRankConvergesToExactFixedPoint) {
   auto converged = RunThroughFactory<apps::PageRankVertex,
                                      apps::PageRankEdge>(
       name, global, /*machines=*/2,
-      [] { return apps::MakePageRankUpdateFn<apps::PageRankGraph>(0.85,
-                                                                  1e-8); },
-      [] {
+      [](apps::PageRankGraph*) {
+        return apps::MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-8);
+      },
+      [](DistributedGraph<apps::PageRankVertex, apps::PageRankEdge>*) {
         return apps::MakePageRankUpdateFn<
             DistributedGraph<apps::PageRankVertex, apps::PageRankEdge>>(
             0.85, 1e-8);
@@ -124,6 +132,64 @@ TEST_P(EngineEquivalenceTest, PageRankConvergesToExactFixedPoint) {
 }
 
 // ---------------------------------------------------------------------
+// GAS PageRank: the compiled vertex program vs the handwritten update
+// function, with the gather delta cache off and on (the acceptance bar
+// for the vertex-program subsystem: L1 distance below 1e-8 everywhere).
+// ---------------------------------------------------------------------
+
+TEST_P(EngineEquivalenceTest, GasPageRankMatchesClassicWithAndWithoutCache) {
+  const std::string name = GetParam();
+  using V = apps::PageRankVertex;
+  using E = apps::PageRankEdge;
+  using DistGraph = DistributedGraph<V, E>;
+  auto structure = gen::PowerLawWeb(300, 5, 0.8, 77);
+  auto global = apps::BuildPageRankGraph(structure);
+  // Drive both forms to the fixed point at machine precision so the
+  // remaining distance between the runs is pure accumulated rounding.
+  const double kDamping = 0.85;
+  const double kTolerance = 1e-13;
+
+  auto classic = RunThroughFactory<V, E>(
+      name, global, /*machines=*/2,
+      [&](apps::PageRankGraph*) {
+        return apps::MakePageRankUpdateFn<apps::PageRankGraph>(kDamping,
+                                                               kTolerance);
+      },
+      [&](DistGraph*) {
+        return apps::MakePageRankUpdateFn<DistGraph>(kDamping, kTolerance);
+      });
+
+  for (bool cache : {false, true}) {
+    EngineOptions opts;
+    opts.gather_cache = cache;
+    auto gas = RunThroughFactory<V, E>(
+        name, global, /*machines=*/2,
+        [&](apps::PageRankGraph* g) {
+          apps::PageRankProgram<apps::PageRankGraph> program;
+          program.damping = kDamping;
+          program.tolerance = kTolerance;
+          return CompileVertexProgram(g, opts, program).update_fn();
+        },
+        [&](DistGraph* g) {
+          apps::PageRankProgram<DistGraph> program;
+          program.damping = kDamping;
+          program.tolerance = kTolerance;
+          return CompileVertexProgram(g, opts, program).update_fn();
+        },
+        opts);
+
+    double err = 0.0;
+    for (VertexId v = 0; v < structure.num_vertices; ++v) {
+      err += std::fabs(gas.vertex_data(v).rank -
+                       classic.vertex_data(v).rank);
+    }
+    EXPECT_LT(err, 1e-8) << "engine " << name << " with gather_cache="
+                         << cache
+                         << ": GAS PageRank diverged from classic";
+  }
+}
+
+// ---------------------------------------------------------------------
 // Loopy BP: every engine vs the shared-memory reference
 // ---------------------------------------------------------------------
 
@@ -135,11 +201,11 @@ TEST_P(EngineEquivalenceTest, LoopyBpAgreesWithSharedMemoryReference) {
   auto run = [&](const std::string& engine_name, size_t machines) {
     return RunThroughFactory<apps::BpVertex, apps::BpEdge>(
         engine_name, global, machines,
-        [] {
+        [](apps::BpGraph*) {
           return apps::MakeBpUpdateFn<apps::BpGraph>(
               apps::PottsPotential{1.0}, 1e-6);
         },
-        [] {
+        [](DistributedGraph<apps::BpVertex, apps::BpEdge>*) {
           return apps::MakeBpUpdateFn<
               DistributedGraph<apps::BpVertex, apps::BpEdge>>(
               apps::PottsPotential{1.0}, 1e-6);
@@ -166,10 +232,10 @@ TEST_P(EngineEquivalenceTest, LoopyBpAgreesWithSharedMemoryReference) {
                             << " diverged from the reference beliefs";
 }
 
+// The parameter list is the factory's own name list: adding an engine
+// automatically enrolls it in the equivalence suite.
 INSTANTIATE_TEST_SUITE_P(AllEngines, EngineEquivalenceTest,
-                         ::testing::Values("shared_memory", "bsp",
-                                           "chromatic", "locking",
-                                           "bulk_sync"));
+                         ::testing::ValuesIn(ListEngineNames()));
 
 }  // namespace
 }  // namespace graphlab

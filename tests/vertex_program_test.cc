@@ -1,0 +1,374 @@
+// Unit and integration tests for the GAS vertex-program subsystem
+// (src/graphlab/vertex_program/): the gather cache's delta/invalidation
+// protocol, the compiler's phase sequencing and direction handling, the
+// dependency-aware invalidation the compiler performs after scatter, and
+// end-to-end GAS PageRank / loopy BP runs with caching on and off.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "graphlab/apps/loopy_bp.h"
+#include "graphlab/apps/pagerank.h"
+#include "graphlab/engine/engine_factory.h"
+#include "graphlab/graph/generators.h"
+#include "graphlab/vertex_program/gas_compiler.h"
+
+namespace graphlab {
+namespace {
+
+using apps::PageRankGraph;
+using PRProgram = apps::PageRankProgram<PageRankGraph>;
+
+// ---------------------------------------------------------------------
+// GatherCache protocol
+// ---------------------------------------------------------------------
+
+TEST(GatherCacheTest, MissDepositHitRoundTrip) {
+  GatherCache<double> cache(4);
+  double out = 0.0;
+  uint64_t epoch = 99;
+  EXPECT_FALSE(cache.TryGet(1, EdgeDirection::kIn, &out, &epoch));
+  cache.Deposit(1, 2.5, EdgeDirection::kIn, epoch);
+  EXPECT_TRUE(cache.IsCached(1));
+  EXPECT_TRUE(cache.TryGet(1, EdgeDirection::kIn, &out, &epoch));
+  EXPECT_DOUBLE_EQ(out, 2.5);
+  // A total folded over kIn must not answer a kAll gather.
+  EXPECT_FALSE(cache.TryGet(1, EdgeDirection::kAll, &out, &epoch));
+  EXPECT_FALSE(cache.IsCached(0));  // other slots untouched
+  auto st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.deposits, 1u);
+}
+
+TEST(GatherCacheTest, PostDeltaFoldsIntoValidSlotOnly) {
+  GatherCache<double> cache(2);
+  double out = 0.0;
+  uint64_t epoch = 0;
+  EXPECT_FALSE(cache.TryGet(0, EdgeDirection::kIn, &out, &epoch));
+  // A delta against the empty slot is dropped but advances the epoch,
+  // so the in-flight gather above cannot deposit a total that missed
+  // the change the delta described.
+  cache.PostDelta(0, 1.0);
+  cache.Deposit(0, 10.0, EdgeDirection::kIn, epoch);
+  EXPECT_FALSE(cache.IsCached(0));
+  EXPECT_EQ(cache.stats().stale_deposits, 1u);
+
+  EXPECT_FALSE(cache.TryGet(0, EdgeDirection::kIn, &out, &epoch));
+  cache.Deposit(0, 10.0, EdgeDirection::kIn, epoch);
+  cache.PostDelta(0, -2.5);
+  EXPECT_TRUE(cache.TryGet(0, EdgeDirection::kIn, &out, &epoch));
+  EXPECT_DOUBLE_EQ(out, 7.5);
+  auto st = cache.stats();
+  EXPECT_EQ(st.deltas_applied, 1u);
+  EXPECT_EQ(st.deltas_dropped, 1u);
+}
+
+TEST(GatherCacheTest, EpochClosesTheGatherInvalidateDepositRace) {
+  GatherCache<double> cache(1);
+  double out = 0.0;
+  uint64_t epoch = 0;
+  EXPECT_FALSE(cache.TryGet(0, EdgeDirection::kIn, &out, &epoch));
+  // An invalidation lands while the gather is "in flight"...
+  cache.Invalidate(0);
+  // ...so the deposit started from the old epoch must be discarded.
+  cache.Deposit(0, 5.0, EdgeDirection::kIn, epoch);
+  EXPECT_FALSE(cache.IsCached(0));
+  EXPECT_EQ(cache.stats().stale_deposits, 1u);
+}
+
+TEST(GatherCacheTest, InvalidateIfCoversRespectsCachedDirection) {
+  GatherCache<double> cache(2);
+  double out;
+  uint64_t epoch;
+  cache.TryGet(0, EdgeDirection::kIn, &out, &epoch);
+  cache.Deposit(0, 1.0, EdgeDirection::kIn, epoch);
+  cache.TryGet(1, EdgeDirection::kOut, &out, &epoch);
+  cache.Deposit(1, 2.0, EdgeDirection::kOut, epoch);
+
+  // A change reachable through slot 0's *out*-edges does not touch its
+  // in-edge gather; the converse holds for slot 1.
+  cache.InvalidateIfCovers(0, /*reached_via_in_edge=*/false);
+  cache.InvalidateIfCovers(1, /*reached_via_in_edge=*/true);
+  EXPECT_TRUE(cache.IsCached(0));
+  EXPECT_TRUE(cache.IsCached(1));
+
+  cache.InvalidateIfCovers(0, /*reached_via_in_edge=*/true);
+  cache.InvalidateIfCovers(1, /*reached_via_in_edge=*/false);
+  EXPECT_FALSE(cache.IsCached(0));
+  EXPECT_FALSE(cache.IsCached(1));
+}
+
+// ---------------------------------------------------------------------
+// BpMessageProduct accumulator
+// ---------------------------------------------------------------------
+
+TEST(BpMessageProductTest, EmptyIsIdentityAndFoldIsElementwiseProduct) {
+  apps::BpMessageProduct acc;
+  acc += apps::BpMessageProduct{};  // identity + identity
+  EXPECT_TRUE(acc.prod.empty());
+  acc += apps::BpMessageProduct{{0.5, 2.0}};
+  acc += apps::BpMessageProduct{{4.0, 0.25}};
+  ASSERT_EQ(acc.prod.size(), 2u);
+  EXPECT_DOUBLE_EQ(acc.prod[0], 2.0);
+  EXPECT_DOUBLE_EQ(acc.prod[1], 0.5);
+  acc += apps::BpMessageProduct{};  // identity on the right
+  EXPECT_DOUBLE_EQ(acc.prod[0], 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Compiled-update unit tests: drive the compiled function directly
+// through a hand-built Context so each GAS mechanism is observable.
+// ---------------------------------------------------------------------
+
+using ScheduleLog = std::vector<std::pair<LocalVid, double>>;
+
+void LogSchedule(void* log, LocalVid v, double priority) {
+  static_cast<ScheduleLog*>(log)->emplace_back(v, priority);
+}
+
+/// 0 -> 1 -> 2 chain with PageRank data.
+PageRankGraph ChainGraph() {
+  GraphStructure s;
+  s.num_vertices = 3;
+  s.edges = {{0, 1}, {1, 2}};
+  return apps::BuildPageRankGraph(s);
+}
+
+/// Runs `fn` on vertex `v` the way an engine would (edge consistency),
+/// logging Signal() calls.
+void DriveUpdate(const UpdateFn<PageRankGraph>& fn, PageRankGraph* g,
+                 LocalVid v, ScheduleLog* log) {
+  Context<PageRankGraph> ctx(g, v, 1.0, ConsistencyModel::kEdgeConsistency,
+                             log, &LogSchedule);
+  fn(ctx);
+}
+
+TEST(GasCompilerTest, GatherApplyScatterMatchesHandwrittenMath) {
+  auto g = ChainGraph();
+  EngineOptions opts;
+  PRProgram program;
+  program.damping = 0.85;
+  program.tolerance = 1e-3;
+  auto compiled = CompileVertexProgram(&g, opts, program);
+  auto fn = compiled.update_fn();
+
+  ScheduleLog log;
+  DriveUpdate(fn, &g, 1, &log);
+  // gather: weight 1.0 * rank(0) = 1.0; apply: 0.15 + 0.85 * 1.0.
+  EXPECT_DOUBLE_EQ(g.vertex_data(1).rank, 0.15 + 0.85 * 1.0);
+  // scatter: rank change 0 exceeds nothing -> but rank was 1.0 before,
+  // change is 0.0 exactly, so no signal.
+  EXPECT_TRUE(log.empty());
+
+  // Vertex 2's rank moves, so its out-neighbors (none) and signal list
+  // stay empty but the update itself must execute all three phases.
+  auto st = compiled.stats();
+  EXPECT_EQ(st.updates, 1u);
+  EXPECT_EQ(st.full_gathers, 1u);
+  EXPECT_EQ(st.edges_gathered, 1u);
+  EXPECT_EQ(st.edges_scattered, 1u);
+  EXPECT_EQ(st.cache_hits, 0u);
+}
+
+TEST(GasCompilerTest, SignalsCarryResidualPriority) {
+  auto g = ChainGraph();
+  g.vertex_data(0).rank = 3.0;  // force a large rank change at 1
+  EngineOptions opts;
+  PRProgram program;
+  program.tolerance = 1e-3;
+  auto compiled = CompileVertexProgram(&g, opts, program);
+  auto fn = compiled.update_fn();
+
+  ScheduleLog log;
+  DriveUpdate(fn, &g, 1, &log);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 2u);
+  EXPECT_GT(log[0].second, 1.0);  // |0.15 + 0.85*3 - 1.0| = 1.7
+}
+
+TEST(GasCompilerTest, CacheHitSkipsGatherAndDeltasKeepItExact) {
+  auto g = ChainGraph();
+  g.vertex_data(0).rank = 2.0;
+  EngineOptions opts;
+  opts.gather_cache = true;
+  PRProgram program;
+  program.tolerance = 1e-9;
+  auto compiled = CompileVertexProgram(&g, opts, program);
+  auto fn = compiled.update_fn();
+  ScheduleLog log;
+
+  // First update of 2 gathers fresh and deposits.
+  DriveUpdate(fn, &g, 2, &log);
+  ASSERT_NE(compiled.cache(), nullptr);
+  EXPECT_TRUE(compiled.cache()->IsCached(2));
+
+  // Updating 1 changes its rank; its scatter posts the delta to 2, so
+  // 2's cache stays valid *and* truthful.
+  DriveUpdate(fn, &g, 1, &log);
+  EXPECT_TRUE(compiled.cache()->IsCached(2));
+
+  // Second update of 2 must hit the cache and still produce exactly the
+  // handwritten result.
+  DriveUpdate(fn, &g, 2, &log);
+  const double rank1 = g.vertex_data(1).rank;
+  EXPECT_NEAR(g.vertex_data(2).rank, 0.15 + 0.85 * rank1, 1e-12);
+  auto st = compiled.stats();
+  EXPECT_EQ(st.cache_hits, 1u);
+  EXPECT_EQ(st.cache.deltas_applied, 1u);
+  EXPECT_GT(st.cache_hit_rate(), 0.0);
+}
+
+// A program that changes the center in apply but never maintains its
+// neighbors' caches: the compiler must invalidate exactly the dependent
+// slots.
+struct SilentRankBump : public IVertexProgram<PageRankGraph, double> {
+  using context_type = GasContext<PageRankGraph, double>;
+  double gather(const context_type& ctx, LocalEid e) const {
+    return ctx.const_edge_data(e).weight *
+           ctx.neighbor_data(ctx.edge_source(e)).rank;
+  }
+  void apply(context_type& ctx, const double&) {
+    ctx.vertex_data().rank += 1.0;
+  }
+  EdgeDirection scatter_edges(const context_type&) const {
+    return EdgeDirection::kNone;
+  }
+};
+
+TEST(GasCompilerTest, CompilerInvalidatesUnmaintainedDependentCaches) {
+  auto g = ChainGraph();
+  EngineOptions opts;
+  opts.gather_cache = true;
+  auto compiled = CompileVertexProgram(&g, opts, SilentRankBump{});
+  auto fn = compiled.update_fn();
+  ScheduleLog log;
+
+  // Prime caches for 0 (no in-edges: empty gather) and 2.
+  DriveUpdate(fn, &g, 0, &log);
+  DriveUpdate(fn, &g, 2, &log);
+  EXPECT_TRUE(compiled.cache()->IsCached(0));
+  EXPECT_TRUE(compiled.cache()->IsCached(2));
+
+  // Updating 1 bumps its rank without posting deltas.  Vertex 2 gathers
+  // over its in-edge from 1 -> must be invalidated.  Vertex 0 gathers
+  // over in-edges only and reaches 1 through an out-edge -> its cached
+  // total does not depend on 1 and must survive.
+  DriveUpdate(fn, &g, 1, &log);
+  EXPECT_FALSE(compiled.cache()->IsCached(2));
+  EXPECT_TRUE(compiled.cache()->IsCached(0));
+}
+
+// Direction selection: gather over all edges counts both endpoints.
+struct DegreeCount : public IVertexProgram<PageRankGraph, double> {
+  using context_type = GasContext<PageRankGraph, double>;
+  EdgeDirection gather_edges(const context_type&) const {
+    return EdgeDirection::kAll;
+  }
+  double gather(const context_type&, LocalEid) const { return 1.0; }
+  void apply(context_type& ctx, const double& total) {
+    ctx.vertex_data().rank = total;
+  }
+};
+
+TEST(GasCompilerTest, GatherDirectionAllFoldsBothEdgeSets) {
+  auto g = ChainGraph();
+  EngineOptions opts;
+  auto fn = CompileVertexProgram(&g, opts, DegreeCount{}).update_fn();
+  ScheduleLog log;
+  for (LocalVid v = 0; v < 3; ++v) DriveUpdate(fn, &g, v, &log);
+  EXPECT_DOUBLE_EQ(g.vertex_data(0).rank, 1.0);  // out-degree 1
+  EXPECT_DOUBLE_EQ(g.vertex_data(1).rank, 2.0);  // in 1 + out 1
+  EXPECT_DOUBLE_EQ(g.vertex_data(2).rank, 1.0);  // in-degree 1
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: GAS programs through the engine factory
+// ---------------------------------------------------------------------
+
+TEST(GasEndToEndTest, GasPageRankConvergesToExactSolution) {
+  auto structure = gen::PowerLawWeb(500, 5, 0.8, 21);
+  for (bool cache : {false, true}) {
+    auto g = apps::BuildPageRankGraph(structure);
+    auto exact = apps::ExactPageRank(g);
+    EngineOptions opts;
+    opts.gather_cache = cache;
+    GasStats stats;
+    auto r = apps::SolveGasPageRank(&g, "shared_memory", opts, 0.85, 1e-8,
+                                    &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r.value().updates, 0u);
+    EXPECT_LT(apps::PageRankL1Error(g, exact), 1e-2)
+        << "gather_cache=" << cache;
+    EXPECT_EQ(stats.updates, r.value().updates);
+    if (cache) {
+      // Dynamic PageRank re-executes vertices; deltas must have kept a
+      // meaningful share of those re-gathers cached.
+      EXPECT_GT(stats.cache_hits, 0u);
+      EXPECT_GT(stats.cache.deltas_applied, 0u);
+    } else {
+      EXPECT_EQ(stats.cache_hits, 0u);
+      EXPECT_EQ(stats.full_gathers, stats.updates);
+    }
+  }
+}
+
+TEST(GasEndToEndTest, GasLoopyBpMatchesClassicBeliefs) {
+  auto structure = gen::Grid2D(10, 10);
+  auto reference = apps::BuildMrf(structure, 3, 0.15, 1.2, 7);
+  ASSERT_TRUE(
+      apps::SolveBp(&reference, "shared_memory", {}, {1.5}, 1e-6).ok());
+
+  for (bool cache : {false, true}) {
+    auto g = apps::BuildMrf(structure, 3, 0.15, 1.2, 7);
+    EngineOptions opts;
+    opts.gather_cache = cache;
+    GasStats stats;
+    auto r = apps::SolveGasBp(&g, "shared_memory", opts, {1.5}, 1e-6,
+                              &stats);
+    ASSERT_TRUE(r.ok());
+    double max_diff = 0.0;
+    for (VertexId v = 0; v < structure.num_vertices; ++v) {
+      for (size_t s = 0; s < 3; ++s) {
+        max_diff = std::max(
+            max_diff, std::fabs(g.vertex_data(v).belief[s] -
+                                reference.vertex_data(v).belief[s]));
+      }
+    }
+    EXPECT_LT(max_diff, 1e-4) << "gather_cache=" << cache;
+    if (cache) EXPECT_GT(stats.cache.deltas_applied, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Factory name listings (the --help / error-message source of truth)
+// ---------------------------------------------------------------------
+
+TEST(FactoryNamesTest, ListsCoverEveryStrategyAndScheduler) {
+  EXPECT_EQ(ListEngineNames().size(), ListLocalEngineNames().size() +
+                                          ListDistributedEngineNames().size());
+  for (const std::string& name : ListEngineNames()) {
+    EXPECT_FALSE(name.empty());
+  }
+  EXPECT_EQ(ListSchedulerNames().size(), 3u);
+  EXPECT_EQ(JoinedSchedulerNames(), "fifo|sweep|priority");
+}
+
+TEST(FactoryNamesTest, UnknownNamesEchoTheListedAlternatives) {
+  auto sched = CreateScheduler("bogus", 8);
+  ASSERT_FALSE(sched.ok());
+  EXPECT_NE(sched.status().ToString().find(JoinedSchedulerNames()),
+            std::string::npos);
+
+  auto g = ChainGraph();
+  auto engine = CreateEngine("bogus", &g, EngineOptions{});
+  ASSERT_FALSE(engine.ok());
+  for (const std::string& name : ListLocalEngineNames()) {
+    EXPECT_NE(engine.status().ToString().find(name), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace graphlab
