@@ -19,6 +19,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "graphlab/apps/loopy_bp.h"
 #include "graphlab/apps/pagerank.h"
 #include "graphlab/engine/engine_factory.h"
@@ -28,6 +29,9 @@
 namespace graphlab {
 namespace {
 
+/// Machine-readable mirror of the console tables (BENCH_gas_overhead.json).
+bench::JsonWriter* g_json = nullptr;
+
 struct Row {
   const char* variant;
   RunResult run;
@@ -35,17 +39,27 @@ struct Row {
   bool has_gas = false;
 };
 
-void PrintRow(const Row& r) {
+void PrintRow(const std::string& experiment, const Row& r) {
+  const double us_per_update =
+      r.run.updates == 0 ? 0.0 : 1e6 * r.run.busy_seconds / r.run.updates;
   std::printf("%-22s %10llu %9.3f %12.3f", r.variant,
               static_cast<unsigned long long>(r.run.updates), r.run.seconds,
-              r.run.updates == 0
-                  ? 0.0
-                  : 1e6 * r.run.busy_seconds / r.run.updates);
+              us_per_update);
   if (r.has_gas) {
     std::printf(" %9.1f%% %12llu\n", 100.0 * r.gas.cache_hit_rate(),
                 static_cast<unsigned long long>(r.gas.cache.deltas_applied));
   } else {
     std::printf(" %10s %12s\n", "-", "-");
+  }
+  auto& row = g_json->AddRow();
+  row.Set("experiment", experiment)
+      .Set("variant", r.variant)
+      .Set("updates", r.run.updates)
+      .Set("wall_s", r.run.seconds)
+      .Set("us_per_update", us_per_update);
+  if (r.has_gas) {
+    row.Set("hit_rate", r.gas.cache_hit_rate())
+        .Set("deltas", r.gas.cache.deltas_applied);
   }
 }
 
@@ -65,7 +79,7 @@ void E1PageRank(uint64_t n, size_t threads, const std::string& engine) {
     auto g = apps::BuildPageRankGraph(web);
     auto r = apps::SolvePageRank(&g, engine, eo, 0.85, 1e-6);
     GL_CHECK_OK(r.status());
-    PrintRow({"classic update fn", r.value(), {}, false});
+    PrintRow("pagerank", {"classic update fn", r.value(), {}, false});
   }
   for (bool cache : {false, true}) {
     auto g = apps::BuildPageRankGraph(web);
@@ -74,8 +88,8 @@ void E1PageRank(uint64_t n, size_t threads, const std::string& engine) {
     GasStats stats;
     auto r = apps::SolveGasPageRank(&g, engine, gas_eo, 0.85, 1e-6, &stats);
     GL_CHECK_OK(r.status());
-    PrintRow({cache ? "gas (delta cache)" : "gas (no cache)", r.value(),
-              stats, true});
+    PrintRow("pagerank", {cache ? "gas (delta cache)" : "gas (no cache)",
+                          r.value(), stats, true});
   }
 }
 
@@ -93,7 +107,7 @@ void E2LoopyBp(uint64_t side, size_t threads, const std::string& engine) {
     auto g = apps::BuildMrf(structure, 5, 0.15, 1.2, 7);
     auto r = apps::SolveBp(&g, engine, eo, psi, 1e-5);
     GL_CHECK_OK(r.status());
-    PrintRow({"classic update fn", r.value(), {}, false});
+    PrintRow("loopy_bp", {"classic update fn", r.value(), {}, false});
   }
   for (bool cache : {false, true}) {
     auto g = apps::BuildMrf(structure, 5, 0.15, 1.2, 7);
@@ -102,8 +116,8 @@ void E2LoopyBp(uint64_t side, size_t threads, const std::string& engine) {
     GasStats stats;
     auto r = apps::SolveGasBp(&g, engine, gas_eo, psi, 1e-5, &stats);
     GL_CHECK_OK(r.status());
-    PrintRow({cache ? "gas (delta cache)" : "gas (no cache)", r.value(),
-              stats, true});
+    PrintRow("loopy_bp", {cache ? "gas (delta cache)" : "gas (no cache)",
+                          r.value(), stats, true});
   }
 }
 
@@ -126,6 +140,14 @@ void E3HitRateVsPressure(uint64_t n, size_t threads,
                 static_cast<double>(r.value().updates) / n,
                 stats.cache_hit_rate(),
                 static_cast<unsigned long long>(stats.cache.deltas_applied));
+    g_json->AddRow()
+        .Set("experiment", "hit_rate_vs_pressure")
+        .Set("tolerance", tol)
+        .Set("updates", r.value().updates)
+        .Set("updates_per_vertex",
+             static_cast<double>(r.value().updates) / n)
+        .Set("hit_rate", stats.cache_hit_rate())
+        .Set("deltas", stats.cache.deltas_applied);
   }
 }
 
@@ -148,8 +170,13 @@ int main(int argc, char** argv) {
   const size_t threads = opts.GetInt("threads", 2);
   const std::string engine = opts.GetString("engine", "shared_memory");
 
+  graphlab::bench::JsonWriter json("gas_overhead");
+  json.meta().Set("vertices", n).Set("threads", threads).Set("engine",
+                                                             engine);
+  graphlab::g_json = &json;
   graphlab::E1PageRank(n, threads, engine);
   graphlab::E2LoopyBp(60, threads, engine);
   graphlab::E3HitRateVsPressure(n, threads, engine);
+  json.WriteFile();
   return 0;
 }

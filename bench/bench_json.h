@@ -1,0 +1,190 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Machine-readable benchmark output: every bench that wants a perf
+// trajectory writes one BENCH_<name>.json next to its console output so
+// successive PRs can diff numbers instead of eyeballing tables.
+//
+// Shape (schema_version 1):
+//
+//   {
+//     "bench": "<name>",
+//     "schema_version": 1,
+//     "meta": { "<key>": <value>, ... },       // run-wide settings
+//     "rows": [ { "<key>": <value>, ... }, ... ]  // one object per cell
+//   }
+//
+// Values are numbers, strings, or booleans.  Keys within a row preserve
+// insertion order.  Non-finite doubles serialize as null.
+//
+// Usage:
+//   bench::JsonWriter json("scheduler_scaling");
+//   json.meta().Set("vertices", n).Set("quick", quick);
+//   json.AddRow().Set("scheduler", "fifo").Set("threads", 4)
+//                .Set("mops_per_sec", 12.5);
+//   json.WriteFile();   // -> ./BENCH_scheduler_scaling.json
+
+#ifndef BENCH_BENCH_JSON_H_
+#define BENCH_BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace graphlab {
+namespace bench {
+
+/// One ordered key -> rendered-JSON-literal map (a row or the meta
+/// object).  Set() overloads render the value immediately, so the writer
+/// never needs a variant type.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, double v) {
+    char buf[40];
+    if (!std::isfinite(v)) {
+      return SetLiteral(key, "null");
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return SetLiteral(key, buf);
+  }
+  JsonObject& Set(const std::string& key, bool v) {
+    return SetLiteral(key, v ? "true" : "false");
+  }
+  JsonObject& Set(const std::string& key, int v) {
+    return Set(key, static_cast<long long>(v));
+  }
+  JsonObject& Set(const std::string& key, unsigned v) {
+    return Set(key, static_cast<unsigned long long>(v));
+  }
+  JsonObject& Set(const std::string& key, long v) {
+    return Set(key, static_cast<long long>(v));
+  }
+  JsonObject& Set(const std::string& key, unsigned long v) {
+    return Set(key, static_cast<unsigned long long>(v));
+  }
+  JsonObject& Set(const std::string& key, long long v) {
+    return SetLiteral(key, std::to_string(v));
+  }
+  JsonObject& Set(const std::string& key, unsigned long long v) {
+    return SetLiteral(key, std::to_string(v));
+  }
+  JsonObject& Set(const std::string& key, const char* v) {
+    return SetLiteral(key, Quote(v));
+  }
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    return SetLiteral(key, Quote(v));
+  }
+
+  bool empty() const { return fields_.empty(); }
+
+  void Render(std::string* out) const {
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [key, literal] : fields_) {
+      if (!first) out->push_back(',');
+      first = false;
+      out->append(Quote(key));
+      out->push_back(':');
+      out->append(literal);
+    }
+    out->push_back('}');
+  }
+
+ private:
+  JsonObject& SetLiteral(const std::string& key, std::string literal) {
+    for (auto& [k, v] : fields_) {
+      if (k == key) {
+        v = std::move(literal);
+        return *this;
+      }
+    }
+    fields_.emplace_back(key, std::move(literal));
+    return *this;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  /// Run-wide settings rendered under "meta".
+  JsonObject& meta() { return meta_; }
+
+  /// Appends one result row; chain Set() calls on the return value.
+  JsonObject& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"bench\":\"" + name_ +
+                      "\",\"schema_version\":1";
+    if (!meta_.empty()) {
+      out += ",\"meta\":";
+      meta_.Render(&out);
+    }
+    out += ",\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      rows_[i].Render(&out);
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json (or `path` when given) and prints where.
+  /// Returns false (with a note on stderr) if the file cannot be opened.
+  bool WriteFile(const std::string& path = "") const {
+    const std::string file = path.empty() ? "BENCH_" + name_ + ".json" : path;
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "# could not write %s\n", file.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("# wrote %s (%zu rows)\n", file.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  JsonObject meta_;
+  std::vector<JsonObject> rows_;
+};
+
+}  // namespace bench
+}  // namespace graphlab
+
+#endif  // BENCH_BENCH_JSON_H_

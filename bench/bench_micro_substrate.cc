@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "graphlab/apps/pagerank.h"
 #include "graphlab/engine/locking/lock_table.h"
 #include "graphlab/graph/coloring.h"
@@ -156,4 +157,56 @@ BENCHMARK(BM_GhostVersioningAblation);
 }  // namespace
 }  // namespace graphlab
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console output as usual, plus one BENCH_micro_substrate.json row per
+/// run (same shape as the other benches' emitters) so the perf
+/// trajectory covers the micro level too.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(graphlab::bench::JsonWriter* json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (RunFailed(run)) continue;
+      auto& row = json_->AddRow();
+      row.Set("name", run.benchmark_name())
+          .Set("iterations", static_cast<long long>(run.iterations))
+          .Set("real_time_ns", run.GetAdjustedRealTime())
+          .Set("cpu_time_ns", run.GetAdjustedCPUTime());
+      for (const auto& [key, counter] : run.counters) {
+        row.Set(key, static_cast<double>(counter));
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  /// Failed/skipped runs: the field is `error_occurred` up to
+  /// google-benchmark 1.7 and the `skipped` enum from 1.8.  Templated so
+  /// `if constexpr` discards the branch the installed version lacks.
+  template <typename RunT>
+  static bool RunFailed(const RunT& run) {
+    if constexpr (requires { run.error_occurred; }) {
+      return run.error_occurred;
+    } else {
+      return static_cast<bool>(run.skipped);
+    }
+  }
+
+  graphlab::bench::JsonWriter* json_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  graphlab::bench::JsonWriter json("micro_substrate");
+  JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  json.WriteFile();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,463 @@
+// Scheduler + scope-lock fast-path scaling bench.
+//
+//  E1  Scheduler throughput: threads x {fifo, sweep, priority} x
+//      {sharded (the library), global_mutex (the pre-sharding
+//      single-mutex designs, reproduced here as the baseline)}.  Workers
+//      hammer GetNext/Schedule over a power-law web graph — every pop
+//      reschedules a neighbor, so the mix matches an engine drain loop
+//      (pop-execute-schedule) rather than a pure queue microbench.
+//
+//  E2  Scope-lock acquisition: threads x {edge, full} x {plan (the
+//      precompiled CSR ScopeLockPlan), legacy (per-update derive +
+//      sort)}.  Also counts heap allocations per acquire/release pair
+//      via this binary's global operator new hook — the plan path must
+//      report 0.
+//
+// Writes BENCH_scheduler_scaling.json (see bench_json.h for the shape).
+//
+// Usage: ./bench_scheduler_scaling [--vertices=100000] [--degree=8]
+//          [--seconds=0.4] [--max-threads=8] [--shards=0]
+//          [--max-seconds=0] [--quick] [--help]
+//
+// --quick (or a small --max-seconds budget) shrinks the sweep for CI
+// smoke runs.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <new>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/alloc_counter.h"
+#include "bench/bench_json.h"
+#include "graphlab/engine/execution_substrate.h"
+#include "graphlab/graph/generators.h"
+#include "graphlab/graph/local_graph.h"
+#include "graphlab/scheduler/scheduler.h"
+#include "graphlab/util/dense_bitset.h"
+#include "graphlab/util/options.h"
+
+namespace graphlab {
+namespace {
+
+using BenchGraph = LocalGraph<uint8_t, uint8_t>;
+
+// ---------------------------------------------------------------------
+// The single-mutex baselines: the scheduler designs this PR replaced,
+// kept here so the sharded implementations always race their ancestor.
+// ---------------------------------------------------------------------
+
+class GlobalMutexFifo final : public IScheduler {
+ public:
+  explicit GlobalMutexFifo(size_t n) : queued_(n) {}
+  void Schedule(LocalVid v, double) override {
+    if (!queued_.SetBit(v)) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(v);
+  }
+  bool GetNext(LocalVid* v, double* priority, size_t) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    *v = queue_.front();
+    queue_.pop_front();
+    *priority = 1.0;
+    queued_.ClearBit(*v);
+    return true;
+  }
+  bool Empty() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.empty();
+  }
+  size_t ApproxSize() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+  void Clear() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.clear();
+    queued_.Clear();
+  }
+  const char* name() const override { return "fifo"; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<LocalVid> queue_;
+  DenseBitset queued_;
+};
+
+class GlobalMutexSweep final : public IScheduler {
+ public:
+  explicit GlobalMutexSweep(size_t n) : n_(n), queued_(n) {}
+  void Schedule(LocalVid v, double) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queued_.SetBit(v)) size_++;
+  }
+  bool GetNext(LocalVid* v, double* priority, size_t) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (n_ == 0 || size_ == 0) return false;
+    size_t pos = queued_.FindFirstFrom(cursor_);
+    if (pos == n_) pos = queued_.FindFirstFrom(0);
+    if (pos == n_) return false;
+    queued_.ClearBit(pos);
+    size_--;
+    cursor_ = pos + 1 < n_ ? pos + 1 : 0;
+    *v = static_cast<LocalVid>(pos);
+    *priority = 1.0;
+    return true;
+  }
+  bool Empty() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_ == 0;
+  }
+  size_t ApproxSize() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+  void Clear() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queued_.Clear();
+    size_ = 0;
+    cursor_ = 0;
+  }
+  const char* name() const override { return "sweep"; }
+
+ private:
+  mutable std::mutex mutex_;
+  size_t n_;
+  DenseBitset queued_;
+  size_t size_ = 0;
+  size_t cursor_ = 0;
+};
+
+class GlobalMutexPriority final : public IScheduler {
+ public:
+  explicit GlobalMutexPriority(size_t n) : queued_(n), best_(n, 0.0) {}
+  void Schedule(LocalVid v, double priority) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool was_queued = !queued_.SetBit(v);
+    if (was_queued && priority <= best_[v]) return;
+    best_[v] = was_queued ? std::max(best_[v], priority) : priority;
+    heap_.push({best_[v], v});
+  }
+  bool GetNext(LocalVid* v, double* priority, size_t) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (!heap_.empty()) {
+      Entry top = heap_.top();
+      heap_.pop();
+      if (!queued_.Test(top.vid) || top.priority < best_[top.vid]) continue;
+      queued_.ClearBit(top.vid);
+      *v = top.vid;
+      *priority = top.priority;
+      return true;
+    }
+    return false;
+  }
+  bool Empty() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queued_.PopCount() == 0;
+  }
+  size_t ApproxSize() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queued_.PopCount();
+  }
+  void Clear() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    heap_ = {};
+    queued_.Clear();
+  }
+  const char* name() const override { return "priority"; }
+
+ private:
+  struct Entry {
+    double priority;
+    LocalVid vid;
+    bool operator<(const Entry& o) const { return priority < o.priority; }
+  };
+  mutable std::mutex mutex_;
+  std::priority_queue<Entry> heap_;
+  DenseBitset queued_;
+  std::vector<double> best_;
+};
+
+std::unique_ptr<IScheduler> MakeImpl(const std::string& impl,
+                                     const std::string& sched, size_t n,
+                                     size_t shards) {
+  if (impl == "global_mutex") {
+    if (sched == "fifo") return std::make_unique<GlobalMutexFifo>(n);
+    if (sched == "sweep") return std::make_unique<GlobalMutexSweep>(n);
+    return std::make_unique<GlobalMutexPriority>(n);
+  }
+  return std::move(CreateScheduler(sched, n, shards).value());
+}
+
+// ---------------------------------------------------------------------
+// E1: scheduler throughput
+// ---------------------------------------------------------------------
+
+struct ThroughputResult {
+  uint64_t pops = 0;
+  double seconds = 0.0;
+  double mops() const { return seconds > 0 ? pops / seconds / 1e6 : 0.0; }
+};
+
+/// T workers pop, "execute" (reschedule a neighbor — the engine loop
+/// shape), and refill on empty, for `seconds` of wall time.
+ThroughputResult RunThroughput(IScheduler* sched, const BenchGraph& graph,
+                               size_t threads, double seconds) {
+  const size_t n = graph.num_vertices();
+  for (LocalVid v = 0; v < n; ++v) sched->Schedule(v, 1.0);
+
+  std::atomic<uint64_t> total_pops{0};
+  std::atomic<bool> stop{false};
+  auto worker_fn = [&](size_t worker) {
+    WorkerAffinity::Scope affinity(worker);
+    uint64_t rng = 0x9E3779B97F4A7C15 * (worker + 1);
+    auto next_rng = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    uint64_t pops = 0;
+    uint64_t ops = 0;
+    LocalVid v;
+    double priority;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (sched->GetNext(&v, &priority, worker)) {
+        pops++;
+        // "Execute": reschedule one neighbor (and occasionally self),
+        // like a residual push.
+        auto nbrs = graph.neighbors(v);
+        if (!nbrs.empty()) {
+          sched->Schedule(static_cast<LocalVid>(nbrs[next_rng() % nbrs.size()]),
+                          1.0 + (next_rng() & 7));
+        }
+      } else {
+        sched->Schedule(static_cast<LocalVid>(next_rng() % n), 1.0);
+      }
+      if ((++ops & 255) == 0 && stop.load(std::memory_order_relaxed)) break;
+    }
+    total_pops.fetch_add(pops, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t t = 0; t < threads; ++t) workers.emplace_back(worker_fn, t);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  ThroughputResult out;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.pops = total_pops.load();
+  sched->Clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// E2: scope-lock acquisition (plan vs legacy) + allocation count
+// ---------------------------------------------------------------------
+
+struct ScopeResult {
+  uint64_t scopes = 0;
+  double seconds = 0.0;
+  double allocs_per_scope = 0.0;
+  double mscopes() const {
+    return seconds > 0 ? scopes / seconds / 1e6 : 0.0;
+  }
+};
+
+ScopeResult RunScopes(const BenchGraph& graph, ConsistencyModel model,
+                      bool use_plan, size_t threads, double seconds) {
+  const size_t n = graph.num_vertices();
+  ScopeLockTable locks(n);
+  if (use_plan) {
+    locks.CompilePlan(graph, n, model,
+                      [](size_t total,
+                         const std::function<void(size_t, size_t)>& fn) {
+                        fn(0, total);
+                      });
+  }
+
+  // Single-threaded allocation count over a fixed window (after a
+  // warmup pass so thread-local scratch and lock-table lazy state are
+  // settled).
+  const size_t probe = std::min<size_t>(n, 2048);
+  for (LocalVid v = 0; v < probe; ++v) {
+    locks.AcquireScope(graph, v, model);
+    locks.ReleaseScope(graph, v, model);
+  }
+  const uint64_t allocs_before = alloc_counter::Count();
+  for (LocalVid v = 0; v < probe; ++v) {
+    locks.AcquireScope(graph, v, model);
+    locks.ReleaseScope(graph, v, model);
+  }
+  const uint64_t allocs_after = alloc_counter::Count();
+
+  std::atomic<uint64_t> total{0};
+  std::atomic<bool> stop{false};
+  auto worker_fn = [&, threads](size_t worker) {
+    // Staggered cyclic walks so workers mostly touch disjoint scopes
+    // and contend only when their windows overlap — the engine-like mix
+    // (mostly uncontended, occasionally not).
+    uint64_t count = 0;
+    LocalVid v = static_cast<LocalVid>((worker * n) / threads % n);
+    while (!stop.load(std::memory_order_relaxed)) {
+      v = (v + 1) % n;
+      locks.AcquireScope(graph, v, model);
+      locks.ReleaseScope(graph, v, model);
+      ++count;
+      if ((count & 127) == 0 && stop.load(std::memory_order_relaxed)) break;
+    }
+    total.fetch_add(count, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> workers;
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t t = 0; t < threads; ++t) workers.emplace_back(worker_fn, t);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+
+  ScopeResult out;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.scopes = total.load();
+  out.allocs_per_scope =
+      static_cast<double>(allocs_after - allocs_before) / probe;
+  return out;
+}
+
+}  // namespace
+}  // namespace graphlab
+
+int main(int argc, char** argv) {
+  using namespace graphlab;
+  OptionMap opts;
+  opts.ParseArgs(argc, argv);
+  if (opts.Has("help")) {
+    std::printf(
+        "Sharded-scheduler + scope-lock-plan scaling bench.\n"
+        "  --vertices=N     graph size                (default 100000)\n"
+        "  --degree=D       power-law out degree      (default 8)\n"
+        "  --seconds=S      measured seconds per cell (default 0.4)\n"
+        "  --max-threads=T  top of the thread sweep   (default 8)\n"
+        "  --shards=K       sharded impl shard count  (default 0 = threads)\n"
+        "  --max-seconds=B  total measurement budget; scales --seconds down\n"
+        "  --quick          small preset for CI smoke runs\n");
+    return 0;
+  }
+  const bool quick = opts.GetBool("quick", false);
+  uint64_t n = opts.GetInt("vertices", quick ? 20000 : 100000);
+  const uint32_t degree = static_cast<uint32_t>(opts.GetInt("degree", 8));
+  double seconds = opts.GetDouble("seconds", quick ? 0.08 : 0.4);
+  const size_t max_threads = opts.GetInt("max-threads", quick ? 4 : 8);
+  const size_t shards_flag = opts.GetInt("shards", 0);
+  const double max_seconds = opts.GetDouble("max-seconds", 0.0);
+
+  std::vector<size_t> thread_counts;
+  for (size_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  // Cell count: E1 = threads x 3 schedulers x 2 impls; E2 = threads x
+  // 2 models x 2 paths.
+  const size_t cells =
+      thread_counts.size() * 3 * 2 + thread_counts.size() * 2 * 2;
+  if (max_seconds > 0 && seconds * cells > max_seconds) {
+    seconds = max_seconds / cells;
+  }
+
+  auto structure = gen::PowerLawWeb(n, degree, 0.85, 7);
+  BenchGraph graph = BenchGraph::FromStructure(structure);
+
+  bench::JsonWriter json("scheduler_scaling");
+  json.meta()
+      .Set("vertices", n)
+      .Set("degree", degree)
+      .Set("seconds_per_cell", seconds)
+      .Set("hardware_concurrency",
+           static_cast<unsigned>(std::thread::hardware_concurrency()))
+      .Set("quick", quick);
+
+  // ------------------------------------------------------------------
+  std::printf("\n==== E1: scheduler throughput (pop+reschedule mix) ====\n");
+  std::printf("%-10s %-13s %8s %8s %12s\n", "scheduler", "impl", "threads",
+              "shards", "mops/sec");
+  for (const char* sched : {"fifo", "sweep", "priority"}) {
+    double sharded_top = 0.0, global_top = 0.0;
+    for (const char* impl : {"global_mutex", "sharded"}) {
+      for (size_t threads : thread_counts) {
+        const size_t shards =
+            shards_flag != 0 ? shards_flag : std::max<size_t>(1, threads);
+        auto s = MakeImpl(impl, sched, graph.num_vertices(), shards);
+        auto r = RunThroughput(s.get(), graph, threads, seconds);
+        const size_t effective_shards =
+            std::string(impl) == "sharded" ? shards : 1;
+        std::printf("%-10s %-13s %8zu %8zu %12.2f\n", sched, impl, threads,
+                    effective_shards, r.mops());
+        json.AddRow()
+            .Set("experiment", "scheduler_throughput")
+            .Set("scheduler", sched)
+            .Set("impl", impl)
+            .Set("threads", threads)
+            .Set("shards", effective_shards)
+            .Set("pops", r.pops)
+            .Set("seconds", r.seconds)
+            .Set("mops_per_sec", r.mops());
+        if (threads == thread_counts.back()) {
+          (std::string(impl) == "sharded" ? sharded_top : global_top) =
+              r.mops();
+        }
+      }
+    }
+    const double speedup = global_top > 0 ? sharded_top / global_top : 0.0;
+    std::printf("# %s: sharded/global speedup at %zu threads = %.2fx\n",
+                sched, thread_counts.back(), speedup);
+    json.AddRow()
+        .Set("experiment", "scheduler_speedup_at_max_threads")
+        .Set("scheduler", sched)
+        .Set("threads", thread_counts.back())
+        .Set("speedup", speedup);
+  }
+
+  // ------------------------------------------------------------------
+  std::printf("\n==== E2: scope-lock acquisition (plan vs legacy) ====\n");
+  std::printf("%-7s %-8s %8s %12s %14s\n", "model", "path", "threads",
+              "mscopes/sec", "allocs/scope");
+  for (ConsistencyModel model : {ConsistencyModel::kEdgeConsistency,
+                                 ConsistencyModel::kFullConsistency}) {
+    for (bool use_plan : {false, true}) {
+      for (size_t threads : thread_counts) {
+        auto r = RunScopes(graph, model, use_plan, threads, seconds);
+        std::printf("%-7s %-8s %8zu %12.2f %14.3f\n",
+                    ConsistencyModelName(model), use_plan ? "plan" : "legacy",
+                    threads, r.mscopes(), r.allocs_per_scope);
+        json.AddRow()
+            .Set("experiment", "scope_lock")
+            .Set("model", ConsistencyModelName(model))
+            .Set("path", use_plan ? "plan" : "legacy")
+            .Set("threads", threads)
+            .Set("scopes", r.scopes)
+            .Set("seconds", r.seconds)
+            .Set("mscopes_per_sec", r.mscopes())
+            .Set("allocs_per_scope", r.allocs_per_scope);
+        if (use_plan && threads == 1 && r.allocs_per_scope != 0.0) {
+          std::printf("# WARNING: plan path allocated %.3f times per scope "
+                      "(expected 0)\n",
+                      r.allocs_per_scope);
+        }
+      }
+    }
+  }
+
+  json.WriteFile();
+  return 0;
+}

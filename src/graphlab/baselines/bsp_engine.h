@@ -158,6 +158,11 @@ class BspEngine final : public EngineBase<LocalGraph<VertexData, EdgeData>> {
   RunResult RunLoop(uint64_t superstep_budget, uint64_t max_updates,
                     bool use_step_fn) {
     Timer timer;
+    if (!use_step_fn) {
+      // Update-fn supersteps lock scopes; precompile their flat plan
+      // (the native Pregel surface is double-buffered and lock free).
+      this->EnsureScopePlan(*graph_, graph_->num_vertices(), &scope_locks_);
+    }
     this->substrate_.BeginRun();
     const uint64_t updates_before = this->substrate_.total_updates();
     const double busy_before = this->substrate_.busy_seconds();

@@ -104,6 +104,12 @@ class BulkSyncEngine final
            "EngineOptions::max_sweeps";
     const bool kernel_mode = static_cast<bool>(kernel_);
     Timer timer;
+    if (!kernel_mode) {
+      // Update-fn supersteps lock scopes; precompile their flat plan
+      // (kernel mode is lock free by construction).
+      this->EnsureScopePlan(*graph_, graph_->num_local_vertices(),
+                            &scope_locks_);
+    }
     this->substrate_.BeginRun();
     rpc::CommStats before = ctx_.comm().GetStats(ctx_.id);
     const double busy_before = this->substrate_.busy_seconds();

@@ -43,6 +43,7 @@
 
 #include "graphlab/engine/iengine.h"
 #include "graphlab/engine/locking/lock_table.h"
+#include "graphlab/engine/scope_lock_plan.h"
 #include "graphlab/graph/coloring.h"
 #include "graphlab/util/logging.h"
 #include "graphlab/util/thread_pool.h"
@@ -60,21 +61,50 @@ namespace graphlab {
 /// neighbors shared under edge consistency, exclusive under full
 /// consistency, untouched under vertex consistency) is held; locks are
 /// taken one at a time in ascending vertex order, which is deadlock free.
+///
+/// CompilePlan() precompiles every vertex's lock set into a flat CSR
+/// ScopeLockPlan once per (graph, model) pair; Acquire/ReleaseScope for
+/// that model then walk a contiguous span with zero per-update
+/// allocation.  Calls under a different model (or before compilation)
+/// fall back to deriving the set per update.
 class ScopeLockTable {
  public:
   explicit ScopeLockTable(size_t num_vertices) : table_(num_vertices) {}
 
+  /// Precompiles the scope lock sets of all `num_vertices` vertices for
+  /// `model` (structure is frozen once the graph is finalized, so this
+  /// holds for the engine's lifetime).  `parallel_for` distributes the
+  /// build (engines pass ExecutionSubstrate::RunBatch).
+  template <typename Graph>
+  void CompilePlan(const Graph& graph, size_t num_vertices,
+                   ConsistencyModel model,
+                   const PlanParallelFor& parallel_for) {
+    plan_ = ScopeLockPlan::Compile(graph, num_vertices, model, parallel_for);
+  }
+
+  const ScopeLockPlan& plan() const { return plan_; }
+
   template <typename Graph>
   void AcquireScope(const Graph& graph, LocalVid v, ConsistencyModel model) {
+    if (plan_.compiled() && plan_.model() == model) {
+      for (const ScopeLockPlan::Entry& e : plan_.scope(v)) {
+        LockOne(e.vid, e.exclusive != 0);
+      }
+      return;
+    }
     ForEachScopeLock(graph, v, model, [this](LocalVid u, bool exclusive) {
-      std::binary_semaphore held(0);
-      table_.Acquire(u, exclusive, [&held] { held.release(); });
-      held.acquire();
+      LockOne(u, exclusive);
     });
   }
 
   template <typename Graph>
   void ReleaseScope(const Graph& graph, LocalVid v, ConsistencyModel model) {
+    if (plan_.compiled() && plan_.model() == model) {
+      for (const ScopeLockPlan::Entry& e : plan_.scope(v)) {
+        table_.Release(e.vid, e.exclusive != 0);
+      }
+      return;
+    }
     ForEachScopeLock(graph, v, model, [this](LocalVid u, bool exclusive) {
       table_.Release(u, exclusive);
     });
@@ -83,6 +113,19 @@ class ScopeLockTable {
   CallbackLockTable& table() { return table_; }
 
  private:
+  /// Blocks until the lock is held.  Uncontended locks grant through the
+  /// inline TryAcquire fast path (one short mutex, no semaphore, no
+  /// allocation); only contended locks pay the callback + semaphore
+  /// handshake — and even there the one-reference callback lives in
+  /// std::function's small buffer, so the wait itself allocates only if
+  /// the lock's waiter queue grows.
+  void LockOne(LocalVid u, bool exclusive) {
+    if (table_.TryAcquire(u, exclusive)) return;
+    std::binary_semaphore held(0);
+    table_.Acquire(u, exclusive, [&held] { held.release(); });
+    held.acquire();
+  }
+
   /// Visits the scope lock set of v in canonical ascending order with
   /// duplicates merged (a neighbor reachable through both an in- and an
   /// out-edge must be locked exactly once, at the strongest mode).
@@ -112,6 +155,7 @@ class ScopeLockTable {
   }
 
   CallbackLockTable table_;
+  ScopeLockPlan plan_;
 };
 
 // ---------------------------------------------------------------------
@@ -122,9 +166,13 @@ class ExecutionSubstrate {
  public:
   /// Strategy hooks for the asynchronous worker loop.
   struct WorkerHooks {
-    /// Pops the next ready task; returns false when none is available
-    /// right now.  May block briefly (e.g. a timed queue pop).  Required.
-    std::function<bool(LocalVid* v, double* priority)> next_task;
+    /// Pops the next ready task for `worker` — the calling worker's index
+    /// in [0, num_threads), which strategies forward to their scheduler
+    /// as the work-stealing affinity hint.  Returns false when none is
+    /// available right now.  May block briefly (e.g. a timed queue pop).
+    /// Required.
+    std::function<bool(LocalVid* v, double* priority, size_t worker)>
+        next_task;
     /// Executes one task (scope acquisition, update fn, release, flush —
     /// whatever the strategy requires).  Required.
     std::function<void(LocalVid v, double priority)> execute;
@@ -172,7 +220,8 @@ class ExecutionSubstrate {
     std::vector<std::thread> workers;
     workers.reserve(num_threads);
     for (size_t t = 0; t < num_threads; ++t) {
-      workers.emplace_back([this, &hooks, budget] { WorkerLoop(hooks, budget); });
+      workers.emplace_back(
+          [this, &hooks, budget, t] { WorkerLoop(hooks, budget, t); });
     }
     if (coordinator) {
       coordinator();
@@ -303,8 +352,11 @@ class ExecutionSubstrate {
     ExecutionSubstrate* previous;
   };
 
-  void WorkerLoop(const WorkerHooks& hooks, uint64_t budget) {
+  void WorkerLoop(const WorkerHooks& hooks, uint64_t budget, size_t worker) {
     WorkerTlsScope tls(this);
+    // Publish the worker index so Schedule() calls made from inside
+    // update functions land on this worker's home scheduler shard.
+    WorkerAffinity::Scope affinity(worker);
     int idle_spins = 0;
     for (;;) {
       if (stop_.load(std::memory_order_acquire)) return;
@@ -312,10 +364,15 @@ class ExecutionSubstrate {
         stop_.store(true, std::memory_order_release);
         return;
       }
-      if (hooks.tick && !hooks.tick()) continue;
+      if (hooks.tick && !hooks.tick()) {
+        // A gated iteration (paused pipeline, simulated stall) must not
+        // spin a core; pace it like an empty queue.
+        std::this_thread::sleep_for(hooks.idle_sleep);
+        continue;
+      }
       LocalVid v;
       double priority;
-      if (!hooks.next_task(&v, &priority)) {
+      if (!hooks.next_task(&v, &priority, worker)) {
         if (!hooks.exit_on_quiescence) continue;  // timed pop paces the loop
         // Empty now; terminate once no worker is mid-update (a running
         // update may still schedule more work) and the strategy agrees.
@@ -395,6 +452,26 @@ class EngineBase : public IEngine<Graph> {
   /// `static_cast<EngineBase*>(this)` when constructing the Context.
   static void ScheduleTrampoline(void* self, LocalVid v, double priority) {
     static_cast<EngineBase*>(self)->Schedule(v, priority);
+  }
+
+  /// Precompiles `locks`'s scope-lock plan for this engine's configured
+  /// consistency model, building in parallel on the substrate's batch
+  /// pool.  No-op when consistency enforcement is off or a matching plan
+  /// already exists.  Call at the top of Start(), before workers spawn
+  /// (single-threaded with respect to lock traffic).
+  template <typename G>
+  void EnsureScopePlan(const G& graph, size_t num_vertices,
+                       ScopeLockTable* locks) {
+    if (!options_.enforce_consistency) return;
+    if (locks->plan().compiled() &&
+        locks->plan().model() == options_.consistency) {
+      return;
+    }
+    locks->CompilePlan(
+        graph, num_vertices, options_.consistency,
+        [this](size_t n, const std::function<void(size_t, size_t)>& fn) {
+          substrate_.RunBatch(options_.num_threads, n, fn);
+        });
   }
 
   /// The local consistency-enforcement sequence shared by the

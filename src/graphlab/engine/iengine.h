@@ -24,6 +24,8 @@
 #ifndef GRAPHLAB_ENGINE_IENGINE_H_
 #define GRAPHLAB_ENGINE_IENGINE_H_
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -54,6 +56,12 @@ struct EngineOptions {
   /// default: "fifo" everywhere except the priority-driven locking
   /// engine (Sec. 4.2.2).
   std::string scheduler;
+
+  /// Shard count for the sharded work-stealing schedulers
+  /// (shared_memory, locking).  0 = auto: num_threads rounded down to a
+  /// power of two, so every shard is some worker's home shard (see the
+  /// starvation rule at ResolveSchedulerShards).
+  size_t scheduler_shards = 0;
 
   /// When false, no scope locks are taken: the racing / non-serializable
   /// execution of Fig. 1(d).  Only use with race-tolerant vertex data
@@ -184,9 +192,17 @@ class IEngine {
 inline Expected<std::unique_ptr<IScheduler>> CreateScheduler(
     const EngineOptions& options, size_t num_vertices,
     const std::string& default_name = "fifo") {
+  // Default the shard count to the worker count (rounded down to a
+  // power of two): every shard must be some worker's home shard or
+  // home-first draining starves the un-homed shards (see
+  // ResolveSchedulerShards).
+  size_t shards = options.scheduler_shards;
+  if (shards == 0) {
+    shards = std::bit_floor(std::max<size_t>(1, options.num_threads));
+  }
   return CreateScheduler(
       options.scheduler.empty() ? default_name : options.scheduler,
-      num_vertices);
+      num_vertices, shards);
 }
 
 }  // namespace graphlab

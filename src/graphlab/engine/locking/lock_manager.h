@@ -20,14 +20,17 @@
 #ifndef GRAPHLAB_ENGINE_LOCKING_LOCK_MANAGER_H_
 #define GRAPHLAB_ENGINE_LOCKING_LOCK_MANAGER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "graphlab/engine/handler_ids.h"
 #include "graphlab/engine/locking/lock_table.h"
+#include "graphlab/engine/scope_lock_plan.h"
 #include "graphlab/graph/coloring.h"
 #include "graphlab/graph/distributed_graph.h"
 #include "graphlab/rpc/runtime.h"
@@ -102,6 +105,45 @@ class DistributedLockManager {
 
   CallbackLockTable& lock_table() { return locks_; }
 
+  /// Precompiles, for every local vertex's scope, the subset of locks
+  /// this machine owns — ascending by *global* id, the canonical
+  /// (owner(v), v) acquisition order — into a flat CSR plan.  Chain hops
+  /// and releases then walk contiguous spans instead of allocating and
+  /// sorting a fresh set per request.  Must be called (once) before any
+  /// scope request flows; the locking engine does so at construction.
+  void CompilePlans(const PlanParallelFor& parallel_for) {
+    const size_t n = graph_->num_local_vertices();
+    const bool vertex_only =
+        model_ == ConsistencyModel::kVertexConsistency;
+    const uint8_t nbr_excl =
+        model_ == ConsistencyModel::kFullConsistency ? 1 : 0;
+    plan_ = ScopeLockPlan::CompileWith(
+        n, model_, parallel_for,
+        [this, vertex_only](LocalVid center) -> size_t {
+          size_t count = graph_->is_owned(center) ? 1 : 0;
+          if (vertex_only) return count;
+          for (LocalVid nb : graph_->neighbors(center)) {
+            if (graph_->is_owned(nb)) count++;
+          }
+          return count;
+        },
+        [this, vertex_only, nbr_excl](LocalVid center,
+                                      ScopeLockPlan::Entry* out) {
+          size_t i = 0;
+          if (graph_->is_owned(center)) out[i++] = {center, 1};
+          if (!vertex_only) {
+            for (LocalVid nb : graph_->neighbors(center)) {
+              if (graph_->is_owned(nb)) out[i++] = {nb, nbr_excl};
+            }
+          }
+          std::sort(out, out + i,
+                    [this](const ScopeLockPlan::Entry& a,
+                           const ScopeLockPlan::Entry& b) {
+                      return graph_->Gvid(a.vid) < graph_->Gvid(b.vid);
+                    });
+        });
+  }
+
  private:
   /// Machines participating in the scope chain of owned vertex l.
   std::vector<rpc::MachineId> ChainFor(LocalVid l) const {
@@ -112,30 +154,13 @@ class DistributedLockManager {
     return {span.begin(), span.end()};
   }
 
-  /// Lock set for the scope of global vertex `gvid` restricted to vertices
-  /// owned by this machine, ascending by global id.
-  /// Returns pairs (local vid, exclusive?).
-  std::vector<std::pair<LocalVid, bool>> LocalLockSet(VertexId gvid) const {
-    std::vector<std::pair<LocalVid, bool>> set;
-    LocalVid center = graph_->Lvid(gvid);
-    const bool center_owned = graph_->is_owned(center);
-    if (center_owned) {
-      set.emplace_back(center, true);  // write lock on the central vertex
-    }
-    if (model_ != ConsistencyModel::kVertexConsistency) {
-      const bool neighbors_exclusive =
-          model_ == ConsistencyModel::kFullConsistency;
-      for (LocalVid n : graph_->neighbors(center)) {
-        if (graph_->is_owned(n)) {
-          set.emplace_back(n, neighbors_exclusive);
-        }
-      }
-    }
-    std::sort(set.begin(), set.end(),
-              [&](const auto& a, const auto& b) {
-                return graph_->Gvid(a.first) < graph_->Gvid(b.first);
-              });
-    return set;
+  /// Lock set for the scope of global vertex `gvid` restricted to
+  /// vertices owned by this machine, ascending by global id — a view
+  /// into the plan compiled by CompilePlans() (stable for the manager's
+  /// lifetime, so chained continuations may hold it across hops).
+  std::span<const ScopeLockPlan::Entry> LocalLockSet(VertexId gvid) const {
+    GL_CHECK(plan_.compiled()) << "CompilePlans() not called";
+    return plan_.scope(graph_->Lvid(gvid));
   }
 
   void StartHop(const std::vector<rpc::MachineId>& chain, size_t pos,
@@ -171,23 +196,24 @@ class DistributedLockManager {
   void AcquireLocalThenForwardRemote(std::vector<rpc::MachineId> chain,
                                      size_t pos, uint64_t id, VertexId gvid,
                                      rpc::MachineId requester) {
-    auto set = std::make_shared<std::vector<std::pair<LocalVid, bool>>>(
-        LocalLockSet(gvid));
-    AcquireSequential(std::move(chain), pos, id, gvid, requester, set, 0);
+    AcquireSequential(std::move(chain), pos, id, gvid, requester,
+                      LocalLockSet(gvid), 0);
   }
 
   /// Acquires set[i..] one by one via callback chaining, then forwards.
-  void AcquireSequential(
-      std::vector<rpc::MachineId> chain, size_t pos, uint64_t id,
-      VertexId gvid, rpc::MachineId requester,
-      std::shared_ptr<std::vector<std::pair<LocalVid, bool>>> set,
-      size_t i) {
-    if (i == set->size()) {
+  /// `set` views the precompiled plan (stable storage), so continuations
+  /// carry a 16-byte span instead of a shared_ptr'd vector.
+  void AcquireSequential(std::vector<rpc::MachineId> chain, size_t pos,
+                         uint64_t id, VertexId gvid,
+                         rpc::MachineId requester,
+                         std::span<const ScopeLockPlan::Entry> set,
+                         size_t i) {
+    if (i == set.size()) {
       Forward(std::move(chain), pos, id, gvid, requester);
       return;
     }
-    auto [vid, exclusive] = (*set)[i];
-    locks_.Acquire(vid, exclusive,
+    const ScopeLockPlan::Entry e = set[i];
+    locks_.Acquire(e.vid, e.exclusive != 0,
                    [this, chain = std::move(chain), pos, id, gvid, requester,
                     set, i]() mutable {
                      AcquireSequential(std::move(chain), pos, id, gvid,
@@ -235,8 +261,8 @@ class DistributedLockManager {
 
   /// Releases this machine's locks for the scope of `gvid`.
   void ReleaseLocal(VertexId gvid) {
-    for (auto [vid, exclusive] : LocalLockSet(gvid)) {
-      locks_.Release(vid, exclusive);
+    for (const ScopeLockPlan::Entry& e : LocalLockSet(gvid)) {
+      locks_.Release(e.vid, e.exclusive != 0);
     }
   }
 
@@ -244,6 +270,7 @@ class DistributedLockManager {
   GraphType* graph_;
   ConsistencyModel model_;
   CallbackLockTable locks_;
+  ScopeLockPlan plan_;
 
   std::atomic<uint64_t> next_request_id_{1};
   mutable std::mutex pending_mutex_;

@@ -33,6 +33,20 @@ class CallbackLockTable {
   explicit CallbackLockTable(size_t num_vertices)
       : locks_(num_vertices) {}
 
+  /// Grants v inline when it is immediately available (no queued waiter
+  /// and the mode is compatible — the same condition under which
+  /// Acquire() would fire its callback inline); returns false without
+  /// queuing otherwise.  The blocking scope-lock fast path uses this to
+  /// skip the semaphore handshake entirely on uncontended locks.
+  bool TryAcquire(LocalVid v, bool write) {
+    GL_CHECK_LT(v, locks_.size());
+    LockState& s = locks_[v];
+    std::lock_guard<std::mutex> lock(MutexFor(v));
+    if (!s.queue.empty() || !Compatible(s, write)) return false;
+    Admit(&s, write);
+    return true;
+  }
+
   /// Requests vertex v in read or write mode; `cb` fires exactly once when
   /// the lock is held.  May fire inline.
   void Acquire(LocalVid v, bool write, Callback cb) {

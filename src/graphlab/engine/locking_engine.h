@@ -70,6 +70,15 @@ class LockingEngine final
     if (this->options_.max_pipeline_length == 0) {
       this->options_.max_pipeline_length = 1;
     }
+    // Precompile the owned-restricted local lock set of every scope this
+    // machine participates in: chain hops and releases then walk flat
+    // spans instead of re-deriving (and allocating) the set per request.
+    // Safe here: no machine issues lock requests before the collective
+    // barrier inside Start(), by which time every engine is constructed.
+    lock_manager_.CompilePlans(
+        [this](size_t n, const std::function<void(size_t, size_t)>& fn) {
+          this->substrate_.RunBatch(this->options_.num_threads, n, fn);
+        });
     ctx_.comm().RegisterHandler(
         ctx_.id, kScheduleForwardHandler,
         [this](rpc::MachineId, InArchive& ia) {
@@ -169,7 +178,12 @@ class LockingEngine final
       TryFillPipeline();
       return true;
     };
-    hooks.next_task = [this](LocalVid* v, double* priority) {
+    hooks.next_task = [this](LocalVid* v, double* priority,
+                             size_t /*worker*/) {
+      // The ready queue is fed by lock-grant callbacks, not per-worker —
+      // the worker affinity applies one stage earlier, where
+      // TryFillPipeline pops the scheduler (its two-argument GetNext
+      // resolves the calling worker's published affinity).
       auto task = ready_.PopWithTimeout(std::chrono::microseconds(500));
       if (!task.has_value()) return false;
       *v = task->vid;

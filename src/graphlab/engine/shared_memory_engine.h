@@ -71,10 +71,14 @@ class SharedMemoryEngine final : public EngineBase<LocalGraph<VertexData, EdgeDa
     GL_CHECK(this->update_fn_) << "no update function";
     Timer timer;
     const double busy_before = this->substrate_.busy_seconds();
+    // Compile the flat scope-lock plan once per (graph, model) pair so
+    // every update's Acquire/ReleaseScope is a plan walk (no allocation,
+    // no sort).
+    this->EnsureScopePlan(*graph_, graph_->num_vertices(), &scope_locks_);
 
     ExecutionSubstrate::WorkerHooks hooks;
-    hooks.next_task = [this](LocalVid* v, double* priority) {
-      return scheduler_->GetNext(v, priority);
+    hooks.next_task = [this](LocalVid* v, double* priority, size_t worker) {
+      return scheduler_->GetNext(v, priority, worker);
     };
     hooks.execute = [this](LocalVid v, double priority) {
       ExecuteUpdate(v, priority);

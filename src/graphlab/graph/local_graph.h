@@ -61,12 +61,14 @@ class LocalGraph {
     return static_cast<EdgeId>(edge_data_.size() - 1);
   }
 
-  /// Freezes the structure and builds adjacency indexes.  Idempotent.
+  /// Freezes the structure and builds adjacency indexes (including the
+  /// distinct-neighbor CSR behind neighbors()).  Idempotent.
   void Finalize() {
     if (finalized_) return;
     BuildIndex(sources_, &out_index_, &out_edges_);
     BuildIndex(targets_, &in_index_, &in_edges_);
-    finalized_ = true;
+    finalized_ = true;  // before the neighbor pass: it reads in/out_edges()
+    BuildNeighborIndex();
   }
 
   bool finalized() const { return finalized_; }
@@ -111,15 +113,14 @@ class LocalGraph {
   size_t in_degree(VertexId v) const { return in_edges(v).size(); }
   size_t out_degree(VertexId v) const { return out_edges(v).size(); }
 
-  /// All distinct neighbors of v in either direction, ascending.
-  std::vector<VertexId> neighbors(VertexId v) const {
-    std::vector<VertexId> out;
-    out.reserve(in_degree(v) + out_degree(v));
-    for (EdgeId e : in_edges(v)) out.push_back(source(e));
-    for (EdgeId e : out_edges(v)) out.push_back(target(e));
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-    return out;
+  /// All distinct neighbors of v in either direction, ascending — a view
+  /// into the CSR index compiled by Finalize(), so repeated calls (the
+  /// engines' hot path, scope-lock plan compilation, GAS contexts)
+  /// allocate nothing.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    GL_CHECK(finalized_);
+    return {nbr_list_.data() + nbr_index_[v],
+            nbr_index_[v + 1] - nbr_index_[v]};
   }
 
   // ------------------------------------------------------------------
@@ -171,6 +172,24 @@ class LocalGraph {
     }
   }
 
+  /// Distinct-neighbor CSR (sorted, deduplicated across directions).
+  void BuildNeighborIndex() {
+    const size_t n = vertex_data_.size();
+    nbr_index_.assign(n + 1, 0);
+    nbr_list_.clear();
+    std::vector<VertexId> scratch;
+    for (VertexId v = 0; v < n; ++v) {
+      scratch.clear();
+      for (EdgeId e : in_edges(v)) scratch.push_back(sources_[e]);
+      for (EdgeId e : out_edges(v)) scratch.push_back(targets_[e]);
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      nbr_list_.insert(nbr_list_.end(), scratch.begin(), scratch.end());
+      nbr_index_[v + 1] = nbr_list_.size();
+    }
+  }
+
   bool finalized_ = false;
   std::vector<VertexData> vertex_data_;
   std::vector<EdgeData> edge_data_;
@@ -178,6 +197,8 @@ class LocalGraph {
   std::vector<VertexId> targets_;
   std::vector<uint64_t> in_index_, out_index_;   // CSR offsets
   std::vector<EdgeId> in_edges_, out_edges_;     // CSR payloads
+  std::vector<uint64_t> nbr_index_;              // neighbor CSR offsets
+  std::vector<VertexId> nbr_list_;               // neighbor CSR payload
 };
 
 }  // namespace graphlab

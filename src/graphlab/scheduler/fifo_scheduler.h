@@ -1,13 +1,31 @@
 // Copyright 2026 The Distributed GraphLab Reproduction Authors.
 //
-// FIFO scheduler: vertices are executed in schedule order; re-scheduling a
-// queued vertex is a no-op (set semantics).
+// Sharded work-stealing FIFO scheduler: vertices are executed roughly in
+// schedule order; re-scheduling a queued vertex is a no-op (set
+// semantics).
+//
+// N shards, each a mutex-guarded deque.  Schedule() pushes to the
+// scheduling worker's home shard (vertex-hash when the caller is not a
+// substrate worker), GetNext() drains the popping worker's home shard
+// and steals round-robin when it is empty.  FIFO order therefore holds
+// per shard — the global order is only approximately FIFO, which is the
+// relaxation Sec. 3.3 already permits.
+//
+// Set-semantics protocol: the shared atomic bitset records queued-ness;
+// a bit transition and its matching queue operation always happen under
+// one shard lock, and Clear() holds *every* shard lock.  This closes the
+// pre-sharding race where SetBit succeeded outside the lock and a
+// concurrent Clear() landed between the bit and the push, leaving state
+// where the bit and the queue disagreed and the vertex could never be
+// scheduled again.
 
 #ifndef GRAPHLAB_SCHEDULER_FIFO_SCHEDULER_H_
 #define GRAPHLAB_SCHEDULER_FIFO_SCHEDULER_H_
 
+#include <atomic>
 #include <deque>
 #include <mutex>
+#include <vector>
 
 #include "graphlab/scheduler/scheduler.h"
 #include "graphlab/util/dense_bitset.h"
@@ -16,47 +34,85 @@ namespace graphlab {
 
 class FifoScheduler final : public IScheduler {
  public:
-  explicit FifoScheduler(size_t num_vertices) : queued_(num_vertices) {}
+  explicit FifoScheduler(size_t num_vertices, size_t num_shards = 0)
+      : queued_(num_vertices),
+        shards_(ResolveSchedulerShards(num_shards, num_vertices)),
+        shard_mask_(shards_.size() - 1) {}
 
   void Schedule(LocalVid v, double priority) override {
     (void)priority;
-    if (!queued_.SetBit(v)) return;  // already queued
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(v);
+    // Already-queued vertices merge without touching any lock (the
+    // common case for hub vertices under power-law fan-in).  Racing a
+    // concurrent pop or Clear here is benign: observing the bit set
+    // linearizes this call as a merge with that queued entry.
+    if (queued_.Test(v)) return;
+    Shard& s = shards_[HomeShard(v)];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // SetBit inside the shard lock: Clear() holds every shard lock, so
+    // the bit and its queue entry appear (and disappear) atomically.
+    if (!queued_.SetBit(v)) return;  // already queued in some shard
+    s.queue.push_back(v);
+    size_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  bool GetNext(LocalVid* v, double* priority) override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (queue_.empty()) return false;
-    *v = queue_.front();
-    queue_.pop_front();
-    *priority = 1.0;
-    queued_.ClearBit(*v);
-    return true;
+  bool GetNext(LocalVid* v, double* priority, size_t worker_hint) override {
+    // Drained fast path: quiescence polling must not take N shard locks
+    // per failed pop.  Transient emptiness is fine (same contract as
+    // Empty()); callers retry.
+    if (size_.load(std::memory_order_relaxed) <= 0) return false;
+    const size_t home = sched_detail::ScanStart(worker_hint, shard_mask_);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = shards_[(home + i) & shard_mask_];
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (s.queue.empty()) continue;
+      *v = s.queue.front();
+      s.queue.pop_front();
+      queued_.ClearBit(*v);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      *priority = 1.0;
+      return true;
+    }
+    return false;
   }
 
   bool Empty() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.empty();
+    return size_.load(std::memory_order_relaxed) <= 0;
   }
 
   size_t ApproxSize() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    int64_t s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<size_t>(s);
   }
 
   void Clear() override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.clear();
+    std::vector<std::unique_lock<std::mutex>> held;
+    held.reserve(shards_.size());
+    for (Shard& s : shards_) held.emplace_back(s.mutex);
+    for (Shard& s : shards_) s.queue.clear();
     queued_.Clear();
+    size_.store(0, std::memory_order_relaxed);
   }
 
   const char* name() const override { return "fifo"; }
 
+  size_t num_shards() const { return shards_.size(); }
+
  private:
-  mutable std::mutex mutex_;
-  std::deque<LocalVid> queue_;
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::deque<LocalVid> queue;
+  };
+
+  size_t HomeShard(LocalVid v) const {
+    const size_t w = WorkerAffinity::Get();
+    return (w != WorkerAffinity::kNone ? w : sched_detail::HashVid(v)) &
+           shard_mask_;
+  }
+
   DenseBitset queued_;
+  std::vector<Shard> shards_;
+  size_t shard_mask_;
+  std::atomic<int64_t> size_{0};
 };
 
 }  // namespace graphlab

@@ -1,18 +1,28 @@
 // Copyright 2026 The Distributed GraphLab Reproduction Authors.
 //
-// Approximate priority scheduler.
+// Sharded approximate priority scheduler.
 //
 // Matches the paper's CoSeg configuration: "the locking engine with an
 // approximate priority scheduler" (Sec. 5.2), implementing the adaptive
-// residual schedule of Elidan et al. [11].  A binary heap with lazy
-// deletion: re-scheduling with a higher priority pushes a fresh heap entry;
-// stale entries are skipped at pop time by comparing against the recorded
-// best priority.  The order is approximate under concurrency — exactly the
-// relaxation Sec. 3.3 permits.
+// residual schedule of Elidan et al. [11].  Vertices hash to a fixed
+// shard; each shard is a mutex-guarded binary heap with lazy deletion
+// (re-scheduling with a higher priority pushes a fresh entry, stale
+// entries are skipped at pop time against the recorded best priority).
+//
+// Cross-shard ordering uses a lock-free hint: every shard publishes its
+// current heap top as a relaxed atomic; GetNext() reads all hints,
+// locks only the argmax shard, and pops there.  Single-threaded this is
+// the exact max; under concurrency the order is approximate — exactly
+// the relaxation Sec. 3.3 permits.  Because a vertex's shard is fixed,
+// its best_ slot and bitset bit only ever change under one shard lock,
+// so the relaxed size counter stays exact and Clear() (all shard locks)
+// is atomic against every other operation.
 
 #ifndef GRAPHLAB_SCHEDULER_PRIORITY_SCHEDULER_H_
 #define GRAPHLAB_SCHEDULER_PRIORITY_SCHEDULER_H_
 
+#include <atomic>
+#include <limits>
 #include <mutex>
 #include <queue>
 #include <vector>
@@ -24,50 +34,79 @@ namespace graphlab {
 
 class PriorityScheduler final : public IScheduler {
  public:
-  explicit PriorityScheduler(size_t num_vertices)
-      : queued_(num_vertices), best_(num_vertices, 0.0) {}
+  explicit PriorityScheduler(size_t num_vertices, size_t num_shards = 0)
+      : queued_(num_vertices),
+        best_(num_vertices, 0.0),
+        shards_(ResolveSchedulerShards(num_shards, num_vertices)),
+        shard_mask_(shards_.size() - 1) {}
 
   void Schedule(LocalVid v, double priority) override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    bool was_queued = !queued_.SetBit(v);
+    Shard& s = shards_[ShardOf(v)];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const bool was_queued = !queued_.SetBit(v);
     if (was_queued && priority <= best_[v]) return;  // merged (max)
     best_[v] = was_queued ? std::max(best_[v], priority) : priority;
-    heap_.push({best_[v], v});
+    s.heap.push({best_[v], v});
+    if (!was_queued) size_.fetch_add(1, std::memory_order_relaxed);
+    s.top.store(s.heap.top().priority, std::memory_order_relaxed);
   }
 
-  bool GetNext(LocalVid* v, double* priority) override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    while (!heap_.empty()) {
-      Entry top = heap_.top();
-      heap_.pop();
-      if (!queued_.Test(top.vid) || top.priority < best_[top.vid]) {
-        continue;  // stale (already popped or superseded)
+  bool GetNext(LocalVid* v, double* priority, size_t worker_hint) override {
+    // Drained fast path: the fallback sweep below would otherwise lock
+    // every shard per failed pop during quiescence polling.  Transient
+    // emptiness is fine (same contract as Empty()); callers retry.
+    if (size_.load(std::memory_order_relaxed) <= 0) return false;
+    const size_t home = worker_hint & shard_mask_;
+    // Pick the shard whose published top is highest (scanning from the
+    // home shard so ties resolve locally), pop under that shard's lock.
+    size_t best_shard = shards_.size();
+    double best_top = kEmptyTop;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const size_t k = (home + i) & shard_mask_;
+      const double t = shards_[k].top.load(std::memory_order_relaxed);
+      if (t > best_top) {
+        best_top = t;
+        best_shard = k;
       }
-      queued_.ClearBit(top.vid);
-      *v = top.vid;
-      *priority = top.priority;
+    }
+    if (best_shard != shards_.size() &&
+        PopFromShard(best_shard, v, priority)) {
       return true;
+    }
+    // Hints are approximate under concurrency — sweep the rest.
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const size_t k = (home + i) & shard_mask_;
+      if (k != best_shard && PopFromShard(k, v, priority)) return true;
     }
     return false;
   }
 
   bool Empty() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return queued_.PopCount() == 0;
+    return size_.load(std::memory_order_relaxed) <= 0;
   }
 
   size_t ApproxSize() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return queued_.PopCount();
+    int64_t s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<size_t>(s);
   }
 
   void Clear() override {
-    std::lock_guard<std::mutex> lock(mutex_);
-    heap_ = {};
+    std::vector<std::unique_lock<std::mutex>> held;
+    held.reserve(shards_.size());
+    for (Shard& s : shards_) held.emplace_back(s.mutex);
+    for (Shard& s : shards_) {
+      s.heap = {};
+      s.top.store(kEmptyTop, std::memory_order_relaxed);
+    }
+    // best_ values may go stale: a future Schedule of a non-queued
+    // vertex overwrites its slot unconditionally.
     queued_.Clear();
+    size_.store(0, std::memory_order_relaxed);
   }
 
   const char* name() const override { return "priority"; }
+
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   struct Entry {
@@ -75,11 +114,45 @@ class PriorityScheduler final : public IScheduler {
     LocalVid vid;
     bool operator<(const Entry& o) const { return priority < o.priority; }
   };
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::priority_queue<Entry> heap;
+    std::atomic<double> top{kEmptyTop};  // lock-free heap-top hint
+  };
 
-  mutable std::mutex mutex_;
-  std::priority_queue<Entry> heap_;
+  static constexpr double kEmptyTop =
+      -std::numeric_limits<double>::infinity();
+
+  size_t ShardOf(LocalVid v) const {
+    return sched_detail::HashVid(v) & shard_mask_;
+  }
+
+  bool PopFromShard(size_t k, LocalVid* v, double* priority) {
+    Shard& s = shards_[k];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    while (!s.heap.empty()) {
+      Entry top = s.heap.top();
+      s.heap.pop();
+      if (!queued_.Test(top.vid) || top.priority < best_[top.vid]) {
+        continue;  // stale (already popped or superseded)
+      }
+      queued_.ClearBit(top.vid);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      s.top.store(s.heap.empty() ? kEmptyTop : s.heap.top().priority,
+                  std::memory_order_relaxed);
+      *v = top.vid;
+      *priority = top.priority;
+      return true;
+    }
+    s.top.store(kEmptyTop, std::memory_order_relaxed);
+    return false;
+  }
+
   DenseBitset queued_;
   std::vector<double> best_;
+  std::vector<Shard> shards_;
+  size_t shard_mask_;
+  std::atomic<int64_t> size_{0};
 };
 
 }  // namespace graphlab

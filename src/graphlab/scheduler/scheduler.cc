@@ -1,5 +1,9 @@
 #include "graphlab/scheduler/scheduler.h"
 
+#include <algorithm>
+#include <bit>
+#include <thread>
+
 #include "graphlab/scheduler/fifo_scheduler.h"
 #include "graphlab/scheduler/priority_scheduler.h"
 #include "graphlab/scheduler/sweep_scheduler.h"
@@ -7,19 +11,36 @@
 
 namespace graphlab {
 
+size_t ResolveSchedulerShards(size_t requested, size_t num_vertices) {
+  size_t shards;
+  if (requested == 0) {
+    // Auto with no worker-count information: one shard per hardware
+    // thread, rounded *down* to a power of two — every shard must be
+    // some worker's home shard (see the starvation note in
+    // scheduler.h), and fewer shards than workers is always safe.
+    shards = std::bit_floor(
+        std::max<size_t>(1, std::thread::hardware_concurrency()));
+  } else {
+    shards = std::bit_ceil(requested);
+  }
+  shards = std::min<size_t>(shards, 64);
+  while (shards > 1 && num_vertices < shards * 4) shards >>= 1;
+  return shards;
+}
+
 Expected<std::unique_ptr<IScheduler>> CreateScheduler(
-    const std::string& name, size_t num_vertices) {
+    const std::string& name, size_t num_vertices, size_t num_shards) {
   if (name == "fifo") {
     return std::unique_ptr<IScheduler>(
-        std::make_unique<FifoScheduler>(num_vertices));
+        std::make_unique<FifoScheduler>(num_vertices, num_shards));
   }
   if (name == "sweep") {
     return std::unique_ptr<IScheduler>(
-        std::make_unique<SweepScheduler>(num_vertices));
+        std::make_unique<SweepScheduler>(num_vertices, num_shards));
   }
   if (name == "priority") {
     return std::unique_ptr<IScheduler>(
-        std::make_unique<PriorityScheduler>(num_vertices));
+        std::make_unique<PriorityScheduler>(num_vertices, num_shards));
   }
   return Status::InvalidArgument("unknown scheduler: " + name +
                                  " (expected " + JoinedSchedulerNames() +

@@ -10,12 +10,22 @@
 // requirements ... to enable efficient distributed FIFO and priority
 // scheduling").
 //
+// Every implementation is sharded: T is split across N per-shard
+// structures so concurrent Schedule/GetNext calls from different workers
+// touch disjoint locks.  A worker drains its home shard (worker index mod
+// N) first and steals round-robin from the others when it runs dry, so
+// work stays local until load imbalance forces it to move.  Set semantics
+// are kept by one shared atomic DenseBitset across all shards, and
+// Empty()/ApproxSize() read a relaxed atomic counter so the engines'
+// quiescence polling takes no locks.
+//
 // Scheduling is decentralized: each machine schedules only its own owned
 // vertices; engines forward remote requests to the owner over RPC.
 
 #ifndef GRAPHLAB_SCHEDULER_SCHEDULER_H_
 #define GRAPHLAB_SCHEDULER_SCHEDULER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +34,37 @@
 #include "graphlab/util/status.h"
 
 namespace graphlab {
+
+/// Worker identity published by the execution substrate's worker loop so
+/// (a) two-argument GetNext() callers resolve a real affinity hint and
+/// (b) Schedule() can push to the scheduling worker's home shard (work a
+/// worker generates tends to be popped by the same worker — good cache
+/// locality — and distinct workers stop contending on one queue).
+/// Threads outside a worker loop (RPC dispatch, the setup thread) report
+/// kNone and the schedulers fall back to hashing the vertex id.
+class WorkerAffinity {
+ public:
+  static constexpr size_t kNone = ~size_t{0};
+
+  /// RAII publication for the scope of one worker loop (restores the
+  /// previous value so nested substrates behave).
+  struct Scope {
+    explicit Scope(size_t worker) : previous_(tls_worker_) {
+      tls_worker_ = worker;
+    }
+    ~Scope() { tls_worker_ = previous_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    size_t previous_;
+  };
+
+  static size_t Get() { return tls_worker_; }
+
+ private:
+  inline static thread_local size_t tls_worker_ = kNone;
+};
 
 /// Abstract per-machine scheduler over local vertex ids.
 class IScheduler {
@@ -34,30 +75,80 @@ class IScheduler {
   /// merged (max).  Thread safe.
   virtual void Schedule(LocalVid v, double priority) = 0;
 
-  /// Pops the next vertex.  Returns false when T is currently empty.
-  /// Thread safe.
-  virtual bool GetNext(LocalVid* v, double* priority) = 0;
+  /// Pops the next vertex, draining `worker_hint`'s home shard first and
+  /// stealing round-robin from the other shards when it is empty.
+  /// Returns false when T is currently empty.  Thread safe.
+  virtual bool GetNext(LocalVid* v, double* priority, size_t worker_hint) = 0;
+
+  /// Two-argument spelling for callers without an explicit worker index:
+  /// the hint resolves to the calling worker's published affinity
+  /// (WorkerAffinity), or shard 0 on non-worker threads.
+  bool GetNext(LocalVid* v, double* priority) {
+    const size_t w = WorkerAffinity::Get();
+    return GetNext(v, priority, w == WorkerAffinity::kNone ? 0 : w);
+  }
 
   /// True when T is empty.  A transiently-true answer is acceptable; the
   /// engines combine this with distributed termination detection.
+  /// Lock free (relaxed counter read).
   virtual bool Empty() const = 0;
 
-  /// Approximate |T|.
+  /// Approximate |T|.  Lock free.
   virtual size_t ApproxSize() const = 0;
 
-  /// Drops all queued tasks (between engine runs).
+  /// Drops all queued tasks (between engine runs).  Takes every shard
+  /// lock so it is atomic with respect to concurrent Schedule/GetNext.
   virtual void Clear() = 0;
 
   virtual const char* name() const = 0;
 };
 
+/// Resolves a shard-count request: 0 = auto (hardware concurrency
+/// rounded *down* to a power of two), any other value rounded up to a
+/// power of two.  The result is capped at 64 and halved until the graph
+/// has at least 4 vertices per shard, so tiny graphs do not fragment.
+///
+/// Starvation rule: because workers drain their home shard before
+/// stealing, every shard must be some worker's home shard — with more
+/// shards than popping workers, a worker's self-scheduled work keeps
+/// winning over older entries parked in un-homed shards and iterative
+/// algorithms degenerate into depth-first re-update storms.  Request at
+/// most the number of workers that will call GetNext (the
+/// EngineOptions-routed factory defaults to num_threads for exactly
+/// this reason).
+size_t ResolveSchedulerShards(size_t requested, size_t num_vertices);
+
+namespace sched_detail {
+/// Shard spreading for vertex ids (Fibonacci hashing): consecutive ids
+/// land on different shards so ScheduleAll() seeds every shard evenly.
+inline size_t HashVid(LocalVid v) {
+  return static_cast<size_t>((v * uint64_t{0x9E3779B97F4A7C15}) >> 32);
+}
+
+/// Where a pop scan should start: the worker's home shard, except every
+/// 64th pop per thread, which starts at a rotating shard instead.  The
+/// rotation bounds staleness when the shard count exceeds the popping
+/// worker count (see the starvation rule at ResolveSchedulerShards):
+/// un-homed shards are then guaranteed to drain at >= 1/64 of each
+/// worker's pop rate.  Thread-local, so the fast path adds no shared
+/// cache-line traffic.
+inline size_t ScanStart(size_t worker_hint, size_t shard_mask) {
+  thread_local size_t pop_tick = 0;
+  if ((++pop_tick & 63) == 0) {
+    return (worker_hint + (pop_tick >> 6)) & shard_mask;
+  }
+  return worker_hint & shard_mask;
+}
+}  // namespace sched_detail
+
 /// Factory: "fifo", "sweep" or "priority".  `num_vertices` is the local
-/// vertex count (owned + ghost; only owned ids are ever scheduled).
-/// Unknown names return InvalidArgument so callers can surface bad config
-/// instead of aborting.  An EngineOptions-routed overload lives in
-/// engine/iengine.h.
+/// vertex count (owned + ghost; only owned ids are ever scheduled);
+/// `num_shards` is the shard-count request (0 = auto, see
+/// ResolveSchedulerShards).  Unknown names return InvalidArgument so
+/// callers can surface bad config instead of aborting.  An
+/// EngineOptions-routed overload lives in engine/iengine.h.
 Expected<std::unique_ptr<IScheduler>> CreateScheduler(
-    const std::string& name, size_t num_vertices);
+    const std::string& name, size_t num_vertices, size_t num_shards = 0);
 
 /// Scheduler names CreateScheduler accepts — the single source of truth
 /// for --help text and unknown-name errors (ListEngineNames() is the

@@ -1,13 +1,24 @@
 // Copyright 2026 The Distributed GraphLab Reproduction Authors.
 //
-// Sweep scheduler: scans vertex ids cyclically and executes the scheduled
-// ones in id order — cheap, cache friendly, and the closest analogue of
-// the original GraphLab "sweep" ordering.
+// Sharded sweep scheduler: scans vertex ids cyclically and executes the
+// scheduled ones in id order — cheap, cache friendly, and the closest
+// analogue of the original GraphLab "sweep" ordering.
+//
+// The id space is split into N contiguous shard ranges; each worker
+// sweeps its home range with a private cursor and steals from the other
+// ranges round-robin when its own runs dry.  The shared bitset *is* the
+// queue; a vertex's shard is fixed (its id range), so every bit
+// transition for v happens under shard_of(v)'s lock and the relaxed size
+// counter stays exact.  Schedule from any thread is one short lock +
+// SetBit; scans are lock free (only the final ClearBit takes the shard
+// lock).
 
 #ifndef GRAPHLAB_SCHEDULER_SWEEP_SCHEDULER_H_
 #define GRAPHLAB_SCHEDULER_SWEEP_SCHEDULER_H_
 
 #include <atomic>
+#include <mutex>
+#include <vector>
 
 #include "graphlab/scheduler/scheduler.h"
 #include "graphlab/util/dense_bitset.h"
@@ -16,28 +27,36 @@ namespace graphlab {
 
 class SweepScheduler final : public IScheduler {
  public:
-  explicit SweepScheduler(size_t num_vertices)
-      : num_vertices_(num_vertices), queued_(num_vertices) {}
+  explicit SweepScheduler(size_t num_vertices, size_t num_shards = 0)
+      : num_vertices_(num_vertices),
+        queued_(num_vertices),
+        shards_(ResolveSchedulerShards(num_shards, num_vertices)),
+        shard_mask_(shards_.size() - 1),
+        block_((num_vertices + shards_.size() - 1) / shards_.size()) {}
 
   void Schedule(LocalVid v, double priority) override {
     (void)priority;
+    // Lock-free merge for already-queued vertices (benign race: seeing
+    // the bit set linearizes this call as a merge with that entry).
+    if (queued_.Test(v)) return;
+    Shard& s = shards_[ShardOf(v)];
+    std::lock_guard<std::mutex> lock(s.mutex);
     if (queued_.SetBit(v)) size_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  bool GetNext(LocalVid* v, double* priority) override {
+  bool GetNext(LocalVid* v, double* priority, size_t worker_hint) override {
     if (num_vertices_ == 0) return false;
-    // Scan at most one full cycle starting at the cursor.
-    size_t start = cursor_.fetch_add(1, std::memory_order_relaxed) %
-                   num_vertices_;
-    size_t pos = queued_.FindFirstFrom(start);
-    if (pos == num_vertices_) pos = queued_.FindFirstFrom(0);
-    if (pos == num_vertices_) return false;
-    if (!queued_.ClearBit(pos)) return false;  // raced with another worker
-    size_.fetch_sub(1, std::memory_order_relaxed);
-    cursor_.store(pos + 1, std::memory_order_relaxed);
-    *v = static_cast<LocalVid>(pos);
-    *priority = 1.0;
-    return true;
+    // Drained fast path (see Empty()'s transient-emptiness contract):
+    // no shard locks when there is nothing to pop.
+    if (size_.load(std::memory_order_relaxed) <= 0) return false;
+    const size_t home = sched_detail::ScanStart(worker_hint, shard_mask_);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (TryPop((home + i) & shard_mask_, v)) {
+        *priority = 1.0;
+        return true;
+      }
+    }
+    return false;
   }
 
   bool Empty() const override {
@@ -50,16 +69,58 @@ class SweepScheduler final : public IScheduler {
   }
 
   void Clear() override {
+    std::vector<std::unique_lock<std::mutex>> held;
+    held.reserve(shards_.size());
+    for (Shard& s : shards_) held.emplace_back(s.mutex);
     queued_.Clear();
+    for (Shard& s : shards_) s.cursor = 0;
     size_.store(0, std::memory_order_relaxed);
   }
 
   const char* name() const override { return "sweep"; }
 
+  size_t num_shards() const { return shards_.size(); }
+
  private:
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    size_t cursor = 0;  // offset within the shard's range; guarded by mutex
+  };
+
+  size_t ShardOf(LocalVid v) const { return block_ == 0 ? 0 : v / block_; }
+  size_t RangeBegin(size_t k) const { return k * block_; }
+  size_t RangeEnd(size_t k) const {
+    size_t e = (k + 1) * block_;
+    return e < num_vertices_ ? e : num_vertices_;
+  }
+
+  /// Pops the next scheduled vertex of shard k's range in cyclic id
+  /// order, or returns false when the range has none.
+  bool TryPop(size_t k, LocalVid* v) {
+    const size_t b = RangeBegin(k);
+    const size_t e = RangeEnd(k);
+    if (b >= e) return false;
+    Shard& s = shards_[k];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    size_t pos = queued_.FindFirstInRange(b + s.cursor, e);
+    if (pos == e) {
+      // Wrap: rescan the range head up to the cursor.
+      pos = queued_.FindFirstInRange(b, b + s.cursor);
+      if (pos == b + s.cursor) return false;  // full cycle, nothing set
+    }
+    if (!queued_.ClearBit(pos)) return false;  // defensive; cannot race
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    s.cursor = pos + 1 - b;
+    if (s.cursor >= e - b) s.cursor = 0;
+    *v = static_cast<LocalVid>(pos);
+    return true;
+  }
+
   size_t num_vertices_;
   DenseBitset queued_;
-  std::atomic<size_t> cursor_{0};
+  std::vector<Shard> shards_;
+  size_t shard_mask_;
+  size_t block_;
   std::atomic<int64_t> size_{0};
 };
 

@@ -66,17 +66,22 @@ class DenseBitset {
   }
 
   /// Index of the first set bit at or after `from`, or size() if none.
-  size_t FindFirstFrom(size_t from) const {
-    if (from >= num_bits_) return num_bits_;
+  size_t FindFirstFrom(size_t from) const { return FindFirstInRange(from, num_bits_); }
+
+  /// Index of the first set bit in [from, limit), or `limit` if none —
+  /// the shard-range scan of the sharded sweep scheduler.
+  size_t FindFirstInRange(size_t from, size_t limit) const {
+    limit = limit < num_bits_ ? limit : num_bits_;
+    if (from >= limit) return limit;
     size_t word = from >> 6;
     uint64_t w = words_[word].load(std::memory_order_acquire) &
                  (~uint64_t{0} << (from & 63));
     for (;;) {
       if (w != 0) {
         size_t bit = (word << 6) + __builtin_ctzll(w);
-        return bit < num_bits_ ? bit : num_bits_;
+        return bit < limit ? bit : limit;
       }
-      if (++word >= words_.size()) return num_bits_;
+      if (++word > (limit - 1) >> 6) return limit;
       w = words_[word].load(std::memory_order_acquire);
     }
   }

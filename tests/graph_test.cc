@@ -41,8 +41,9 @@ TEST(LocalGraphTest, BuildAndQuery) {
   EXPECT_EQ(g.in_degree(c), 2u);
   EXPECT_EQ(g.in_degree(a), 0u);
 
-  auto nbrs = g.neighbors(b);
-  EXPECT_EQ(nbrs, (std::vector<VertexId>{a, c}));
+  auto nbrs = g.neighbors(b);  // CSR span since Finalize()
+  EXPECT_EQ(std::vector<VertexId>(nbrs.begin(), nbrs.end()),
+            (std::vector<VertexId>{a, c}));
 }
 
 TEST(LocalGraphTest, DataMutableAfterFinalize) {
