@@ -33,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "graphlab/rpc/transport.h"
+
 namespace graphlab {
 namespace bench {
 
@@ -183,6 +185,42 @@ class JsonWriter {
   JsonObject meta_;
   std::vector<JsonObject> rows_;
 };
+
+// ---------------------------------------------------------------------
+// Communication-stats emitters: one schema for every bench that tracks
+// transport overhead, so the perf trajectory can diff traffic across
+// PRs and backends.
+// ---------------------------------------------------------------------
+
+/// Appends one row with a machine's aggregate traffic counters.
+/// `label` names the measurement (e.g. "tcp/m0", "coalesced").
+inline JsonObject& AddCommStatsRow(JsonWriter* json, const std::string& label,
+                                   const rpc::CommStats& stats) {
+  return json->AddRow()
+      .Set("row", "comm_stats")
+      .Set("label", label)
+      .Set("messages_sent", stats.messages_sent)
+      .Set("bytes_sent", stats.bytes_sent)
+      .Set("messages_received", stats.messages_received)
+      .Set("bytes_received", stats.bytes_received);
+}
+
+/// Appends one row per peer with the per-destination traffic breakdown
+/// (skips peers with zero traffic both ways).
+inline void AddPeerStatsRows(JsonWriter* json, const std::string& label,
+                             const std::vector<rpc::PeerCommStats>& peers) {
+  for (const rpc::PeerCommStats& p : peers) {
+    if (p.messages_sent == 0 && p.messages_received == 0) continue;
+    json->AddRow()
+        .Set("row", "peer_stats")
+        .Set("label", label)
+        .Set("peer", static_cast<uint64_t>(p.peer))
+        .Set("messages_sent", p.messages_sent)
+        .Set("bytes_sent", p.bytes_sent)
+        .Set("messages_received", p.messages_received)
+        .Set("bytes_received", p.bytes_received);
+  }
+}
 
 }  // namespace bench
 }  // namespace graphlab

@@ -114,6 +114,12 @@ class BulkSyncEngine final
     rpc::CommStats before = ctx_.comm().GetStats(ctx_.id);
     const double busy_before = this->substrate_.busy_seconds();
     RunResult result;
+    // Superstep boundaries are natural coalescing windows: consumers only
+    // read ghosts after the scatter barrier.
+    graph_->SetGhostSyncMode(this->options_.ghost_coalescing
+                                 ? GhostSyncMode::kCoalesced
+                                 : GhostSyncMode::kPerScope,
+                             this->options_.ghost_batch_bytes);
     ctx_.barrier().Wait(ctx_.id);
 
     uint64_t max_supersteps = this->options_.max_sweeps;
@@ -174,6 +180,9 @@ class BulkSyncEngine final
         graph_->FlushAllOwnedBulk();
       } else {
         for (LocalVid l : batch) graph_->FlushVertexScope(l);
+        // With coalescing on, per-scope flushes staged into the per-peer
+        // buffers; the superstep boundary is the flush window.
+        graph_->FlushDeltas();
       }
       ctx_.barrier().Wait(ctx_.id);
       ctx_.comm().WaitQuiescent();
@@ -215,6 +224,10 @@ class BulkSyncEngine final
         break;
       }
     }
+
+    // Leave the graph in immediate-flush mode between runs (ships any
+    // straggler staged deltas, e.g. after an abort mid-superstep).
+    graph_->SetGhostSyncMode(GhostSyncMode::kPerScope);
 
     // Cluster-wide update count.
     std::vector<uint64_t> totals =

@@ -109,12 +109,24 @@ class ChromaticEngine final
     uint64_t sweeps = 0;
     const ColorId num_colors = graph_->num_colors();
 
+    // Color-steps are natural coalescing windows: neighbors only read
+    // ghost data after the full communication barrier below, so dirty
+    // entities can ride one framed delta batch per peer per color-step
+    // instead of one frame per scope commit.
+    graph_->SetGhostSyncMode(this->options_.ghost_coalescing
+                                 ? GhostSyncMode::kCoalesced
+                                 : GhostSyncMode::kPerScope,
+                             this->options_.ghost_batch_bytes);
+
     // Align all machines before starting.
     ctx_.barrier().Wait(ctx_.id);
 
     for (;;) {
       for (ColorId color = 0; color < num_colors; ++color) {
         RunColorStep(color);
+        // Close the coalescing window: ship one framed delta batch per
+        // peer with anything staged.
+        graph_->FlushDeltas();
         // Full communication barrier between color-steps: everyone done
         // sending, channels flushed, everyone observed the flush.
         ctx_.barrier().Wait(ctx_.id);
@@ -142,6 +154,9 @@ class ChromaticEngine final
         break;
       }
     }
+
+    // Leave the graph in immediate-flush mode between runs.
+    graph_->SetGhostSyncMode(GhostSyncMode::kPerScope);
 
     this->last_result_ = RunResult{};
     this->last_result_.updates = CollectTotalUpdates(local_updates_);

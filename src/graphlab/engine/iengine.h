@@ -87,6 +87,17 @@ struct EngineOptions {
   /// functions.  See vertex_program/gas_compiler.h.
   bool gather_cache = false;
 
+  /// Coalesce ghost pushes into per-peer framed delta batches shipped at
+  /// window boundaries (chromatic color-steps, bulk-sync supersteps)
+  /// instead of one frame per scope commit.  Repeated writes to the same
+  /// ghost entity within a window merge, cutting bytes on the wire.  The
+  /// locking engine ignores this: its coherence argument needs pushes on
+  /// the channel before lock releases (per-scope mode).
+  bool ghost_coalescing = true;
+  /// Per-peer staging budget before a coalesced buffer auto-flushes
+  /// mid-window; 0 = the graph's default (256 KiB).
+  size_t ghost_batch_bytes = 0;
+
   /// Background sync cadence in milliseconds (locking; 0 = off).
   uint64_t sync_interval_ms = 0;
   /// Sync cadence in color-steps (chromatic; 0 = off).

@@ -140,6 +140,11 @@ class LockingEngine final
     // workers join — so AbortAndJoin() callers cannot observe Start() as
     // finished while this machine is still inside allreduce/barriers.
     this->substrate_.BeginRun();
+    // Pin immediate per-scope flushing regardless of ghost_coalescing:
+    // the coherence argument needs every push on the channel BEFORE the
+    // lock release that follows it, so subsequent lock holders observe
+    // the write (FIFO channels).  A coalescing window would break that.
+    graph_->SetGhostSyncMode(GhostSyncMode::kPerScope);
     rpc::CommStats before = ctx_.comm().GetStats(ctx_.id);
     const uint64_t updates_at_start = this->substrate_.total_updates();
     const double busy_before = this->substrate_.busy_seconds();

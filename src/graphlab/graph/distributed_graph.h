@@ -17,6 +17,35 @@
 // therefore transmitted at most zero times after load, reproducing the
 // paper's optimization.
 //
+// Ghost sync modes:
+//  * kPerScope — each FlushVertexScope() sends immediately, one frame per
+//    destination holding a replica of something that changed.  The
+//    locking engine requires this: pushes must precede lock releases on
+//    the same FIFO channel.
+//  * kCoalesced — FlushVertexScope() stages dirty entities into per-peer
+//    send buffers; repeated writes to the same entity within the flush
+//    window merge (last write wins, at its final version), and
+//    FlushDeltas() ships each peer's buffer as ONE framed delta batch.
+//    Engines whose consumers only read ghosts after a communication
+//    barrier (chromatic color-steps, bulk-sync supersteps) use this —
+//    one frame per peer per window instead of one per scope commit.
+//
+// Wire format of a ghost delta batch (columnar; handler kDataPushHandler):
+//
+//   u8  format         kGhostFrameVersion (2)
+//   u32 vertex_count
+//       vertex_count x u32 gvid          (column)
+//       vertex_count x u64 version       (column)
+//       vertex_count x VertexData blobs  (concatenated, self-delimiting)
+//   u32 edge_count
+//       edge_count x u32 source gvid
+//       edge_count x u32 target gvid
+//       edge_count x u64 version
+//       edge_count x EdgeData blobs
+//
+// Decoding is fully checked: a truncated or corrupt frame logs and drops
+// the remainder instead of crashing (see util/serialization.h).
+//
 // Memory-sharing discipline: machines interact with each other's
 // DistributedGraph instances only through CommLayer messages.
 
@@ -24,9 +53,14 @@
 #define GRAPHLAB_GRAPH_DISTRIBUTED_GRAPH_H_
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graphlab/graph/atom.h"
@@ -37,6 +71,15 @@
 
 namespace graphlab {
 
+/// How FlushVertexScope() ships dirty ghost data (see file header).
+enum class GhostSyncMode {
+  kPerScope,   // send immediately on every scope flush
+  kCoalesced,  // stage into per-peer buffers; FlushDeltas() ships windows
+};
+
+/// Leading byte of every ghost push frame; bump when the layout changes.
+inline constexpr uint8_t kGhostFrameVersion = 2;
+
 template <typename VertexData, typename EdgeData>
 class DistributedGraph {
  public:
@@ -45,6 +88,10 @@ class DistributedGraph {
 
   /// Handler id used for ghost data pushes.
   static constexpr rpc::HandlerId kDataPushHandler = rpc::kFirstUserHandler;
+
+  /// Default per-peer staging budget before a coalesced buffer
+  /// auto-flushes mid-window (bounds memory, pipelines the wire).
+  static constexpr size_t kDefaultGhostBatchBytes = 256 * 1024;
 
   DistributedGraph() = default;
 
@@ -195,32 +242,62 @@ class DistributedGraph {
   uint64_t vertex_version(LocalVid l) const { return vertices_[l].version; }
   uint64_t edge_version(LocalEid e) const { return edges_[e].version; }
 
+  /// Selects how ghost pushes travel (see file header).  Engines set this
+  /// at Start(): chromatic/bulk-sync use kCoalesced windows, the locking
+  /// engine requires kPerScope.  `max_batch_bytes` 0 means the default
+  /// budget.  Not thread safe against in-flight flushes — switch only
+  /// between runs; switching away from kCoalesced ships any staged
+  /// deltas first.
+  void SetGhostSyncMode(GhostSyncMode mode, size_t max_batch_bytes = 0) {
+    if (ghost_sync_mode_ == GhostSyncMode::kCoalesced &&
+        mode != GhostSyncMode::kCoalesced) {
+      FlushDeltas();
+    }
+    ghost_sync_mode_ = mode;
+    ghost_batch_bytes_ =
+        max_batch_bytes == 0 ? kDefaultGhostBatchBytes : max_batch_bytes;
+  }
+  GhostSyncMode ghost_sync_mode() const { return ghost_sync_mode_; }
+
   /// Pushes the modified data of owned vertex l and its adjacent edges to
-  /// every machine holding a replica, one batched message per destination.
-  /// Entities whose version has not advanced are skipped (the paper's
-  /// versioned cache coherence).  Must be called while the caller still
-  /// holds exclusive rights to the scope (before lock release / within the
-  /// color step).
+  /// every machine holding a replica.  Entities whose version has not
+  /// advanced are skipped (the paper's versioned cache coherence), and
+  /// destinations with nothing changed get no frame at all.  In
+  /// kPerScope mode the frames leave immediately (one per destination);
+  /// in kCoalesced mode the entities are staged into the per-peer send
+  /// buffers and leave at the next FlushDeltas() window (or when a
+  /// buffer overflows its byte budget).  Must be called while the caller
+  /// still holds exclusive rights to the scope (before lock release /
+  /// within the color step).
   void FlushVertexScope(LocalVid l) {
     GL_CHECK(is_owned(l));
-    thread_local std::vector<std::pair<rpc::MachineId, OutArchive>> batches;
-    batches.clear();
-    auto archive_for = [&](rpc::MachineId m) -> OutArchive& {
-      for (auto& [dst, oa] : batches) {
-        if (dst == m) return oa;
+    const bool coalesce = ghost_sync_mode_ == GhostSyncMode::kCoalesced;
+    thread_local std::vector<std::pair<rpc::MachineId, DeltaFrame>> batches;
+    thread_local std::string blob;
+    if (!coalesce) batches.clear();
+    auto frame_for = [&](rpc::MachineId m) -> DeltaFrame& {
+      for (auto& [dst, frame] : batches) {
+        if (dst == m) return frame;
       }
-      batches.emplace_back(m, OutArchive());
+      batches.emplace_back(m, DeltaFrame());
       return batches.back().second;
     };
 
     VertexRecord& vr = vertices_[l];
     if (vr.version > vr.flushed_version) {
-      for (rpc::MachineId m : MirrorSpan(l)) {
-        OutArchive& oa = archive_for(m);
-        oa << uint8_t{0} << vr.gvid << vr.version << vr.data;
+      auto mirrors = MirrorSpan(l);
+      if (!mirrors.empty()) {
+        SerializeBlob(vr.data, &blob);
+        for (rpc::MachineId m : mirrors) {
+          if (coalesce) {
+            StageVertex(m, vr.gvid, vr.version, blob);
+          } else {
+            frame_for(m).AddVertex(vr.gvid, vr.version, blob);
+          }
+        }
+        pushes_sent_ += mirrors.size();
       }
       vr.flushed_version = vr.version;
-      pushes_sent_ += MirrorSpan(l).size();
     } else {
       pushes_skipped_++;
     }
@@ -229,9 +306,13 @@ class DistributedGraph {
       if (er.version <= er.flushed_version) return;
       rpc::MachineId other = EdgeMirror(e);
       if (other != me_) {
-        OutArchive& oa = archive_for(other);
-        oa << uint8_t{1} << Gvid(er.src) << Gvid(er.dst) << er.version
-           << er.data;
+        SerializeBlob(er.data, &blob);
+        if (coalesce) {
+          StageEdge(other, Gvid(er.src), Gvid(er.dst), er.version, blob);
+        } else {
+          frame_for(other).AddEdge(Gvid(er.src), Gvid(er.dst), er.version,
+                                   blob);
+        }
         pushes_sent_++;
       }
       er.flushed_version = er.version;
@@ -239,44 +320,70 @@ class DistributedGraph {
     for (LocalEid e : in_edges(l)) flush_edge(e);
     for (LocalEid e : out_edges(l)) flush_edge(e);
 
-    for (auto& [dst, oa] : batches) {
-      if (oa.size() > 0) {
-        comm_->Send(me_, dst, kDataPushHandler, std::move(oa));
+    if (!coalesce) {
+      for (auto& [dst, frame] : batches) {
+        if (!frame.empty()) {
+          OutArchive oa;
+          frame.Encode(&oa);
+          delta_batches_sent_.fetch_add(1, std::memory_order_relaxed);
+          comm_->Send(me_, dst, kDataPushHandler, std::move(oa));
+          frame.Clear();
+        }
       }
     }
   }
 
-  /// Bulk variant used by the synchronous (MPI-style) baseline: pushes
-  /// every owned vertex whose version advanced since its last flush, one
-  /// batched message per destination machine for the whole pass (the
-  /// MPI_Alltoall analogue).  Edges are not exchanged (synchronous kernels
-  /// keep mutable state on vertices).
+  /// Ships every staged coalesced delta, one framed batch per peer with
+  /// anything pending.  Engines call this at window boundaries (end of a
+  /// color-step / superstep, before the communication barrier).  No-op
+  /// for peers with empty buffers and in kPerScope mode.
+  void FlushDeltas() {
+    for (rpc::MachineId m = 0; m < stages_.size(); ++m) {
+      PeerStage& st = *stages_[m];
+      std::lock_guard<std::mutex> lock(st.mutex);
+      FlushStageLocked(m, &st);
+    }
+  }
+
+  /// Bulk variant used by the synchronous (MPI-style) baseline: stages
+  /// every owned vertex whose version advanced since its last flush and
+  /// ships one batched frame per destination machine for the whole pass
+  /// (the MPI_Alltoall analogue).  Edges are not exchanged (synchronous
+  /// kernels keep mutable state on vertices).
   void FlushAllOwnedBulk() {
-    std::vector<OutArchive> batches(placement_.empty()
-                                        ? comm_->num_machines()
-                                        : comm_->num_machines());
+    std::string blob;
     for (LocalVid l : owned_) {
       VertexRecord& vr = vertices_[l];
       if (vr.version <= vr.flushed_version) {
         pushes_skipped_++;
         continue;
       }
-      for (rpc::MachineId m : MirrorSpan(l)) {
-        batches[m] << uint8_t{0} << vr.gvid << vr.version << vr.data;
-        pushes_sent_++;
+      auto mirrors = MirrorSpan(l);
+      if (!mirrors.empty()) {
+        SerializeBlob(vr.data, &blob);
+        for (rpc::MachineId m : mirrors) {
+          StageVertex(m, vr.gvid, vr.version, blob);
+          pushes_sent_++;
+        }
       }
       vr.flushed_version = vr.version;
     }
-    for (rpc::MachineId m = 0; m < batches.size(); ++m) {
-      if (batches[m].size() > 0) {
-        comm_->Send(me_, m, kDataPushHandler, std::move(batches[m]));
-      }
-    }
+    FlushDeltas();
   }
 
   /// Versioning-ablation counters.
   uint64_t pushes_sent() const { return pushes_sent_; }
   uint64_t pushes_skipped() const { return pushes_skipped_; }
+
+  /// Coalescing instrumentation: framed batches shipped, and staged
+  /// writes that merged into an existing entry (re-writes within a flush
+  /// window that per-scope mode would have transmitted separately).
+  uint64_t delta_batches_sent() const {
+    return delta_batches_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t coalesced_merges() const {
+    return coalesced_merges_.load(std::memory_order_relaxed);
+  }
 
   /// Registers callbacks fired (from the comm dispatch thread) whenever a
   /// coherence push actually overwrites a local replica — the hook layers
@@ -290,39 +397,87 @@ class DistributedGraph {
     on_remote_edge_ = std::move(on_edge);
   }
 
-  /// Applies one batched ghost push (runs on the dispatch thread).
+  /// Applies one framed ghost delta batch (runs on the dispatch thread).
+  /// Decoding is fully checked: a truncated or unknown-format frame is
+  /// logged and dropped; entities already applied stay (idempotent under
+  /// the version rule).
   void ApplyDataPush(InArchive& ia) {
-    while (!ia.AtEnd()) {
-      uint8_t type = ia.ReadValue<uint8_t>();
-      if (type == 0) {
-        VertexId gvid = ia.ReadValue<VertexId>();
-        uint64_t version = ia.ReadValue<uint64_t>();
-        VertexData data;
-        ia >> data;
-        LocalVid l = Lvid(gvid);
-        VertexRecord& vr = vertices_[l];
-        GL_CHECK(!vr.owned) << "push for owned vertex " << gvid;
-        if (version > vr.version) {
-          vr.data = std::move(data);
-          vr.version = version;
-          if (on_remote_vertex_) on_remote_vertex_(l);
-        }
-      } else {
-        VertexId gsrc = ia.ReadValue<VertexId>();
-        VertexId gdst = ia.ReadValue<VertexId>();
-        uint64_t version = ia.ReadValue<uint64_t>();
-        EdgeData data;
-        ia >> data;
-        LocalEid e = LeidOf(gsrc, gdst);
-        EdgeRecord& er = edges_[e];
-        if (version > er.version) {
-          er.data = std::move(data);
-          er.version = version;
-          // Keep flushed in sync so this machine does not re-push data it
-          // merely received.
-          er.flushed_version = version;
-          if (on_remote_edge_) on_remote_edge_(e);
-        }
+    uint8_t format = ia.ReadValue<uint8_t>();
+    if (!ia.ok() || format != kGhostFrameVersion) {
+      GL_LOG(ERROR) << "machine " << me_
+                    << ": dropping ghost frame with format "
+                    << static_cast<int>(format) << " (want "
+                    << static_cast<int>(kGhostFrameVersion) << ")";
+      return;
+    }
+
+    thread_local std::vector<VertexId> keys;
+    thread_local std::vector<uint64_t> versions;
+
+    const uint32_t vcount = ia.ReadValue<uint32_t>();
+    if (!ReadColumn(ia, vcount, &keys) ||
+        !ReadColumn(ia, vcount, &versions)) {
+      GL_LOG(ERROR) << "machine " << me_ << ": truncated ghost frame";
+      return;
+    }
+    for (uint32_t i = 0; i < vcount; ++i) {
+      VertexData data;
+      ia >> data;
+      if (!ia.ok()) {
+        GL_LOG(ERROR) << "machine " << me_
+                      << ": truncated vertex blob in ghost frame";
+        return;
+      }
+      // Corrupt-but-decodable keys (not local, or claiming an owned
+      // vertex) are logged and skipped, not fatal: over TCP this input
+      // is externally reachable.
+      LocalVid l = TryLvid(keys[i]);
+      if (l == kInvalidLocalVid || vertices_[l].owned) {
+        GL_LOG(ERROR) << "machine " << me_ << ": ghost push for "
+                      << (l == kInvalidLocalVid ? "non-local" : "owned")
+                      << " vertex " << keys[i] << "; dropping entity";
+        continue;
+      }
+      VertexRecord& vr = vertices_[l];
+      if (versions[i] > vr.version) {
+        vr.data = std::move(data);
+        vr.version = versions[i];
+        if (on_remote_vertex_) on_remote_vertex_(l);
+      }
+    }
+
+    thread_local std::vector<VertexId> dst_keys;
+    const uint32_t ecount = ia.ReadValue<uint32_t>();
+    if (!ReadColumn(ia, ecount, &keys) ||
+        !ReadColumn(ia, ecount, &dst_keys) ||
+        !ReadColumn(ia, ecount, &versions)) {
+      GL_LOG(ERROR) << "machine " << me_ << ": truncated ghost frame";
+      return;
+    }
+    for (uint32_t i = 0; i < ecount; ++i) {
+      EdgeData data;
+      ia >> data;
+      if (!ia.ok()) {
+        GL_LOG(ERROR) << "machine " << me_
+                      << ": truncated edge blob in ghost frame";
+        return;
+      }
+      auto it = leid_of_.find(EdgeKey(keys[i], dst_keys[i]));
+      if (it == leid_of_.end()) {
+        GL_LOG(ERROR) << "machine " << me_ << ": ghost push for non-local "
+                      << "edge " << keys[i] << "->" << dst_keys[i]
+                      << "; dropping entity";
+        continue;
+      }
+      LocalEid e = it->second;
+      EdgeRecord& er = edges_[e];
+      if (versions[i] > er.version) {
+        er.data = std::move(data);
+        er.version = versions[i];
+        // Keep flushed in sync so this machine does not re-push data it
+        // merely received.
+        er.flushed_version = versions[i];
+        if (on_remote_edge_) on_remote_edge_(e);
       }
     }
   }
@@ -355,6 +510,144 @@ class DistributedGraph {
 
   static uint64_t EdgeKey(VertexId s, VertexId d) {
     return (static_cast<uint64_t>(s) << 32) | d;
+  }
+
+  // --------------------------------------------------------------------
+  // Ghost delta frames (see the wire-format comment in the file header)
+  // --------------------------------------------------------------------
+
+  /// Column-oriented frame contents: entity keys and versions in flat
+  /// columns, pre-serialized data blobs appended in entity order.
+  struct DeltaFrame {
+    std::vector<VertexId> vgvid;
+    std::vector<uint64_t> vversion;
+    std::vector<std::string> vblob;
+    std::vector<VertexId> esrc, edst;
+    std::vector<uint64_t> eversion;
+    std::vector<std::string> eblob;
+
+    bool empty() const { return vgvid.empty() && esrc.empty(); }
+    size_t ApproxBytes() const {
+      size_t b = vgvid.size() * 12 + esrc.size() * 16;
+      for (const auto& s : vblob) b += s.size();
+      for (const auto& s : eblob) b += s.size();
+      return b;
+    }
+    void Clear() {
+      vgvid.clear();
+      vversion.clear();
+      vblob.clear();
+      esrc.clear();
+      edst.clear();
+      eversion.clear();
+      eblob.clear();
+    }
+    void AddVertex(VertexId gvid, uint64_t version, const std::string& blob) {
+      vgvid.push_back(gvid);
+      vversion.push_back(version);
+      vblob.push_back(blob);
+    }
+    void AddEdge(VertexId src, VertexId dst, uint64_t version,
+                 const std::string& blob) {
+      esrc.push_back(src);
+      edst.push_back(dst);
+      eversion.push_back(version);
+      eblob.push_back(blob);
+    }
+    void Encode(OutArchive* oa) const {
+      *oa << kGhostFrameVersion;
+      *oa << static_cast<uint32_t>(vgvid.size());
+      for (VertexId v : vgvid) *oa << v;
+      for (uint64_t v : vversion) *oa << v;
+      for (const auto& b : vblob) oa->WriteBytes(b.data(), b.size());
+      *oa << static_cast<uint32_t>(esrc.size());
+      for (VertexId v : esrc) *oa << v;
+      for (VertexId v : edst) *oa << v;
+      for (uint64_t v : eversion) *oa << v;
+      for (const auto& b : eblob) oa->WriteBytes(b.data(), b.size());
+    }
+  };
+
+  /// Per-peer coalescing buffer: a DeltaFrame plus slot maps so repeated
+  /// writes to the same entity within a window replace in place.
+  struct PeerStage {
+    std::mutex mutex;
+    DeltaFrame frame;
+    std::unordered_map<VertexId, size_t> vslot;
+    std::unordered_map<uint64_t, size_t> eslot;
+    size_t approx_bytes = 0;
+  };
+
+  template <typename T>
+  static bool ReadColumn(InArchive& ia, uint32_t count,
+                         std::vector<T>* out) {
+    // Validate the wire-controlled count against the bytes left BEFORE
+    // allocating (a corrupt count of 2^32-1 must not resize gigabytes).
+    if (count > ia.remaining() / sizeof(T)) {
+      out->clear();
+      return false;
+    }
+    out->resize(count);
+    for (uint32_t i = 0; i < count; ++i) ia >> (*out)[i];
+    return ia.ok();
+  }
+
+  template <typename T>
+  static void SerializeBlob(const T& value, std::string* out) {
+    thread_local OutArchive scratch;
+    scratch.Clear();
+    scratch << value;
+    out->assign(scratch.buffer().data(), scratch.size());
+  }
+
+  void StageVertex(rpc::MachineId dst, VertexId gvid, uint64_t version,
+                   const std::string& blob) {
+    PeerStage& st = *stages_[dst];
+    std::lock_guard<std::mutex> lock(st.mutex);
+    auto [it, inserted] = st.vslot.try_emplace(gvid, st.frame.vgvid.size());
+    if (inserted) {
+      st.frame.AddVertex(gvid, version, blob);
+      st.approx_bytes += 12 + blob.size();
+    } else {
+      DeltaFrame& f = st.frame;
+      st.approx_bytes += blob.size() - f.vblob[it->second].size();
+      f.vversion[it->second] = version;
+      f.vblob[it->second] = blob;
+      coalesced_merges_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (st.approx_bytes >= ghost_batch_bytes_) FlushStageLocked(dst, &st);
+  }
+
+  void StageEdge(rpc::MachineId dst, VertexId gsrc, VertexId gdst,
+                 uint64_t version, const std::string& blob) {
+    PeerStage& st = *stages_[dst];
+    std::lock_guard<std::mutex> lock(st.mutex);
+    auto [it, inserted] =
+        st.eslot.try_emplace(EdgeKey(gsrc, gdst), st.frame.esrc.size());
+    if (inserted) {
+      st.frame.AddEdge(gsrc, gdst, version, blob);
+      st.approx_bytes += 16 + blob.size();
+    } else {
+      DeltaFrame& f = st.frame;
+      st.approx_bytes += blob.size() - f.eblob[it->second].size();
+      f.eversion[it->second] = version;
+      f.eblob[it->second] = blob;
+      coalesced_merges_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (st.approx_bytes >= ghost_batch_bytes_) FlushStageLocked(dst, &st);
+  }
+
+  /// Encodes and ships one peer's staged frame.  Caller holds st->mutex.
+  void FlushStageLocked(rpc::MachineId dst, PeerStage* st) {
+    if (st->frame.empty()) return;
+    OutArchive oa;
+    st->frame.Encode(&oa);
+    st->frame.Clear();
+    st->vslot.clear();
+    st->eslot.clear();
+    st->approx_bytes = 0;
+    delta_batches_sent_.fetch_add(1, std::memory_order_relaxed);
+    comm_->Send(me_, dst, kDataPushHandler, std::move(oa));
   }
 
   /// Machines holding a ghost of owned vertex l.
@@ -432,6 +725,10 @@ class DistributedGraph {
 
     BuildAdjacency();
     BuildMirrors();
+    stages_.clear();
+    for (size_t m = 0; m < comm_->num_machines(); ++m) {
+      stages_.push_back(std::make_unique<PeerStage>());
+    }
     RegisterHandler();
     return Status::OK();
   }
@@ -530,6 +827,12 @@ class DistributedGraph {
 
   std::atomic<uint64_t> pushes_sent_{0};
   std::atomic<uint64_t> pushes_skipped_{0};
+
+  GhostSyncMode ghost_sync_mode_ = GhostSyncMode::kPerScope;
+  size_t ghost_batch_bytes_ = kDefaultGhostBatchBytes;
+  std::vector<std::unique_ptr<PeerStage>> stages_;
+  std::atomic<uint64_t> delta_batches_sent_{0};
+  std::atomic<uint64_t> coalesced_merges_{0};
 
   // Coherence listener (set before Start(); fired from the dispatch
   // thread while it holds no graph locks).

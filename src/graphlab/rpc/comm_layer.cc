@@ -1,206 +1,67 @@
 #include "graphlab/rpc/comm_layer.h"
 
-#include <mutex>
-#include <unordered_map>
-
+#include "graphlab/rpc/inproc_transport.h"
 #include "graphlab/util/logging.h"
 
 namespace graphlab {
 namespace rpc {
 
-struct CommLayer::MachineState {
-  TimedQueue<Message> inbox;
-  std::thread dispatcher;
-
-  std::mutex handler_mutex;
-  std::unordered_map<HandlerId, Handler> handlers;
-
-  std::atomic<uint64_t> messages_sent{0};
-  std::atomic<uint64_t> bytes_sent{0};
-  std::atomic<uint64_t> messages_received{0};
-  std::atomic<uint64_t> bytes_received{0};
-
-  // Stall deadline in steady-clock nanoseconds; 0 = no stall.
-  std::atomic<uint64_t> stall_until_ns{0};
-
-  // Models serialized wire occupancy for the bandwidth delay: the time at
-  // which the machine's NIC becomes free, in steady-clock nanoseconds.
-  std::atomic<uint64_t> nic_free_at_ns{0};
-};
-
-namespace {
-uint64_t NowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-}  // namespace
-
 CommLayer::CommLayer(size_t num_machines, CommOptions options)
-    : num_machines_(num_machines), options_(options) {
-  GL_CHECK_GE(num_machines, 1u);
-  machines_.reserve(num_machines);
-  for (size_t i = 0; i < num_machines; ++i) {
-    machines_.push_back(std::make_unique<MachineState>());
+    : CommLayer(std::make_unique<InProcessTransport>(num_machines, options)) {
+}
+
+CommLayer::CommLayer(std::unique_ptr<ITransport> transport)
+    : transport_(std::move(transport)) {
+  GL_CHECK(transport_ != nullptr);
+  handlers_.reserve(transport_->num_machines());
+  for (size_t i = 0; i < transport_->num_machines(); ++i) {
+    handlers_.push_back(std::make_unique<MachineHandlers>());
   }
+  transport_->SetDeliverySink(
+      [this](MachineId dst, MachineId src, HandlerId id, InArchive& ia) {
+        Deliver(dst, src, id, ia);
+      });
 }
 
 CommLayer::~CommLayer() { Stop(); }
 
 void CommLayer::RegisterHandler(MachineId machine, HandlerId id,
                                 Handler handler) {
-  GL_CHECK_LT(machine, num_machines_);
-  MachineState& m = *machines_[machine];
-  std::lock_guard<std::mutex> lock(m.handler_mutex);
+  GL_CHECK_LT(machine, num_machines());
+  MachineHandlers& m = *handlers_[machine];
+  std::lock_guard<std::mutex> lock(m.mutex);
   m.handlers[id] = std::move(handler);
 }
 
-void CommLayer::Start() {
-  bool expected = false;
-  if (!started_.compare_exchange_strong(expected, true)) return;
-  for (MachineId i = 0; i < num_machines_; ++i) {
-    machines_[i]->dispatcher = std::thread([this, i] { DispatchLoop(i); });
+void CommLayer::Start() { transport_->Start(); }
+
+void CommLayer::Stop() { transport_->Stop(); }
+
+void CommLayer::Deliver(MachineId dst, MachineId src, HandlerId id,
+                        InArchive& ia) {
+  Handler* handler = nullptr;
+  MachineHandlers& m = *handlers_[dst];
+  {
+    std::lock_guard<std::mutex> lock(m.mutex);
+    auto it = m.handlers.find(id);
+    if (it != m.handlers.end()) handler = &it->second;
   }
-}
-
-void CommLayer::Stop() {
-  if (!started_.load()) return;
-  for (auto& m : machines_) m->inbox.Shutdown();
-  for (auto& m : machines_) {
-    if (m->dispatcher.joinable()) m->dispatcher.join();
+  if (handler == nullptr) {
+    GL_LOG(ERROR) << "machine " << dst << ": no handler for id " << id
+                  << " (from " << src << ")";
+    return;
   }
-  started_.store(false);
-}
-
-void CommLayer::Send(MachineId src, MachineId dst, HandlerId handler,
-                     OutArchive payload) {
-  GL_CHECK_LT(src, num_machines_);
-  GL_CHECK_LT(dst, num_machines_);
-  GL_CHECK(started_.load(std::memory_order_acquire))
-      << "CommLayer::Send before Start()";
-
-  Message msg;
-  msg.src = src;
-  msg.dst = dst;
-  msg.handler = handler;
-  msg.payload = payload.TakeBuffer();
-
-  const uint64_t wire_bytes = msg.payload.size() + kMessageHeaderBytes;
-  MachineState& s = *machines_[src];
-  MachineState& d = *machines_[dst];
-  s.messages_sent.fetch_add(1, std::memory_order_relaxed);
-  s.bytes_sent.fetch_add(wire_bytes, std::memory_order_relaxed);
-  d.messages_received.fetch_add(1, std::memory_order_relaxed);
-  d.bytes_received.fetch_add(wire_bytes, std::memory_order_relaxed);
-
-  // Delivery time = max(now, nic_free) + serialization delay + latency.
-  uint64_t now = NowNs();
-  uint64_t depart = now;
-  if (options_.bandwidth_bytes_per_sec > 0) {
-    uint64_t ser_ns = wire_bytes * 1000000000ULL /
-                      options_.bandwidth_bytes_per_sec;
-    uint64_t free_at = s.nic_free_at_ns.load(std::memory_order_relaxed);
-    uint64_t new_free;
-    do {
-      depart = std::max(now, free_at);
-      new_free = depart + ser_ns;
-    } while (!s.nic_free_at_ns.compare_exchange_weak(
-        free_at, new_free, std::memory_order_relaxed));
-    depart = new_free;
+  (*handler)(src, ia);
+  if (!ia.ok()) {
+    GL_LOG(ERROR) << "machine " << dst << ": handler " << id
+                  << " over-read its payload from " << src << ": "
+                  << ia.status().ToString();
   }
-  uint64_t deliver_ns =
-      depart + static_cast<uint64_t>(options_.latency.count());
-
-  enqueued_.fetch_add(1, std::memory_order_acq_rel);
-  auto deliver_at = std::chrono::steady_clock::time_point(
-      std::chrono::nanoseconds(deliver_ns));
-  if (!d.inbox.PushAt(std::move(msg), deliver_at)) {
-    // Queue was shut down; account the message as delivered so that
-    // WaitQuiescent cannot deadlock during teardown.
-    delivered_.fetch_add(1, std::memory_order_acq_rel);
-  }
-}
-
-void CommLayer::DispatchLoop(MachineId machine) {
-  MachineState& m = *machines_[machine];
-  for (;;) {
-    auto msg = m.inbox.Pop();
-    if (!msg.has_value()) return;
-
-    // Honor an injected stall: freeze before handling, like a descheduled
-    // process whose TCP receive queue backs up.
-    uint64_t stall = m.stall_until_ns.load(std::memory_order_acquire);
-    if (stall != 0) {
-      uint64_t now = NowNs();
-      if (now < stall) {
-        std::this_thread::sleep_for(std::chrono::nanoseconds(stall - now));
-      }
-      m.stall_until_ns.store(0, std::memory_order_release);
-    }
-
-    Handler* handler = nullptr;
-    {
-      std::lock_guard<std::mutex> lock(m.handler_mutex);
-      auto it = m.handlers.find(msg->handler);
-      if (it != m.handlers.end()) handler = &it->second;
-    }
-    if (handler == nullptr) {
-      GL_LOG(ERROR) << "machine " << machine << ": no handler for id "
-                    << msg->handler << " (from " << msg->src << ")";
-    } else {
-      InArchive ia(msg->payload);
-      (*handler)(msg->src, ia);
-    }
-    delivered_.fetch_add(1, std::memory_order_acq_rel);
-  }
-}
-
-bool CommLayer::IsQuiescent() const {
-  return enqueued_.load(std::memory_order_acquire) ==
-         delivered_.load(std::memory_order_acquire);
-}
-
-void CommLayer::WaitQuiescent() {
-  // Two consecutive stable observations guard against handlers that send.
-  uint64_t last_delivered = ~uint64_t{0};
-  for (;;) {
-    uint64_t e = enqueued_.load(std::memory_order_acquire);
-    uint64_t d = delivered_.load(std::memory_order_acquire);
-    if (e == d && d == last_delivered) return;
-    last_delivered = (e == d) ? d : ~uint64_t{0};
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
-  }
-}
-
-void CommLayer::InjectStall(MachineId machine,
-                            std::chrono::nanoseconds duration) {
-  GL_CHECK_LT(machine, num_machines_);
-  uint64_t until = NowNs() + static_cast<uint64_t>(duration.count());
-  machines_[machine]->stall_until_ns.store(until, std::memory_order_release);
-}
-
-bool CommLayer::StallActive(MachineId machine) const {
-  GL_CHECK_LT(machine, num_machines_);
-  uint64_t until =
-      machines_[machine]->stall_until_ns.load(std::memory_order_acquire);
-  return until != 0 && NowNs() < until;
-}
-
-CommStats CommLayer::GetStats(MachineId machine) const {
-  GL_CHECK_LT(machine, num_machines_);
-  const MachineState& m = *machines_[machine];
-  CommStats st;
-  st.messages_sent = m.messages_sent.load(std::memory_order_relaxed);
-  st.bytes_sent = m.bytes_sent.load(std::memory_order_relaxed);
-  st.messages_received = m.messages_received.load(std::memory_order_relaxed);
-  st.bytes_received = m.bytes_received.load(std::memory_order_relaxed);
-  return st;
 }
 
 CommStats CommLayer::GetTotalStats() const {
   CommStats total;
-  for (MachineId i = 0; i < num_machines_; ++i) {
+  for (MachineId i = 0; i < num_machines(); ++i) {
     CommStats st = GetStats(i);
     total.messages_sent += st.messages_sent;
     total.bytes_sent += st.bytes_sent;
@@ -208,15 +69,6 @@ CommStats CommLayer::GetTotalStats() const {
     total.bytes_received += st.bytes_received;
   }
   return total;
-}
-
-void CommLayer::ResetStats() {
-  for (auto& m : machines_) {
-    m->messages_sent.store(0, std::memory_order_relaxed);
-    m->bytes_sent.store(0, std::memory_order_relaxed);
-    m->messages_received.store(0, std::memory_order_relaxed);
-    m->bytes_received.store(0, std::memory_order_relaxed);
-  }
 }
 
 }  // namespace rpc

@@ -1,126 +1,128 @@
 // Copyright 2026 The Distributed GraphLab Reproduction Authors.
 //
-// CommLayer: the simulated cluster interconnect.
+// CommLayer: the thin policy layer every framework component talks to.
 //
-// Design (see DESIGN.md §1):
-//  * Each machine has one inbox (a TimedQueue) and one dispatch thread that
-//    pops deliverable messages and invokes the registered handler, exactly
-//    like an RPC receive thread.
-//  * Send() serializes, charges the byte accounting, and enqueues the
-//    message with deliver_at = now + link latency.  With a constant latency
-//    the inbox is FIFO per sender, matching TCP ordering.
-//  * Handlers run on the destination's dispatch thread and may themselves
-//    Send() (used by the pipelined lock chains of Sec. 4.2.2).
-//  * InjectStall(m, d) freezes machine m's dispatch for d — the mechanism
-//    used to reproduce the paper's simulated 15 s machine fault (Fig. 4b).
-//  * WaitQuiescent() blocks until every enqueued message has been handled;
-//    the chromatic engine uses it for the full communication barrier
-//    between color-steps (Sec. 4.2.1) and the synchronous snapshot uses it
-//    to flush channels (Sec. 4.3).
+// CommLayer owns the (machine, handler-id) -> callback registry and the
+// routing policy; the actual interconnect lives behind rpc::ITransport
+// (rpc/transport.h) with two backends:
+//
+//   * InProcessTransport — the simulated interconnect (latency/bandwidth
+//     modeling, InjectStall fault injection) used by the figure benches.
+//   * TcpTransport — real localhost/LAN sockets, one OS process per
+//     machine, framed wire protocol, counter-exchange quiescence.
+//
+// Engines, the distributed graph, barrier, termination detection and the
+// sync/allreduce components are transport-agnostic: they Send() archives
+// and register handlers here, and the same binary runs over either
+// backend (see examples/distributed_pagerank.cpp).
+//
+// Handler registrations for machines the underlying transport does not
+// host (TCP peers) are accepted and inert, so symmetric components that
+// register every machine's slot work unmodified in both deployments.
 
 #ifndef GRAPHLAB_RPC_COMM_LAYER_H_
 #define GRAPHLAB_RPC_COMM_LAYER_H_
 
-#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
-#include <thread>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "graphlab/rpc/message.h"
-#include "graphlab/util/blocking_queue.h"
+#include "graphlab/rpc/transport.h"
 #include "graphlab/util/serialization.h"
 
 namespace graphlab {
 namespace rpc {
 
-/// Tuning knobs for the simulated interconnect.
-struct CommOptions {
-  /// One-way message latency.  ~200us approximates an EC2-era 10GbE + TCP
-  /// stack round; setting 0 delivers immediately (still via the dispatch
-  /// thread).  Benches sweep this.
-  std::chrono::nanoseconds latency{std::chrono::microseconds(100)};
-
-  /// Modeled wire bandwidth per machine in bytes/sec; 0 disables bandwidth
-  /// delay (only latency applies).  Used to make very large ghost syncs
-  /// cost proportionally more.
-  uint64_t bandwidth_bytes_per_sec = 0;
-};
-
-/// Per-machine traffic statistics maintained by the comm layer.
-struct CommStats {
-  uint64_t messages_sent = 0;
-  uint64_t bytes_sent = 0;
-  uint64_t messages_received = 0;
-  uint64_t bytes_received = 0;
-};
-
-/// The simulated interconnect for one cluster.
+/// The message fabric for one cluster (or, on TCP, one machine's view of
+/// the cluster).
 class CommLayer {
  public:
   /// Handler callback: (source machine, payload archive).
   using Handler = std::function<void(MachineId src, InArchive& payload)>;
 
+  /// Legacy spelling: a simulated cluster of `num_machines`.
   CommLayer(size_t num_machines, CommOptions options);
+
+  /// Wraps an explicit transport backend.
+  explicit CommLayer(std::unique_ptr<ITransport> transport);
+
   ~CommLayer();
 
   CommLayer(const CommLayer&) = delete;
   CommLayer& operator=(const CommLayer&) = delete;
 
-  size_t num_machines() const { return num_machines_; }
-  const CommOptions& options() const { return options_; }
+  size_t num_machines() const { return transport_->num_machines(); }
+  ITransport& transport() { return *transport_; }
+  TransportKind transport_kind() const { return transport_->kind(); }
+  const char* transport_name() const { return transport_->name(); }
 
   /// Registers the handler for (machine, id).  Must complete before any
   /// message with that id is delivered; typically done before Start().
-  /// Re-registration replaces the previous handler.
+  /// Re-registration replaces the previous handler.  Registrations for
+  /// machines this transport does not host are inert.
   void RegisterHandler(MachineId machine, HandlerId id, Handler handler);
 
-  /// Launches the dispatch threads.
+  /// Launches the transport's dispatch (and IO) threads.
   void Start();
 
-  /// Drains in-flight messages and joins dispatch threads.
+  /// Drains in-flight messages and joins transport threads.
   void Stop();
 
   /// Sends `payload` to (dst, handler).  Thread safe.  May be called from
   /// handlers.  Self-sends are permitted and go through the same path.
   void Send(MachineId src, MachineId dst, HandlerId handler,
-            OutArchive payload);
+            OutArchive payload) {
+    transport_->Send(src, dst, handler, std::move(payload));
+  }
 
   /// Blocks until the number of delivered messages equals the number sent
-  /// and remains so for two consecutive checks (handlers can send more).
-  void WaitQuiescent();
+  /// cluster-wide and remains so for two consecutive checks (handlers can
+  /// send more).  Callers sandwich this between cluster barriers.
+  void WaitQuiescent() { transport_->WaitQuiescent(); }
 
-  /// True when every sent message has been handled.
-  bool IsQuiescent() const;
+  /// Best-effort point check of the same condition.
+  bool IsQuiescent() const { return transport_->IsQuiescent(); }
 
   /// Freezes dispatch on `machine` for `duration`, simulating a stalled
   /// process (multi-tenancy fault).  Engines poll StallActive() to also
-  /// freeze their worker threads.
-  void InjectStall(MachineId machine, std::chrono::nanoseconds duration);
-  bool StallActive(MachineId machine) const;
-
-  /// Traffic accounting.
-  CommStats GetStats(MachineId machine) const;
-  CommStats GetTotalStats() const;
-  void ResetStats();
-
-  /// Total messages handled since construction (monotonic; not reset).
-  uint64_t TotalDelivered() const {
-    return delivered_.load(std::memory_order_acquire);
+  /// freeze their worker threads.  Simulated backend only; TCP ignores.
+  void InjectStall(MachineId machine, std::chrono::nanoseconds duration) {
+    transport_->InjectStall(machine, duration);
+  }
+  bool StallActive(MachineId machine) const {
+    return transport_->StallActive(machine);
   }
 
+  /// Traffic accounting.  Machines the transport does not host report
+  /// zeros.
+  CommStats GetStats(MachineId machine) const {
+    return transport_->GetStats(machine);
+  }
+  std::vector<PeerCommStats> GetPeerStats(MachineId machine) const {
+    return transport_->GetPeerStats(machine);
+  }
+  CommStats GetTotalStats() const;
+  void ResetStats() { transport_->ResetStats(); }
+
+  /// Total messages handled locally since construction (monotonic).
+  uint64_t TotalDelivered() const { return transport_->TotalDelivered(); }
+
  private:
-  struct MachineState;
+  struct MachineHandlers {
+    std::mutex mutex;
+    std::unordered_map<HandlerId, Handler> handlers;
+  };
 
-  void DispatchLoop(MachineId machine);
+  /// The transport's delivery sink: resolves the handler and runs it on
+  /// the transport's dispatch thread.
+  void Deliver(MachineId dst, MachineId src, HandlerId id, InArchive& ia);
 
-  size_t num_machines_;
-  CommOptions options_;
-  std::vector<std::unique_ptr<MachineState>> machines_;
-  std::atomic<uint64_t> enqueued_{0};
-  std::atomic<uint64_t> delivered_{0};
-  std::atomic<bool> started_{false};
+  std::unique_ptr<ITransport> transport_;
+  std::vector<std::unique_ptr<MachineHandlers>> handlers_;
 };
 
 }  // namespace rpc

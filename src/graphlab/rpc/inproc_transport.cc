@@ -1,0 +1,226 @@
+#include "graphlab/rpc/inproc_transport.h"
+
+#include <algorithm>
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+namespace rpc {
+
+struct InProcessTransport::MachineState {
+  explicit MachineState(size_t num_machines)
+      : sent_to(num_machines), sent_bytes_to(num_machines),
+        received_from(num_machines), received_bytes_from(num_machines) {}
+
+  TimedQueue<Message> inbox;
+  std::thread dispatcher;
+
+  // Per-peer accounting: slot [p] counts traffic to/from machine p.
+  std::vector<std::atomic<uint64_t>> sent_to;
+  std::vector<std::atomic<uint64_t>> sent_bytes_to;
+  std::vector<std::atomic<uint64_t>> received_from;
+  std::vector<std::atomic<uint64_t>> received_bytes_from;
+
+  // Stall deadline in steady-clock nanoseconds; 0 = no stall.
+  std::atomic<uint64_t> stall_until_ns{0};
+
+  // Models serialized wire occupancy for the bandwidth delay: the time at
+  // which the machine's NIC becomes free, in steady-clock nanoseconds.
+  std::atomic<uint64_t> nic_free_at_ns{0};
+};
+
+namespace {
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t SumCounters(const std::vector<std::atomic<uint64_t>>& v) {
+  uint64_t total = 0;
+  for (const auto& c : v) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+}  // namespace
+
+InProcessTransport::InProcessTransport(size_t num_machines,
+                                       CommOptions options)
+    : num_machines_(num_machines), options_(options) {
+  GL_CHECK_GE(num_machines, 1u);
+  machines_.reserve(num_machines);
+  for (size_t i = 0; i < num_machines; ++i) {
+    machines_.push_back(std::make_unique<MachineState>(num_machines));
+  }
+}
+
+InProcessTransport::~InProcessTransport() { Stop(); }
+
+void InProcessTransport::SetDeliverySink(DeliverySink sink) {
+  GL_CHECK(!started_.load()) << "SetDeliverySink after Start()";
+  sink_ = std::move(sink);
+}
+
+void InProcessTransport::Start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  GL_CHECK(sink_) << "Start() before SetDeliverySink()";
+  for (MachineId i = 0; i < num_machines_; ++i) {
+    machines_[i]->dispatcher = std::thread([this, i] { DispatchLoop(i); });
+  }
+}
+
+void InProcessTransport::Stop() {
+  if (!started_.load()) return;
+  for (auto& m : machines_) m->inbox.Shutdown();
+  for (auto& m : machines_) {
+    if (m->dispatcher.joinable()) m->dispatcher.join();
+  }
+  started_.store(false);
+}
+
+void InProcessTransport::Send(MachineId src, MachineId dst, HandlerId handler,
+                              OutArchive payload) {
+  GL_CHECK_LT(src, num_machines_);
+  GL_CHECK_LT(dst, num_machines_);
+  GL_CHECK(started_.load(std::memory_order_acquire))
+      << "InProcessTransport::Send before Start()";
+
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.handler = handler;
+  msg.payload = payload.TakeBuffer();
+
+  const uint64_t wire_bytes = msg.payload.size() + kMessageHeaderBytes;
+  MachineState& s = *machines_[src];
+  MachineState& d = *machines_[dst];
+  s.sent_to[dst].fetch_add(1, std::memory_order_relaxed);
+  s.sent_bytes_to[dst].fetch_add(wire_bytes, std::memory_order_relaxed);
+  d.received_from[src].fetch_add(1, std::memory_order_relaxed);
+  d.received_bytes_from[src].fetch_add(wire_bytes,
+                                       std::memory_order_relaxed);
+
+  // Delivery time = max(now, nic_free) + serialization delay + latency.
+  uint64_t now = NowNs();
+  uint64_t depart = now;
+  if (options_.bandwidth_bytes_per_sec > 0) {
+    uint64_t ser_ns = wire_bytes * 1000000000ULL /
+                      options_.bandwidth_bytes_per_sec;
+    uint64_t free_at = s.nic_free_at_ns.load(std::memory_order_relaxed);
+    uint64_t new_free;
+    do {
+      depart = std::max(now, free_at);
+      new_free = depart + ser_ns;
+    } while (!s.nic_free_at_ns.compare_exchange_weak(
+        free_at, new_free, std::memory_order_relaxed));
+    depart = new_free;
+  }
+  uint64_t deliver_ns =
+      depart + static_cast<uint64_t>(options_.latency.count());
+
+  enqueued_.fetch_add(1, std::memory_order_acq_rel);
+  auto deliver_at = std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(deliver_ns));
+  if (!d.inbox.PushAt(std::move(msg), deliver_at)) {
+    // Queue was shut down; account the message as delivered so that
+    // WaitQuiescent cannot deadlock during teardown.
+    delivered_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void InProcessTransport::DispatchLoop(MachineId machine) {
+  MachineState& m = *machines_[machine];
+  for (;;) {
+    auto msg = m.inbox.Pop();
+    if (!msg.has_value()) return;
+
+    // Honor an injected stall: freeze before handling, like a descheduled
+    // process whose TCP receive queue backs up.
+    uint64_t stall = m.stall_until_ns.load(std::memory_order_acquire);
+    if (stall != 0) {
+      uint64_t now = NowNs();
+      if (now < stall) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(stall - now));
+      }
+      m.stall_until_ns.store(0, std::memory_order_release);
+    }
+
+    InArchive ia(msg->payload);
+    sink_(machine, msg->src, msg->handler, ia);
+    delivered_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+bool InProcessTransport::IsQuiescent() {
+  return enqueued_.load(std::memory_order_acquire) ==
+         delivered_.load(std::memory_order_acquire);
+}
+
+void InProcessTransport::WaitQuiescent() {
+  // Two consecutive stable observations guard against handlers that send.
+  uint64_t last_delivered = ~uint64_t{0};
+  for (;;) {
+    uint64_t e = enqueued_.load(std::memory_order_acquire);
+    uint64_t d = delivered_.load(std::memory_order_acquire);
+    if (e == d && d == last_delivered) return;
+    last_delivered = (e == d) ? d : ~uint64_t{0};
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void InProcessTransport::InjectStall(MachineId machine,
+                                     std::chrono::nanoseconds duration) {
+  GL_CHECK_LT(machine, num_machines_);
+  uint64_t until = NowNs() + static_cast<uint64_t>(duration.count());
+  machines_[machine]->stall_until_ns.store(until, std::memory_order_release);
+}
+
+bool InProcessTransport::StallActive(MachineId machine) const {
+  GL_CHECK_LT(machine, num_machines_);
+  uint64_t until =
+      machines_[machine]->stall_until_ns.load(std::memory_order_acquire);
+  return until != 0 && NowNs() < until;
+}
+
+CommStats InProcessTransport::GetStats(MachineId machine) const {
+  GL_CHECK_LT(machine, num_machines_);
+  const MachineState& m = *machines_[machine];
+  CommStats st;
+  st.messages_sent = SumCounters(m.sent_to);
+  st.bytes_sent = SumCounters(m.sent_bytes_to);
+  st.messages_received = SumCounters(m.received_from);
+  st.bytes_received = SumCounters(m.received_bytes_from);
+  return st;
+}
+
+std::vector<PeerCommStats> InProcessTransport::GetPeerStats(
+    MachineId machine) const {
+  GL_CHECK_LT(machine, num_machines_);
+  const MachineState& m = *machines_[machine];
+  std::vector<PeerCommStats> out(num_machines_);
+  for (MachineId p = 0; p < num_machines_; ++p) {
+    out[p].peer = p;
+    out[p].messages_sent = m.sent_to[p].load(std::memory_order_relaxed);
+    out[p].bytes_sent = m.sent_bytes_to[p].load(std::memory_order_relaxed);
+    out[p].messages_received =
+        m.received_from[p].load(std::memory_order_relaxed);
+    out[p].bytes_received =
+        m.received_bytes_from[p].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void InProcessTransport::ResetStats() {
+  for (auto& m : machines_) {
+    for (MachineId p = 0; p < num_machines_; ++p) {
+      m->sent_to[p].store(0, std::memory_order_relaxed);
+      m->sent_bytes_to[p].store(0, std::memory_order_relaxed);
+      m->received_from[p].store(0, std::memory_order_relaxed);
+      m->received_bytes_from[p].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace rpc
+}  // namespace graphlab

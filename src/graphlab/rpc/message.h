@@ -31,6 +31,7 @@ enum SystemHandlers : HandlerId {
   kBarrierRelease = 2,
   kTerminationReport = 3,
   kTerminationVerdict = 4,
+  kTerminationEpoch = 5,
   kFirstUserHandler = 16,
 };
 

@@ -1,10 +1,30 @@
 // Copyright 2026 The Distributed GraphLab Reproduction Authors.
 //
-// Runtime: owns a simulated cluster (CommLayer + barrier + termination
-// detector + per-machine stats) and executes SPMD programs on it — one
-// thread per machine, mirroring the paper's symmetric process design
-// (Sec. 4.4: "one instance of the GraphLab program is executed on each
-// machine").
+// Runtime: owns one machine's (or, in simulation, a whole cluster's) view
+// of the message fabric — CommLayer + barrier + termination detector +
+// per-machine stats — and executes SPMD programs on it, mirroring the
+// paper's symmetric process design (Sec. 4.4: "one instance of the
+// GraphLab program is executed on each machine").
+//
+// Three deployment shapes behind one surface:
+//
+//  * Simulated (TransportKind::kInProcess): every machine lives in this
+//    process and shares one CommLayer; Run() spawns one program thread
+//    per machine.  This is the figure-bench configuration.
+//
+//  * TCP loopback cluster (kTcp + tcp_loopback_cluster): every machine
+//    still lives in this process, but each gets its OWN CommLayer over a
+//    real localhost socket mesh with ephemeral ports — the hermetic
+//    harness the transport-parameterized tests run on.
+//
+//  * TCP multi-process (kTcp): this process hosts exactly machine
+//    `tcp.me`; peers are separate processes at `tcp.endpoints`.  Run()
+//    executes the program once, for the local machine.
+//
+// Components that coordinate through their own message slots (Barrier,
+// TerminationDetector, SumAllReduce, SyncManager) are instantiated per
+// CommLayer; handler registrations for machines a fabric does not host
+// are inert, so the same component code serves all three shapes.
 
 #ifndef GRAPHLAB_RPC_RUNTIME_H_
 #define GRAPHLAB_RPC_RUNTIME_H_
@@ -16,6 +36,7 @@
 #include "graphlab/rpc/barrier.h"
 #include "graphlab/rpc/comm_layer.h"
 #include "graphlab/rpc/termination.h"
+#include "graphlab/rpc/transport.h"
 #include "graphlab/util/stats.h"
 
 namespace graphlab {
@@ -23,13 +44,22 @@ namespace rpc {
 
 /// Cluster-level configuration.
 struct ClusterOptions {
-  /// Number of simulated machines.
+  /// Number of machines in the cluster (across all processes).
   size_t num_machines = 4;
   /// Engine worker threads per machine (the paper uses 8 per EC2 node; the
   /// default here keeps total thread count laptop-friendly).
   size_t threads_per_machine = 2;
-  /// Interconnect parameters.
+  /// Interconnect backend selection.
+  TransportKind transport = TransportKind::kInProcess;
+  /// Simulated-interconnect parameters (kInProcess).
   CommOptions comm;
+  /// TCP backend parameters (kTcp).  For the multi-process shape,
+  /// `tcp.endpoints` must list all machines and `tcp.me` names this
+  /// process's machine.
+  TcpOptions tcp;
+  /// With kTcp: host every machine in this process over a loopback
+  /// socket mesh on ephemeral ports (ignores tcp.me / tcp.endpoints).
+  bool tcp_loopback_cluster = false;
 };
 
 class Runtime;
@@ -47,7 +77,8 @@ struct MachineContext {
   const ClusterOptions& options() const;
 };
 
-/// A simulated cluster plus the machinery to run SPMD programs on it.
+/// One process's membership in a cluster plus the machinery to run SPMD
+/// programs on it.
 class Runtime {
  public:
   explicit Runtime(ClusterOptions options);
@@ -56,23 +87,46 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Runs `program` once on every machine (one thread per machine) and
-  /// joins.  May be called repeatedly; the comm layer persists across runs.
+  /// Runs `program` once on every locally hosted machine (one thread per
+  /// machine) and joins.  May be called repeatedly; the fabric persists
+  /// across runs.
   void Run(const std::function<void(MachineContext&)>& program);
 
   const ClusterOptions& options() const { return options_; }
   size_t num_machines() const { return options_.num_machines; }
-  CommLayer& comm() { return *comm_; }
-  Barrier& barrier() { return *barrier_; }
-  TerminationDetector& termination() { return *termination_; }
+  TransportKind transport() const { return options_.transport; }
+
+  /// Machines hosted by this process.
+  const std::vector<MachineId>& local_machines() const {
+    return local_machines_;
+  }
+
+  /// Per-machine fabric accessors; valid for any locally hosted machine.
+  CommLayer& comm(MachineId m) { return *comms_[FabricIndex(m)]; }
+  Barrier& barrier(MachineId m) { return *barriers_[FabricIndex(m)]; }
+  TerminationDetector& termination(MachineId m) {
+    return *terminations_[FabricIndex(m)];
+  }
   StatsRegistry& stats(MachineId m) { return *stats_[m]; }
 
+  /// Legacy shared-fabric accessors (simulated transport, where one
+  /// CommLayer serves the whole cluster).
+  CommLayer& comm();
+  Barrier& barrier();
+  TerminationDetector& termination();
+
  private:
+  enum class Mode { kSharedFabric, kLoopbackCluster, kMultiProcess };
+
+  size_t FabricIndex(MachineId m) const;
+
   ClusterOptions options_;
-  std::unique_ptr<CommLayer> comm_;
-  std::unique_ptr<Barrier> barrier_;
-  std::unique_ptr<TerminationDetector> termination_;
+  Mode mode_ = Mode::kSharedFabric;
+  std::vector<std::unique_ptr<CommLayer>> comms_;
+  std::vector<std::unique_ptr<Barrier>> barriers_;
+  std::vector<std::unique_ptr<TerminationDetector>> terminations_;
   std::vector<std::unique_ptr<StatsRegistry>> stats_;
+  std::vector<MachineId> local_machines_;
 };
 
 }  // namespace rpc

@@ -1,0 +1,651 @@
+#include "graphlab/rpc/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+namespace rpc {
+
+namespace {
+
+enum FrameType : uint8_t {
+  kFrameData = 0,
+  kFrameHello = 1,
+  kFrameProbe = 2,
+  kFrameProbeReply = 3,
+};
+
+struct FrameHeader {
+  uint32_t magic = kTcpFrameMagic;
+  uint16_t version = kTcpWireVersion;
+  uint8_t type = kFrameData;
+  uint8_t flags = 0;
+  uint32_t src = 0;
+  uint16_t handler = 0;
+  uint16_t reserved = 0;
+  uint32_t payload_size = 0;
+};
+
+void EncodeHeader(const FrameHeader& h, OutArchive* oa) {
+  *oa << h.magic << h.version << h.type << h.flags << h.src << h.handler
+      << h.reserved << h.payload_size;
+}
+
+bool DecodeHeader(const char* bytes, FrameHeader* h) {
+  InArchive ia(bytes, kTcpFrameHeaderBytes);
+  ia >> h->magic >> h->version >> h->type >> h->flags >> h->src >>
+      h->handler >> h->reserved >> h->payload_size;
+  return ia.ok() && h->magic == kTcpFrameMagic &&
+         h->version == kTcpWireVersion &&
+         h->payload_size <= kTcpMaxFramePayload;
+}
+
+/// Reads exactly n bytes; false on EOF/error.
+bool ReadFull(int fd, void* out, size_t n) {
+  char* p = static_cast<char*>(out);
+  while (n > 0) {
+    ssize_t r = ::recv(fd, p, n, 0);
+    if (r > 0) {
+      p += r;
+      n -= static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Writes exactly n bytes; false on error.  MSG_NOSIGNAL: a peer that
+/// went away must surface as an error, not a SIGPIPE.
+bool WriteFull(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w > 0) {
+      p += w;
+      n -= static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool ParseEndpoint(const std::string& endpoint, std::string* host,
+                   uint16_t* port) {
+  size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) return false;
+  *host = endpoint.substr(0, colon);
+  int p = std::atoi(endpoint.c_str() + colon + 1);
+  if (p < 0 || p > 65535) return false;
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+bool FillSockaddr(const std::string& host, uint16_t port,
+                  sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (host.empty() || host == "*" || host == "0.0.0.0") {
+    addr->sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (host == "localhost") {
+    addr->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int BindListener(const std::string& endpoint, uint16_t* bound_port) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseEndpoint(endpoint, &host, &port)) return -1;
+  sockaddr_in addr;
+  if (!FillSockaddr(host, port, &addr)) return -1;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in actual;
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+uint16_t PortOfListener(int fd) {
+  sockaddr_in actual;
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+    return ntohs(actual.sin_port);
+  }
+  return 0;
+}
+
+}  // namespace
+
+/// One remote (or self) machine's send-side state and counters.
+struct TcpTransport::Peer {
+  MachineId id = 0;
+  BlockingQueue<std::vector<char>> send_queue;  // pre-framed bytes
+  std::thread send_thread;
+  std::atomic<int> send_fd{-1};
+
+  // Data-frame traffic accounting (control frames excluded).
+  std::atomic<uint64_t> messages_sent{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> messages_received{0};
+  std::atomic<uint64_t> bytes_received{0};
+
+  // Last probe reply observed from this peer.
+  std::atomic<uint64_t> reply_seq{0};
+  std::atomic<uint64_t> remote_sent{0};
+  std::atomic<uint64_t> remote_handled{0};
+};
+
+TcpTransport::TcpTransport(TcpOptions options)
+    : me_(options.me),
+      endpoints_(options.endpoints),
+      connect_timeout_(options.connect_timeout) {
+  GL_CHECK_GE(endpoints_.size(), 1u) << "TcpOptions::endpoints empty";
+  GL_CHECK_LT(me_, endpoints_.size());
+  peers_.reserve(endpoints_.size());
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    peers_.push_back(std::make_unique<Peer>());
+    peers_.back()->id = static_cast<MachineId>(i);
+  }
+  if (options.listen_fd >= 0) {
+    listen_fd_ = options.listen_fd;
+    listen_port_ = PortOfListener(listen_fd_);
+  } else {
+    listen_fd_ = BindListener(endpoints_[me_], &listen_port_);
+    GL_CHECK_GE(listen_fd_, 0)
+        << "cannot bind TCP listener at " << endpoints_[me_];
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  Stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpTransport::SetDeliverySink(DeliverySink sink) {
+  GL_CHECK(!started_.load()) << "SetDeliverySink after Start()";
+  sink_ = std::move(sink);
+}
+
+void TcpTransport::Start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  GL_CHECK(sink_) << "Start() before SetDeliverySink()";
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  for (MachineId p = 0; p < endpoints_.size(); ++p) {
+    if (p == me_) continue;
+    connector_threads_.emplace_back([this, p] { ConnectToPeer(p); });
+  }
+}
+
+void TcpTransport::ConnectToPeer(MachineId p) {
+  std::string host;
+  uint16_t port = 0;
+  GL_CHECK(ParseEndpoint(endpoints_[p], &host, &port))
+      << "bad endpoint " << endpoints_[p];
+  // The listener may bind every interface; connect to loopback then.
+  if (host.empty() || host == "*" || host == "0.0.0.0") host = "127.0.0.1";
+  sockaddr_in addr;
+  GL_CHECK(FillSockaddr(host, port, &addr))
+      << "unresolvable endpoint " << endpoints_[p];
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + connect_timeout_;
+  int fd = -1;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    GL_CHECK_GE(fd, 0);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      GL_LOG(FATAL) << "machine " << me_ << ": cannot connect to machine "
+                    << p << " at " << endpoints_[p] << " within "
+                    << connect_timeout_.count() << "ms";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (fd < 0) return;  // stopping
+  SetNoDelay(fd);
+
+  // Introduce ourselves, then hand the socket to the send thread.
+  OutArchive hello;
+  FrameHeader h;
+  h.type = kFrameHello;
+  h.src = me_;
+  OutArchive payload;
+  payload << static_cast<uint32_t>(me_)
+          << static_cast<uint32_t>(endpoints_.size());
+  h.payload_size = static_cast<uint32_t>(payload.size());
+  EncodeHeader(h, &hello);
+  hello.WriteBytes(payload.buffer().data(), payload.size());
+  if (!WriteFull(fd, hello.buffer().data(), hello.size())) {
+    ::close(fd);
+    GL_LOG(ERROR) << "machine " << me_ << ": hello to " << p << " failed";
+    return;
+  }
+
+  Peer& peer = *peers_[p];
+  peer.send_fd.store(fd, std::memory_order_release);
+  peer.send_thread = std::thread([this, fd, p] {
+    Peer& pr = *peers_[p];
+    for (;;) {
+      auto frame = pr.send_queue.Pop();
+      if (!frame.has_value()) return;
+      if (!WriteFull(fd, frame->data(), frame->size())) {
+        if (!stopping_.load(std::memory_order_acquire)) {
+          GL_LOG(ERROR) << "machine " << me_ << ": send to machine " << p
+                        << " failed: " << std::strerror(errno);
+        }
+        // Drain the queue so producers never block on a dead peer.
+        while (pr.send_queue.Pop().has_value()) {
+        }
+        return;
+      }
+    }
+  });
+}
+
+void TcpTransport::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    SetNoDelay(fd);
+    std::lock_guard<std::mutex> lock(receive_threads_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    receive_fds_.push_back(fd);
+    receive_threads_.emplace_back([this, fd] { ReceiveLoop(fd); });
+  }
+}
+
+void TcpTransport::ReceiveLoop(int fd) {
+  char header_bytes[kTcpFrameHeaderBytes];
+  MachineId from = kTcpFrameMagic;  // sentinel until hello arrives
+  bool have_hello = false;
+  std::vector<char> payload;
+  for (;;) {
+    if (!ReadFull(fd, header_bytes, sizeof(header_bytes))) return;
+    FrameHeader h;
+    if (!DecodeHeader(header_bytes, &h)) {
+      GL_LOG(ERROR) << "machine " << me_
+                    << ": bad frame header (magic/version/size mismatch); "
+                       "closing connection";
+      return;
+    }
+    payload.resize(h.payload_size);
+    if (h.payload_size > 0 &&
+        !ReadFull(fd, payload.data(), h.payload_size)) {
+      if (!stopping_.load(std::memory_order_acquire)) {
+        GL_LOG(ERROR) << "machine " << me_
+                      << ": connection truncated mid-frame";
+      }
+      return;
+    }
+
+    if (!have_hello) {
+      InArchive ia(payload);
+      uint32_t peer_id = ia.ReadValue<uint32_t>();
+      uint32_t cluster = ia.ReadValue<uint32_t>();
+      if (h.type != kFrameHello || !ia.ok() ||
+          peer_id >= endpoints_.size() ||
+          cluster != endpoints_.size()) {
+        GL_LOG(ERROR) << "machine " << me_
+                      << ": bad hello frame; closing connection";
+        return;
+      }
+      from = peer_id;
+      have_hello = true;
+      continue;
+    }
+    if (h.src != from) {
+      GL_LOG(ERROR) << "machine " << me_ << ": frame src " << h.src
+                    << " on connection from " << from << "; closing";
+      return;
+    }
+
+    Peer& peer = *peers_[from];
+    switch (h.type) {
+      case kFrameData: {
+        peer.messages_received.fetch_add(1, std::memory_order_relaxed);
+        peer.bytes_received.fetch_add(
+            kTcpFrameHeaderBytes + h.payload_size,
+            std::memory_order_relaxed);
+        Message msg;
+        msg.src = from;
+        msg.dst = me_;
+        msg.handler = h.handler;
+        msg.payload = std::move(payload);
+        payload = std::vector<char>();
+        dispatch_queue_.Push(std::move(msg));
+        break;
+      }
+      case kFrameProbe: {
+        InArchive ia(payload);
+        uint64_t seq = ia.ReadValue<uint64_t>();
+        if (!ia.ok()) return;
+        OutArchive reply;
+        reply << seq << data_sent_total_.load(std::memory_order_acquire)
+              << data_handled_total_.load(std::memory_order_acquire);
+        EnqueueFrame(from, kFrameProbeReply, 0, reply.TakeBuffer());
+        break;
+      }
+      case kFrameProbeReply: {
+        InArchive ia(payload);
+        uint64_t seq = ia.ReadValue<uint64_t>();
+        uint64_t sent = ia.ReadValue<uint64_t>();
+        uint64_t handled = ia.ReadValue<uint64_t>();
+        if (!ia.ok()) return;
+        {
+          std::lock_guard<std::mutex> lock(probe_mutex_);
+          peer.remote_sent.store(sent, std::memory_order_relaxed);
+          peer.remote_handled.store(handled, std::memory_order_relaxed);
+          peer.reply_seq.store(seq, std::memory_order_release);
+        }
+        probe_cv_.notify_all();
+        break;
+      }
+      default:
+        GL_LOG(ERROR) << "machine " << me_ << ": unknown frame type "
+                      << static_cast<int>(h.type);
+        return;
+    }
+  }
+}
+
+void TcpTransport::DispatchLoop() {
+  for (;;) {
+    auto msg = dispatch_queue_.Pop();
+    if (!msg.has_value()) return;
+    InArchive ia(msg->payload);
+    sink_(me_, msg->src, msg->handler, ia);
+    data_handled_total_.fetch_add(1, std::memory_order_acq_rel);
+    probe_cv_.notify_all();
+  }
+}
+
+void TcpTransport::EnqueueFrame(MachineId dst, uint8_t type,
+                                HandlerId handler,
+                                std::vector<char> payload) {
+  FrameHeader h;
+  h.type = type;
+  h.src = me_;
+  h.handler = handler;
+  h.payload_size = static_cast<uint32_t>(payload.size());
+  OutArchive frame;
+  EncodeHeader(h, &frame);
+  frame.WriteBytes(payload.data(), payload.size());
+  peers_[dst]->send_queue.Push(frame.TakeBuffer());
+}
+
+void TcpTransport::Send(MachineId src, MachineId dst, HandlerId handler,
+                        OutArchive payload) {
+  GL_CHECK(started_.load(std::memory_order_acquire))
+      << "TcpTransport::Send before Start()";
+  GL_CHECK_EQ(src, me_) << "TCP transport can only send as machine " << me_;
+  GL_CHECK_LT(dst, endpoints_.size());
+
+  std::vector<char> bytes = payload.TakeBuffer();
+  Peer& peer = *peers_[dst];
+  peer.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  peer.bytes_sent.fetch_add(kTcpFrameHeaderBytes + bytes.size(),
+                            std::memory_order_relaxed);
+  data_sent_total_.fetch_add(1, std::memory_order_acq_rel);
+
+  if (dst == me_) {
+    // Self-send: skip the wire, keep the dispatch-thread semantics.
+    Message msg;
+    msg.src = me_;
+    msg.dst = me_;
+    msg.handler = handler;
+    msg.payload = std::move(bytes);
+    peer.messages_received.fetch_add(1, std::memory_order_relaxed);
+    peer.bytes_received.fetch_add(
+        kTcpFrameHeaderBytes + msg.payload.size(),
+        std::memory_order_relaxed);
+    if (!dispatch_queue_.Push(std::move(msg))) {
+      data_handled_total_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    return;
+  }
+  EnqueueFrame(dst, kFrameData, handler, std::move(bytes));
+}
+
+bool TcpTransport::ExchangeCounters(uint64_t* cluster_sent,
+                                    uint64_t* cluster_handled) {
+  const uint64_t seq =
+      probe_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  OutArchive probe;
+  probe << seq;
+  std::vector<char> probe_bytes = probe.TakeBuffer();
+  for (MachineId p = 0; p < endpoints_.size(); ++p) {
+    if (p == me_) continue;
+    EnqueueFrame(p, kFrameProbe, 0, probe_bytes);
+  }
+  // Wait for every peer to answer this round (replies are monotonic).
+  {
+    std::unique_lock<std::mutex> lock(probe_mutex_);
+    bool all = probe_cv_.wait_for(
+        lock, std::chrono::seconds(30), [&] {
+          if (stopping_.load(std::memory_order_acquire)) return true;
+          for (MachineId p = 0; p < endpoints_.size(); ++p) {
+            if (p == me_) continue;
+            if (peers_[p]->reply_seq.load(std::memory_order_acquire) < seq) {
+              return false;
+            }
+          }
+          return true;
+        });
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    if (!all) {
+      // A peer that cannot answer within the window is a fault, not
+      // quiescence: report and keep waiting rather than let the caller
+      // pass a "channels flushed" barrier with frames still in flight.
+      GL_LOG(ERROR) << "machine " << me_
+                    << ": quiescence probe round " << seq
+                    << " unanswered after 30s; a peer is down or stalled";
+      return false;
+    }
+  }
+  uint64_t sent = data_sent_total_.load(std::memory_order_acquire);
+  uint64_t handled = data_handled_total_.load(std::memory_order_acquire);
+  for (MachineId p = 0; p < endpoints_.size(); ++p) {
+    if (p == me_) continue;
+    sent += peers_[p]->remote_sent.load(std::memory_order_acquire);
+    handled += peers_[p]->remote_handled.load(std::memory_order_acquire);
+  }
+  *cluster_sent = sent;
+  *cluster_handled = handled;
+  return true;
+}
+
+void TcpTransport::WaitQuiescent() {
+  // Same rule as the simulated backend, over exchanged counters: the
+  // cluster-wide sent and handled totals must be equal and unchanged for
+  // two consecutive probe rounds.
+  uint64_t prev_sent = ~uint64_t{0};
+  for (;;) {
+    uint64_t sent = 0, handled = 0;
+    if (!ExchangeCounters(&sent, &handled)) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      // Probe round timed out (peer down/stalled): retry, never report
+      // quiescence we could not prove.
+      prev_sent = ~uint64_t{0};
+      continue;
+    }
+    if (sent == handled && sent == prev_sent) return;
+    prev_sent = (sent == handled) ? sent : ~uint64_t{0};
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+bool TcpTransport::IsQuiescent() {
+  // Best-effort point check from the last known remote counters (probe
+  // replies); exact only when the cluster is already idle.
+  uint64_t sent = data_sent_total_.load(std::memory_order_acquire);
+  uint64_t handled = data_handled_total_.load(std::memory_order_acquire);
+  for (MachineId p = 0; p < endpoints_.size(); ++p) {
+    if (p == me_) continue;
+    sent += peers_[p]->remote_sent.load(std::memory_order_acquire);
+    handled += peers_[p]->remote_handled.load(std::memory_order_acquire);
+  }
+  return sent == handled;
+}
+
+void TcpTransport::InjectStall(MachineId machine,
+                               std::chrono::nanoseconds) {
+  if (!stall_warned_.exchange(true)) {
+    GL_LOG(WARNING) << "InjectStall(" << machine
+                    << ") ignored: fault injection is a feature of the "
+                       "simulated transport";
+  }
+}
+
+CommStats TcpTransport::GetStats(MachineId machine) const {
+  CommStats st;
+  if (machine != me_) return st;  // remote stats live in remote processes
+  for (const auto& peer : peers_) {
+    st.messages_sent += peer->messages_sent.load(std::memory_order_relaxed);
+    st.bytes_sent += peer->bytes_sent.load(std::memory_order_relaxed);
+    st.messages_received +=
+        peer->messages_received.load(std::memory_order_relaxed);
+    st.bytes_received +=
+        peer->bytes_received.load(std::memory_order_relaxed);
+  }
+  return st;
+}
+
+std::vector<PeerCommStats> TcpTransport::GetPeerStats(
+    MachineId machine) const {
+  std::vector<PeerCommStats> out;
+  if (machine != me_) return out;
+  out.resize(peers_.size());
+  for (size_t p = 0; p < peers_.size(); ++p) {
+    out[p].peer = static_cast<MachineId>(p);
+    out[p].messages_sent =
+        peers_[p]->messages_sent.load(std::memory_order_relaxed);
+    out[p].bytes_sent = peers_[p]->bytes_sent.load(std::memory_order_relaxed);
+    out[p].messages_received =
+        peers_[p]->messages_received.load(std::memory_order_relaxed);
+    out[p].bytes_received =
+        peers_[p]->bytes_received.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void TcpTransport::ResetStats() {
+  for (auto& peer : peers_) {
+    peer->messages_sent.store(0, std::memory_order_relaxed);
+    peer->bytes_sent.store(0, std::memory_order_relaxed);
+    peer->messages_received.store(0, std::memory_order_relaxed);
+    peer->bytes_received.store(0, std::memory_order_relaxed);
+  }
+}
+
+void TcpTransport::Stop() {
+  if (!started_.load()) return;
+  if (stopping_.exchange(true)) return;
+  probe_cv_.notify_all();
+
+  // 1. Stop producing: connector threads give up their retry loops.
+  for (auto& t : connector_threads_) {
+    if (t.joinable()) t.join();
+  }
+  // 2. Drain and join the send side (queues drain fully on shutdown).
+  for (auto& peer : peers_) peer->send_queue.Shutdown();
+  for (auto& peer : peers_) {
+    if (peer->send_thread.joinable()) peer->send_thread.join();
+    int fd = peer->send_fd.exchange(-1);
+    if (fd >= 0) ::close(fd);
+  }
+  // 3. Stop accepting and receiving.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(receive_threads_mutex_);
+    for (int fd : receive_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : receive_threads_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(receive_threads_mutex_);
+    for (int fd : receive_fds_) ::close(fd);
+    receive_fds_.clear();
+  }
+  // 4. Drain and join dispatch.
+  dispatch_queue_.Shutdown();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  started_.store(false);
+}
+
+Expected<std::vector<TcpOptions>> MakeLoopbackTcpCluster(size_t n) {
+  std::vector<TcpOptions> cluster(n);
+  std::vector<std::string> endpoints(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint16_t port = 0;
+    int fd = BindListener("127.0.0.1:0", &port);
+    if (fd < 0) {
+      for (size_t j = 0; j < i; ++j) ::close(cluster[j].listen_fd);
+      return Status::IOError("cannot bind loopback listener");
+    }
+    cluster[i].listen_fd = fd;
+    endpoints[i] = "127.0.0.1:" + std::to_string(port);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    cluster[i].me = static_cast<MachineId>(i);
+    cluster[i].endpoints = endpoints;
+  }
+  return cluster;
+}
+
+std::vector<std::string> LoopbackEndpoints(size_t n, uint16_t base_port) {
+  std::vector<std::string> endpoints(n);
+  for (size_t i = 0; i < n; ++i) {
+    endpoints[i] = "127.0.0.1:" + std::to_string(base_port + i);
+  }
+  return endpoints;
+}
+
+}  // namespace rpc
+}  // namespace graphlab

@@ -1,0 +1,160 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// TcpTransport: the real-wire interconnect (Sec. 4.4 deployment shape).
+//
+// Each machine is one OS process.  Every ordered pair of machines gets a
+// dedicated TCP connection: machine i's frames to j travel on the socket
+// i connected to j's listener, so the per-channel FIFO the coherence
+// protocol relies on ("push ghosts, then release locks") is the kernel's
+// TCP ordering, not a simulation artifact.
+//
+// Wire format — every frame is a fixed 20-byte little-endian header plus
+// a length-prefixed payload:
+//
+//   offset  size  field
+//   0       4     magic      0x31574C47 ("GLW1")
+//   4       2     version    kTcpWireVersion (1)
+//   6       1     type       0=data 1=hello 2=probe 3=probe-reply
+//   7       1     flags      0
+//   8       4     src        sending machine id
+//   12      2     handler    destination handler id (data frames)
+//   14      2     reserved   0
+//   16      4     payload    payload byte count
+//
+// A connection opens with one hello frame (payload: u32 machine id,
+// u32 cluster size); version or magic mismatch closes the connection.
+//
+// Threads: one send thread per peer draining a per-peer frame queue, one
+// receive thread per accepted connection, one accept thread, and ONE
+// dispatch thread that runs all handlers — preserving the simulated
+// backend's serialized-handler semantics.
+//
+// Quiescence is a per-peer counter exchange instead of inbox inspection:
+// every machine counts data frames sent (S) and data frames whose handler
+// completed (H).  WaitQuiescent() probes every peer for its (S, H),
+// and returns once sum(S) == sum(H) cluster-wide for two consecutive
+// probe rounds with unchanged sums — the same two-stable-observations
+// rule the simulated backend applies to its global counters.  Probes and
+// replies are control frames, excluded from the counters and from
+// CommStats.
+
+#ifndef GRAPHLAB_RPC_TCP_TRANSPORT_H_
+#define GRAPHLAB_RPC_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graphlab/rpc/transport.h"
+#include "graphlab/util/blocking_queue.h"
+#include "graphlab/util/status.h"
+
+namespace graphlab {
+namespace rpc {
+
+/// Fixed framing overhead per TCP frame (see header layout above).
+inline constexpr uint64_t kTcpFrameHeaderBytes = 20;
+inline constexpr uint32_t kTcpFrameMagic = 0x31574C47;  // "GLW1"
+inline constexpr uint16_t kTcpWireVersion = 1;
+
+/// Sanity bound on a single frame payload; larger lengths mark the
+/// connection corrupt (a coalesced ghost batch flushes well below this).
+inline constexpr uint32_t kTcpMaxFramePayload = 1u << 30;
+
+class TcpTransport final : public ITransport {
+ public:
+  explicit TcpTransport(TcpOptions options);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  const char* name() const override { return "tcp"; }
+  TransportKind kind() const override { return TransportKind::kTcp; }
+  size_t num_machines() const override { return endpoints_.size(); }
+  bool IsLocal(MachineId m) const override { return m == me_; }
+  MachineId me() const { return me_; }
+
+  /// The port the listener actually bound (useful with ephemeral ports).
+  uint16_t listen_port() const { return listen_port_; }
+
+  void SetDeliverySink(DeliverySink sink) override;
+  void Start() override;
+  void Stop() override;
+  void Send(MachineId src, MachineId dst, HandlerId handler,
+            OutArchive payload) override;
+  void WaitQuiescent() override;
+  bool IsQuiescent() override;
+
+  /// Fault injection is a property of the simulated backend; here it
+  /// logs once and is ignored.
+  void InjectStall(MachineId machine,
+                   std::chrono::nanoseconds duration) override;
+  bool StallActive(MachineId) const override { return false; }
+
+  CommStats GetStats(MachineId machine) const override;
+  std::vector<PeerCommStats> GetPeerStats(MachineId machine) const override;
+  void ResetStats() override;
+  uint64_t TotalDelivered() const override {
+    return data_handled_total_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Peer;
+
+  void AcceptLoop();
+  void ReceiveLoop(int fd);
+  void DispatchLoop();
+  void ConnectToPeer(MachineId p);
+  void EnqueueFrame(MachineId dst, uint8_t type, HandlerId handler,
+                    std::vector<char> payload);
+  bool ExchangeCounters(uint64_t* cluster_sent, uint64_t* cluster_handled);
+
+  MachineId me_ = 0;
+  std::vector<std::string> endpoints_;  // host:port per machine
+  std::chrono::milliseconds connect_timeout_;
+
+  DeliverySink sink_;
+  int listen_fd_ = -1;
+  uint16_t listen_port_ = 0;
+
+  std::vector<std::unique_ptr<Peer>> peers_;  // indexed by machine id
+  BlockingQueue<Message> dispatch_queue_;
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::vector<std::thread> connector_threads_;
+  std::mutex receive_threads_mutex_;
+  std::vector<std::thread> receive_threads_;
+  std::vector<int> receive_fds_;
+
+  // Quiescence counters: data frames this machine sent / fully handled.
+  std::atomic<uint64_t> data_sent_total_{0};
+  std::atomic<uint64_t> data_handled_total_{0};
+  std::atomic<uint64_t> probe_seq_{0};
+  std::mutex probe_mutex_;
+  std::condition_variable probe_cv_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stall_warned_{false};
+};
+
+/// Binds `n` loopback listeners on ephemeral ports and returns the
+/// per-machine TcpOptions (listen_fd adopted, endpoints filled in) for a
+/// whole cluster hosted in one process — the hermetic harness the
+/// transport-parameterized tests run on.
+Expected<std::vector<TcpOptions>> MakeLoopbackTcpCluster(size_t n);
+
+/// "127.0.0.1:base_port + i" for i in [0, n) — the endpoint list for a
+/// multi-process localhost cluster (examples/distributed_pagerank.cpp).
+std::vector<std::string> LoopbackEndpoints(size_t n, uint16_t base_port);
+
+}  // namespace rpc
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_RPC_TCP_TRANSPORT_H_

@@ -17,13 +17,32 @@ TerminationDetector::TerminationDetector(CommLayer* comm) : comm_(comm) {
   comm_->RegisterHandler(
       0, kTerminationReport,
       [this](MachineId src, InArchive& ia) { OnReport(src, ia); });
-  // Verdict handler on every machine.
+  // Verdict and epoch-sync handlers on every machine.
   for (MachineId m = 0; m < n; ++m) {
     comm_->RegisterHandler(
         m, kTerminationVerdict, [this, m](MachineId, InArchive& ia) {
           uint32_t epoch = ia.ReadValue<uint32_t>();
           if (epoch == epoch_.load(std::memory_order_acquire)) {
             done_[m]->store(true, std::memory_order_release);
+          }
+        });
+    // NewRun() runs on the coordinator's detector instance only; with
+    // per-machine instances (TCP deployments) the other machines learn
+    // the new epoch — and reset their done flag — from this broadcast.
+    // The engines' "barrier; NewRun(); barrier" pattern makes delivery
+    // safe: the epoch frame is sent before the coordinator enters the
+    // second barrier, so per-channel FIFO delivers it before the
+    // barrier release on every machine.
+    comm_->RegisterHandler(
+        m, kTerminationEpoch, [this, m](MachineId, InArchive& ia) {
+          uint32_t epoch = ia.ReadValue<uint32_t>();
+          uint32_t current = epoch_.load(std::memory_order_acquire);
+          while (epoch > current &&
+                 !epoch_.compare_exchange_weak(current, epoch,
+                                               std::memory_order_acq_rel)) {
+          }
+          if (epoch >= epoch_.load(std::memory_order_acquire)) {
+            done_[m]->store(false, std::memory_order_release);
           }
         });
   }
@@ -35,13 +54,22 @@ void TerminationDetector::SetStateFn(MachineId m, StateFn fn) {
 }
 
 void TerminationDetector::NewRun() {
-  std::lock_guard<std::mutex> lock(master_mutex_);
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
-  for (auto& r : latest_) r = Report{};
-  have_candidate_ = false;
-  rounds_since_candidate_ = 0;
-  verdict_sent_ = false;
-  for (auto& d : done_) d->store(false, std::memory_order_release);
+  uint32_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(master_mutex_);
+    epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    for (auto& r : latest_) r = Report{};
+    have_candidate_ = false;
+    rounds_since_candidate_ = 0;
+    verdict_sent_ = false;
+    for (auto& d : done_) d->store(false, std::memory_order_release);
+  }
+  // Tell every machine's detector instance (see constructor comment).
+  for (MachineId dst = 0; dst < comm_->num_machines(); ++dst) {
+    OutArchive oa;
+    oa << epoch;
+    comm_->Send(/*src=*/0, dst, kTerminationEpoch, std::move(oa));
+  }
 }
 
 void TerminationDetector::Poll(MachineId m) {

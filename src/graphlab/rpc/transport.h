@@ -1,0 +1,168 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// ITransport: the interconnect abstraction under CommLayer.
+//
+// The paper's system communicates between symmetric processes with a
+// custom asynchronous RPC protocol over TCP/IP (Sec. 4.4).  This repo
+// supports two interchangeable backends behind one interface:
+//
+//  * InProcessTransport (rpc/inproc_transport.h) — the simulated
+//    interconnect: every "machine" lives in one OS process, messages
+//    travel through timed queues with modeled latency/bandwidth, and
+//    fault injection (InjectStall) reproduces the paper's figures.
+//
+//  * TcpTransport (rpc/tcp_transport.h) — each machine is a real OS
+//    process; messages travel over localhost/LAN TCP sockets as
+//    length-prefixed versioned frames with per-peer send/receive
+//    threads.  Quiescence is detected by a per-peer sent/delivered
+//    counter exchange instead of inbox inspection.
+//
+// Both backends deliver through a single dispatch thread per machine, so
+// handler executions on one machine are serialized — engines rely on
+// that (ApplyDataPush mutates ghost replicas without graph-wide locks).
+//
+// CommLayer (rpc/comm_layer.h) is the thin policy layer on top: it owns
+// the (machine, handler-id) -> callback registry and delegates transport
+// concerns here.  Engines and the distributed graph only see CommLayer.
+
+#ifndef GRAPHLAB_RPC_TRANSPORT_H_
+#define GRAPHLAB_RPC_TRANSPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graphlab/rpc/message.h"
+#include "graphlab/util/serialization.h"
+
+namespace graphlab {
+namespace rpc {
+
+/// Which interconnect backend a cluster runs on.
+enum class TransportKind {
+  kInProcess,  // simulated in-process interconnect (figure benches)
+  kTcp,        // real TCP sockets, one OS process per machine
+};
+
+inline const char* TransportKindName(TransportKind kind) {
+  return kind == TransportKind::kTcp ? "tcp" : "inproc";
+}
+
+/// Tuning knobs for the simulated interconnect.
+struct CommOptions {
+  /// One-way message latency.  ~200us approximates an EC2-era 10GbE + TCP
+  /// stack round; setting 0 delivers immediately (still via the dispatch
+  /// thread).  Benches sweep this.
+  std::chrono::nanoseconds latency{std::chrono::microseconds(100)};
+
+  /// Modeled wire bandwidth per machine in bytes/sec; 0 disables bandwidth
+  /// delay (only latency applies).  Used to make very large ghost syncs
+  /// cost proportionally more.
+  uint64_t bandwidth_bytes_per_sec = 0;
+};
+
+/// Configuration of the TCP backend.  `endpoints[i]` is machine i's
+/// "host:port" listen address; the vector's size is the cluster size.
+struct TcpOptions {
+  /// This process's machine id (each process hosts exactly one machine).
+  MachineId me = 0;
+
+  /// One "host:port" per machine.  An empty host binds every interface.
+  std::vector<std::string> endpoints;
+
+  /// How long Start() keeps retrying connections to peers that have not
+  /// come up yet before giving up (processes launch at different times).
+  std::chrono::milliseconds connect_timeout{15000};
+
+  /// Pre-bound listening socket to adopt instead of binding
+  /// endpoints[me]; used by the single-process loopback harness so ctest
+  /// runs with ephemeral ports stay hermetic.  -1 = bind normally.
+  int listen_fd = -1;
+};
+
+/// Per-machine traffic statistics maintained by the transport.
+struct CommStats {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// Per-(machine, peer) traffic breakdown — `peer` is the destination of
+/// the sent counters and the source of the received ones.
+struct PeerCommStats {
+  MachineId peer = 0;
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// The interconnect interface.  All methods are thread safe.  Lifecycle:
+/// construct -> SetDeliverySink -> Start -> (traffic) -> Stop.
+class ITransport {
+ public:
+  /// Delivery callback installed by the policy layer: (destination
+  /// machine, source machine, handler id, payload).  Runs on the
+  /// destination machine's single dispatch thread.
+  using DeliverySink =
+      std::function<void(MachineId dst, MachineId src, HandlerId handler,
+                         InArchive& payload)>;
+
+  virtual ~ITransport() = default;
+
+  /// Backend name for logs/benches ("inproc" | "tcp").
+  virtual const char* name() const = 0;
+  virtual TransportKind kind() const = 0;
+
+  /// Cluster size (machines, not processes-in-this-process).
+  virtual size_t num_machines() const = 0;
+
+  /// True when machine m is hosted by this transport instance (always
+  /// true for the in-process backend; only `me` for TCP).
+  virtual bool IsLocal(MachineId m) const = 0;
+
+  /// Installs the delivery callback.  Must be called before Start().
+  virtual void SetDeliverySink(DeliverySink sink) = 0;
+
+  /// Launches dispatch (and, for TCP, connection/IO) threads.
+  virtual void Start() = 0;
+
+  /// Drains in-flight local work and joins all threads.  Idempotent.
+  virtual void Stop() = 0;
+
+  /// Sends `payload` from `src` (must be local) to (dst, handler).  May
+  /// be called from handlers.  Self-sends go through the same path.
+  virtual void Send(MachineId src, MachineId dst, HandlerId handler,
+                    OutArchive payload) = 0;
+
+  /// Blocks until every message sent anywhere in the cluster has been
+  /// handled, observed stable twice (handlers can send more).  Callers
+  /// sandwich this between cluster barriers (the chromatic color-step
+  /// protocol) so no machine races new sends past the check.
+  virtual void WaitQuiescent() = 0;
+
+  /// Best-effort point check of the same condition.
+  virtual bool IsQuiescent() = 0;
+
+  /// Freezes dispatch on `machine` for `duration` (fault injection).
+  /// Only the simulated backend implements this; TCP logs and ignores.
+  virtual void InjectStall(MachineId machine,
+                           std::chrono::nanoseconds duration) = 0;
+  virtual bool StallActive(MachineId machine) const = 0;
+
+  /// Traffic accounting.  Non-local machines report zeros.
+  virtual CommStats GetStats(MachineId machine) const = 0;
+  virtual std::vector<PeerCommStats> GetPeerStats(MachineId machine) const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Messages handled locally since construction (monotonic; not reset).
+  virtual uint64_t TotalDelivered() const = 0;
+};
+
+}  // namespace rpc
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_RPC_TRANSPORT_H_

@@ -2,11 +2,25 @@
 //
 // Binary serialization archives.
 //
-// Everything that crosses a simulated machine boundary — RPC payloads, ghost
+// Everything that crosses a machine boundary — RPC payloads, ghost
 // vertex/edge updates, scheduler forwards, atom journal records, snapshot
 // journals — is serialized through these archives.  Keeping the discipline
 // honest (no shared-memory shortcuts between machines) is what makes the
-// byte accounting in the network-utilization figures meaningful.
+// byte accounting in the network-utilization figures meaningful, and it is
+// what lets the TCP transport ship the same bytes between real processes.
+//
+// Wire discipline (hardened for the multi-process transport):
+//  * Arithmetic types and enums are encoded canonically: fixed width
+//    (sizeof(T) on the LP64 platforms this repo targets) with
+//    little-endian byte order regardless of host endianness, so an
+//    archive produced on one machine decodes bit-identically on another.
+//  * InArchive never exhibits undefined behavior on truncated or corrupt
+//    input.  An over-read zero-fills the destination, marks the archive
+//    failed (ok() == false, status() describes the position), and drains
+//    it (AtEnd() becomes true) so `while (!ia.AtEnd())` decode loops
+//    terminate.  Container length fields are validated against the bytes
+//    remaining before any allocation, so a corrupt 2^60 length cannot
+//    trigger a giant resize.
 //
 // Supported out of the box: arithmetic types and enums, std::string,
 // std::pair, std::vector, std::array, std::map/unordered_map.  User types
@@ -17,7 +31,9 @@
 #ifndef GRAPHLAB_UTIL_SERIALIZATION_H_
 #define GRAPHLAB_UTIL_SERIALIZATION_H_
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -28,6 +44,7 @@
 #include <vector>
 
 #include "graphlab/util/logging.h"
+#include "graphlab/util/status.h"
 
 namespace graphlab {
 
@@ -48,6 +65,13 @@ template <typename T>
 struct HasLoadMember<T, std::void_t<decltype(std::declval<T&>().Load(
                             std::declval<InArchive*>()))>>
     : std::true_type {};
+
+/// True when T's in-memory representation equals its wire representation,
+/// so contiguous runs can be memcpy'd in bulk.
+template <typename T>
+inline constexpr bool kMemcpyWireCompatible =
+    (std::is_arithmetic_v<T> || std::is_enum_v<T>) &&
+    (std::endian::native == std::endian::little || sizeof(T) == 1);
 }  // namespace internal
 
 /// Serializes values into a growable byte buffer.
@@ -70,7 +94,7 @@ class OutArchive {
   template <typename T>
   void Write(const T& value) {
     if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
-      WriteBytes(&value, sizeof(T));
+      WritePrimitive(value);
     } else if constexpr (internal::HasSaveMember<T>::value) {
       value.Save(this);
     } else {
@@ -93,7 +117,7 @@ class OutArchive {
   template <typename T>
   void Write(const std::vector<T>& v) {
     Write<uint64_t>(v.size());
-    if constexpr (std::is_arithmetic_v<T>) {
+    if constexpr (internal::kMemcpyWireCompatible<T>) {
       WriteBytes(v.data(), v.size() * sizeof(T));
     } else {
       for (const T& e : v) Write(e);
@@ -102,7 +126,7 @@ class OutArchive {
 
   template <typename T, size_t N>
   void Write(const std::array<T, N>& a) {
-    if constexpr (std::is_arithmetic_v<T>) {
+    if constexpr (internal::kMemcpyWireCompatible<T>) {
       WriteBytes(a.data(), N * sizeof(T));
     } else {
       for (const T& e : a) Write(e);
@@ -127,10 +151,28 @@ class OutArchive {
   void Clear() { buffer_.clear(); }
 
  private:
+  template <typename T>
+  void WritePrimitive(const T& value) {
+    if constexpr (internal::kMemcpyWireCompatible<T>) {
+      WriteBytes(&value, sizeof(T));
+    } else {
+      // Big-endian host: canonicalize to little-endian on the wire.
+      unsigned char bytes[sizeof(T)];
+      std::memcpy(bytes, &value, sizeof(T));
+      std::reverse(bytes, bytes + sizeof(T));
+      WriteBytes(bytes, sizeof(T));
+    }
+  }
+
   std::vector<char> buffer_;
 };
 
 /// Deserializes values from a byte buffer produced by OutArchive.
+///
+/// Decoding never crashes on truncated or corrupt input: a failed read
+/// zero-fills its destination, latches the failure (ok() == false) and
+/// drains the archive so decode loops keyed on AtEnd() terminate.  Callers
+/// on the wire path must check ok() after decoding.
 class InArchive {
  public:
   InArchive(const void* data, size_t size)
@@ -138,10 +180,16 @@ class InArchive {
   explicit InArchive(const std::vector<char>& buf)
       : InArchive(buf.data(), buf.size()) {}
 
-  void ReadBytes(void* out, size_t n) {
-    GL_CHECK_LE(pos_ + n, size_) << "archive underflow";
+  /// Raw byte extraction.  Returns false (and fails the archive) on
+  /// underflow; `out` is zero-filled in that case.
+  bool ReadBytes(void* out, size_t n) {
+    if (failed_ || n > size_ - pos_) {
+      Fail(out, n);
+      return false;
+    }
     std::memcpy(out, data_ + pos_, n);
     pos_ += n;
+    return true;
   }
 
   template <typename T>
@@ -153,7 +201,7 @@ class InArchive {
   template <typename T>
   void Read(T* value) {
     if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
-      ReadBytes(value, sizeof(T));
+      ReadPrimitive(value);
     } else if constexpr (internal::HasLoadMember<T>::value) {
       value->Load(this);
     } else {
@@ -171,6 +219,11 @@ class InArchive {
 
   void Read(std::string* s) {
     uint64_t n = ReadValue<uint64_t>();
+    if (failed_ || n > remaining()) {
+      s->clear();
+      Fail(nullptr, 0);
+      return;
+    }
     s->resize(n);
     ReadBytes(s->data(), n);
   }
@@ -184,17 +237,29 @@ class InArchive {
   template <typename T>
   void Read(std::vector<T>* v) {
     uint64_t n = ReadValue<uint64_t>();
+    // Validate the length against the bytes left before any allocation
+    // (divide, not multiply: n * sizeof(T) could overflow).  Every element
+    // consumes at least one byte on the wire except zero-size custom
+    // types, which no framework type uses.
+    const uint64_t max_elems = (std::is_arithmetic_v<T> || std::is_enum_v<T>)
+                                   ? remaining() / sizeof(T)
+                                   : remaining();
+    if (failed_ || n > max_elems) {
+      v->clear();
+      Fail(nullptr, 0);
+      return;
+    }
     v->resize(n);
-    if constexpr (std::is_arithmetic_v<T>) {
+    if constexpr (internal::kMemcpyWireCompatible<T>) {
       ReadBytes(v->data(), n * sizeof(T));
     } else {
-      for (uint64_t i = 0; i < n; ++i) Read(&(*v)[i]);
+      for (uint64_t i = 0; i < n && !failed_; ++i) Read(&(*v)[i]);
     }
   }
 
   template <typename T, size_t N>
   void Read(std::array<T, N>* a) {
-    if constexpr (std::is_arithmetic_v<T>) {
+    if constexpr (internal::kMemcpyWireCompatible<T>) {
       ReadBytes(a->data(), N * sizeof(T));
     } else {
       for (T& e : *a) Read(&e);
@@ -205,10 +270,14 @@ class InArchive {
   void Read(std::map<K, V>* m) {
     uint64_t n = ReadValue<uint64_t>();
     m->clear();
-    for (uint64_t i = 0; i < n; ++i) {
+    if (failed_ || n > remaining()) {
+      Fail(nullptr, 0);
+      return;
+    }
+    for (uint64_t i = 0; i < n && !failed_; ++i) {
       std::pair<K, V> kv;
       Read(&kv);
-      m->insert(std::move(kv));
+      if (!failed_) m->insert(std::move(kv));
     }
   }
 
@@ -216,22 +285,66 @@ class InArchive {
   void Read(std::unordered_map<K, V>* m) {
     uint64_t n = ReadValue<uint64_t>();
     m->clear();
+    if (failed_ || n > remaining()) {
+      Fail(nullptr, 0);
+      return;
+    }
     m->reserve(n);
-    for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t i = 0; i < n && !failed_; ++i) {
       std::pair<K, V> kv;
       Read(&kv);
-      m->insert(std::move(kv));
+      if (!failed_) m->insert(std::move(kv));
     }
   }
 
+  /// True while no read has over-run the buffer.
+  bool ok() const { return !failed_; }
+
+  /// OK while ok(); Corruption naming the failure position otherwise.
+  Status status() const {
+    if (!failed_) return Status::OK();
+    return Status::Corruption("archive truncated or corrupt at byte " +
+                              std::to_string(failed_at_) + " of " +
+                              std::to_string(size_));
+  }
+
   size_t remaining() const { return size_ - pos_; }
+
+  /// True once the archive is exhausted — including after a failed read,
+  /// so `while (!ia.AtEnd())` decode loops always terminate.
   bool AtEnd() const { return pos_ == size_; }
   size_t position() const { return pos_; }
 
  private:
+  template <typename T>
+  void ReadPrimitive(T* value) {
+    if constexpr (internal::kMemcpyWireCompatible<T>) {
+      ReadBytes(value, sizeof(T));
+    } else {
+      unsigned char bytes[sizeof(T)];
+      if (!ReadBytes(bytes, sizeof(T))) {
+        *value = T{};
+        return;
+      }
+      std::reverse(bytes, bytes + sizeof(T));
+      std::memcpy(value, bytes, sizeof(T));
+    }
+  }
+
+  void Fail(void* out, size_t n) {
+    if (!failed_) {
+      failed_ = true;
+      failed_at_ = pos_;
+    }
+    pos_ = size_;  // drain: AtEnd() holds from now on
+    if (out != nullptr && n > 0) std::memset(out, 0, n);
+  }
+
   const char* data_;
   size_t size_;
   size_t pos_ = 0;
+  bool failed_ = false;
+  size_t failed_at_ = 0;
 };
 
 /// Convenience: serialized byte size of a value.

@@ -24,6 +24,7 @@
 #include "graphlab/graph/partition.h"
 #include "graphlab/rpc/runtime.h"
 #include "graphlab/vertex_program/gas_compiler.h"
+#include "tests/transport_param.h"
 
 namespace graphlab {
 namespace {
@@ -48,9 +49,9 @@ LocalGraph<V, E> RunThroughFactory(
         make_local_update,
     const std::function<UpdateFn<DistributedGraph<V, E>>(
         DistributedGraph<V, E>*)>& make_dist_update,
-    EngineOptions opts = {}) {
+    EngineOptions opts = {},
+    rpc::TransportKind kind = rpc::TransportKind::kInProcess) {
   LocalGraph<V, E> global = global_in;
-  opts.num_threads = 2;
   if (IsLocalEngine(name)) {
     auto engine = std::move(CreateEngine(name, &global, opts).value());
     EXPECT_EQ(engine->name(), name);
@@ -69,10 +70,8 @@ LocalGraph<V, E> RunThroughFactory(
   std::vector<rpc::MachineId> placement(machines);
   for (size_t m = 0; m < machines; ++m) placement[m] = m;
 
-  rpc::ClusterOptions copts;
-  copts.num_machines = machines;
-  rpc::Runtime runtime(copts);
-  SumAllReduce allreduce(&runtime.comm(), 1);
+  rpc::Runtime runtime(testutil::ClusterFor(kind, machines, /*latency=*/100));
+  testutil::ClusterAllreduce allreduce(&runtime, 1);
   std::vector<Graph> graphs(machines);
   runtime.Run([&](rpc::MachineContext& ctx) {
     Graph& graph = graphs[ctx.id];
@@ -82,7 +81,7 @@ LocalGraph<V, E> RunThroughFactory(
                     .ok());
     ctx.barrier().Wait(ctx.id);
     DistributedEngineDeps<V, E> deps;
-    deps.allreduce = &allreduce;
+    deps.allreduce = &allreduce.at(ctx.id);
     auto engine =
         std::move(CreateEngine(name, ctx, &graph, opts, deps).value());
     EXPECT_EQ(engine->name(), name);
@@ -236,6 +235,89 @@ TEST_P(EngineEquivalenceTest, LoopyBpAgreesWithSharedMemoryReference) {
 // automatically enrolls it in the equivalence suite.
 INSTANTIATE_TEST_SUITE_P(AllEngines, EngineEquivalenceTest,
                          ::testing::ValuesIn(ListEngineNames()));
+
+// ---------------------------------------------------------------------
+// Transport equivalence: the same computation over the simulated
+// interconnect and over real TCP loopback sockets.
+//
+// The barrier-synchronized strategies (chromatic color-steps, bulk-sync
+// supersteps) are DETERMINISTIC at one worker thread: neighbors only
+// read ghosts after the communication barrier, so the result is a pure
+// function of (graph, partition, colors) — the transport may only change
+// timing.  With the canonical little-endian wire encoding, the converged
+// state must therefore be BIT-IDENTICAL across backends.  The locking
+// engine is schedule-dependent, so it gets the convergence bar instead.
+// ---------------------------------------------------------------------
+
+class TransportEquivalenceTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TransportEquivalenceTest, DeterministicEnginesBitIdenticalAcrossBackends) {
+  const std::string name = GetParam();
+  using V = apps::PageRankVertex;
+  using E = apps::PageRankEdge;
+  using DistGraph = DistributedGraph<V, E>;
+  auto structure = gen::PowerLawWeb(400, 5, 0.8, 21);
+  auto global = apps::BuildPageRankGraph(structure);
+  EngineOptions opts;
+  opts.num_threads = 1;  // single worker => deterministic batch order
+
+  auto run = [&](rpc::TransportKind kind) {
+    return RunThroughFactory<V, E>(
+        name, global, /*machines=*/3,
+        [](apps::PageRankGraph*) {
+          return apps::MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-8);
+        },
+        [](DistGraph*) {
+          return apps::MakePageRankUpdateFn<DistGraph>(0.85, 1e-8);
+        },
+        opts, kind);
+  };
+  auto sim = run(rpc::TransportKind::kInProcess);
+  auto tcp = run(rpc::TransportKind::kTcp);
+  for (VertexId v = 0; v < structure.num_vertices; ++v) {
+    ASSERT_EQ(sim.vertex_data(v).rank, tcp.vertex_data(v).rank)
+        << "engine " << name << ": vertex " << v
+        << " differs between transports (bit-exactness broken)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BarrierEngines, TransportEquivalenceTest,
+                         ::testing::Values("chromatic", "bulk_sync"));
+
+class LockingTransportTest
+    : public ::testing::TestWithParam<rpc::TransportKind> {};
+
+TEST_P(LockingTransportTest, LockingPageRankConvergesOnBothBackends) {
+  auto structure = gen::PowerLawWeb(500, 5, 0.8, 55);
+  auto global = apps::BuildPageRankGraph(structure);
+  auto exact = apps::ExactPageRank(global);
+  using V = apps::PageRankVertex;
+  using E = apps::PageRankEdge;
+  using DistGraph = DistributedGraph<V, E>;
+
+  auto converged = RunThroughFactory<V, E>(
+      "locking", global, /*machines=*/3,
+      [](apps::PageRankGraph*) {
+        return apps::MakePageRankUpdateFn<apps::PageRankGraph>(0.85, 1e-8);
+      },
+      [](DistGraph*) {
+        return apps::MakePageRankUpdateFn<DistGraph>(0.85, 1e-8);
+      },
+      EngineOptions{}, GetParam());
+
+  double err = 0.0;
+  for (VertexId v = 0; v < structure.num_vertices; ++v) {
+    err += std::fabs(converged.vertex_data(v).rank - exact[v]);
+  }
+  EXPECT_LT(err, 1e-2) << "locking engine over "
+                       << rpc::TransportKindName(GetParam())
+                       << " left the PageRank fixed point";
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, LockingTransportTest,
+                         ::testing::ValuesIn(testutil::kAllTransports),
+                         testutil::KindParamName);
 
 }  // namespace
 }  // namespace graphlab

@@ -1,5 +1,7 @@
-// Tests for the simulated cluster: comm layer delivery/ordering/accounting,
-// RPC barrier, termination detection, allreduce, and the SPMD runtime.
+// Tests for the cluster fabric: comm layer delivery/ordering/accounting,
+// RPC barrier, termination detection, allreduce, the SPMD runtime, and
+// the TCP transport (framing, FIFO, counter-exchange quiescence) over a
+// hermetic loopback socket mesh.
 
 #include <gtest/gtest.h>
 
@@ -10,8 +12,10 @@
 #include "graphlab/rpc/barrier.h"
 #include "graphlab/rpc/comm_layer.h"
 #include "graphlab/rpc/runtime.h"
+#include "graphlab/rpc/tcp_transport.h"
 #include "graphlab/rpc/termination.h"
 #include "graphlab/util/timer.h"
+#include "tests/transport_param.h"
 
 namespace graphlab {
 namespace rpc {
@@ -168,6 +172,176 @@ TEST(CommLayerTest, BandwidthModelAddsSerializationDelay) {
   comm.Send(0, 1, 5, std::move(oa));
   comm.WaitQuiescent();
   EXPECT_GE(timer.Millis(), 40.0);
+}
+
+// ---------------------------------------------------------------------
+// TCP transport (loopback socket mesh in this process)
+// ---------------------------------------------------------------------
+
+/// Builds n CommLayers over real loopback TCP sockets.  Register
+/// handlers on the returned layers, then StartAll().
+std::vector<std::unique_ptr<CommLayer>> MakeTcpComms(size_t n) {
+  auto cluster = MakeLoopbackTcpCluster(n);
+  GL_CHECK(cluster.ok()) << cluster.status().ToString();
+  std::vector<std::unique_ptr<CommLayer>> comms;
+  for (size_t i = 0; i < n; ++i) {
+    comms.push_back(std::make_unique<CommLayer>(
+        std::make_unique<TcpTransport>((*cluster)[i])));
+  }
+  return comms;
+}
+
+void StartAll(std::vector<std::unique_ptr<CommLayer>>& comms) {
+  for (auto& c : comms) c->Start();
+}
+
+TEST(TcpTransportTest, DeliversToRegisteredHandler) {
+  auto comms = MakeTcpComms(2);
+  std::atomic<int> received{0};
+  comms[1]->RegisterHandler(1, 100, [&](MachineId src, InArchive& ia) {
+    EXPECT_EQ(src, 0u);
+    EXPECT_EQ(ia.ReadValue<int>(), 42);
+    received.fetch_add(1);
+  });
+  StartAll(comms);
+  OutArchive oa;
+  oa << 42;
+  comms[0]->Send(0, 1, 100, std::move(oa));
+  comms[0]->WaitQuiescent();
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(TcpTransportTest, SelfSendSkipsTheWire) {
+  auto comms = MakeTcpComms(1);
+  std::atomic<int> received{0};
+  comms[0]->RegisterHandler(0, 7, [&](MachineId, InArchive&) {
+    received.fetch_add(1);
+  });
+  StartAll(comms);
+  comms[0]->Send(0, 0, 7, OutArchive());
+  comms[0]->WaitQuiescent();
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(TcpTransportTest, FifoPerChannel) {
+  auto comms = MakeTcpComms(2);
+  std::vector<int> order;
+  comms[1]->RegisterHandler(1, 5, [&](MachineId, InArchive& ia) {
+    order.push_back(ia.ReadValue<int>());
+  });
+  StartAll(comms);
+  for (int i = 0; i < 200; ++i) {
+    OutArchive oa;
+    oa << i;
+    comms[0]->Send(0, 1, 5, std::move(oa));
+  }
+  comms[0]->WaitQuiescent();
+  comms[1]->WaitQuiescent();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TcpTransportTest, ByteAccountingCountsFrameHeader) {
+  auto comms = MakeTcpComms(2);
+  comms[1]->RegisterHandler(1, 5, [](MachineId, InArchive&) {});
+  StartAll(comms);
+  OutArchive oa;
+  oa << uint64_t{1} << uint64_t{2};  // 16 payload bytes
+  comms[0]->Send(0, 1, 5, std::move(oa));
+  comms[0]->WaitQuiescent();
+  comms[1]->WaitQuiescent();
+  CommStats sender = comms[0]->GetStats(0);
+  CommStats receiver = comms[1]->GetStats(1);
+  EXPECT_EQ(sender.messages_sent, 1u);
+  EXPECT_EQ(sender.bytes_sent, 16u + kTcpFrameHeaderBytes);
+  EXPECT_EQ(receiver.messages_received, 1u);
+  EXPECT_EQ(receiver.bytes_received, 16u + kTcpFrameHeaderBytes);
+  // Control traffic (hello, quiescence probes) is not charged.
+  auto peers = comms[0]->GetPeerStats(0);
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[1].messages_sent, 1u);
+  EXPECT_EQ(peers[1].bytes_sent, 16u + kTcpFrameHeaderBytes);
+  EXPECT_EQ(peers[0].messages_sent, 0u);
+}
+
+TEST(TcpTransportTest, HandlersMaySendAndQuiescenceSeesTheChain) {
+  auto comms = MakeTcpComms(3);
+  std::atomic<int> final_count{0};
+  // Chain: 0 -> 1 -> 2.
+  comms[1]->RegisterHandler(1, 5, [&](MachineId, InArchive&) {
+    comms[1]->Send(1, 2, 5, OutArchive());
+  });
+  comms[2]->RegisterHandler(2, 5, [&](MachineId src, InArchive&) {
+    EXPECT_EQ(src, 1u);
+    final_count.fetch_add(1);
+  });
+  StartAll(comms);
+  comms[0]->Send(0, 1, 5, OutArchive());
+  // Machine 0's quiescence must cover the handler-initiated 1 -> 2 hop
+  // it never saw locally: the counter exchange sums cluster-wide.
+  comms[0]->WaitQuiescent();
+  EXPECT_EQ(final_count.load(), 1);
+}
+
+TEST(TcpTransportTest, RuntimeBarrierAndAllreduceOverTcp) {
+  rpc::ClusterOptions opts =
+      graphlab::testutil::ClusterFor(TransportKind::kTcp, 4);
+  Runtime runtime(opts);
+  graphlab::testutil::ClusterAllreduce allreduce(&runtime, 2);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> violation{false};
+  runtime.Run([&](MachineContext& ctx) {
+    for (int phase = 0; phase < 5; ++phase) {
+      phase_counter.fetch_add(1);
+      ctx.barrier().Wait(ctx.id);
+      if (phase_counter.load() < (phase + 1) * 4) violation.store(true);
+      ctx.barrier().Wait(ctx.id);
+      auto result = allreduce.at(ctx.id).Reduce(
+          ctx.id, {ctx.id + uint64_t{1}, uint64_t{10}});
+      EXPECT_EQ(result[0], 10u);  // sum of ids 0..3 plus 4
+      EXPECT_EQ(result[1], 40u);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(phase_counter.load(), 20);
+}
+
+TEST(TcpTransportTest, TerminationDetectionOverTcp) {
+  rpc::ClusterOptions opts =
+      graphlab::testutil::ClusterFor(TransportKind::kTcp, 3);
+  Runtime runtime(opts);
+  runtime.Run([&](MachineContext& ctx) {
+    ctx.termination().SetStateFn(ctx.id, [] {
+      return TerminationDetector::LocalState{true, 0, 0};
+    });
+    ctx.barrier().Wait(ctx.id);
+    if (ctx.id == 0) ctx.termination().NewRun();
+    ctx.barrier().Wait(ctx.id);
+    Timer timer;
+    while (!ctx.termination().Done(ctx.id)) {
+      ctx.termination().Poll(ctx.id);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ASSERT_LT(timer.Seconds(), 10.0) << "termination not detected";
+    }
+  });
+}
+
+TEST(TcpTransportTest, LargeFrameRoundTrips) {
+  auto comms = MakeTcpComms(2);
+  std::atomic<bool> matched{false};
+  std::vector<uint64_t> big(200000);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = i * 2654435761u;
+  comms[1]->RegisterHandler(1, 9, [&](MachineId, InArchive& ia) {
+    std::vector<uint64_t> got;
+    ia >> got;
+    matched.store(got == big);
+  });
+  StartAll(comms);
+  OutArchive oa;
+  oa << big;
+  comms[0]->Send(0, 1, 9, std::move(oa));
+  comms[0]->WaitQuiescent();
+  EXPECT_TRUE(matched.load());
 }
 
 // ---------------------------------------------------------------------

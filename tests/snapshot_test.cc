@@ -1,6 +1,8 @@
 // Fault tolerance tests: synchronous and asynchronous (Chandy-Lamport)
 // snapshots on the locking engine, journal recovery, and the Young
-// optimal-interval formula.
+// optimal-interval formula — parameterized over both interconnect
+// backends, so the quiescence protocol under the synchronous snapshot
+// ("flush all communication channels") is exercised on a real wire too.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +16,7 @@
 #include "graphlab/graph/generators.h"
 #include "graphlab/graph/partition.h"
 #include "graphlab/rpc/runtime.h"
+#include "tests/transport_param.h"
 
 namespace graphlab {
 namespace {
@@ -24,12 +27,17 @@ using apps::PageRankEdge;
 using apps::PageRankVertex;
 using DPRGraph = DistributedGraph<PageRankVertex, PageRankEdge>;
 
-class SnapshotTest : public ::testing::Test {
+class SnapshotTest : public ::testing::TestWithParam<rpc::TransportKind> {
  protected:
   void SetUp() override {
+    std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    // Parameterized test names carry a '/'-separated suffix.
+    for (char& c : name) {
+      if (c == '/') c = '_';
+    }
     dir_ = std::filesystem::temp_directory_path() /
-           ("glsnap_" + std::to_string(::getpid()) + "_" +
-            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+           ("glsnap_" + std::to_string(::getpid()) + "_" + name);
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -52,7 +60,7 @@ struct SnapRun {
 };
 
 SnapRun RunWithSnapshot(const std::string& dir, SnapshotMode mode,
-                        size_t machines,
+                        size_t machines, rpc::TransportKind kind,
                         std::vector<DPRGraph>* graphs_out = nullptr) {
   auto structure = gen::PowerLawWeb(600, 5, 0.8, 33);
   auto global = BuildPageRankGraph(structure);
@@ -61,11 +69,8 @@ SnapRun RunWithSnapshot(const std::string& dir, SnapshotMode mode,
   std::vector<rpc::MachineId> placement(machines);
   for (size_t i = 0; i < machines; ++i) placement[i] = i;
 
-  rpc::ClusterOptions copts;
-  copts.num_machines = machines;
-  copts.comm.latency = std::chrono::microseconds(0);
-  rpc::Runtime runtime(copts);
-  SumAllReduce allreduce(&runtime.comm(), 1);
+  rpc::Runtime runtime(testutil::ClusterFor(kind, machines));
+  testutil::ClusterAllreduce allreduce(&runtime, 1);
   std::vector<DPRGraph> graphs(machines);
   std::atomic<uint64_t> updates{0};
 
@@ -84,7 +89,7 @@ SnapRun RunWithSnapshot(const std::string& dir, SnapshotMode mode,
     opts.snapshot_mode = mode;
     opts.snapshot_trigger_updates = mode == SnapshotMode::kNone ? 0 : 200;
     DistributedEngineDeps<PageRankVertex, PageRankEdge> deps;
-    deps.allreduce = &allreduce;
+    deps.allreduce = &allreduce.at(ctx.id);
     deps.snapshot = &snapshot;
     auto engine =
         std::move(CreateEngine("locking", ctx, &graph, opts, deps).value());
@@ -106,8 +111,9 @@ SnapRun RunWithSnapshot(const std::string& dir, SnapshotMode mode,
   return out;
 }
 
-TEST_F(SnapshotTest, SynchronousSnapshotWritesAllMachines) {
-  SnapRun run = RunWithSnapshot(dir_, SnapshotMode::kSynchronous, 3);
+TEST_P(SnapshotTest, SynchronousSnapshotWritesAllMachines) {
+  SnapRun run =
+      RunWithSnapshot(dir_, SnapshotMode::kSynchronous, 3, GetParam());
   EXPECT_GT(run.updates, 600u);
   for (int m = 0; m < 3; ++m) {
     EXPECT_TRUE(std::filesystem::exists(
@@ -116,8 +122,9 @@ TEST_F(SnapshotTest, SynchronousSnapshotWritesAllMachines) {
   }
 }
 
-TEST_F(SnapshotTest, AsynchronousSnapshotCoversEveryVertex) {
-  SnapRun run = RunWithSnapshot(dir_, SnapshotMode::kAsynchronous, 3);
+TEST_P(SnapshotTest, AsynchronousSnapshotCoversEveryVertex) {
+  SnapRun run =
+      RunWithSnapshot(dir_, SnapshotMode::kAsynchronous, 3, GetParam());
   EXPECT_GT(run.updates, 600u);
   // Every journal exists and, combined, the journals contain every vertex
   // exactly once.
@@ -149,17 +156,15 @@ TEST_F(SnapshotTest, AsynchronousSnapshotCoversEveryVertex) {
   EXPECT_EQ(seen.size(), 600u);
 }
 
-TEST_F(SnapshotTest, RestoreRecoversJournaledState) {
+TEST_P(SnapshotTest, RestoreRecoversJournaledState) {
   // Take a synchronous snapshot mid-run, then clobber the graphs and
   // restore: data must equal the journal.
   std::vector<DPRGraph> graphs;
-  SnapRun run = RunWithSnapshot(dir_, SnapshotMode::kSynchronous, 2, &graphs);
+  SnapRun run = RunWithSnapshot(dir_, SnapshotMode::kSynchronous, 2,
+                                GetParam(), &graphs);
   (void)run;
 
   // Clobber every owned rank, then restore from the journal.
-  rpc::ClusterOptions copts;
-  copts.num_machines = 2;
-  copts.comm.latency = std::chrono::microseconds(0);
   // NOTE: graphs hold a pointer to the *old* runtime's comm layer, which is
   // destroyed; rebuild distributed state in a fresh runtime by re-running
   // the whole pipeline instead.
@@ -168,7 +173,7 @@ TEST_F(SnapshotTest, RestoreRecoversJournaledState) {
   auto colors = GreedyColoring(structure);
   auto atom_of = RandomPartition(structure.num_vertices, 2, 5);
   std::vector<rpc::MachineId> placement = {0, 1};
-  rpc::Runtime runtime(copts);
+  rpc::Runtime runtime(testutil::ClusterFor(GetParam(), 2));
   std::vector<DPRGraph> fresh(2);
   std::vector<std::map<VertexId, double>> restored(2);
   runtime.Run([&](rpc::MachineContext& ctx) {
@@ -209,6 +214,10 @@ TEST_F(SnapshotTest, RestoreRecoversJournaledState) {
     }
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(Transports, SnapshotTest,
+                         ::testing::ValuesIn(testutil::kAllTransports),
+                         testutil::KindParamName);
 
 }  // namespace
 }  // namespace graphlab

@@ -1,0 +1,77 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Shared helpers for transport-parameterized distributed tests: build a
+// cluster over either interconnect backend (simulated in-process, or a
+// real TCP loopback socket mesh hosted in this process on ephemeral
+// ports — hermetic under parallel ctest), and manage the per-fabric
+// component instances the two shapes need.
+
+#ifndef TESTS_TRANSPORT_PARAM_H_
+#define TESTS_TRANSPORT_PARAM_H_
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "graphlab/engine/allreduce.h"
+#include "graphlab/rpc/runtime.h"
+#include "graphlab/rpc/transport.h"
+
+namespace graphlab {
+namespace testutil {
+
+/// Cluster options for `machines` over the given backend.  TCP runs as a
+/// loopback socket mesh inside this test process.
+inline rpc::ClusterOptions ClusterFor(rpc::TransportKind kind,
+                                      size_t machines,
+                                      uint64_t latency_us = 0) {
+  rpc::ClusterOptions o;
+  o.num_machines = machines;
+  o.comm.latency = std::chrono::microseconds(latency_us);
+  o.transport = kind;
+  o.tcp_loopback_cluster = (kind == rpc::TransportKind::kTcp);
+  return o;
+}
+
+/// SumAllReduce instances matching the runtime's fabric shape: one shared
+/// instance on the simulated fabric (all machines' slots live on the one
+/// CommLayer), one instance per machine over TCP (each machine registers
+/// on its own CommLayer; registrations for remote machines are inert).
+class ClusterAllreduce {
+ public:
+  ClusterAllreduce(rpc::Runtime* runtime, size_t width) {
+    if (runtime->transport() == rpc::TransportKind::kInProcess) {
+      shared_ = std::make_unique<SumAllReduce>(&runtime->comm(), width);
+    } else {
+      for (rpc::MachineId m : runtime->local_machines()) {
+        per_machine_[m] =
+            std::make_unique<SumAllReduce>(&runtime->comm(m), width);
+      }
+    }
+  }
+
+  SumAllReduce& at(rpc::MachineId m) {
+    return shared_ ? *shared_ : *per_machine_.at(m);
+  }
+
+ private:
+  std::unique_ptr<SumAllReduce> shared_;
+  std::map<rpc::MachineId, std::unique_ptr<SumAllReduce>> per_machine_;
+};
+
+/// gtest parameter pretty-printer: "inproc" / "tcp".
+inline std::string KindParamName(
+    const ::testing::TestParamInfo<rpc::TransportKind>& info) {
+  return rpc::TransportKindName(info.param);
+}
+
+inline const rpc::TransportKind kAllTransports[] = {
+    rpc::TransportKind::kInProcess, rpc::TransportKind::kTcp};
+
+}  // namespace testutil
+}  // namespace graphlab
+
+#endif  // TESTS_TRANSPORT_PARAM_H_

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
 #include <map>
 #include <set>
 #include <thread>
+#include <unordered_map>
 
 #include "graphlab/util/blocking_queue.h"
 #include "graphlab/util/dense_bitset.h"
@@ -118,6 +121,155 @@ TEST(SerializationTest, SerializedSizeMatches) {
   EXPECT_EQ(SerializedSize(std::string("abc")), 8u + 3u);
   std::vector<float> v(10);
   EXPECT_EQ(SerializedSize(v), 8u + 40u);
+}
+
+// The wire encoding is canonical little-endian, independent of host
+// byte order — golden bytes pin the format.
+TEST(SerializationTest, CanonicalLittleEndianBytes) {
+  OutArchive oa;
+  oa << uint32_t{0x01020304} << uint16_t{0xABCD} << uint64_t{0x1122334455667788ULL};
+  const unsigned char expected[] = {0x04, 0x03, 0x02, 0x01,       // u32
+                                    0xCD, 0xAB,                   // u16
+                                    0x88, 0x77, 0x66, 0x55,       // u64
+                                    0x44, 0x33, 0x22, 0x11};
+  ASSERT_EQ(oa.size(), sizeof(expected));
+  EXPECT_EQ(std::memcmp(oa.buffer().data(), expected, sizeof(expected)), 0);
+
+  // IEEE-754 double 1.0 = 0x3FF0000000000000, little-endian on the wire.
+  OutArchive od;
+  od << 1.0;
+  const unsigned char dexp[] = {0, 0, 0, 0, 0, 0, 0xF0, 0x3F};
+  ASSERT_EQ(od.size(), 8u);
+  EXPECT_EQ(std::memcmp(od.buffer().data(), dexp, 8), 0);
+}
+
+// Round trip over every supported type family in one archive — the wire
+// corpus the transports carry.
+TEST(SerializationTest, RoundTripsAllSupportedTypes) {
+  enum class Tag : uint8_t { kA = 1, kB = 7 };
+  OutArchive oa;
+  oa << true << int8_t{-8} << uint8_t{200} << int16_t{-30000}
+     << uint16_t{60000} << int32_t{-2000000000} << uint32_t{4000000000u}
+     << int64_t{-7} << uint64_t{~uint64_t{0}} << 2.5f << -1e300 << Tag::kB
+     << std::string("wire") << std::vector<uint32_t>{1, 2, 3}
+     << std::vector<std::string>{"a", "bb"}
+     << std::array<double, 2>{{0.5, -0.5}}
+     << std::pair<uint8_t, int32_t>{9, -9}
+     << std::map<uint32_t, std::string>{{1, "one"}}
+     << std::unordered_map<std::string, uint64_t>{{"k", 42}}
+     << std::vector<CustomType>{{3, "three"}};
+
+  InArchive ia(oa.buffer());
+  EXPECT_EQ(ia.ReadValue<bool>(), true);
+  EXPECT_EQ(ia.ReadValue<int8_t>(), -8);
+  EXPECT_EQ(ia.ReadValue<uint8_t>(), 200);
+  EXPECT_EQ(ia.ReadValue<int16_t>(), -30000);
+  EXPECT_EQ(ia.ReadValue<uint16_t>(), 60000);
+  EXPECT_EQ(ia.ReadValue<int32_t>(), -2000000000);
+  EXPECT_EQ(ia.ReadValue<uint32_t>(), 4000000000u);
+  EXPECT_EQ(ia.ReadValue<int64_t>(), -7);
+  EXPECT_EQ(ia.ReadValue<uint64_t>(), ~uint64_t{0});
+  EXPECT_EQ(ia.ReadValue<float>(), 2.5f);
+  EXPECT_EQ(ia.ReadValue<double>(), -1e300);
+  EXPECT_EQ(ia.ReadValue<Tag>(), Tag::kB);
+  EXPECT_EQ(ia.ReadValue<std::string>(), "wire");
+  EXPECT_EQ((ia.ReadValue<std::vector<uint32_t>>()),
+            (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ((ia.ReadValue<std::vector<std::string>>()),
+            (std::vector<std::string>{"a", "bb"}));
+  EXPECT_EQ((ia.ReadValue<std::array<double, 2>>()),
+            (std::array<double, 2>{{0.5, -0.5}}));
+  EXPECT_EQ((ia.ReadValue<std::pair<uint8_t, int32_t>>()),
+            (std::pair<uint8_t, int32_t>{9, -9}));
+  EXPECT_EQ((ia.ReadValue<std::map<uint32_t, std::string>>()),
+            (std::map<uint32_t, std::string>{{1, "one"}}));
+  EXPECT_EQ((ia.ReadValue<std::unordered_map<std::string, uint64_t>>()),
+            (std::unordered_map<std::string, uint64_t>{{"k", 42}}));
+  EXPECT_EQ(ia.ReadValue<std::vector<CustomType>>(),
+            (std::vector<CustomType>{{3, "three"}}));
+  EXPECT_TRUE(ia.AtEnd());
+  EXPECT_TRUE(ia.ok());
+}
+
+// Truncation corpus: decoding any strict prefix of a valid archive must
+// fail cleanly — ok() false, archive drained (loops terminate), zeroed
+// outputs — and never crash or throw.
+TEST(SerializationTest, TruncationCorpusFailsCleanly) {
+  OutArchive oa;
+  oa << uint32_t{7} << std::string("hello") << std::vector<double>{1.0, 2.0}
+     << std::vector<CustomType>{{1, "x"}, {2, "yy"}}
+     << std::map<uint32_t, std::string>{{3, "zzz"}} << int64_t{-1};
+  const auto& buf = oa.buffer();
+
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    InArchive ia(buf.data(), cut);
+    uint32_t a = 99;
+    std::string s = "sentinel";
+    std::vector<double> v;
+    std::vector<CustomType> cv;
+    std::map<uint32_t, std::string> m;
+    int64_t z = 99;
+    ia >> a >> s >> v >> cv >> m >> z;
+    EXPECT_FALSE(ia.ok()) << "prefix of " << cut << " bytes decoded fully";
+    EXPECT_TRUE(ia.AtEnd()) << "failed archive must read as exhausted";
+    EXPECT_FALSE(ia.status().ok());
+    // The final read after a failure zero-fills.
+    EXPECT_EQ(z, 0);
+  }
+  // The full buffer still decodes.
+  InArchive whole(buf);
+  uint32_t a;
+  std::string s;
+  std::vector<double> v;
+  std::vector<CustomType> cv;
+  std::map<uint32_t, std::string> m;
+  int64_t z;
+  whole >> a >> s >> v >> cv >> m >> z;
+  EXPECT_TRUE(whole.ok());
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(z, -1);
+}
+
+// A corrupt length field (2^60 elements) must fail before allocating.
+TEST(SerializationTest, HostileLengthFieldRejectedWithoutAllocation) {
+  OutArchive oa;
+  oa << uint64_t{1} << uint8_t{42};  // vector length 1, one byte element
+  std::vector<char> bytes = oa.TakeBuffer();
+  // Clobber the length to 2^60.
+  OutArchive evil;
+  evil << (uint64_t{1} << 60) << uint8_t{42};
+  {
+    InArchive ia(evil.buffer());
+    std::vector<uint8_t> v;
+    ia >> v;
+    EXPECT_FALSE(ia.ok());
+    EXPECT_TRUE(v.empty());
+  }
+  {
+    InArchive ia(evil.buffer());
+    std::string s;
+    ia >> s;
+    EXPECT_FALSE(ia.ok());
+    EXPECT_TRUE(s.empty());
+  }
+  {
+    InArchive ia(evil.buffer());
+    std::map<uint32_t, uint32_t> m;
+    ia >> m;
+    EXPECT_FALSE(ia.ok());
+    EXPECT_TRUE(m.empty());
+  }
+  // Overflow bait: length * sizeof(T) wraps past 2^64.
+  OutArchive wrap;
+  wrap << uint64_t{0x2000000000000001ULL};
+  {
+    InArchive ia(wrap.buffer());
+    std::vector<uint64_t> v;
+    ia >> v;
+    EXPECT_FALSE(ia.ok());
+    EXPECT_TRUE(v.empty());
+  }
+  (void)bytes;
 }
 
 // ---------------------------------------------------------------------
