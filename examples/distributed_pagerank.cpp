@@ -1,26 +1,40 @@
 // Copyright 2026 The Distributed GraphLab Reproduction Authors.
 //
 // distributed_pagerank: the multi-process launcher proving the chromatic
-// engine runs unmodified over the real TCP transport.
+// engine runs unmodified over the real TCP transport — and, with fault
+// tolerance on, SURVIVES a worker being kill -9'd mid-run (Sec. 4.3).
 //
 // Every machine is one OS process.  The coordinator (machine 0) forks
 // the worker processes, runs its own partition, gathers the converged
 // ranks, recomputes the same problem on the simulated in-process
 // backend, and reports the L1 distance between the two runs — the
-// transport-parity acceptance gate (exit code 0 iff L1 < 1e-8).  With
-// one worker thread per machine the chromatic engine is deterministic,
-// so the distance is exactly zero when the wire discipline is honest.
+// transport-parity acceptance gate (exit code 0 iff L1 < 1e-8).
 //
 //   # 4 machines over real TCP on localhost (forks 3 workers):
 //   ./example_distributed_pagerank --transport=tcp --machines=4
 //
-//   # same computation entirely on the simulated interconnect:
-//   ./example_distributed_pagerank --transport=sim --machines=4
+//   # chaos mode: kill -9 the last worker 1500 ms into the run; the
+//   # survivors detect the death over heartbeats/EOF, re-place its
+//   # atoms, restore the last checkpoint epoch, and converge to the
+//   # same fixed point as the unfailed simulated run:
+//   ./example_distributed_pagerank --transport=tcp --machines=4 \
+//       --ft --kill-worker-after-ms=1500 --checkpoint-interval=0.2
 //
-// Flags: --machines=N --vertices=V --threads=T --port-base=P
-//        --json=FILE (coordinator writes BENCH_distributed_pagerank.json)
-//        --role/--machine-id are set by the coordinator when forking.
+// FT flags: --ft (run under fault::FaultTolerantRunner)
+//           --kill-worker-after-ms=N  (coordinator SIGKILLs the last
+//             worker after N ms; implies --ft)
+//           --checkpoint-interval=SEC (fixed checkpoint cadence)
+//           --mtbf=SEC (Young's-rule cadence; used when no fixed
+//             interval is given)
+//           --snapshot-dir=PATH (shared journal directory)
+//           --tolerance=T (PageRank residual tolerance; FT parity wants
+//             1e-13 so differently-scheduled fixed points agree)
+//           --recovery-json=FILE (writes BENCH_recovery.json rows)
+//
+// Other flags: --machines=N --vertices=V --threads=T --port-base=P
+//              --json=FILE --role/--machine-id (set when forking).
 
+#include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -28,13 +42,17 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graphlab/apps/pagerank.h"
 #include "graphlab/engine/allreduce.h"
 #include "graphlab/engine/engine_factory.h"
+#include "graphlab/fault/ft_runner.h"
+#include "graphlab/graph/atom.h"
 #include "graphlab/graph/coloring.h"
 #include "graphlab/graph/generators.h"
 #include "graphlab/graph/partition.h"
@@ -64,6 +82,14 @@ struct Config {
   std::string json = "BENCH_distributed_pagerank.json";
   double damping = 0.85;
   double tolerance = 1e-10;
+
+  // Fault tolerance.
+  bool ft = false;
+  uint64_t kill_worker_after_ms = 0;  // coordinator-side SIGKILL timer
+  double checkpoint_interval = 0;
+  double mtbf = 0;
+  std::string snapshot_dir;
+  std::string recovery_json = "BENCH_recovery.json";
 };
 
 struct RunOutput {
@@ -72,21 +98,81 @@ struct RunOutput {
   double seconds = 0;
   rpc::CommStats stats;            // machine 0's traffic
   std::vector<rpc::PeerCommStats> peer_stats;
+  fault::FtReport ft_report;       // machine 0's, FT mode only
 };
 
-/// Runs the SPMD PageRank program on `runtime`; machine 0 gathers all
-/// converged ranks.  Deterministic inputs: every process derives the
-/// same graph/partition/coloring from the same seeds.
-RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
-  auto structure = gen::PowerLawWeb(cfg.vertices, 5, 0.8, 7);
-  auto global = apps::BuildPageRankGraph(structure);
-  auto colors = GreedyColoring(structure);
-  auto atom_of = RandomPartition(cfg.vertices, cfg.machines, 3);
-  std::vector<rpc::MachineId> placement(cfg.machines);
-  for (size_t m = 0; m < cfg.machines; ++m) placement[m] = m;
+/// Deterministic inputs every process derives identically.
+struct ProblemInputs {
+  GraphStructure structure;
+  LocalGraph<PageRankVertex, PageRankEdge> global;
+  ColorAssignment colors;
+  PartitionAssignment atom_of;
+  AtomIndex meta;
+  AtomId num_atoms = 0;
+};
 
-  // Per-fabric allreduce (one shared on the simulated backend, one per
-  // locally hosted machine over TCP; remote registrations are inert).
+ProblemInputs BuildInputs(const Config& cfg) {
+  ProblemInputs in;
+  in.structure = gen::PowerLawWeb(cfg.vertices, 5, 0.8, 7);
+  in.global = apps::BuildPageRankGraph(in.structure);
+  in.colors = GreedyColoring(in.structure);
+  // Over-partition (4 atoms per machine) so a dead machine's atoms can
+  // spread across the survivors, per the two-phase scheme of Sec. 4.1.
+  in.num_atoms = static_cast<AtomId>(4 * cfg.machines);
+  in.atom_of = RandomPartition(cfg.vertices, in.num_atoms, 3);
+  in.meta = BuildMetaIndex(in.structure, in.atom_of, in.colors,
+                           in.num_atoms);
+  return in;
+}
+
+/// Machine 0's rank-gather sink; machines send their owned (gvid, rank)
+/// batches after the run and the barrier orders delivery.
+void RegisterRankGather(rpc::MachineContext& ctx, RunOutput* out,
+                        std::atomic<size_t>* gathered) {
+  ctx.comm().RegisterHandler(
+      0, kRankGatherHandler, [out, gathered](rpc::MachineId, InArchive& ia) {
+        std::vector<std::pair<VertexId, double>> batch;
+        ia >> batch;
+        if (!ia.ok()) {
+          GL_LOG(ERROR) << "corrupt rank gather batch";
+          return;
+        }
+        size_t applied = 0;
+        for (auto& [gvid, rank] : batch) {
+          if (gvid >= out->ranks.size()) {
+            GL_LOG(ERROR) << "gathered rank for vertex " << gvid
+                          << " outside the coordinator's graph";
+            continue;
+          }
+          out->ranks[gvid] = rank;
+          applied++;
+        }
+        gathered->fetch_add(applied, std::memory_order_acq_rel);
+      });
+}
+
+void SendOwnedRanks(rpc::MachineContext& ctx, const DGraph& graph) {
+  std::vector<std::pair<VertexId, double>> batch;
+  batch.reserve(graph.num_owned_vertices());
+  for (LocalVid l : graph.owned_vertices()) {
+    batch.emplace_back(graph.Gvid(l), graph.vertex_data(l).rank);
+  }
+  OutArchive oa;
+  oa << batch;
+  ctx.comm().Send(ctx.id, 0, kRankGatherHandler, std::move(oa));
+}
+
+/// Runs the SPMD PageRank program on `runtime`; machine 0 gathers all
+/// converged ranks.  With cfg.ft the run goes through the fault-tolerant
+/// runner: heartbeat failure detection, periodic checkpoints, and live
+/// recovery of a dead machine's partition.
+RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
+  ProblemInputs in = BuildInputs(cfg);
+  auto full_placement = PlaceAtoms(in.meta, cfg.machines);
+
+  // Per-fabric allreduce for the non-FT path (the FT runner owns its
+  // own); one shared on the simulated backend, one per hosted machine
+  // over TCP (remote registrations are inert).
   std::vector<std::unique_ptr<SumAllReduce>> allreduces;
   auto allreduce_for = [&](rpc::MachineId m) -> SumAllReduce* {
     if (runtime.transport() == rpc::TransportKind::kInProcess) {
@@ -98,12 +184,15 @@ RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
     GL_LOG(FATAL) << "machine " << m << " not local";
     return nullptr;
   };
-  if (runtime.transport() == rpc::TransportKind::kInProcess) {
-    allreduces.push_back(std::make_unique<SumAllReduce>(&runtime.comm(), 1));
-  } else {
-    for (rpc::MachineId m : runtime.local_machines()) {
+  if (!cfg.ft) {
+    if (runtime.transport() == rpc::TransportKind::kInProcess) {
       allreduces.push_back(
-          std::make_unique<SumAllReduce>(&runtime.comm(m), 1));
+          std::make_unique<SumAllReduce>(&runtime.comm(), 1));
+    } else {
+      for (rpc::MachineId m : runtime.local_machines()) {
+        allreduces.push_back(
+            std::make_unique<SumAllReduce>(&runtime.comm(m), 1));
+      }
     }
   }
 
@@ -114,67 +203,72 @@ RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
 
   Timer timer;
   runtime.Run([&](rpc::MachineContext& ctx) {
-    DGraph& graph = graphs[ctx.id];
-    GL_CHECK_OK(graph.InitFromGlobal(global, atom_of, colors, placement,
-                                     ctx.id, &ctx.comm()));
-    if (ctx.id == 0) {
-      // Machine 0 collects (gvid, rank) vectors from every machine.
-      ctx.comm().RegisterHandler(
-          0, kRankGatherHandler, [&](rpc::MachineId, InArchive& ia) {
-            std::vector<std::pair<VertexId, double>> batch;
-            ia >> batch;
-            if (!ia.ok()) {
-              GL_LOG(ERROR) << "corrupt rank gather batch";
-              return;
-            }
-            size_t applied = 0;
-            for (auto& [gvid, rank] : batch) {
-              if (gvid >= out.ranks.size()) {
-                // A worker configured with different --vertices would
-                // send out-of-range ids; fail the gather count check
-                // loudly instead of writing out of bounds.
-                GL_LOG(ERROR) << "gathered rank for vertex " << gvid
-                              << " outside the coordinator's graph";
-                continue;
-              }
-              out.ranks[gvid] = rank;
-              applied++;
-            }
-            gathered.fetch_add(applied, std::memory_order_acq_rel);
-          });
-    }
-    ctx.barrier().Wait(ctx.id);
+    const rpc::MachineId me = ctx.id;
+    DGraph& graph = graphs[me];
+    if (me == 0) RegisterRankGather(ctx, &out, &gathered);
 
-    EngineOptions eo;
-    eo.num_threads = cfg.threads;
-    eo.consistency = ConsistencyModel::kEdgeConsistency;
-    DistributedEngineDeps<PageRankVertex, PageRankEdge> deps;
-    deps.allreduce = allreduce_for(ctx.id);
-    auto engine =
-        std::move(CreateEngine("chromatic", ctx, &graph, eo, deps).value());
-    engine->SetUpdateFn(apps::MakePageRankUpdateFn<DGraph>(cfg.damping,
-                                                           cfg.tolerance));
-    engine->ScheduleAll();
-    RunResult r = engine->Start();
-    if (ctx.id == 0) out.updates = r.updates;
+    if (cfg.ft) {
+      fault::FtOptions ft;
+      ft.snapshot_dir = cfg.snapshot_dir;
+      ft.checkpoint_interval_seconds = cfg.checkpoint_interval;
+      ft.mtbf_seconds = cfg.mtbf;
+      fault::FaultTolerantRunner<PageRankVertex, PageRankEdge> runner(ctx,
+                                                                      ft);
+      typename fault::FaultTolerantRunner<PageRankVertex,
+                                          PageRankEdge>::Problem problem;
+      problem.meta = in.meta;
+      problem.build = [&, me](DGraph* g,
+                              const std::vector<rpc::MachineId>& placement) {
+        return g->InitFromGlobal(in.global, in.atom_of, in.colors,
+                                 placement, me, &ctx.comm());
+      };
+      problem.update_fn =
+          apps::MakePageRankUpdateFn<DGraph>(cfg.damping, cfg.tolerance);
+      problem.engine_options.num_threads = cfg.threads;
+      problem.engine_options.checkpoint_interval_seconds =
+          cfg.checkpoint_interval;
+      problem.engine_options.mtbf_seconds = cfg.mtbf;
+
+      auto result = runner.Run(problem, &graph);
+      if (!result.ok()) {
+        // This machine died (the chaos kill): its process has nothing
+        // further to contribute.
+        GL_LOG(WARNING) << "machine " << me
+                        << ": run aborted: " << result.status().ToString();
+        return;
+      }
+      if (me == 0) {
+        out.ft_report = *result;
+        out.updates = result->result.updates;
+      }
+    } else {
+      GL_CHECK_OK(graph.InitFromGlobal(in.global, in.atom_of, in.colors,
+                                       full_placement, me, &ctx.comm()));
+      ctx.barrier().Wait(me);
+      EngineOptions eo;
+      eo.num_threads = cfg.threads;
+      eo.consistency = ConsistencyModel::kEdgeConsistency;
+      DistributedEngineDeps<PageRankVertex, PageRankEdge> deps;
+      deps.allreduce = allreduce_for(me);
+      auto engine =
+          std::move(CreateEngine("chromatic", ctx, &graph, eo, deps).value());
+      engine->SetUpdateFn(
+          apps::MakePageRankUpdateFn<DGraph>(cfg.damping, cfg.tolerance));
+      engine->ScheduleAll();
+      RunResult r = engine->Start();
+      if (me == 0) out.updates = r.updates;
+    }
 
     // Ship converged owned ranks to machine 0.  The barrier after the
     // send is delivery-ordered behind it on the same FIFO channel, so
     // once everyone passes the barrier machine 0 holds every rank.
-    std::vector<std::pair<VertexId, double>> batch;
-    batch.reserve(graph.num_owned_vertices());
-    for (LocalVid l : graph.owned_vertices()) {
-      batch.emplace_back(graph.Gvid(l), graph.vertex_data(l).rank);
-    }
-    OutArchive oa;
-    oa << batch;
-    ctx.comm().Send(ctx.id, 0, kRankGatherHandler, std::move(oa));
-    ctx.barrier().Wait(ctx.id);
+    // After a recovery the surviving partitions cover every vertex.
+    SendOwnedRanks(ctx, graph);
+    ctx.barrier().Wait(me);
     ctx.comm().WaitQuiescent();
-    ctx.barrier().Wait(ctx.id);
-    if (ctx.id == 0) {
-      GL_CHECK_EQ(gathered.load(), cfg.vertices)
-          << "rank gather incomplete";
+    ctx.barrier().Wait(me);
+    if (me == 0) {
+      GL_CHECK_EQ(gathered.load(), cfg.vertices) << "rank gather incomplete";
       out.stats = ctx.comm().GetStats(0);
       out.peer_stats = ctx.comm().GetPeerStats(0);
     }
@@ -195,12 +289,54 @@ int RunWorker(const Config& cfg) {
   return 0;
 }
 
-int RunCoordinator(const Config& cfg) {
+/// std::to_string(double) rounds to 6 decimals (1e-10 -> "0.000000");
+/// flags carrying small doubles must round-trip exactly.
+std::string DoubleFlag(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::vector<std::string> WorkerArgs(const Config& cfg, size_t machine,
+                                    uint16_t port_base,
+                                    const std::string& exe) {
+  std::vector<std::string> args = {
+      exe,
+      "--transport=tcp",
+      "--role=worker",
+      "--machines=" + std::to_string(cfg.machines),
+      "--machine-id=" + std::to_string(machine),
+      "--vertices=" + std::to_string(cfg.vertices),
+      "--threads=" + std::to_string(cfg.threads),
+      "--port-base=" + std::to_string(port_base),
+      "--tolerance=" + DoubleFlag(cfg.tolerance),
+  };
+  if (cfg.ft) {
+    args.push_back("--ft=true");
+    args.push_back("--snapshot-dir=" + cfg.snapshot_dir);
+    args.push_back("--checkpoint-interval=" +
+                   DoubleFlag(cfg.checkpoint_interval));
+    args.push_back("--mtbf=" + DoubleFlag(cfg.mtbf));
+  }
+  return args;
+}
+
+int RunCoordinator(Config cfg) {
   const bool tcp = cfg.transport == "tcp";
+  if (cfg.ft && !tcp) {
+    std::fprintf(stderr,
+                 "--ft requires --transport=tcp (per-machine fabrics; the "
+                 "simulated backend is the unfailed reference)\n");
+    return 2;
+  }
   uint16_t port_base = cfg.port_base;
   if (tcp && port_base == 0) {
     // Derive a per-run base so parallel CI jobs do not collide.
     port_base = static_cast<uint16_t>(20000 + (::getpid() % 20000));
+  }
+  if (cfg.ft && cfg.snapshot_dir.empty()) {
+    cfg.snapshot_dir =
+        "glft_snapshots_" + std::to_string(::getpid());
   }
 
   std::vector<pid_t> children;
@@ -213,16 +349,8 @@ int RunCoordinator(const Config& cfg) {
         ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
         GL_CHECK_GT(n, 0);
         exe[n] = '\0';
-        std::vector<std::string> args = {
-            exe,
-            "--transport=tcp",
-            "--role=worker",
-            "--machines=" + std::to_string(cfg.machines),
-            "--machine-id=" + std::to_string(m),
-            "--vertices=" + std::to_string(cfg.vertices),
-            "--threads=" + std::to_string(cfg.threads),
-            "--port-base=" + std::to_string(port_base),
-        };
+        std::vector<std::string> args =
+            WorkerArgs(cfg, m, port_base, exe);
         std::vector<char*> argv;
         for (auto& a : args) argv.push_back(a.data());
         argv.push_back(nullptr);
@@ -232,6 +360,24 @@ int RunCoordinator(const Config& cfg) {
       }
       children.push_back(pid);
     }
+  }
+
+  // Chaos: kill -9 the LAST worker (machine N-1) after the configured
+  // delay — a real abrupt process death, exactly what Sec. 4.3 claims
+  // the snapshot mechanism survives.
+  const pid_t victim =
+      (cfg.kill_worker_after_ms > 0 && !children.empty()) ? children.back()
+                                                          : -1;
+  std::thread killer;
+  Timer detection_timer;
+  if (victim > 0) {
+    killer = std::thread([victim, &cfg] {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(cfg.kill_worker_after_ms));
+      std::fprintf(stderr, "[chaos] kill -9 worker pid %d (machine %zu)\n",
+                   victim, cfg.machines - 1);
+      ::kill(victim, SIGKILL);
+    });
   }
 
   // Run this process's machine(s).
@@ -250,37 +396,66 @@ int RunCoordinator(const Config& cfg) {
     rpc::Runtime runtime(copts);
     wire = RunCluster(runtime, cfg);
   }
+  if (killer.joinable()) killer.join();
 
   int exit_code = 0;
   for (pid_t pid : children) {
     int status = 0;
     ::waitpid(pid, &status, 0);
+    if (pid == victim) {
+      if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+        std::fprintf(stderr,
+                     "[chaos] victim %d was not killed as intended "
+                     "(status %d) — run may not have exercised recovery\n",
+                     pid, status);
+      }
+      continue;  // intentional death, not a failure
+    }
     if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
       std::fprintf(stderr, "worker %d failed (status %d)\n", pid, status);
       exit_code = 1;
     }
   }
 
-  // Reference: the identical computation on the simulated interconnect.
+  // Reference: the identical computation, unfailed, on the simulated
+  // interconnect (the Sec. 4.3 "same fixed point as an unfailed run"
+  // acceptance).
   rpc::ClusterOptions ref_opts;
   ref_opts.num_machines = cfg.machines;
   ref_opts.threads_per_machine = cfg.threads;
   ref_opts.comm.latency = std::chrono::microseconds(100);
-  rpc::Runtime ref_runtime(ref_opts);
-  RunOutput reference = RunCluster(ref_runtime, cfg);
+  Config ref_cfg = cfg;
+  ref_cfg.ft = false;
+  RunOutput reference;
+  {
+    rpc::Runtime ref_runtime(ref_opts);
+    reference = RunCluster(ref_runtime, ref_cfg);
+  }
 
   double l1 = 0.0;
   for (size_t v = 0; v < cfg.vertices; ++v) {
     l1 += std::fabs(wire.ranks[v] - reference.ranks[v]);
   }
   const bool parity = l1 < 1e-8;
+  const bool recovered = wire.ft_report.recoveries > 0;
 
-  std::printf("backend=%s machines=%zu vertices=%zu threads=%zu\n",
+  std::printf("backend=%s machines=%zu vertices=%zu threads=%zu ft=%d\n",
               cfg.transport.c_str(), cfg.machines, cfg.vertices,
-              cfg.threads);
+              cfg.threads, cfg.ft ? 1 : 0);
   std::printf("updates=%llu seconds=%.3f bytes_sent(m0)=%llu\n",
               static_cast<unsigned long long>(wire.updates), wire.seconds,
               static_cast<unsigned long long>(wire.stats.bytes_sent));
+  if (cfg.ft) {
+    std::printf(
+        "ft: attempts=%llu recoveries=%llu restored_epoch=%u "
+        "checkpoints=%llu ckpt_seconds=%.3f recovery_seconds=%.3f\n",
+        static_cast<unsigned long long>(wire.ft_report.attempts),
+        static_cast<unsigned long long>(wire.ft_report.recoveries),
+        wire.ft_report.restored_epoch,
+        static_cast<unsigned long long>(wire.ft_report.checkpoints_written),
+        wire.ft_report.checkpoint_seconds,
+        wire.ft_report.recovery_seconds);
+  }
   std::printf("L1(%s, inproc reference) = %.3e -> %s\n",
               cfg.transport.c_str(), l1, parity ? "PARITY" : "MISMATCH");
 
@@ -298,6 +473,48 @@ int RunCoordinator(const Config& cfg) {
   bench::AddPeerStatsRows(&json, cfg.transport + "/m0", wire.peer_stats);
   bench::AddCommStatsRow(&json, "inproc-reference/m0", reference.stats);
   json.WriteFile(cfg.json);
+
+  if (cfg.ft) {
+    // BENCH_recovery.json: checkpoint overhead + recovery latency rows,
+    // the artifact the chaos CI job validates and uploads.
+    bench::JsonWriter recovery("recovery");
+    recovery.meta()
+        .Set("machines", static_cast<uint64_t>(cfg.machines))
+        .Set("vertices", static_cast<uint64_t>(cfg.vertices))
+        .Set("kill_worker_after_ms", cfg.kill_worker_after_ms)
+        .Set("parity", parity)
+        .Set("recovered", recovered);
+    recovery.AddRow()
+        .Set("row", "checkpoint")
+        .Set("checkpoints_written", wire.ft_report.checkpoints_written)
+        .Set("checkpoint_seconds", wire.ft_report.checkpoint_seconds)
+        .Set("interval_seconds",
+             wire.ft_report.checkpoint_interval_seconds)
+        .Set("overhead_fraction",
+             wire.seconds > 0
+                 ? wire.ft_report.checkpoint_seconds / wire.seconds
+                 : 0.0);
+    recovery.AddRow()
+        .Set("row", "recovery")
+        .Set("attempts", wire.ft_report.attempts)
+        .Set("recoveries", wire.ft_report.recoveries)
+        .Set("restored_epoch",
+             static_cast<uint64_t>(wire.ft_report.restored_epoch))
+        .Set("recovery_seconds", wire.ft_report.recovery_seconds)
+        .Set("total_seconds", wire.seconds);
+    recovery.WriteFile(cfg.recovery_json);
+
+    // The chaos run must actually have recovered (a kill that landed
+    // after convergence proves nothing).
+    if (cfg.kill_worker_after_ms > 0 && !recovered) {
+      std::fprintf(stderr,
+                   "[chaos] no recovery occurred — increase --vertices or "
+                   "lower --kill-worker-after-ms\n");
+      exit_code = 1;
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(cfg.snapshot_dir, ec);
+  }
 
   if (!parity) exit_code = 1;
   return exit_code;
@@ -319,6 +536,17 @@ int main(int argc, char** argv) {
   cfg.port_base =
       static_cast<uint16_t>(opts.GetInt("port-base", cfg.port_base));
   cfg.json = opts.GetString("json", cfg.json);
+  cfg.recovery_json = opts.GetString("recovery-json", cfg.recovery_json);
+  cfg.kill_worker_after_ms = static_cast<uint64_t>(
+      opts.GetInt("kill-worker-after-ms", 0));
+  cfg.ft = opts.GetBool("ft", false) || cfg.kill_worker_after_ms > 0;
+  cfg.checkpoint_interval =
+      opts.GetDouble("checkpoint-interval", cfg.ft ? 0.2 : 0.0);
+  cfg.mtbf = opts.GetDouble("mtbf", 0.0);
+  cfg.snapshot_dir = opts.GetString("snapshot-dir", cfg.snapshot_dir);
+  // FT parity compares two differently-scheduled runs; they agree at the
+  // fixed point only under a tight residual tolerance.
+  cfg.tolerance = opts.GetDouble("tolerance", cfg.ft ? 1e-13 : 1e-10);
   GL_CHECK_GE(cfg.machines, 1u);
 
   if (cfg.role == "worker") return RunWorker(cfg);

@@ -188,6 +188,10 @@ class BulkSyncEngine final
       ctx_.comm().WaitQuiescent();
       ctx_.barrier().Wait(ctx_.id);
 
+      // Globally consistent boundary (all machines aligned, channels
+      // flushed): the fault subsystem's checkpoint coordinator runs here.
+      this->RunBoundaryHook(step + 1);
+
       // Collective continuation decision.  Kernel mode without a residual
       // tolerance skips it entirely — the hand-tuned MPI baseline sends
       // zero control traffic and runs its fixed superstep count (aborts

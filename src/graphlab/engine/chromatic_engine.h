@@ -123,6 +123,11 @@ class ChromaticEngine final
 
     for (;;) {
       for (ColorId color = 0; color < num_colors; ++color) {
+        // An aborted machine (peer death, AbortAndJoin) stops executing
+        // updates but keeps walking the collective call sequence — its
+        // barrier/quiescence calls are failure-released or cancelled, so
+        // it reaches the sweep-end decision instead of desynchronizing
+        // the survivors' barrier generations.
         RunColorStep(color);
         // Close the coalescing window: ship one framed delta batch per
         // peer with anything staged.
@@ -133,6 +138,7 @@ class ChromaticEngine final
         ctx_.comm().WaitQuiescent();
         ctx_.barrier().Wait(ctx_.id);
         if (this->options_.sync_interval_steps != 0 && sync_ != nullptr &&
+            !this->substrate_.aborted() &&
             ++steps_since_sync_ >= this->options_.sync_interval_steps) {
           steps_since_sync_ = 0;
           for (const std::string& key : this->options_.sync_keys) {
@@ -141,12 +147,19 @@ class ChromaticEngine final
         }
       }
       ++sweeps;
+      // Globally consistent boundary: all machines aligned, channels
+      // flushed.  The fault subsystem's checkpoint coordinator runs here.
+      this->RunBoundaryHook(sweeps);
       // Cluster-wide continuation decision; a local abort propagates to
       // every machine through the high bits of the reduced word so the
       // cluster breaks out of the sweep loop together.
       uint64_t word = pending_.load(std::memory_order_acquire);
       if (this->substrate_.aborted()) word += kAbortUnit;
       std::vector<uint64_t> totals = allreduce_->Reduce(ctx_.id, {word});
+      // A machine cancelled by the fault runner gets all-zeros back and
+      // leaves through the T-empty branch; everyone else leaves through
+      // the abort bit once their own cancellation or the collective
+      // decision lands.
       if (totals[0] >= kAbortUnit) break;                  // someone aborted
       if ((totals[0] & (kAbortUnit - 1)) == 0) break;      // T empty
       if (this->options_.max_sweeps != 0 &&
@@ -190,6 +203,7 @@ class ChromaticEngine final
   static constexpr uint64_t kAbortUnit = uint64_t{1} << 48;
 
   uint64_t RunColorStep(ColorId color) {
+    if (this->substrate_.aborted()) return 0;
     // Collect scheduled owned vertices of this color.
     std::vector<LocalVid> batch;
     for (LocalVid l : graph_->owned_vertices()) {

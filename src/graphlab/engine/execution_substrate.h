@@ -428,11 +428,18 @@ class EngineBase : public IEngine<Graph> {
   }
 
   void AbortAndJoin() final {
-    substrate_.RequestAbort();
-    OnAbort();
+    RequestAbort();
     substrate_.JoinRun();
   }
+  void RequestAbort() final {
+    substrate_.RequestAbort();
+    OnAbort();
+  }
   bool aborted() const final { return substrate_.aborted(); }
+
+  void SetBoundaryHook(typename IEngine<Graph>::BoundaryHook hook) override {
+    boundary_hook_ = std::move(hook);
+  }
 
   uint64_t total_updates() const override {
     return substrate_.total_updates();
@@ -505,9 +512,30 @@ class EngineBase : public IEngine<Graph> {
     return std::move(scheduler.value());
   }
 
+  /// Runs the boundary hook (if any); a non-OK status flags a
+  /// cooperative abort.  Collective engines call this at their aligned,
+  /// channels-flushed superstep/sweep boundaries.  Deliberately NOT
+  /// skipped on an aborted engine: the hook may be a cluster collective
+  /// (the checkpoint protocol), and a machine that aborted locally must
+  /// keep participating until the collective abort decision — skipping
+  /// would leave the others waiting on its contribution forever.  Hooks
+  /// that cannot proceed (peer death) unblock themselves via membership.
+  void RunBoundaryHook(uint64_t boundary) {
+    if (!boundary_hook_) return;
+    Status st = boundary_hook_(boundary);
+    if (!st.ok()) {
+      if (!substrate_.aborted()) {
+        GL_LOG(WARNING) << "boundary hook aborted the run: "
+                        << st.ToString();
+      }
+      RequestAbort();
+    }
+  }
+
   EngineOptions options_;
   ExecutionSubstrate substrate_;
   UpdateFn<Graph> update_fn_;
+  typename IEngine<Graph>::BoundaryHook boundary_hook_;
   RunResult last_result_;
 };
 

@@ -26,6 +26,8 @@ enum EngineHandlers : rpc::HandlerId {
   kBspMessageHandler = 26,       // BSP/Pregel baseline vertex messages
   kBulkExchangeHandler = 27,     // MPI-style bulk all-to-all exchange
   kSnapshotTriggerHandler = 28,  // coordinator-initiated snapshot trigger
+  kCheckpointControlHandler = 29,  // checkpoint decide/done/commit protocol
+  kRecoveryControlHandler = 30,    // recovery rendezvous enter/release
 };
 
 }  // namespace graphlab

@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -113,6 +114,16 @@ struct EngineOptions {
   SnapshotMode snapshot_mode = SnapshotMode::kNone;
   uint64_t snapshot_trigger_updates = 0;
   uint32_t snapshot_epoch = 1;
+
+  /// Checkpoint cadence (consumed by fault::CheckpointCoordinator via the
+  /// fault-tolerant runner, not by the engines themselves — like
+  /// gather_cache is consumed by the GAS compiler).  A fixed interval in
+  /// seconds wins when > 0; otherwise mtbf_seconds > 0 derives the
+  /// interval from Young's approximation (Eq. 3 of Sec. 4.3,
+  /// OptimalCheckpointIntervalSeconds) using the measured checkpoint
+  /// cost.  Both 0 = no periodic checkpoints.
+  double checkpoint_interval_seconds = 0;
+  double mtbf_seconds = 0;
 };
 
 /// Point-in-time counters exposed by every engine.
@@ -165,7 +176,24 @@ class IEngine {
   /// flags the abort and returns immediately (the run winds down once the
   /// update returns).  Idempotent; safe to call when no run is active.
   virtual void AbortAndJoin() = 0;
+
+  /// The non-blocking half of AbortAndJoin(): flags the abort and
+  /// returns immediately.  Safe from any thread, including transport /
+  /// failure-detector callbacks that must never block (the fault runner
+  /// calls this the moment a peer death is observed).
+  virtual void RequestAbort() = 0;
   virtual bool aborted() const = 0;
+
+  /// Installs a hook the collective engines invoke at every globally
+  /// consistent boundary — end of a chromatic sweep or a bulk-sync
+  /// superstep, after the communication barrier, when every machine is
+  /// aligned and all channels are flushed.  The fault subsystem hangs
+  /// its checkpoint coordinator here.  A non-OK return aborts the run
+  /// cooperatively.  Engines without such boundaries (shared_memory,
+  /// bsp, locking — the latter snapshots through its own Sec. 4.3
+  /// machinery) ignore the hook.
+  using BoundaryHook = std::function<Status(uint64_t boundary)>;
+  virtual void SetBoundaryHook(BoundaryHook hook) { (void)hook; }
 
   // ------------------------------------------------------------------
   // Stats / metrics

@@ -51,6 +51,38 @@ inline double OptimalCheckpointIntervalSeconds(double t_checkpoint_sec,
 /// applications use so the scheduler runs markers first (Alg. 5 condition).
 inline constexpr double kSnapshotPriority = 1e30;
 
+/// Commit record of the newest globally complete snapshot, stored as
+/// `<dir>/LATEST` on the (shared) snapshot filesystem.  Written by the
+/// checkpoint coordinator only after every machine's journal for `epoch`
+/// is durable, so recovery never reads a half-written epoch; `machines`
+/// records who journaled (the membership at snapshot time), which is the
+/// set of journal files a restore onto ANY later membership must replay.
+struct SnapshotManifest {
+  uint32_t epoch = 0;
+  std::vector<rpc::MachineId> machines;
+};
+
+inline Status WriteSnapshotManifest(const std::string& dir,
+                                    const SnapshotManifest& manifest) {
+  OutArchive oa;
+  oa << manifest.epoch << manifest.machines;
+  return WriteFileBytes(dir + "/LATEST", oa.buffer());
+}
+
+/// NotFound when no snapshot has been committed yet.
+inline Expected<SnapshotManifest> ReadSnapshotManifest(
+    const std::string& dir) {
+  auto bytes = ReadFileBytes(dir + "/LATEST");
+  if (!bytes.ok()) return Status::NotFound("no snapshot manifest in " + dir);
+  SnapshotManifest manifest;
+  InArchive ia(*bytes);
+  ia >> manifest.epoch >> manifest.machines;
+  if (!ia.ok() || !ia.AtEnd()) {
+    return Status::Corruption("bad snapshot manifest in " + dir);
+  }
+  return manifest;
+}
+
 template <typename VertexData, typename EdgeData>
 class SnapshotManager {
  public:
@@ -73,10 +105,15 @@ class SnapshotManager {
     dfs_bandwidth_ = bytes_per_sec;
   }
 
-  std::string JournalPath(uint32_t epoch) const {
-    return dir_ + "/snap_" + std::to_string(epoch) + "_m" +
-           std::to_string(ctx_.id) + ".glsnap";
+  static std::string JournalPathFor(const std::string& dir, uint32_t epoch,
+                                    rpc::MachineId machine) {
+    return dir + "/snap_" + std::to_string(epoch) + "_m" +
+           std::to_string(machine) + ".glsnap";
   }
+  std::string JournalPath(uint32_t epoch) const {
+    return JournalPathFor(dir_, epoch, ctx_.id);
+  }
+  const std::string& dir() const { return dir_; }
 
   // --------------------------------------------------------------------
   // Synchronous snapshot
@@ -169,6 +206,63 @@ class SnapshotManager {
       graph_->FlushVertexScope(l);
     }
     return Status::OK();
+  }
+
+  /// Restore for recovery after machine loss: replays the epoch's
+  /// journals of `journal_machines` — the membership AT SNAPSHOT TIME,
+  /// from the manifest, which includes the dead machine — and applies
+  /// every record this machine now holds under its (possibly different)
+  /// placement: owned vertices take vertex records, locally present
+  /// edges take edge records, everything else is skipped.  Works on a
+  /// freshly re-ingested graph whose membership shrank.  Purely local:
+  /// call RepushOwnedScopes() + barrier + WaitQuiescent afterwards to
+  /// re-sync ghosts cluster-wide.
+  Status RestoreFrom(uint32_t epoch,
+                     const std::vector<rpc::MachineId>& journal_machines) {
+    for (rpc::MachineId jm : journal_machines) {
+      std::string path = JournalPathFor(dir_, epoch, jm);
+      auto bytes = ReadFileBytes(path);
+      if (!bytes.ok()) return bytes.status();
+      InArchive ia(*bytes);
+      while (!ia.AtEnd()) {
+        uint8_t type = ia.ReadValue<uint8_t>();
+        if (type == 0) {
+          VertexId gvid = ia.ReadValue<VertexId>();
+          VertexData data;
+          ia >> data;
+          if (!ia.ok()) return Status::Corruption("truncated " + path);
+          LocalVid l = graph_->TryLvid(gvid);
+          if (l != kInvalidLocalVid && graph_->is_owned(l)) {
+            graph_->vertex_data(l) = std::move(data);
+            graph_->MarkVertexModified(l);
+          }
+        } else if (type == 1) {
+          VertexId gsrc = ia.ReadValue<VertexId>();
+          VertexId gdst = ia.ReadValue<VertexId>();
+          EdgeData data;
+          ia >> data;
+          if (!ia.ok()) return Status::Corruption("truncated " + path);
+          LocalEid e = graph_->TryLeid(gsrc, gdst);
+          if (e != kInvalidLocalEid) {
+            graph_->edge_data(e) = std::move(data);
+            graph_->MarkEdgeModified(e);
+          }
+        } else {
+          return Status::Corruption("bad record in " + path);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Pushes every owned scope so ghost replicas become coherent with the
+  /// restored data (one coalesced delta batch per peer when the graph is
+  /// in kCoalesced mode).  Collective: barrier + WaitQuiescent after.
+  void RepushOwnedScopes() {
+    for (LocalVid l : graph_->owned_vertices()) {
+      graph_->FlushVertexScope(l);
+    }
+    graph_->FlushDeltas();
   }
 
  private:

@@ -1,0 +1,277 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// CheckpointCoordinator: drives periodic, globally consistent snapshots
+// of a running engine (Sec. 4.3), through the engines' boundary hook.
+//
+// The collective engines (chromatic, bulk_sync) invoke AtBoundary() at
+// every sweep/superstep boundary — all machines aligned between
+// barriers, all communication channels flushed — which is exactly the
+// "suspend and flush" precondition of the paper's synchronous snapshot,
+// obtained for free instead of with a dedicated stop-the-world phase.
+//
+// Protocol per boundary (coordinator = machine 0):
+//   DECIDE  m0 checks its clock against the checkpoint interval and
+//           broadcasts {round, epoch} — epoch 0 means "no checkpoint".
+//   WRITE   on epoch != 0 every machine journals its owned partition
+//           (SnapshotManager::WriteSyncSnapshot) and reports DONE.
+//   COMMIT  when every live machine reported, m0 writes the LATEST
+//           manifest {epoch, membership} — the atomic commit point a
+//           restore trusts — and broadcasts COMMIT; everyone proceeds.
+//
+// The interval is either fixed (checkpoint_interval_seconds) or derived
+// from Young's first-order approximation (Eq. 3 of the paper):
+//     T_interval = sqrt(2 * T_checkpoint * T_mtbf)
+// re-evaluated after every checkpoint with the measured checkpoint cost,
+// so the so-far-theoretical OptimalCheckpointIntervalSeconds() helper
+// finally steers a real runtime.
+//
+// Any machine death mid-protocol unblocks every wait with
+// Status::Aborted — the epoch is then simply never committed, and
+// recovery restores from the previous manifest (crash consistency by
+// write-journals-then-commit ordering).
+
+#ifndef GRAPHLAB_FAULT_CHECKPOINT_H_
+#define GRAPHLAB_FAULT_CHECKPOINT_H_
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "graphlab/engine/handler_ids.h"
+#include "graphlab/engine/snapshot.h"
+#include "graphlab/fault/options.h"
+#include "graphlab/rpc/comm_layer.h"
+#include "graphlab/util/status.h"
+#include "graphlab/util/timer.h"
+
+namespace graphlab {
+namespace fault {
+
+template <typename VertexData, typename EdgeData>
+class CheckpointCoordinator {
+ public:
+  using SnapshotManagerType = SnapshotManager<VertexData, EdgeData>;
+
+  /// One instance per machine per run attempt.  `first_epoch` must
+  /// exceed every previously committed epoch (manifest.epoch + 1).
+  CheckpointCoordinator(rpc::MachineContext ctx,
+                        SnapshotManagerType* snapshots,
+                        const FtOptions& options, uint32_t first_epoch)
+      : ctx_(ctx),
+        comm_(&ctx.comm()),
+        snapshots_(snapshots),
+        options_(options),
+        next_epoch_(first_epoch),
+        epoch_at_start_(comm_->membership().epoch()),
+        t_checkpoint_(options.t_checkpoint_estimate_seconds) {
+    comm_->RegisterHandler(
+        ctx_.id, kCheckpointControlHandler,
+        [this](rpc::MachineId src, InArchive& ia) { OnMessage(src, ia); });
+    membership_token_ = comm_->membership().Subscribe(
+        [this](rpc::MachineId, uint64_t) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          cv_.notify_all();
+        });
+  }
+
+  ~CheckpointCoordinator() {
+    comm_->membership().Unsubscribe(membership_token_);
+  }
+
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
+  /// Install as the engine's boundary hook:
+  ///   engine->SetBoundaryHook([&](uint64_t b) {
+  ///     return coordinator.AtBoundary(b); });
+  /// Collective across the live membership; returns Aborted when a
+  /// machine dies mid-protocol (the engine then aborts the run and the
+  /// fault runner recovers).
+  Status AtBoundary(uint64_t /*engine_boundary*/) {
+    const uint64_t round = ++round_;
+    Timer round_timer;
+
+    if (ctx_.id == 0) {
+      uint32_t epoch = 0;
+      if (interval_seconds() > 0 &&
+          since_checkpoint_.Seconds() >= interval_seconds()) {
+        epoch = next_epoch_++;
+      }
+      Broadcast(kDecide, round, epoch);
+    }
+
+    // Everyone (including machine 0, via its self-send) waits for the
+    // decision so the cluster acts uniformly.
+    uint32_t epoch = 0;
+    GRAPHLAB_RETURN_IF_ERROR(
+        WaitFor(round, [&](const RoundState& r) { return r.have_decision; },
+                [&](const RoundState& r) { epoch = r.epoch; }));
+    if (epoch == 0) return Status::OK();
+
+    // WRITE: journals are already globally consistent (boundary
+    // precondition); each machine persists its owned partition.
+    GRAPHLAB_RETURN_IF_ERROR(snapshots_->WriteSyncSnapshot(epoch));
+    OutArchive done;
+    done << uint8_t{kDone} << round << epoch;  // uniform {tag,round,epoch}
+    comm_->Send(ctx_.id, 0, kCheckpointControlHandler, std::move(done));
+
+    if (ctx_.id == 0) {
+      // COMMIT once every live machine's journal is durable.
+      Status all = WaitFor(
+          round,
+          [&](const RoundState& r) {
+            const auto alive = comm_->membership().alive_bitmap();
+            for (rpc::MachineId m = 0; m < alive.size(); ++m) {
+              if (alive[m] && !(m < r.done.size() && r.done[m])) {
+                return false;
+              }
+            }
+            return true;
+          },
+          [](const RoundState&) {});
+      GRAPHLAB_RETURN_IF_ERROR(all);
+      SnapshotManifest manifest;
+      manifest.epoch = epoch;
+      manifest.machines = comm_->membership().alive_machines();
+      GRAPHLAB_RETURN_IF_ERROR(
+          WriteSnapshotManifest(snapshots_->dir(), manifest));
+      Broadcast(kCommit, round, epoch);
+    }
+
+    GRAPHLAB_RETURN_IF_ERROR(WaitFor(
+        round, [&](const RoundState& r) { return r.committed; },
+        [](const RoundState&) {}));
+
+    // Bookkeeping: measured cost feeds Young's interval for next time.
+    last_complete_epoch_ = epoch;
+    checkpoints_written_++;
+    const double cost = round_timer.Seconds();
+    checkpoint_seconds_ += cost;
+    t_checkpoint_ = (t_checkpoint_ + cost) / 2.0;  // smoothed measurement
+    since_checkpoint_ = Timer();
+    return Status::OK();
+  }
+
+  /// The effective interval: fixed wins, else Young's from the measured
+  /// checkpoint cost, else 0 (checkpointing off).
+  double interval_seconds() const {
+    if (options_.checkpoint_interval_seconds > 0) {
+      return options_.checkpoint_interval_seconds;
+    }
+    if (options_.mtbf_seconds > 0) {
+      return OptimalCheckpointIntervalSeconds(t_checkpoint_,
+                                              options_.mtbf_seconds);
+    }
+    return 0;
+  }
+
+  uint32_t last_complete_epoch() const { return last_complete_epoch_; }
+  uint64_t checkpoints_written() const { return checkpoints_written_; }
+  double checkpoint_seconds() const { return checkpoint_seconds_; }
+  double measured_checkpoint_cost() const { return t_checkpoint_; }
+
+ private:
+  enum Tag : uint8_t { kDecide = 0, kDone = 1, kCommit = 2 };
+
+  struct RoundState {
+    uint64_t id = 0;
+    bool have_decision = false;
+    uint32_t epoch = 0;
+    bool committed = false;
+    std::vector<uint8_t> done;  // coordinator only, per machine
+  };
+
+  void Broadcast(Tag tag, uint64_t round, uint32_t epoch) {
+    const auto alive = comm_->membership().alive_bitmap();
+    for (rpc::MachineId dst = 0; dst < alive.size(); ++dst) {
+      if (!alive[dst]) continue;
+      OutArchive oa;
+      oa << static_cast<uint8_t>(tag) << round << epoch;
+      comm_->Send(/*src=*/0, dst, kCheckpointControlHandler, std::move(oa));
+    }
+  }
+
+  /// Waits for `pred` on this round's state; `extract` runs under the
+  /// lock on success.  Aborted the moment the membership moves past the
+  /// attempt's baseline — a death mid-protocol, or one observed before
+  /// the call (no wake-up to miss: checked in the predicate itself).
+  template <typename Pred, typename Extract>
+  Status WaitFor(uint64_t round, Pred pred, Extract extract) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    RoundState& r = RoundFor(round);
+    bool dead = false;
+    cv_.wait(lock, [&] {
+      if (comm_->membership().epoch() != epoch_at_start_) {
+        dead = true;
+        return true;
+      }
+      return pred(r);
+    });
+    if (dead && !pred(r)) {
+      return Status::Aborted("membership changed during checkpoint");
+    }
+    extract(r);
+    return Status::OK();
+  }
+
+  RoundState& RoundFor(uint64_t round) {
+    RoundState& r = rounds_[round % rounds_.size()];
+    if (r.id != round) {
+      r = RoundState{};
+      r.id = round;
+    }
+    return r;
+  }
+
+  void OnMessage(rpc::MachineId src, InArchive& ia) {
+    uint8_t tag = ia.ReadValue<uint8_t>();
+    uint64_t round = ia.ReadValue<uint64_t>();
+    uint32_t epoch = ia.ReadValue<uint32_t>();
+    if (!ia.ok()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    RoundState& r = RoundFor(round);
+    switch (tag) {
+      case kDecide:
+        r.have_decision = true;
+        r.epoch = epoch;
+        break;
+      case kDone:
+        if (r.done.empty()) r.done.assign(comm_->num_machines(), 0);
+        if (src < r.done.size()) r.done[src] = 1;
+        break;
+      case kCommit:
+        r.committed = true;
+        break;
+      default:
+        GL_LOG(ERROR) << "checkpoint: unknown tag " << static_cast<int>(tag);
+        return;
+    }
+    cv_.notify_all();
+  }
+
+  rpc::MachineContext ctx_;
+  rpc::CommLayer* comm_;
+  SnapshotManagerType* snapshots_;
+  FtOptions options_;
+  uint32_t next_epoch_;
+  const uint64_t epoch_at_start_;  // membership epoch this attempt baselined
+  size_t membership_token_ = 0;
+
+  uint64_t round_ = 0;
+  Timer since_checkpoint_;
+  double t_checkpoint_;
+  uint32_t last_complete_epoch_ = 0;
+  uint64_t checkpoints_written_ = 0;
+  double checkpoint_seconds_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::array<RoundState, 16> rounds_{};
+};
+
+}  // namespace fault
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_FAULT_CHECKPOINT_H_

@@ -1,0 +1,328 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// FaultTolerantRunner: run a distributed computation so that it SURVIVES
+// machine loss (the Sec. 4.3 claim this repo could not honor before —
+// killing a TCP worker mid-run used to hang the cluster in
+// quiescence/consensus forever).
+//
+// SPMD surface: every machine constructs a runner on its MachineContext
+// and calls Run() with the same Problem.  Internally each attempt is
+//
+//   rendezvous -> drain -> rebuild -> restore -> resume
+//
+//   rendezvous  survivors meet (fault/recovery.h): membership converges
+//               to the coordinator's view, barrier/allreduce counters
+//               realign, and the collective retry/done decision is made.
+//   drain       barrier + WaitQuiescent flushes every surviving channel,
+//               so no stale ghost frame can race the rebuild (frames
+//               from the dead machine are dropped by the transport).
+//   rebuild     the SAME phase-1 atom cut is re-placed over the
+//               survivors via the atom meta-graph (PlaceAtomsOnMachines)
+//               and each machine re-ingests its new partition — the dead
+//               machine's atoms spread across the cluster without
+//               repartitioning.
+//   restore     every machine replays the last committed snapshot epoch
+//               (ALL journal files, including the dead machine's — they
+//               live on the shared snapshot filesystem) into the
+//               vertices/edges it now owns, then re-pushes owned scopes
+//               so ghost replicas become coherent.  No manifest = replay
+//               from initial state (correct for self-stabilizing
+//               computations; just slower).
+//   resume      a fresh engine is built for the new membership (ghost /
+//               replica tables and scope-lock plans recompile from the
+//               re-ingested graph at Start()), the checkpoint
+//               coordinator re-arms, every owned vertex is re-scheduled
+//               (conservative: schedule state is not checkpointed), and
+//               the computation continues to the same fixed point an
+//               unfailed run reaches.
+//
+// While an attempt runs, the failure detector's PeerDown event triggers
+// the non-blocking abort bundle — cancel this machine's barrier +
+// allreduce slots, request engine abort — so every blocking collective
+// the engine sits in returns with a status instead of hanging.
+//
+// Assumptions (documented in README): machine 0 survives (it is the
+// barrier/allreduce/rendezvous coordinator), and at most
+// FtOptions::max_recoveries failures per Run().  Over the shared
+// simulated fabric construct one runner per fabric only; the TCP shapes
+// (loopback cluster, multi-process) give each machine its own fabric and
+// are the intended deployment.
+
+#ifndef GRAPHLAB_FAULT_FT_RUNNER_H_
+#define GRAPHLAB_FAULT_FT_RUNNER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graphlab/engine/engine_factory.h"
+#include "graphlab/engine/snapshot.h"
+#include "graphlab/fault/checkpoint.h"
+#include "graphlab/fault/failure_detector.h"
+#include "graphlab/fault/options.h"
+#include "graphlab/fault/recovery.h"
+#include "graphlab/graph/atom.h"
+#include "graphlab/graph/distributed_graph.h"
+#include "graphlab/rpc/runtime.h"
+#include "graphlab/util/timer.h"
+
+namespace graphlab {
+namespace fault {
+
+/// What Run() reports back (per machine; machine 0's copy is the one the
+/// demos publish).
+struct FtReport {
+  uint64_t attempts = 0;            // run attempts (1 = no failure)
+  uint64_t recoveries = 0;          // completed failure->resume cycles
+  uint32_t restored_epoch = 0;      // snapshot epoch the last attempt used
+  uint64_t checkpoints_written = 0; // across all attempts
+  double checkpoint_seconds = 0;    // wall time spent checkpointing
+  double checkpoint_interval_seconds = 0;  // effective cadence (last)
+  double recovery_seconds = 0;      // last detection -> engine resumed
+  RunResult result;                 // the successful attempt's result
+};
+
+template <typename VertexData, typename EdgeData>
+class FaultTolerantRunner {
+ public:
+  using GraphType = DistributedGraph<VertexData, EdgeData>;
+
+  /// The computation, membership-independent: `build` must (re)ingest
+  /// `graph` under any given atom placement — it runs once per attempt,
+  /// with shrunk placements after failures.
+  struct Problem {
+    /// Meta-graph over the phase-1 atoms (BuildMetaIndex or a loaded
+    /// atom_index.glidx) — drives placement on every membership.
+    AtomIndex meta;
+    std::function<Status(GraphType* graph,
+                         const std::vector<rpc::MachineId>& placement)>
+        build;
+    UpdateFn<GraphType> update_fn;
+    std::string engine = "chromatic";
+    EngineOptions engine_options;
+    /// Optional extra boundary hook, run before the checkpoint decision
+    /// (tests use it for deterministic fault injection; demos for
+    /// progress logging).  Non-OK aborts the attempt.
+    std::function<Status(uint64_t boundary)> on_boundary;
+  };
+
+  FaultTolerantRunner(rpc::MachineContext ctx, FtOptions options)
+      : ctx_(ctx),
+        options_(std::move(options)),
+        detector_(&ctx.comm(), ctx.id, options_),
+        allreduce_(&ctx.comm(), 1),
+        rendezvous_(&ctx.comm(), &ctx.barrier(), &allreduce_) {}
+
+  FailureDetector& detector() { return detector_; }
+
+  Expected<FtReport> Run(Problem& problem, GraphType* graph) {
+    FtReport report;
+    const rpc::MachineId me = ctx_.id;
+    uint64_t seq = 0;
+
+    // EngineOptions carries the checkpoint cadence knobs too (so apps
+    // configure one bag); they win whenever FtOptions left cadence
+    // unset.
+    if (options_.checkpoint_interval_seconds == 0 &&
+        problem.engine_options.checkpoint_interval_seconds > 0) {
+      options_.checkpoint_interval_seconds =
+          problem.engine_options.checkpoint_interval_seconds;
+    }
+    if (options_.mtbf_seconds == 0 &&
+        problem.engine_options.mtbf_seconds > 0) {
+      options_.mtbf_seconds = problem.engine_options.mtbf_seconds;
+    }
+
+    // Arm the abort bundle for the whole Run(): any observed death —
+    // including this machine's own InjectKill — yanks this machine out
+    // of every blocking collective, and aborts whatever engine is
+    // currently running.  Runs on transport threads; non-blocking.
+    detector_.SetPeerDownListener([this, me](rpc::MachineId) {
+      failure_observed_.store(true, std::memory_order_release);
+      ctx_.barrier().Cancel(me);
+      allreduce_.Cancel(me);
+      // The engine pointer is guarded: RunAttempt clears it under the
+      // same mutex before destroying the engine, so RequestAbort can
+      // never hit a freed object.
+      std::lock_guard<std::mutex> lock(engine_mutex_);
+      if (current_engine_ != nullptr) current_engine_->RequestAbort();
+    });
+    struct ListenerGuard {
+      FailureDetector* d;
+      ~ListenerGuard() { d->SetPeerDownListener(nullptr); }
+    } guard{&detector_};
+
+    // Handler-registration alignment: rendezvous ENTER frames go to
+    // machine 0, whose handler is registered in ITS runner's
+    // constructor — without a fence a fast worker's enter could arrive
+    // first and be dropped.  The barrier's own handlers are registered
+    // at Runtime construction (before the transport starts), so
+    // entering it is always safe; every machine passes only once every
+    // machine's runner (and thus rendezvous handler) exists.  A false
+    // return (a death already observed) just proceeds: the rendezvous
+    // handles failures itself.
+    ctx_.barrier().Wait(me);
+
+    // Initial alignment (a no-op rendezvous when nothing has failed).
+    auto outcome = rendezvous_.Arrive(me, ++seq, false);
+    if (!outcome.ok()) return outcome.status();
+
+    for (uint64_t attempt = 1; attempt <= options_.max_recoveries + 1;
+         ++attempt) {
+      GRAPHLAB_RETURN_IF_ERROR(detector_.CheckSelf());
+      report.attempts = attempt;
+      failure_observed_.store(false, std::memory_order_release);
+
+      Status st = RunAttempt(problem, graph, outcome->alive, &report);
+      if (!st.ok() && st.code() != StatusCode::kAborted) return st;
+
+      const bool saw_failure =
+          !st.ok() || failure_observed_.load(std::memory_order_acquire);
+      outcome = rendezvous_.Arrive(me, ++seq, saw_failure);
+      if (!outcome.ok()) return outcome.status();
+      if (!outcome->any_failure) return report;  // collective success
+
+      report.recoveries++;
+      GL_LOG(WARNING) << "machine " << me << ": recovering (attempt "
+                      << attempt + 1 << ", "
+                      << outcome->alive.size() << " survivors)";
+    }
+    return Status::Internal("unrecoverable: more than " +
+                            std::to_string(options_.max_recoveries) +
+                            " failures in one run");
+  }
+
+ private:
+  using EngineType = IEngine<GraphType>;
+
+  /// One rendezvous-to-rendezvous attempt.  Aborted = a failure
+  /// interrupted it (recoverable); other errors are fatal.
+  Status RunAttempt(Problem& problem, GraphType* graph,
+                    const std::vector<rpc::MachineId>& alive,
+                    FtReport* report) {
+    const rpc::MachineId me = ctx_.id;
+    Timer recovery_timer;
+    const bool restoring = report->recoveries > 0;
+
+    // Drain: flush every surviving channel before touching the graph, so
+    // no stale ghost frame from the aborted run can race the rebuild.
+    if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+    if (!ctx_.comm().WaitQuiescent()) return Status::Aborted("peer died");
+    if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+
+    // Channels are proven empty: now it is safe to tear down the previous
+    // attempt's checkpoint coordinator (its RPC handler must outlive any
+    // in-flight checkpoint control frame).
+    checkpoint_.reset();
+
+    // Rebuild: same atoms, surviving machines.
+    std::vector<rpc::MachineId> placement =
+        PlaceAtomsOnMachines(problem.meta, alive);
+    GRAPHLAB_RETURN_IF_ERROR(problem.build(graph, placement));
+    // All partitions rebuilt before anyone pushes restored ghosts.
+    if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+
+    // Restore from the last committed epoch (if checkpointing is on and
+    // one exists), then re-sync ghost replicas cluster-wide.
+    std::unique_ptr<SnapshotManager<VertexData, EdgeData>> snapshots;
+    uint32_t base_epoch = 0;
+    if (!options_.snapshot_dir.empty()) {
+      snapshots = std::make_unique<SnapshotManager<VertexData, EdgeData>>(
+          ctx_, graph, options_.snapshot_dir);
+      auto manifest = ReadSnapshotManifest(options_.snapshot_dir);
+      if (manifest.ok()) {
+        base_epoch = manifest->epoch;
+        if (restoring) {
+          GRAPHLAB_RETURN_IF_ERROR(
+              snapshots->RestoreFrom(manifest->epoch, manifest->machines));
+          snapshots->RepushOwnedScopes();
+          report->restored_epoch = manifest->epoch;
+        }
+      } else if (manifest.status().code() != StatusCode::kNotFound) {
+        return manifest.status();
+      }
+    }
+    if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+    if (!ctx_.comm().WaitQuiescent()) return Status::Aborted("peer died");
+    if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+
+    // Resume: fresh engine for the new membership.  The snapshot manager
+    // and coordinator are runner members so their RPC handler outlives
+    // any in-flight control frame (reset at the next attempt's drain).
+    snapshots_ = std::move(snapshots);
+    DistributedEngineDeps<VertexData, EdgeData> deps;
+    deps.allreduce = &allreduce_;
+    auto engine = CreateEngine(problem.engine, ctx_, graph,
+                               problem.engine_options, deps);
+    GRAPHLAB_RETURN_IF_ERROR(engine.status());
+
+    if (snapshots_ != nullptr) {
+      checkpoint_ =
+          std::make_unique<CheckpointCoordinator<VertexData, EdgeData>>(
+              ctx_, snapshots_.get(), options_, base_epoch + 1);
+    }
+    (*engine)->SetBoundaryHook([this, &problem](uint64_t boundary) -> Status {
+      // The checkpoint protocol is collective: even when the extra hook
+      // fails, this machine must still participate in AtBoundary or the
+      // others would wait on its DONE forever (AtBoundary itself
+      // unblocks on membership changes).  The first error wins.
+      Status extra = problem.on_boundary ? problem.on_boundary(boundary)
+                                         : Status::OK();
+      Status ckpt = checkpoint_ != nullptr ? checkpoint_->AtBoundary(boundary)
+                                           : Status::OK();
+      return extra.ok() ? ckpt : extra;
+    });
+    (*engine)->SetUpdateFn(problem.update_fn);
+    (*engine)->ScheduleAll();
+
+    // Publish for the abort bundle, then close the arming race: a death
+    // observed before publication must still abort this engine.
+    {
+      std::lock_guard<std::mutex> lock(engine_mutex_);
+      current_engine_ = engine->get();
+    }
+    if (failure_observed_.load(std::memory_order_acquire)) {
+      (*engine)->RequestAbort();
+    }
+    if (report->recoveries > 0 && report->recovery_seconds == 0) {
+      report->recovery_seconds = recovery_timer.Seconds();
+    }
+
+    RunResult result = (*engine)->Start();
+    {
+      std::lock_guard<std::mutex> lock(engine_mutex_);
+      current_engine_ = nullptr;
+    }
+
+    if (checkpoint_ != nullptr) {
+      report->checkpoints_written += checkpoint_->checkpoints_written();
+      report->checkpoint_seconds += checkpoint_->checkpoint_seconds();
+      report->checkpoint_interval_seconds = checkpoint_->interval_seconds();
+    }
+    if (failure_observed_.load(std::memory_order_acquire)) {
+      return Status::Aborted("peer died during run");
+    }
+    report->result = result;
+    return Status::OK();
+  }
+
+  rpc::MachineContext ctx_;
+  FtOptions options_;
+  FailureDetector detector_;
+  SumAllReduce allreduce_;
+  RecoveryRendezvous rendezvous_;
+  std::unique_ptr<SnapshotManager<VertexData, EdgeData>> snapshots_;
+  std::unique_ptr<CheckpointCoordinator<VertexData, EdgeData>> checkpoint_;
+  std::mutex engine_mutex_;
+  EngineType* current_engine_ = nullptr;  // guarded by engine_mutex_
+  std::atomic<bool> failure_observed_{false};
+};
+
+}  // namespace fault
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_FAULT_FT_RUNNER_H_

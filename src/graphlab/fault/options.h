@@ -1,0 +1,57 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Configuration of the fault-tolerance subsystem (Sec. 4.3): failure
+// detection cadence, checkpoint cadence (fixed or Young-optimal), and
+// recovery limits.  Consumed by fault::FailureDetector,
+// fault::CheckpointCoordinator and fault::FaultTolerantRunner.
+
+#ifndef GRAPHLAB_FAULT_OPTIONS_H_
+#define GRAPHLAB_FAULT_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace graphlab {
+namespace fault {
+
+struct FtOptions {
+  // ------------------------------------------------------------------
+  // Failure detection (FailureDetector)
+  // ------------------------------------------------------------------
+
+  /// Heartbeat send cadence per peer (TCP transport control frames).
+  uint64_t heartbeat_interval_ms = 50;
+  /// Silence deadline: a connected peer not heard from for this long is
+  /// declared dead.  Socket errors / EOF short-circuit the deadline.
+  uint64_t heartbeat_timeout_ms = 1000;
+
+  // ------------------------------------------------------------------
+  // Checkpointing (CheckpointCoordinator)
+  // ------------------------------------------------------------------
+
+  /// Directory journals + manifest live in.  Must be shared across the
+  /// machines (the paper writes to HDFS/S3; localhost deployments share
+  /// the filesystem).  Empty = checkpointing and recovery-from-snapshot
+  /// disabled (recovery then recomputes from initial state).
+  std::string snapshot_dir;
+  /// Fixed checkpoint interval in seconds; > 0 wins over the MTBF rule.
+  double checkpoint_interval_seconds = 0;
+  /// Cluster mean time between failures; > 0 derives the interval from
+  /// Young's approximation (Eq. 3): sqrt(2 * T_checkpoint * T_mtbf),
+  /// with T_checkpoint measured from actual checkpoints (seeded by
+  /// t_checkpoint_estimate_seconds until the first one completes).
+  double mtbf_seconds = 0;
+  double t_checkpoint_estimate_seconds = 0.05;
+
+  // ------------------------------------------------------------------
+  // Recovery (FaultTolerantRunner)
+  // ------------------------------------------------------------------
+
+  /// Give up after this many failure→recovery cycles in one Run().
+  uint64_t max_recoveries = 8;
+};
+
+}  // namespace fault
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_FAULT_OPTIONS_H_

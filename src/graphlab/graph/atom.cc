@@ -23,15 +23,28 @@ Expected<AtomIndex> AtomIndex::ReadFromFile(const std::string& path) {
 
 std::vector<rpc::MachineId> PlaceAtoms(const AtomIndex& index,
                                        size_t num_machines) {
+  std::vector<rpc::MachineId> machines(num_machines);
+  for (size_t m = 0; m < num_machines; ++m) {
+    machines[m] = static_cast<rpc::MachineId>(m);
+  }
+  return PlaceAtomsOnMachines(index, machines);
+}
+
+std::vector<rpc::MachineId> PlaceAtomsOnMachines(
+    const AtomIndex& index, const std::vector<rpc::MachineId>& machines) {
+  const size_t num_machines = machines.size();
   GL_CHECK_GE(num_machines, 1u);
   const size_t k = index.num_atoms();
-  std::vector<rpc::MachineId> placement(k, 0);
+  std::vector<rpc::MachineId> placement(k, machines[0]);
   if (num_machines == 1) return placement;
 
+  // Internally machines are dense slot indices [0, num_machines);
+  // placement maps back through `machines` at assignment time, so the
+  // same greedy serves both the full cluster and a shrunk survivor set.
   std::vector<uint64_t> load(num_machines, 0);
   std::vector<bool> placed(k, false);
   // Affinity[a][m] = cross-edge weight between atom a and atoms already on
-  // machine m.
+  // machine slot m.
   std::vector<std::vector<uint64_t>> affinity(
       k, std::vector<uint64_t>(num_machines, 0));
 
@@ -65,7 +78,7 @@ std::vector<rpc::MachineId> PlaceAtoms(const AtomIndex& index,
         if (load[m] < load[best]) best = m;
       }
     }
-    placement[a] = best;
+    placement[a] = machines[best];
     placed[a] = true;
     load[best] += index.atoms[a].num_owned_vertices;
     for (const auto& [nbr, weight] : index.atoms[a].neighbors) {
@@ -73,6 +86,40 @@ std::vector<rpc::MachineId> PlaceAtoms(const AtomIndex& index,
     }
   }
   return placement;
+}
+
+AtomIndex BuildMetaIndex(const GraphStructure& structure,
+                         const PartitionAssignment& atom_of,
+                         const ColorAssignment& colors, AtomId num_atoms) {
+  GL_CHECK_EQ(atom_of.size(), structure.num_vertices);
+  AtomIndex index;
+  index.num_vertices = structure.num_vertices;
+  index.atom_of_vertex = atom_of;
+  index.color_of_vertex = colors;
+  ColorId max_color = 0;
+  for (ColorId c : colors) max_color = std::max(max_color, c);
+  index.num_colors = colors.empty() ? 1 : max_color + 1;
+
+  index.atoms.resize(num_atoms);
+  std::vector<std::map<AtomId, uint64_t>> meta_adj(num_atoms);
+  for (AtomId a = 0; a < num_atoms; ++a) index.atoms[a].id = a;
+  for (VertexId v = 0; v < structure.num_vertices; ++v) {
+    GL_CHECK_LT(atom_of[v], num_atoms);
+    index.atoms[atom_of[v]].num_owned_vertices++;
+  }
+  for (const auto& [u, v] : structure.edges) {
+    AtomId au = atom_of[u], av = atom_of[v];
+    index.atoms[au].num_edges++;
+    if (av != au) {
+      index.atoms[av].num_edges++;
+      meta_adj[au][av]++;
+      meta_adj[av][au]++;
+    }
+  }
+  for (AtomId a = 0; a < num_atoms; ++a) {
+    index.atoms[a].neighbors.assign(meta_adj[a].begin(), meta_adj[a].end());
+  }
+  return index;
 }
 
 }  // namespace graphlab

@@ -91,6 +91,22 @@ struct AtomIndex {
 std::vector<rpc::MachineId> PlaceAtoms(const AtomIndex& index,
                                        size_t num_machines);
 
+/// Placement over an explicit machine set — the fault-tolerance path
+/// (Sec. 4.3): after a machine loss, the SAME phase-1 atom cut is
+/// re-placed over the surviving machines, so the dead machine's atoms
+/// spread across the cluster without repartitioning the data graph.
+/// `machines` must be non-empty, ascending, and duplicate-free.
+std::vector<rpc::MachineId> PlaceAtomsOnMachines(
+    const AtomIndex& index, const std::vector<rpc::MachineId>& machines);
+
+/// Builds an in-memory atom index (meta-graph only, no journal files) for
+/// a fully materialized graph under `atom_of` — what placement and
+/// recovery need when the demo/test path ingests via InitFromGlobal
+/// instead of on-disk atoms.
+AtomIndex BuildMetaIndex(const GraphStructure& structure,
+                         const PartitionAssignment& atom_of,
+                         const ColorAssignment& colors, AtomId num_atoms);
+
 /// In-memory parsed form of one atom journal, produced by playback.
 template <typename VertexData, typename EdgeData>
 struct AtomContent {

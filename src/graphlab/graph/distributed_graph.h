@@ -489,6 +489,13 @@ class DistributedGraph {
         << "edge " << gsrc << "->" << gdst << " not local";
     return it->second;
   }
+  /// Like LeidOf but returns kInvalidLocalEid when the edge is not held
+  /// locally — snapshot journals span the whole cluster, and a restore
+  /// onto different membership must skip foreign records.
+  LocalEid TryLeid(VertexId gsrc, VertexId gdst) const {
+    auto it = leid_of_.find(EdgeKey(gsrc, gdst));
+    return it == leid_of_.end() ? kInvalidLocalEid : it->second;
+  }
 
  private:
   struct VertexRecord {

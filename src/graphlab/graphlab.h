@@ -44,6 +44,15 @@
 // Schedulers.
 #include "graphlab/scheduler/scheduler.h"
 
+// Fault tolerance: heartbeat failure detection, checkpoint coordination
+// (Young's optimal interval), and live recovery of a dead machine's
+// partition (Sec. 4.3).
+#include "graphlab/fault/checkpoint.h"
+#include "graphlab/fault/failure_detector.h"
+#include "graphlab/fault/ft_runner.h"
+#include "graphlab/fault/options.h"
+#include "graphlab/fault/recovery.h"
+
 // GAS vertex programs: gather-apply-scatter programs compiled onto any
 // engine, with optional gather delta caching.
 #include "graphlab/vertex_program/gas_compiler.h"

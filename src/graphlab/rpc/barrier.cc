@@ -5,7 +5,7 @@
 namespace graphlab {
 namespace rpc {
 
-Barrier::Barrier(CommLayer* comm) : comm_(comm), arrivals_(kGenWindow, 0) {
+Barrier::Barrier(CommLayer* comm) : comm_(comm), arrivals_(kGenWindow) {
   slots_.reserve(comm->num_machines());
   for (size_t i = 0; i < comm->num_machines(); ++i) {
     slots_.push_back(std::make_unique<Slot>());
@@ -18,14 +18,25 @@ Barrier::Barrier(CommLayer* comm) : comm_(comm), arrivals_(kGenWindow, 0) {
         m, kBarrierRelease,
         [this, m](MachineId src, InArchive& ia) { OnRelease(m, ia); });
   }
+  // A death may complete a pending generation (the dead machine was the
+  // one everyone was waiting for): re-evaluate against the shrunk
+  // membership.  Runs on a transport thread; must not block.
+  membership_token_ = comm_->membership().Subscribe(
+      [this](MachineId, uint64_t) {
+        std::lock_guard<std::mutex> lock(master_mutex_);
+        EvaluateLocked();
+      });
 }
 
-void Barrier::Wait(MachineId m) {
+Barrier::~Barrier() { comm_->membership().Unsubscribe(membership_token_); }
+
+bool Barrier::Wait(MachineId m) {
   GL_CHECK_LT(m, slots_.size());
   Slot& slot = *slots_[m];
   uint64_t my_generation;
   {
     std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.cancelled) return false;
     my_generation = ++slot.entered_generation;
   }
   OutArchive oa;
@@ -33,28 +44,79 @@ void Barrier::Wait(MachineId m) {
   comm_->Send(m, /*dst=*/0, kBarrierEnter, std::move(oa));
 
   std::unique_lock<std::mutex> lock(slot.mutex);
-  slot.cv.wait(lock,
-               [&] { return slot.released_generation >= my_generation; });
+  slot.cv.wait(lock, [&] {
+    return slot.released_generation >= my_generation || slot.cancelled;
+  });
+  return slot.released_generation >= my_generation;
+}
+
+void Barrier::Cancel(MachineId m) {
+  GL_CHECK_LT(m, slots_.size());
+  Slot& slot = *slots_[m];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.cancelled = true;
+  slot.cv.notify_all();
+}
+
+void Barrier::ClearCancel(MachineId m) {
+  GL_CHECK_LT(m, slots_.size());
+  Slot& slot = *slots_[m];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.cancelled = false;
+}
+
+uint64_t Barrier::entered_generation(MachineId m) {
+  GL_CHECK_LT(m, slots_.size());
+  Slot& slot = *slots_[m];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.entered_generation;
+}
+
+void Barrier::Realign(MachineId m, uint64_t generation) {
+  GL_CHECK_LT(m, slots_.size());
+  Slot& slot = *slots_[m];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.entered_generation = generation;
+  slot.released_generation = generation;
+  slot.cancelled = false;
+}
+
+void Barrier::MasterReset() {
+  std::lock_guard<std::mutex> lock(master_mutex_);
+  for (Generation& g : arrivals_) g = Generation{};
 }
 
 void Barrier::OnEnter(MachineId src, InArchive& payload) {
   // Runs on machine 0's dispatch thread.
   uint64_t generation = payload.ReadValue<uint64_t>();
-  bool complete = false;
-  {
-    std::lock_guard<std::mutex> lock(master_mutex_);
-    uint64_t& count = arrivals_[generation % kGenWindow];
-    if (++count == comm_->num_machines()) {
-      count = 0;
-      complete = true;
+  (void)src;
+  std::lock_guard<std::mutex> lock(master_mutex_);
+  Generation& g = arrivals_[generation % kGenWindow];
+  if (g.id != generation) {
+    g.id = generation;
+    g.count = 0;
+  }
+  ++g.count;
+  EvaluateLocked();
+}
+
+void Barrier::EvaluateLocked() {
+  const uint64_t expected = comm_->membership().num_alive();
+  for (Generation& g : arrivals_) {
+    // >= rather than ==: a machine may die after entering, shrinking the
+    // membership below an arrival count that already includes it.
+    if (g.count >= expected && g.count > 0) {
+      g.count = 0;
+      Broadcast(g.id);
     }
   }
-  if (complete) {
-    for (MachineId dst = 0; dst < comm_->num_machines(); ++dst) {
-      OutArchive oa;
-      oa << generation;
-      comm_->Send(/*src=*/0, dst, kBarrierRelease, std::move(oa));
-    }
+}
+
+void Barrier::Broadcast(uint64_t generation) {
+  for (MachineId dst = 0; dst < comm_->num_machines(); ++dst) {
+    OutArchive oa;
+    oa << generation;
+    comm_->Send(/*src=*/0, dst, kBarrierRelease, std::move(oa));
   }
 }
 

@@ -11,7 +11,8 @@ CommLayer::CommLayer(size_t num_machines, CommOptions options)
 }
 
 CommLayer::CommLayer(std::unique_ptr<ITransport> transport)
-    : transport_(std::move(transport)) {
+    : transport_(std::move(transport)),
+      membership_(transport_->num_machines()) {
   GL_CHECK(transport_ != nullptr);
   handlers_.reserve(transport_->num_machines());
   for (size_t i = 0; i < transport_->num_machines(); ++i) {
@@ -21,6 +22,20 @@ CommLayer::CommLayer(std::unique_ptr<ITransport> transport)
       [this](MachineId dst, MachineId src, HandlerId id, InArchive& ia) {
         Deliver(dst, src, id, ia);
       });
+  // Every transport-observed peer death becomes a membership transition,
+  // which in turn re-evaluates the release rules of barrier / allreduce /
+  // termination and notifies the fault subsystem's subscribers.
+  transport_->SetPeerDownListener(
+      [this](MachineId peer) { membership_.MarkDown(peer); });
+  // And the reverse: a death learned at the membership level — e.g.
+  // adopted from the recovery coordinator's bitmap for a peer this
+  // machine never heard from (its connection died pre-hello, so no EOF
+  // and no heartbeat deadline ever fires) — must reach the transport
+  // too, or quiescence waits would keep probing the dead peer.  The
+  // cycle terminates: MarkPeerDown is idempotent and MarkDown only
+  // notifies on a fresh transition.
+  membership_.Subscribe(
+      [this](MachineId peer, uint64_t) { transport_->MarkPeerDown(peer); });
 }
 
 CommLayer::~CommLayer() { Stop(); }

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graphlab/rpc/membership.h"
 #include "graphlab/rpc/message.h"
 #include "graphlab/rpc/transport.h"
 #include "graphlab/util/serialization.h"
@@ -80,12 +81,38 @@ class CommLayer {
   }
 
   /// Blocks until the number of delivered messages equals the number sent
-  /// cluster-wide and remains so for two consecutive checks (handlers can
-  /// send more).  Callers sandwich this between cluster barriers.
-  void WaitQuiescent() { transport_->WaitQuiescent(); }
+  /// between live machines and remains so for two consecutive checks
+  /// (handlers can send more).  Callers sandwich this between cluster
+  /// barriers.  Returns false when the wait was unblocked by a peer
+  /// death (or transport stop) instead of proven quiescence.
+  bool WaitQuiescent() { return transport_->WaitQuiescent(); }
 
   /// Best-effort point check of the same condition.
   bool IsQuiescent() const { return transport_->IsQuiescent(); }
+
+  // ------------------------------------------------------------------
+  // Failure surface (see rpc/membership.h and fault/)
+  // ------------------------------------------------------------------
+
+  /// This fabric's view of which machines are alive.  Transport-observed
+  /// peer deaths (socket errors, missed heartbeats) land here
+  /// automatically; components subscribe for release re-evaluation.
+  Membership& membership() { return membership_; }
+  const Membership& membership() const { return membership_; }
+
+  /// Declares `m` dead: transport drops its traffic and quiescence
+  /// excludes it, then membership subscribers fire.  Idempotent.
+  void MarkPeerDown(MachineId m) { transport_->MarkPeerDown(m); }
+  bool IsPeerDown(MachineId m) const { return transport_->IsPeerDown(m); }
+
+  /// Starts transport-level liveness probing (TCP; no-op in-process).
+  void EnableHeartbeats(std::chrono::milliseconds interval,
+                        std::chrono::milliseconds timeout) {
+    transport_->EnableHeartbeats(interval, timeout);
+  }
+
+  /// Fault injection: machine m dies abruptly (see ITransport).
+  void InjectKill(MachineId m) { transport_->InjectKill(m); }
 
   /// Freezes dispatch on `machine` for `duration`, simulating a stalled
   /// process (multi-tenancy fault).  Engines poll StallActive() to also
@@ -122,6 +149,7 @@ class CommLayer {
   void Deliver(MachineId dst, MachineId src, HandlerId id, InArchive& ia);
 
   std::unique_ptr<ITransport> transport_;
+  Membership membership_;
   std::vector<std::unique_ptr<MachineHandlers>> handlers_;
 };
 

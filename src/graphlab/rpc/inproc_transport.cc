@@ -49,8 +49,10 @@ InProcessTransport::InProcessTransport(size_t num_machines,
     : num_machines_(num_machines), options_(options) {
   GL_CHECK_GE(num_machines, 1u);
   machines_.reserve(num_machines);
+  down_.reserve(num_machines);
   for (size_t i = 0; i < num_machines; ++i) {
     machines_.push_back(std::make_unique<MachineState>(num_machines));
+    down_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
 }
 
@@ -85,6 +87,14 @@ void InProcessTransport::Send(MachineId src, MachineId dst, HandlerId handler,
   GL_CHECK_LT(dst, num_machines_);
   GL_CHECK(started_.load(std::memory_order_acquire))
       << "InProcessTransport::Send before Start()";
+
+  // Traffic touching a dead machine vanishes: a dead sender cannot emit,
+  // a dead receiver cannot handle.  Nothing is counted so the global
+  // enqueued/delivered balance among survivors is undisturbed.
+  if (down_[src]->load(std::memory_order_acquire) ||
+      down_[dst]->load(std::memory_order_acquire)) {
+    return;
+  }
 
   Message msg;
   msg.src = src;
@@ -146,6 +156,16 @@ void InProcessTransport::DispatchLoop(MachineId machine) {
       m.stall_until_ns.store(0, std::memory_order_release);
     }
 
+    // A dead destination handles nothing; a dead source's in-flight
+    // messages are dropped (its state is being discarded by recovery).
+    // Either way the message is accounted as delivered so survivors'
+    // quiescence waits stay balanced.
+    if (down_[machine]->load(std::memory_order_acquire) ||
+        down_[msg->src]->load(std::memory_order_acquire)) {
+      delivered_.fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
+
     InArchive ia(msg->payload);
     sink_(machine, msg->src, msg->handler, ia);
     delivered_.fetch_add(1, std::memory_order_acq_rel);
@@ -157,17 +177,58 @@ bool InProcessTransport::IsQuiescent() {
          delivered_.load(std::memory_order_acquire);
 }
 
-void InProcessTransport::WaitQuiescent() {
+bool InProcessTransport::WaitQuiescent() {
   // Two consecutive stable observations guard against handlers that send.
+  // A membership change during the wait unblocks with false so callers
+  // can surface the fault instead of waiting on a dead machine.
+  const uint64_t down_at_entry =
+      down_version_.load(std::memory_order_acquire);
   uint64_t last_delivered = ~uint64_t{0};
   for (;;) {
+    if (down_version_.load(std::memory_order_acquire) != down_at_entry) {
+      return false;
+    }
     uint64_t e = enqueued_.load(std::memory_order_acquire);
     uint64_t d = delivered_.load(std::memory_order_acquire);
-    if (e == d && d == last_delivered) return;
+    if (e == d && d == last_delivered) return true;
     last_delivered = (e == d) ? d : ~uint64_t{0};
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 }
+
+void InProcessTransport::SetPeerDownListener(PeerDownCallback cb) {
+  std::lock_guard<std::mutex> lock(peer_down_mutex_);
+  peer_down_ = std::move(cb);
+}
+
+void InProcessTransport::MarkPeerDown(MachineId peer) {
+  GL_CHECK_LT(peer, num_machines_);
+  bool expected = false;
+  if (!down_[peer]->compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    return;
+  }
+  down_version_.fetch_add(1, std::memory_order_acq_rel);
+  PeerDownCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(peer_down_mutex_);
+    cb = peer_down_;
+  }
+  if (cb) cb(peer);
+}
+
+bool InProcessTransport::IsPeerDown(MachineId peer) const {
+  GL_CHECK_LT(peer, num_machines_);
+  return down_[peer]->load(std::memory_order_acquire);
+}
+
+void InProcessTransport::EnableHeartbeats(std::chrono::milliseconds,
+                                          std::chrono::milliseconds) {
+  // The simulated interconnect cannot lose a machine on its own; deaths
+  // arrive via InjectKill, which notifies peers synchronously.
+}
+
+void InProcessTransport::InjectKill(MachineId m) { MarkPeerDown(m); }
 
 void InProcessTransport::InjectStall(MachineId machine,
                                      std::chrono::nanoseconds duration) {

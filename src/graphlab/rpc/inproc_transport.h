@@ -25,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -53,11 +54,24 @@ class InProcessTransport final : public ITransport {
   void Stop() override;
   void Send(MachineId src, MachineId dst, HandlerId handler,
             OutArchive payload) override;
-  void WaitQuiescent() override;
+  bool WaitQuiescent() override;
   bool IsQuiescent() override;
   void InjectStall(MachineId machine,
                    std::chrono::nanoseconds duration) override;
   bool StallActive(MachineId machine) const override;
+
+  // Failure surface.  Death in the simulated interconnect is always
+  // injected (there is no wire to fail): InjectKill / MarkPeerDown stop a
+  // machine's inbox from delivering and drop its traffic; the global
+  // enqueued/delivered counters stay balanced because dropped messages
+  // are accounted as delivered, so surviving machines' quiescence waits
+  // complete instead of hanging.
+  void SetPeerDownListener(PeerDownCallback cb) override;
+  void MarkPeerDown(MachineId peer) override;
+  bool IsPeerDown(MachineId peer) const override;
+  void EnableHeartbeats(std::chrono::milliseconds interval,
+                        std::chrono::milliseconds timeout) override;
+  void InjectKill(MachineId m) override;
   CommStats GetStats(MachineId machine) const override;
   std::vector<PeerCommStats> GetPeerStats(MachineId machine) const override;
   void ResetStats() override;
@@ -77,6 +91,13 @@ class InProcessTransport final : public ITransport {
   std::atomic<uint64_t> enqueued_{0};
   std::atomic<uint64_t> delivered_{0};
   std::atomic<bool> started_{false};
+
+  // Failure state: down bitmap + change counter (quiescence waits return
+  // false when it moves mid-wait).
+  std::vector<std::unique_ptr<std::atomic<bool>>> down_;
+  std::atomic<uint64_t> down_version_{0};
+  std::mutex peer_down_mutex_;
+  PeerDownCallback peer_down_;
 };
 
 }  // namespace rpc

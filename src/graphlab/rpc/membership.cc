@@ -1,0 +1,82 @@
+#include "graphlab/rpc/membership.h"
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+namespace rpc {
+
+Membership::Membership(size_t num_machines)
+    : alive_(num_machines, 1), num_alive_(num_machines) {
+  GL_CHECK_GE(num_machines, 1u);
+}
+
+bool Membership::alive(MachineId m) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GL_CHECK_LT(m, alive_.size());
+  return alive_[m] != 0;
+}
+
+std::vector<MachineId> Membership::alive_machines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MachineId> out;
+  out.reserve(alive_.size());
+  for (MachineId m = 0; m < alive_.size(); ++m) {
+    if (alive_[m]) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<uint8_t> Membership::alive_bitmap() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alive_;
+}
+
+bool Membership::MarkDown(MachineId m) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GL_CHECK_LT(m, alive_.size());
+    if (!alive_[m]) return false;
+    alive_[m] = 0;
+    num_alive_.fetch_sub(1, std::memory_order_acq_rel);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  GL_LOG(WARNING) << "membership: machine " << m << " marked down ("
+                  << num_alive() << "/" << num_machines() << " alive)";
+  Notify(m);
+  return true;
+}
+
+void Membership::Adopt(const std::vector<uint8_t>& bitmap) {
+  GL_CHECK_EQ(bitmap.size(), alive_.size());
+  for (MachineId m = 0; m < bitmap.size(); ++m) {
+    if (!bitmap[m]) MarkDown(m);
+  }
+}
+
+size_t Membership::Subscribe(Subscriber fn) {
+  std::lock_guard<std::mutex> lock(subscribers_mutex_);
+  size_t token = next_token_++;
+  subscribers_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void Membership::Unsubscribe(size_t token) {
+  std::lock_guard<std::mutex> lock(subscribers_mutex_);
+  for (size_t i = 0; i < subscribers_.size(); ++i) {
+    if (subscribers_[i].first == token) {
+      subscribers_.erase(subscribers_.begin() + i);
+      return;
+    }
+  }
+}
+
+void Membership::Notify(MachineId down) {
+  // Serialized with Subscribe/Unsubscribe: holding the mutex through the
+  // callbacks means Unsubscribe() returning guarantees no further calls.
+  std::lock_guard<std::mutex> lock(subscribers_mutex_);
+  const uint64_t e = epoch();
+  for (auto& [token, fn] : subscribers_) fn(down, e);
+}
+
+}  // namespace rpc
+}  // namespace graphlab

@@ -21,7 +21,15 @@ enum FrameType : uint8_t {
   kFrameHello = 1,
   kFrameProbe = 2,
   kFrameProbeReply = 3,
+  kFramePing = 4,  // heartbeat; any received frame counts as liveness
 };
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 struct FrameHeader {
   uint32_t magic = kTcpFrameMagic;
@@ -154,16 +162,30 @@ struct TcpTransport::Peer {
   std::thread send_thread;
   std::atomic<int> send_fd{-1};
 
-  // Data-frame traffic accounting (control frames excluded).
+  // Data-frame traffic accounting (control frames excluded).  Resettable
+  // bench/stats counters.
   std::atomic<uint64_t> messages_sent{0};
   std::atomic<uint64_t> bytes_sent{0};
   std::atomic<uint64_t> messages_received{0};
   std::atomic<uint64_t> bytes_received{0};
 
+  // Quiescence accounting (never reset): data frames sent TO this peer
+  // and data frames FROM this peer whose handler completed.  Subtracted
+  // from the machine totals once the peer is marked down, so survivors'
+  // sums re-balance.
+  std::atomic<uint64_t> data_sent{0};
+  std::atomic<uint64_t> data_handled_from{0};
+
   // Last probe reply observed from this peer.
   std::atomic<uint64_t> reply_seq{0};
   std::atomic<uint64_t> remote_sent{0};
   std::atomic<uint64_t> remote_handled{0};
+
+  // Failure detection state: steady-clock ns of the last frame received
+  // from this peer (0 until its connection said hello), and the death
+  // mark.
+  std::atomic<uint64_t> last_heard_ns{0};
+  std::atomic<bool> down{false};
 };
 
 TcpTransport::TcpTransport(TcpOptions options)
@@ -207,6 +229,8 @@ void TcpTransport::Start() {
     if (p == me_) continue;
     connector_threads_.emplace_back([this, p] { ConnectToPeer(p); });
   }
+  std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+  StartHeartbeatThreadLocked();
 }
 
 void TcpTransport::ConnectToPeer(MachineId p) {
@@ -224,6 +248,10 @@ void TcpTransport::ConnectToPeer(MachineId p) {
       std::chrono::steady_clock::now() + connect_timeout_;
   int fd = -1;
   while (!stopping_.load(std::memory_order_acquire)) {
+    // A peer declared dead while we were still dialing it (killed during
+    // the startup window) stops being retried — the failure path, not a
+    // crash, owns it from here.
+    if (peers_[p]->down.load(std::memory_order_acquire)) return;
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     GL_CHECK_GE(fd, 0);
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
@@ -233,9 +261,24 @@ void TcpTransport::ConnectToPeer(MachineId p) {
     ::close(fd);
     fd = -1;
     if (std::chrono::steady_clock::now() >= deadline) {
-      GL_LOG(FATAL) << "machine " << me_ << ": cannot connect to machine "
+      // An unconnectable WORKER is a dead peer, not a fatal condition of
+      // THIS process: surface it as PeerDown so the fault subsystem can
+      // recover (or, without one, so quiescence excludes the machine).
+      // Machine 0 is the exception — it coordinates barriers, consensus
+      // and recovery itself, so a process that cannot reach it is
+      // useless and should fail loudly (likely a misconfigured
+      // endpoint).
+      if (p == 0) {
+        GL_LOG(FATAL) << "machine " << me_
+                      << ": cannot connect to coordinator machine 0 at "
+                      << endpoints_[p] << " within "
+                      << connect_timeout_.count() << "ms";
+      }
+      GL_LOG(ERROR) << "machine " << me_ << ": cannot connect to machine "
                     << p << " at " << endpoints_[p] << " within "
-                    << connect_timeout_.count() << "ms";
+                    << connect_timeout_.count() << "ms; marking peer down";
+      MarkPeerDown(p);
+      return;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
@@ -266,10 +309,19 @@ void TcpTransport::ConnectToPeer(MachineId p) {
     for (;;) {
       auto frame = pr.send_queue.Pop();
       if (!frame.has_value()) return;
+      if (pr.down.load(std::memory_order_acquire)) {
+        // Peer declared dead (heartbeat timeout / receive-side EOF):
+        // drop instead of writing into a black hole.  Keep draining so
+        // producers never block.
+        continue;
+      }
       if (!WriteFull(fd, frame->data(), frame->size())) {
-        if (!stopping_.load(std::memory_order_acquire)) {
+        if (!stopping_.load(std::memory_order_acquire) &&
+            !killed_.load(std::memory_order_acquire)) {
           GL_LOG(ERROR) << "machine " << me_ << ": send to machine " << p
-                        << " failed: " << std::strerror(errno);
+                        << " failed: " << std::strerror(errno)
+                        << "; marking peer down";
+          MarkPeerDown(p);
         }
         // Drain the queue so producers never block on a dead peer.
         while (pr.send_queue.Pop().has_value()) {
@@ -304,13 +356,26 @@ void TcpTransport::ReceiveLoop(int fd) {
   MachineId from = kTcpFrameMagic;  // sentinel until hello arrives
   bool have_hello = false;
   std::vector<char> payload;
+  // Receive-side EOF / truncation on an identified connection is how a
+  // crashed peer (kill -9) most often surfaces; propagate it as a peer
+  // death instead of silently parking the thread.
+  auto peer_lost = [&] {
+    if (have_hello && !stopping_.load(std::memory_order_acquire) &&
+        !killed_.load(std::memory_order_acquire)) {
+      MarkPeerDown(from);
+    }
+  };
   for (;;) {
-    if (!ReadFull(fd, header_bytes, sizeof(header_bytes))) return;
+    if (!ReadFull(fd, header_bytes, sizeof(header_bytes))) {
+      peer_lost();
+      return;
+    }
     FrameHeader h;
     if (!DecodeHeader(header_bytes, &h)) {
       GL_LOG(ERROR) << "machine " << me_
                     << ": bad frame header (magic/version/size mismatch); "
                        "closing connection";
+      peer_lost();
       return;
     }
     payload.resize(h.payload_size);
@@ -320,6 +385,7 @@ void TcpTransport::ReceiveLoop(int fd) {
         GL_LOG(ERROR) << "machine " << me_
                       << ": connection truncated mid-frame";
       }
+      peer_lost();
       return;
     }
 
@@ -336,6 +402,8 @@ void TcpTransport::ReceiveLoop(int fd) {
       }
       from = peer_id;
       have_hello = true;
+      peers_[from]->last_heard_ns.store(SteadyNowNs(),
+                                        std::memory_order_release);
       continue;
     }
     if (h.src != from) {
@@ -345,6 +413,7 @@ void TcpTransport::ReceiveLoop(int fd) {
     }
 
     Peer& peer = *peers_[from];
+    peer.last_heard_ns.store(SteadyNowNs(), std::memory_order_release);
     switch (h.type) {
       case kFrameData: {
         peer.messages_received.fetch_add(1, std::memory_order_relaxed);
@@ -364,9 +433,12 @@ void TcpTransport::ReceiveLoop(int fd) {
         InArchive ia(payload);
         uint64_t seq = ia.ReadValue<uint64_t>();
         if (!ia.ok()) return;
+        // Replies carry counters adjusted by THIS machine's dead set;
+        // once all survivors' dead sets agree, their sums balance again.
+        uint64_t sent = 0, handled = 0;
+        AdjustedCounters(&sent, &handled);
         OutArchive reply;
-        reply << seq << data_sent_total_.load(std::memory_order_acquire)
-              << data_handled_total_.load(std::memory_order_acquire);
+        reply << seq << sent << handled;
         EnqueueFrame(from, kFrameProbeReply, 0, reply.TakeBuffer());
         break;
       }
@@ -385,6 +457,8 @@ void TcpTransport::ReceiveLoop(int fd) {
         probe_cv_.notify_all();
         break;
       }
+      case kFramePing:
+        break;  // liveness already stamped above
       default:
         GL_LOG(ERROR) << "machine " << me_ << ": unknown frame type "
                       << static_cast<int>(h.type);
@@ -397,9 +471,19 @@ void TcpTransport::DispatchLoop() {
   for (;;) {
     auto msg = dispatch_queue_.Pop();
     if (!msg.has_value()) return;
-    InArchive ia(msg->payload);
-    sink_(me_, msg->src, msg->handler, ia);
+    // A frame from a peer marked down is a stale remnant of the dead
+    // machine's last moments; dropping it keeps recovery's rebuilt graph
+    // state clean.  It still counts as handled (and as handled-from-the-
+    // dead-peer, which the adjusted sums subtract).
+    if (!peers_[msg->src]->down.load(std::memory_order_acquire) &&
+        !killed_.load(std::memory_order_acquire)) {
+      InArchive ia(msg->payload);
+      sink_(me_, msg->src, msg->handler, ia);
+    }
+    // Total first, per-peer second (see the Send() counting note).
     data_handled_total_.fetch_add(1, std::memory_order_acq_rel);
+    peers_[msg->src]->data_handled_from.fetch_add(1,
+                                                  std::memory_order_acq_rel);
     probe_cv_.notify_all();
   }
 }
@@ -407,6 +491,7 @@ void TcpTransport::DispatchLoop() {
 void TcpTransport::EnqueueFrame(MachineId dst, uint8_t type,
                                 HandlerId handler,
                                 std::vector<char> payload) {
+  if (peers_[dst]->down.load(std::memory_order_acquire)) return;
   FrameHeader h;
   h.type = type;
   h.src = me_;
@@ -430,7 +515,15 @@ void TcpTransport::Send(MachineId src, MachineId dst, HandlerId handler,
   peer.messages_sent.fetch_add(1, std::memory_order_relaxed);
   peer.bytes_sent.fetch_add(kTcpFrameHeaderBytes + bytes.size(),
                             std::memory_order_relaxed);
+  // Counted even when the peer is down (the frame is then dropped at
+  // enqueue): the per-peer data_sent counter is exactly what the
+  // adjusted quiescence sums subtract, so a racy send during the death
+  // transition can never strand the cluster-wide balance.  Total FIRST,
+  // per-peer second: AdjustedCounters reads per-peer then total, so the
+  // total it subtracts from always covers every per-peer increment it
+  // saw (never underflows).
   data_sent_total_.fetch_add(1, std::memory_order_acq_rel);
+  peer.data_sent.fetch_add(1, std::memory_order_acq_rel);
 
   if (dst == me_) {
     // Self-send: skip the wire, keep the dispatch-thread semantics.
@@ -451,6 +544,25 @@ void TcpTransport::Send(MachineId src, MachineId dst, HandlerId handler,
   EnqueueFrame(dst, kFrameData, handler, std::move(bytes));
 }
 
+void TcpTransport::AdjustedCounters(uint64_t* sent,
+                                    uint64_t* handled) const {
+  // Read per-dead-peer counters BEFORE the totals; writers bump the
+  // total before the per-peer counter.  Together the orders guarantee
+  // every per-peer increment this read observes is already in the total
+  // it subtracts from — the adjustment can be conservatively small,
+  // never negative.
+  uint64_t dead_sent = 0, dead_handled = 0;
+  for (MachineId p = 0; p < endpoints_.size(); ++p) {
+    const Peer& peer = *peers_[p];
+    if (!peer.down.load(std::memory_order_acquire)) continue;
+    dead_sent += peer.data_sent.load(std::memory_order_acquire);
+    dead_handled += peer.data_handled_from.load(std::memory_order_acquire);
+  }
+  *sent = data_sent_total_.load(std::memory_order_acquire) - dead_sent;
+  *handled =
+      data_handled_total_.load(std::memory_order_acquire) - dead_handled;
+}
+
 bool TcpTransport::ExchangeCounters(uint64_t* cluster_sent,
                                     uint64_t* cluster_handled) {
   const uint64_t seq =
@@ -459,17 +571,23 @@ bool TcpTransport::ExchangeCounters(uint64_t* cluster_sent,
   probe << seq;
   std::vector<char> probe_bytes = probe.TakeBuffer();
   for (MachineId p = 0; p < endpoints_.size(); ++p) {
-    if (p == me_) continue;
+    if (p == me_ || peers_[p]->down.load(std::memory_order_acquire)) {
+      continue;
+    }
     EnqueueFrame(p, kFrameProbe, 0, probe_bytes);
   }
-  // Wait for every peer to answer this round (replies are monotonic).
+  // Wait for every live peer to answer this round (replies are
+  // monotonic); peers that die mid-round stop being waited for.
   {
     std::unique_lock<std::mutex> lock(probe_mutex_);
     bool all = probe_cv_.wait_for(
         lock, std::chrono::seconds(30), [&] {
           if (stopping_.load(std::memory_order_acquire)) return true;
           for (MachineId p = 0; p < endpoints_.size(); ++p) {
-            if (p == me_) continue;
+            if (p == me_ ||
+                peers_[p]->down.load(std::memory_order_acquire)) {
+              continue;
+            }
             if (peers_[p]->reply_seq.load(std::memory_order_acquire) < seq) {
               return false;
             }
@@ -481,16 +599,20 @@ bool TcpTransport::ExchangeCounters(uint64_t* cluster_sent,
       // A peer that cannot answer within the window is a fault, not
       // quiescence: report and keep waiting rather than let the caller
       // pass a "channels flushed" barrier with frames still in flight.
+      // (With heartbeats enabled the failure detector will mark the
+      // peer down long before this fires and unblock the wait.)
       GL_LOG(ERROR) << "machine " << me_
                     << ": quiescence probe round " << seq
                     << " unanswered after 30s; a peer is down or stalled";
       return false;
     }
   }
-  uint64_t sent = data_sent_total_.load(std::memory_order_acquire);
-  uint64_t handled = data_handled_total_.load(std::memory_order_acquire);
+  uint64_t sent = 0, handled = 0;
+  AdjustedCounters(&sent, &handled);
   for (MachineId p = 0; p < endpoints_.size(); ++p) {
-    if (p == me_) continue;
+    if (p == me_ || peers_[p]->down.load(std::memory_order_acquire)) {
+      continue;
+    }
     sent += peers_[p]->remote_sent.load(std::memory_order_acquire);
     handled += peers_[p]->remote_handled.load(std::memory_order_acquire);
   }
@@ -499,21 +621,30 @@ bool TcpTransport::ExchangeCounters(uint64_t* cluster_sent,
   return true;
 }
 
-void TcpTransport::WaitQuiescent() {
+bool TcpTransport::WaitQuiescent() {
   // Same rule as the simulated backend, over exchanged counters: the
-  // cluster-wide sent and handled totals must be equal and unchanged for
-  // two consecutive probe rounds.
+  // cluster-wide sent and handled totals (adjusted for peers already
+  // dead) must be equal and unchanged for two consecutive probe rounds.
+  // A peer dying DURING the wait unblocks it with false — the caller is
+  // mid-protocol with a machine that no longer exists and must surface
+  // that, not wait out a 30s probe timeout per round forever.
+  const uint64_t down_at_entry =
+      down_version_.load(std::memory_order_acquire);
   uint64_t prev_sent = ~uint64_t{0};
   for (;;) {
+    if (down_version_.load(std::memory_order_acquire) != down_at_entry ||
+        killed_.load(std::memory_order_acquire)) {
+      return false;
+    }
     uint64_t sent = 0, handled = 0;
     if (!ExchangeCounters(&sent, &handled)) {
-      if (stopping_.load(std::memory_order_acquire)) return;
-      // Probe round timed out (peer down/stalled): retry, never report
+      if (stopping_.load(std::memory_order_acquire)) return false;
+      // Probe round timed out (peer stalled): retry, never report
       // quiescence we could not prove.
       prev_sent = ~uint64_t{0};
       continue;
     }
-    if (sent == handled && sent == prev_sent) return;
+    if (sent == handled && sent == prev_sent) return true;
     prev_sent = (sent == handled) ? sent : ~uint64_t{0};
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
@@ -522,23 +653,145 @@ void TcpTransport::WaitQuiescent() {
 bool TcpTransport::IsQuiescent() {
   // Best-effort point check from the last known remote counters (probe
   // replies); exact only when the cluster is already idle.
-  uint64_t sent = data_sent_total_.load(std::memory_order_acquire);
-  uint64_t handled = data_handled_total_.load(std::memory_order_acquire);
+  uint64_t sent = 0, handled = 0;
+  AdjustedCounters(&sent, &handled);
   for (MachineId p = 0; p < endpoints_.size(); ++p) {
-    if (p == me_) continue;
+    if (p == me_ || peers_[p]->down.load(std::memory_order_acquire)) {
+      continue;
+    }
     sent += peers_[p]->remote_sent.load(std::memory_order_acquire);
     handled += peers_[p]->remote_handled.load(std::memory_order_acquire);
   }
   return sent == handled;
 }
 
+void TcpTransport::SetPeerDownListener(PeerDownCallback cb) {
+  std::lock_guard<std::mutex> lock(peer_down_mutex_);
+  peer_down_ = std::move(cb);
+}
+
+void TcpTransport::MarkPeerDown(MachineId peer) {
+  GL_CHECK_LT(peer, endpoints_.size());
+  Peer& pr = *peers_[peer];
+  bool expected = false;
+  if (!pr.down.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return;
+  }
+  down_version_.fetch_add(1, std::memory_order_acq_rel);
+  if (peer != me_) {
+    GL_LOG(WARNING) << "machine " << me_ << ": peer " << peer
+                    << " marked down";
+  }
+  // Wake a send thread stuck in a blocking write to the dead peer; the
+  // fd stays open (Stop() owns the close) but further IO errors out.
+  int fd = pr.send_fd.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  // Unblock quiescence waits that were counting on this peer's replies.
+  probe_cv_.notify_all();
+  PeerDownCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(peer_down_mutex_);
+    cb = peer_down_;
+  }
+  if (cb) cb(peer);
+}
+
+bool TcpTransport::IsPeerDown(MachineId peer) const {
+  GL_CHECK_LT(peer, endpoints_.size());
+  return peers_[peer]->down.load(std::memory_order_acquire);
+}
+
+void TcpTransport::EnableHeartbeats(std::chrono::milliseconds interval,
+                                    std::chrono::milliseconds timeout) {
+  GL_CHECK_GT(interval.count(), 0);
+  GL_CHECK_GE(timeout.count(), interval.count());
+  std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+  if (heartbeat_thread_.joinable() &&
+      (heartbeat_interval_ != interval || heartbeat_timeout_ != timeout)) {
+    // The running prober captured its cadence at start; be loud rather
+    // than silently detecting slower/faster than the caller configured.
+    GL_LOG(WARNING) << "machine " << me_ << ": heartbeats already running "
+                    << "at interval=" << heartbeat_interval_.count()
+                    << "ms timeout=" << heartbeat_timeout_.count()
+                    << "ms; ignoring reconfiguration to "
+                    << interval.count() << "/" << timeout.count() << "ms";
+    return;
+  }
+  heartbeat_interval_ = interval;
+  heartbeat_timeout_ = timeout;
+  if (started_.load(std::memory_order_acquire)) {
+    StartHeartbeatThreadLocked();
+  }
+}
+
+void TcpTransport::StartHeartbeatThreadLocked() {
+  if (heartbeat_interval_.count() == 0) return;  // not enabled
+  if (heartbeat_thread_.joinable()) return;      // already running
+  heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+}
+
+void TcpTransport::HeartbeatLoop() {
+  const std::chrono::milliseconds interval = heartbeat_interval_;
+  const uint64_t timeout_ns =
+      static_cast<uint64_t>(heartbeat_timeout_.count()) * 1000000ULL;
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !killed_.load(std::memory_order_acquire)) {
+    for (MachineId p = 0; p < endpoints_.size(); ++p) {
+      if (p == me_) continue;
+      Peer& peer = *peers_[p];
+      if (peer.down.load(std::memory_order_acquire)) continue;
+      // Only monitor peers whose connection has said hello; before that
+      // the connect grace period (connect_timeout) governs.
+      const uint64_t heard = peer.last_heard_ns.load(
+          std::memory_order_acquire);
+      if (heard != 0 && SteadyNowNs() - heard > timeout_ns) {
+        GL_LOG(ERROR) << "machine " << me_ << ": peer " << p
+                      << " missed heartbeats for "
+                      << (SteadyNowNs() - heard) / 1000000 << "ms";
+        MarkPeerDown(p);
+        continue;
+      }
+      EnqueueFrame(p, kFramePing, 0, {});
+    }
+    std::this_thread::sleep_for(interval);
+  }
+}
+
 void TcpTransport::InjectStall(MachineId machine,
                                std::chrono::nanoseconds) {
   if (!stall_warned_.exchange(true)) {
     GL_LOG(WARNING) << "InjectStall(" << machine
-                    << ") ignored: fault injection is a feature of the "
+                    << ") ignored: stall injection is a feature of the "
                        "simulated transport";
   }
+}
+
+void TcpTransport::InjectKill(MachineId m) {
+  if (m != me_) {
+    MarkPeerDown(m);
+    return;
+  }
+  if (killed_.exchange(true)) return;
+  GL_LOG(WARNING) << "machine " << me_
+                  << ": InjectKill — dying abruptly (no goodbye)";
+  // Slam every socket shut so peers observe EOF, exactly like a crashed
+  // process whose kernel resets its connections.  fds are only shut down
+  // here, not closed — Stop() still owns the closes.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(receive_threads_mutex_);
+    for (int fd : receive_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& peer : peers_) {
+    int fd = peer->send_fd.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Locally every peer is now unreachable, and this machine itself is
+  // dead: mark everything down so any blocked wait on this machine
+  // unblocks, and fire the listener for me() so the hosting program
+  // thread can observe its own demise and wind down.
+  for (MachineId p = 0; p < endpoints_.size(); ++p) MarkPeerDown(p);
 }
 
 CommStats TcpTransport::GetStats(MachineId machine) const {
@@ -587,9 +840,14 @@ void TcpTransport::Stop() {
   if (stopping_.exchange(true)) return;
   probe_cv_.notify_all();
 
-  // 1. Stop producing: connector threads give up their retry loops.
+  // 1. Stop producing: connector threads give up their retry loops, the
+  //    heartbeat prober stops pinging.
   for (auto& t : connector_threads_) {
     if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+    if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   }
   // 2. Drain and join the send side (queues drain fully on shutdown).
   for (auto& peer : peers_) peer->send_queue.Shutdown();

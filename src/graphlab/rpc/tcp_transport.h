@@ -14,7 +14,7 @@
 //   offset  size  field
 //   0       4     magic      0x31574C47 ("GLW1")
 //   4       2     version    kTcpWireVersion (1)
-//   6       1     type       0=data 1=hello 2=probe 3=probe-reply
+//   6       1     type       0=data 1=hello 2=probe 3=probe-reply 4=ping
 //   7       1     flags      0
 //   8       4     src        sending machine id
 //   12      2     handler    destination handler id (data frames)
@@ -25,9 +25,10 @@
 // u32 cluster size); version or magic mismatch closes the connection.
 //
 // Threads: one send thread per peer draining a per-peer frame queue, one
-// receive thread per accepted connection, one accept thread, and ONE
-// dispatch thread that runs all handlers — preserving the simulated
-// backend's serialized-handler semantics.
+// receive thread per accepted connection, one accept thread, optionally
+// one heartbeat thread (EnableHeartbeats), and ONE dispatch thread that
+// runs all handlers — preserving the simulated backend's
+// serialized-handler semantics.
 //
 // Quiescence is a per-peer counter exchange instead of inbox inspection:
 // every machine counts data frames sent (S) and data frames whose handler
@@ -37,6 +38,18 @@
 // rule the simulated backend applies to its global counters.  Probes and
 // replies are control frames, excluded from the counters and from
 // CommStats.
+//
+// Failure surface: a peer becomes DOWN through a send error, receive-side
+// EOF, a missed-heartbeat deadline, or an explicit MarkPeerDown.  From
+// then on (a) frames queued or submitted for it are dropped, (b) the
+// quiescence exchange skips it and every machine reports counters
+// ADJUSTED by its current dead set — sent minus data frames sent to dead
+// peers, handled minus data frames handled from dead peers — so the
+// surviving machines' sums balance again once their dead sets agree, and
+// (c) data frames from the dead peer still sitting in the dispatch queue
+// are dropped (counted handled), so a dead machine's stale ghost pushes
+// can never touch a graph being rebuilt by recovery.  A WaitQuiescent()
+// in progress when a peer dies returns false instead of hanging.
 
 #ifndef GRAPHLAB_RPC_TCP_TRANSPORT_H_
 #define GRAPHLAB_RPC_TCP_TRANSPORT_H_
@@ -87,14 +100,27 @@ class TcpTransport final : public ITransport {
   void Stop() override;
   void Send(MachineId src, MachineId dst, HandlerId handler,
             OutArchive payload) override;
-  void WaitQuiescent() override;
+  bool WaitQuiescent() override;
   bool IsQuiescent() override;
 
-  /// Fault injection is a property of the simulated backend; here it
+  /// Stall injection is a property of the simulated backend; here it
   /// logs once and is ignored.
   void InjectStall(MachineId machine,
                    std::chrono::nanoseconds duration) override;
   bool StallActive(MachineId) const override { return false; }
+
+  void SetPeerDownListener(PeerDownCallback cb) override;
+  void MarkPeerDown(MachineId peer) override;
+  bool IsPeerDown(MachineId peer) const override;
+  void EnableHeartbeats(std::chrono::milliseconds interval,
+                        std::chrono::milliseconds timeout) override;
+
+  /// InjectKill(me()): abrupt local death — sockets slam shut with no
+  /// goodbye, dispatch stops, every peer slot is marked down locally (so
+  /// local waits unblock) and the listener fires for me() itself, letting
+  /// the hosting thread observe its own demise.  Peers see a crash.
+  /// InjectKill(p != me) just marks p down locally.
+  void InjectKill(MachineId m) override;
 
   CommStats GetStats(MachineId machine) const override;
   std::vector<PeerCommStats> GetPeerStats(MachineId machine) const override;
@@ -109,10 +135,15 @@ class TcpTransport final : public ITransport {
   void AcceptLoop();
   void ReceiveLoop(int fd);
   void DispatchLoop();
+  void HeartbeatLoop();
   void ConnectToPeer(MachineId p);
   void EnqueueFrame(MachineId dst, uint8_t type, HandlerId handler,
                     std::vector<char> payload);
   bool ExchangeCounters(uint64_t* cluster_sent, uint64_t* cluster_handled);
+  /// This machine's (sent, handled) pair with all traffic to/from its
+  /// current dead set subtracted (what probe replies carry).
+  void AdjustedCounters(uint64_t* sent, uint64_t* handled) const;
+  void StartHeartbeatThreadLocked();
 
   MachineId me_ = 0;
   std::vector<std::string> endpoints_;  // host:port per machine
@@ -139,8 +170,20 @@ class TcpTransport final : public ITransport {
   std::mutex probe_mutex_;
   std::condition_variable probe_cv_;
 
+  // Failure state.
+  std::atomic<uint64_t> down_version_{0};
+  std::mutex peer_down_mutex_;
+  PeerDownCallback peer_down_;
+
+  // Heartbeat configuration (0 interval = disabled) and thread.
+  std::mutex heartbeat_mutex_;
+  std::chrono::milliseconds heartbeat_interval_{0};
+  std::chrono::milliseconds heartbeat_timeout_{0};
+  std::thread heartbeat_thread_;
+
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> killed_{false};
   std::atomic<bool> stall_warned_{false};
 };
 

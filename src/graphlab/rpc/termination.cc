@@ -46,6 +46,18 @@ TerminationDetector::TerminationDetector(CommLayer* comm) : comm_(comm) {
           }
         });
   }
+  // A machine death can complete a round that was waiting for the dead
+  // machine's report (the consensus then covers survivors only — the
+  // engines' abort path handles semantic cleanup).
+  membership_token_ = comm_->membership().Subscribe(
+      [this](MachineId, uint64_t) {
+        std::lock_guard<std::mutex> lock(master_mutex_);
+        Evaluate();
+      });
+}
+
+TerminationDetector::~TerminationDetector() {
+  comm_->membership().Unsubscribe(membership_token_);
 }
 
 void TerminationDetector::SetStateFn(MachineId m, StateFn fn) {
@@ -103,8 +115,15 @@ void TerminationDetector::OnReport(MachineId src, InArchive& payload) {
 
 void TerminationDetector::Evaluate() {
   uint32_t epoch = epoch_.load(std::memory_order_acquire);
+  if (verdict_sent_) return;
   uint64_t total_sent = 0, total_received = 0;
-  for (const Report& r : latest_) {
+  for (MachineId m = 0; m < latest_.size(); ++m) {
+    // Dead machines neither report nor count: the consensus covers the
+    // live membership (task messages in flight to a dead machine keep
+    // sent != received, so no false verdict; the engines' abort path is
+    // what ends such a run).
+    if (!comm_->membership().alive(m)) continue;
+    const Report& r = latest_[m];
     // An incomplete round (a machine has not re-reported since the last
     // invalidation) is simply inconclusive — keep any candidate.
     if (r.epoch != epoch || !r.idle) return;

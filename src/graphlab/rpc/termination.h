@@ -45,6 +45,7 @@ class TerminationDetector {
   using StateFn = std::function<LocalState()>;
 
   explicit TerminationDetector(CommLayer* comm);
+  ~TerminationDetector();
 
   /// Installs machine m's state provider.  Call before the run starts.
   void SetStateFn(MachineId m, StateFn fn);
@@ -75,6 +76,7 @@ class TerminationDetector {
   std::vector<StateFn> state_fns_;
   std::vector<std::unique_ptr<std::atomic<bool>>> done_;
   std::atomic<uint32_t> epoch_{0};
+  size_t membership_token_ = 0;
 
   // Coordinator state (machine 0 only).
   std::mutex master_mutex_;

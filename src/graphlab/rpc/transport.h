@@ -111,6 +111,11 @@ class ITransport {
       std::function<void(MachineId dst, MachineId src, HandlerId handler,
                          InArchive& payload)>;
 
+  /// Fired at most once per peer when the backend concludes the peer is
+  /// gone — socket error, receive-side EOF, missed heartbeats, or an
+  /// explicit MarkPeerDown.  Runs on a transport thread; must not block.
+  using PeerDownCallback = std::function<void(MachineId peer)>;
+
   virtual ~ITransport() = default;
 
   /// Backend name for logs/benches ("inproc" | "tcp").
@@ -138,14 +143,54 @@ class ITransport {
   virtual void Send(MachineId src, MachineId dst, HandlerId handler,
                     OutArchive payload) = 0;
 
-  /// Blocks until every message sent anywhere in the cluster has been
+  /// Blocks until every message sent between LIVE machines has been
   /// handled, observed stable twice (handlers can send more).  Callers
   /// sandwich this between cluster barriers (the chromatic color-step
-  /// protocol) so no machine races new sends past the check.
-  virtual void WaitQuiescent() = 0;
+  /// protocol) so no machine races new sends past the check.  Traffic to
+  /// and from peers already marked down is excluded from the counting.
+  /// Returns true when quiescence was proven; false when the wait was
+  /// unblocked instead — a peer died during the wait, or the transport is
+  /// stopping — so callers surface a status instead of hanging forever on
+  /// a dead machine's missing acknowledgements.
+  virtual bool WaitQuiescent() = 0;
 
   /// Best-effort point check of the same condition.
   virtual bool IsQuiescent() = 0;
+
+  // ------------------------------------------------------------------
+  // Failure surface (fault/ subsystem; see fault/failure_detector.h)
+  // ------------------------------------------------------------------
+
+  /// Installs the peer-death callback.  May be called before or after
+  /// Start(); replaces any previous listener.
+  virtual void SetPeerDownListener(PeerDownCallback cb) = 0;
+
+  /// Declares `peer` dead (heartbeat timeout, external decision).
+  /// Idempotent.  Quiescence waits exclude the peer from then on, queued
+  /// and future sends to it are dropped, and pending probe waits wake.
+  /// Fires the peer-down listener on the first call.
+  virtual void MarkPeerDown(MachineId peer) = 0;
+  virtual bool IsPeerDown(MachineId peer) const = 0;
+
+  /// Starts liveness probing: the TCP backend pings every connected peer
+  /// each `interval` as control frames (excluded from quiescence
+  /// counters) and marks a peer down after `timeout` without hearing any
+  /// frame from it.  May be called before or after Start().  The
+  /// simulated backend has no wire to lose, so this records the
+  /// parameters and does nothing; in-process death is injected with
+  /// InjectKill instead.
+  virtual void EnableHeartbeats(std::chrono::milliseconds interval,
+                                std::chrono::milliseconds timeout) = 0;
+
+  /// Fault injection: machine `m` dies abruptly, as if kill -9'd.  On the
+  /// TCP backend only m == me() is meaningful — the local machine slams
+  /// its sockets shut without any goodbye, so peers observe a real crash
+  /// (EOF / heartbeat loss).  On the simulated backend any machine can be
+  /// killed: its inbox stops delivering and its sends are dropped.
+  /// Either way every peer of the killed machine eventually fires
+  /// PeerDown, and the killed machine's own listener fires for itself so
+  /// its program threads can wind down.
+  virtual void InjectKill(MachineId m) = 0;
 
   /// Freezes dispatch on `machine` for `duration` (fault injection).
   /// Only the simulated backend implements this; TCP logs and ignores.

@@ -255,7 +255,13 @@ TEST(SharedMemoryEngineTest, AbortAndJoinDrainsAndStops) {
   });
   engine->ScheduleAll();
   std::thread aborter([&engine] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    // Abort only after at least one update ran — a fixed sleep flakes
+    // under parallel-ctest CPU contention when workers start late.
+    Timer deadline;
+    while (engine->total_updates() == 0 && deadline.Seconds() < 5.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
     engine->AbortAndJoin();
   });
   RunResult r = engine->Start();

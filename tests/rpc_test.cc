@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "graphlab/engine/allreduce.h"
 #include "graphlab/rpc/barrier.h"
@@ -342,6 +344,109 @@ TEST(TcpTransportTest, LargeFrameRoundTrips) {
   comms[0]->Send(0, 1, 9, std::move(oa));
   comms[0]->WaitQuiescent();
   EXPECT_TRUE(matched.load());
+}
+
+// ---------------------------------------------------------------------
+// TCP failure injection: a dead peer must surface as PeerDown and
+// unblock waits with a status — never hang or kill the process.
+// ---------------------------------------------------------------------
+
+TEST(TcpFailureTest, PeerDeathFiresPeerDownAndUnblocksQuiescence) {
+  auto comms = MakeTcpComms(3);
+  for (size_t m = 0; m < 3; ++m) {
+    comms[m]->RegisterHandler(m, 5, [](MachineId, InArchive&) {});
+  }
+  StartAll(comms);
+  // Warm the mesh so every connection exists.
+  comms[0]->Send(0, 1, 5, OutArchive());
+  comms[0]->Send(0, 2, 5, OutArchive());
+  ASSERT_TRUE(comms[0]->WaitQuiescent());
+
+  // Machine 2 dies abruptly (kill -9 analogue).
+  comms[2]->InjectKill(2);
+
+  // Survivors observe the death through receive-side EOF within the
+  // membership view, without any heartbeat configured.
+  Timer timer;
+  while ((comms[0]->membership().alive(2) ||
+          comms[1]->membership().alive(2)) &&
+         timer.Seconds() < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(comms[0]->membership().alive(2));
+  EXPECT_FALSE(comms[1]->membership().alive(2));
+  EXPECT_TRUE(comms[0]->IsPeerDown(2));
+
+  // Quiescence among the survivors completes instead of hanging on the
+  // dead machine's probe replies.
+  comms[0]->Send(0, 1, 5, OutArchive());
+  EXPECT_TRUE(comms[0]->WaitQuiescent());
+  EXPECT_TRUE(comms[1]->WaitQuiescent());
+}
+
+TEST(TcpFailureTest, SendToDeadPeerIsDroppedNotFatal) {
+  auto comms = MakeTcpComms(2);
+  comms[1]->RegisterHandler(1, 5, [](MachineId, InArchive&) {});
+  StartAll(comms);
+  comms[0]->Send(0, 1, 5, OutArchive());
+  ASSERT_TRUE(comms[0]->WaitQuiescent());
+
+  comms[1]->InjectKill(1);
+  Timer timer;
+  while (comms[0]->membership().alive(1) && timer.Seconds() < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(comms[0]->membership().alive(1));
+
+  // A burst of sends to the dead peer: no SIGPIPE, no blocking, and the
+  // survivor's quiescence stays provable (dead traffic is excluded).
+  for (int i = 0; i < 500; ++i) {
+    OutArchive oa;
+    oa << std::vector<char>(2048);
+    comms[0]->Send(0, 1, 5, std::move(oa));
+  }
+  EXPECT_TRUE(comms[0]->WaitQuiescent());
+}
+
+TEST(TcpFailureTest, HeartbeatDeadlineMarksSilentPeerDown) {
+  auto comms = MakeTcpComms(2);
+  StartAll(comms);
+  // Warm the connections so machine 0 has heard from machine 1 once.
+  comms[0]->RegisterHandler(0, 5, [](MachineId, InArchive&) {});
+  comms[1]->Send(1, 0, 5, OutArchive());
+  ASSERT_TRUE(comms[1]->WaitQuiescent());
+
+  // Only machine 0 runs a failure detector; machine 1 stays silent (no
+  // heartbeats of its own), so machine 0's deadline must fire.
+  comms[0]->EnableHeartbeats(std::chrono::milliseconds(20),
+                             std::chrono::milliseconds(150));
+  Timer timer;
+  while (comms[0]->membership().alive(1) && timer.Seconds() < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(comms[0]->membership().alive(1));
+}
+
+TEST(TcpFailureTest, BarrierReleasesSurvivorsAfterDeath) {
+  ClusterOptions opts;
+  opts.num_machines = 3;
+  opts.transport = TransportKind::kTcp;
+  opts.tcp_loopback_cluster = true;
+  Runtime runtime(opts);
+
+  std::atomic<int> survivors_released{0};
+  runtime.Run([&](MachineContext& ctx) {
+    ctx.barrier().Wait(ctx.id);  // everyone aligned once
+    if (ctx.id == 2) {
+      ctx.comm().InjectKill(2);
+      return;  // dead: never enters the next barrier
+    }
+    // Survivors: the next barrier must release once machine 2's death is
+    // observed by the master (machine 0), not hang forever.
+    EXPECT_TRUE(ctx.barrier().Wait(ctx.id));
+    survivors_released.fetch_add(1);
+  });
+  EXPECT_EQ(survivors_released.load(), 2);
 }
 
 // ---------------------------------------------------------------------
