@@ -13,7 +13,11 @@
 //      hit rate climbing as vertices re-run against unchanged regions.
 //
 // Usage: ./bench_gas_overhead [--vertices=20000] [--threads=2]
-//                             [--engine=shared_memory] [--help]
+//                             [--engine=shared_memory] [--out=FILE]
+//                             [--help]
+//
+// Emits BENCH_gas.json (the gas-overhead perf trajectory artifact the
+// bench-smoke CI job validates and uploads).
 
 #include <cstdio>
 #include <string>
@@ -29,7 +33,7 @@
 namespace graphlab {
 namespace {
 
-/// Machine-readable mirror of the console tables (BENCH_gas_overhead.json).
+/// Machine-readable mirror of the console tables (BENCH_gas.json).
 bench::JsonWriter* g_json = nullptr;
 
 struct Row {
@@ -162,7 +166,8 @@ int main(int argc, char** argv) {
         "GAS-vs-handwritten overhead bench.\n"
         "  --vertices=N   PageRank graph size (default 20000)\n"
         "  --threads=T    engine workers      (default 2)\n"
-        "  --engine=NAME  strategy: %s        (default shared_memory)\n",
+        "  --engine=NAME  strategy: %s        (default shared_memory)\n"
+        "  --out=FILE     JSON path           (default BENCH_gas.json)\n",
         graphlab::JoinNames(graphlab::ListLocalEngineNames()).c_str());
     return 0;
   }
@@ -170,13 +175,13 @@ int main(int argc, char** argv) {
   const size_t threads = opts.GetInt("threads", 2);
   const std::string engine = opts.GetString("engine", "shared_memory");
 
-  graphlab::bench::JsonWriter json("gas_overhead");
+  graphlab::bench::JsonWriter json("gas");
   json.meta().Set("vertices", n).Set("threads", threads).Set("engine",
                                                              engine);
   graphlab::g_json = &json;
   graphlab::E1PageRank(n, threads, engine);
   graphlab::E2LoopyBp(60, threads, engine);
   graphlab::E3HitRateVsPressure(n, threads, engine);
-  json.WriteFile();
+  json.WriteFile(opts.GetString("out", ""));
   return 0;
 }

@@ -1,0 +1,61 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// See columnar_kernels.h.  This TU is compiled at -O3 (CMakeLists.txt)
+// and is the target of the -fopt-info-vec / -fopt-info-vec-missed
+// capture in the bench-smoke CI job: DotStream vectorizes, the two CSR
+// gathers report *why* they don't (indirect loads through the edge
+// list), which is exactly the signal a vectorization regression in the
+// columnar fast path would flip.
+
+#include "bench/columnar_kernels.h"
+
+namespace graphlab {
+namespace bench {
+
+void GatherAoS(const AosVertexRec* verts, const AosEdgeRec* edges,
+               const uint64_t* in_index, const LocalEid* in_edges,
+               size_t num_vertices, double* totals) {
+  for (size_t v = 0; v < num_vertices; ++v) {
+    double total = 0.0;
+    for (uint64_t i = in_index[v]; i < in_index[v + 1]; ++i) {
+      const AosEdgeRec& er = edges[in_edges[i]];
+      total += static_cast<double>(er.data.weight) * verts[er.src].data.rank;
+    }
+    totals[v] = total;
+  }
+}
+
+void GatherSoA(const apps::PageRankVertex* vdata,
+               const apps::PageRankEdge* edata, const LocalVid* esrc,
+               const uint64_t* in_index, const LocalEid* in_edges,
+               size_t num_vertices, double* totals) {
+  for (size_t v = 0; v < num_vertices; ++v) {
+    double total = 0.0;
+    for (uint64_t i = in_index[v]; i < in_index[v + 1]; ++i) {
+      const LocalEid e = in_edges[i];
+      total += static_cast<double>(edata[e].weight) * vdata[esrc[e]].rank;
+    }
+    totals[v] = total;
+  }
+}
+
+double DotStream(const float* weights, const double* ranks, size_t n) {
+  // Four independent lanes: a strict single-accumulator FP sum cannot be
+  // reordered by the compiler, so it never vectorizes without
+  // -fassociative-math.  Explicit lanes hand the vectorizer a loop whose
+  // iterations are independent.
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += static_cast<double>(weights[i]) * ranks[i];
+    lane[1] += static_cast<double>(weights[i + 1]) * ranks[i + 1];
+    lane[2] += static_cast<double>(weights[i + 2]) * ranks[i + 2];
+    lane[3] += static_cast<double>(weights[i + 3]) * ranks[i + 3];
+  }
+  double total = (lane[0] + lane[2]) + (lane[1] + lane[3]);
+  for (; i < n; ++i) total += static_cast<double>(weights[i]) * ranks[i];
+  return total;
+}
+
+}  // namespace bench
+}  // namespace graphlab

@@ -96,6 +96,14 @@ struct PageRankProgram : public IVertexProgram<Graph, double> {
            ctx.neighbor_data(ctx.edge_source(e)).rank;
   }
 
+  /// Flat kernel for the columnar fast path (gas_compiler.h): identical
+  /// expression to gather() — in-edge neighbor == edge source — so the
+  /// two paths fold bit-identically.
+  double FlatGather(const PageRankVertex& neighbor,
+                    const PageRankEdge& edge) const {
+    return edge.weight * neighbor.rank;
+  }
+
   void apply(context_type& ctx, const double& total) {
     const double new_rank = (1.0 - damping) + damping * total;
     rank_change_ = new_rank - ctx.const_vertex_data().rank;

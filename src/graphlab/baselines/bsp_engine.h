@@ -42,10 +42,11 @@
 namespace graphlab {
 namespace baselines {
 
-template <typename VertexData, typename EdgeData>
-class BspEngine final : public EngineBase<LocalGraph<VertexData, EdgeData>> {
+template <typename VertexData, typename EdgeData,
+          StorageLayout Layout = StorageLayout::kSoA>
+class BspEngine final : public EngineBase<LocalGraph<VertexData, EdgeData, Layout>> {
  public:
-  using GraphType = LocalGraph<VertexData, EdgeData>;
+  using GraphType = LocalGraph<VertexData, EdgeData, Layout>;
   using ContextType = Context<GraphType>;
   using Base = EngineBase<GraphType>;
   using Options = EngineOptions;

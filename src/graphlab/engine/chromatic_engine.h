@@ -39,11 +39,12 @@
 
 namespace graphlab {
 
-template <typename VertexData, typename EdgeData>
+template <typename VertexData, typename EdgeData,
+          StorageLayout Layout = StorageLayout::kSoA>
 class ChromaticEngine final
-    : public EngineBase<DistributedGraph<VertexData, EdgeData>> {
+    : public EngineBase<DistributedGraph<VertexData, EdgeData, Layout>> {
  public:
-  using GraphType = DistributedGraph<VertexData, EdgeData>;
+  using GraphType = DistributedGraph<VertexData, EdgeData, Layout>;
   using ContextType = Context<GraphType>;
   using Base = EngineBase<GraphType>;
   using Options = EngineOptions;

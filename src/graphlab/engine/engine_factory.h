@@ -95,30 +95,32 @@ inline Status ValidateEngineOptions(const EngineOptions& options) {
 /// required (every distributed strategy makes collective decisions);
 /// `sync` and `snapshot` enable the Sec. 4.3 background sync / snapshot
 /// features on engines that support them.
-template <typename VertexData, typename EdgeData>
+template <typename VertexData, typename EdgeData,
+          StorageLayout Layout = StorageLayout::kSoA>
 struct DistributedEngineDeps {
   SumAllReduce* allreduce = nullptr;
-  SyncManager<DistributedGraph<VertexData, EdgeData>>* sync = nullptr;
-  SnapshotManager<VertexData, EdgeData>* snapshot = nullptr;
+  SyncManager<DistributedGraph<VertexData, EdgeData, Layout>>* sync = nullptr;
+  SnapshotManager<VertexData, EdgeData, Layout>* snapshot = nullptr;
 };
 
 /// Creates a single-machine engine over a finalized LocalGraph.
-template <typename VertexData, typename EdgeData>
-Expected<std::unique_ptr<IEngine<LocalGraph<VertexData, EdgeData>>>>
+template <typename VertexData, typename EdgeData,
+          StorageLayout Layout = StorageLayout::kSoA>
+Expected<std::unique_ptr<IEngine<LocalGraph<VertexData, EdgeData, Layout>>>>
 CreateEngine(const std::string& name,
-             LocalGraph<VertexData, EdgeData>* graph,
+             LocalGraph<VertexData, EdgeData, Layout>* graph,
              const EngineOptions& options) {
-  using EnginePtr = std::unique_ptr<IEngine<LocalGraph<VertexData, EdgeData>>>;
+  using EnginePtr = std::unique_ptr<IEngine<LocalGraph<VertexData, EdgeData, Layout>>>;
   if (graph == nullptr || !graph->finalized()) {
     return Status::InvalidArgument("graph must be non-null and finalized");
   }
   GRAPHLAB_RETURN_IF_ERROR(detail::ValidateEngineOptions(options));
   if (name == "shared_memory" || name == "async") {
-    return EnginePtr(std::make_unique<SharedMemoryEngine<VertexData, EdgeData>>(
+    return EnginePtr(std::make_unique<SharedMemoryEngine<VertexData, EdgeData, Layout>>(
         graph, options));
   }
   if (name == "bsp") {
-    return EnginePtr(std::make_unique<baselines::BspEngine<VertexData, EdgeData>>(
+    return EnginePtr(std::make_unique<baselines::BspEngine<VertexData, EdgeData, Layout>>(
         graph, options));
   }
   return Status::InvalidArgument(
@@ -128,14 +130,15 @@ CreateEngine(const std::string& name,
 
 /// Creates this machine's member of a distributed engine.  Collective:
 /// every machine must create and Start() the same strategy.
-template <typename VertexData, typename EdgeData>
-Expected<std::unique_ptr<IEngine<DistributedGraph<VertexData, EdgeData>>>>
+template <typename VertexData, typename EdgeData,
+          StorageLayout Layout = StorageLayout::kSoA>
+Expected<std::unique_ptr<IEngine<DistributedGraph<VertexData, EdgeData, Layout>>>>
 CreateEngine(const std::string& name, rpc::MachineContext ctx,
-             DistributedGraph<VertexData, EdgeData>* graph,
+             DistributedGraph<VertexData, EdgeData, Layout>* graph,
              const EngineOptions& options,
-             const DistributedEngineDeps<VertexData, EdgeData>& deps) {
+             const DistributedEngineDeps<VertexData, EdgeData, Layout>& deps) {
   using EnginePtr =
-      std::unique_ptr<IEngine<DistributedGraph<VertexData, EdgeData>>>;
+      std::unique_ptr<IEngine<DistributedGraph<VertexData, EdgeData, Layout>>>;
   if (graph == nullptr) {
     return Status::InvalidArgument("graph must be non-null");
   }
@@ -145,16 +148,16 @@ CreateEngine(const std::string& name, rpc::MachineContext ctx,
   }
   GRAPHLAB_RETURN_IF_ERROR(detail::ValidateEngineOptions(options));
   if (name == "chromatic") {
-    return EnginePtr(std::make_unique<ChromaticEngine<VertexData, EdgeData>>(
+    return EnginePtr(std::make_unique<ChromaticEngine<VertexData, EdgeData, Layout>>(
         ctx, graph, deps.sync, deps.allreduce, options));
   }
   if (name == "locking") {
-    return EnginePtr(std::make_unique<LockingEngine<VertexData, EdgeData>>(
+    return EnginePtr(std::make_unique<LockingEngine<VertexData, EdgeData, Layout>>(
         ctx, graph, deps.sync, deps.allreduce, deps.snapshot, options));
   }
   if (name == "bulk_sync" || name == "bulksync") {
     return EnginePtr(
-        std::make_unique<baselines::BulkSyncEngine<VertexData, EdgeData>>(
+        std::make_unique<baselines::BulkSyncEngine<VertexData, EdgeData, Layout>>(
             ctx, graph, deps.allreduce, options));
   }
   return Status::InvalidArgument(

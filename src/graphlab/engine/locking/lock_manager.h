@@ -37,10 +37,11 @@
 
 namespace graphlab {
 
-template <typename VertexData, typename EdgeData>
+template <typename VertexData, typename EdgeData,
+          StorageLayout Layout = StorageLayout::kSoA>
 class DistributedLockManager {
  public:
-  using GraphType = DistributedGraph<VertexData, EdgeData>;
+  using GraphType = DistributedGraph<VertexData, EdgeData, Layout>;
   using ScopeReadyCallback = std::function<void()>;
 
   DistributedLockManager(rpc::MachineContext ctx, GraphType* graph,

@@ -28,10 +28,11 @@
 
 namespace graphlab {
 
-template <typename VertexData, typename EdgeData>
-class SharedMemoryEngine final : public EngineBase<LocalGraph<VertexData, EdgeData>> {
+template <typename VertexData, typename EdgeData,
+          StorageLayout Layout = StorageLayout::kSoA>
+class SharedMemoryEngine final : public EngineBase<LocalGraph<VertexData, EdgeData, Layout>> {
  public:
-  using GraphType = LocalGraph<VertexData, EdgeData>;
+  using GraphType = LocalGraph<VertexData, EdgeData, Layout>;
   using ContextType = Context<GraphType>;
   using Base = EngineBase<GraphType>;
   using Options = EngineOptions;

@@ -22,7 +22,11 @@
 //
 // The journal is a per-machine file snap_<epoch>_m<machine>.glsnap under
 // the snapshot directory; Restore() plays the journal back into the owned
-// partition (and re-pushes ghosts).
+// partition (and re-pushes ghosts).  Synchronous journals use the v2
+// columnar format (magic 0xC1: codec-compressed id columns + contiguous
+// property blobs, mirroring the in-memory SoA layout); the async variant
+// appends row records incrementally and stays in the legacy row format.
+// Both restore paths sniff the first byte and accept either.
 
 #ifndef GRAPHLAB_ENGINE_SNAPSHOT_H_
 #define GRAPHLAB_ENGINE_SNAPSHOT_H_
@@ -30,10 +34,13 @@
 #include <atomic>
 #include <cmath>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <string>
+#include <vector>
 
 #include "graphlab/engine/context.h"
+#include "graphlab/graph/column_codec.h"
 #include "graphlab/graph/distributed_graph.h"
 #include "graphlab/rpc/runtime.h"
 #include "graphlab/util/file_io.h"
@@ -50,6 +57,11 @@ inline double OptimalCheckpointIntervalSeconds(double t_checkpoint_sec,
 /// The priority used for snapshot updates; larger than anything the
 /// applications use so the scheduler runs markers first (Alg. 5 condition).
 inline constexpr double kSnapshotPriority = 1e30;
+
+/// First byte of a v2 (columnar) sync journal.  Legacy row journals start
+/// with a record-type byte (0 or 1), so the magic doubles as the format
+/// sniff; an empty journal is valid in both formats.
+inline constexpr uint8_t kColumnarJournalMagic = 0xC1;
 
 /// Commit record of the newest globally complete snapshot, stored as
 /// `<dir>/LATEST` on the (shared) snapshot filesystem.  Written by the
@@ -83,10 +95,11 @@ inline Expected<SnapshotManifest> ReadSnapshotManifest(
   return manifest;
 }
 
-template <typename VertexData, typename EdgeData>
+template <typename VertexData, typename EdgeData,
+          StorageLayout Layout = StorageLayout::kSoA>
 class SnapshotManager {
  public:
-  using GraphType = DistributedGraph<VertexData, EdgeData>;
+  using GraphType = DistributedGraph<VertexData, EdgeData, Layout>;
   using ContextType = Context<GraphType>;
 
   SnapshotManager(rpc::MachineContext ctx, GraphType* graph, std::string dir)
@@ -121,19 +134,46 @@ class SnapshotManager {
 
   /// Journals all owned vertex and edge data.  The caller (engine) must
   /// have suspended updates and flushed channels cluster-wide.
+  ///
+  /// v2 columnar format: the entity-id columns (owned gvids, edge
+  /// endpoint gvids) are codec-compressed (column_codec.h — sorted-ish
+  /// id runs delta-varint down to ~1 byte each) and the property blobs
+  /// stream contiguously per column, matching the in-memory SoA layout:
+  ///
+  ///   [u8 0xC1] [string gvid_col] [VertexData x n]
+  ///             [string esrc_col] [string edst_col] [EdgeData x m]
+  ///
+  /// Each owned vertex journals its out-edges; in-edges whose source is
+  /// a ghost belong to the remote owner's journal.  Together the
+  /// journals cover every edge exactly once.
   Status WriteSyncSnapshot(uint32_t epoch) {
-    OutArchive journal;
+    std::vector<VertexId> gvids;
+    std::vector<VertexId> esrc, edst;
+    std::vector<LocalEid> eids;
+    gvids.reserve(graph_->num_owned_vertices());
     for (LocalVid l : graph_->owned_vertices()) {
-      journal << uint8_t{0} << graph_->Gvid(l) << graph_->vertex_data(l);
-      // Each owned vertex journals its out-edges; in-edges whose source is
-      // a ghost belong to the remote owner's journal.  Together the
-      // journals cover every edge exactly once.
+      gvids.push_back(graph_->Gvid(l));
       for (LocalEid e : graph_->out_edges(l)) {
-        journal << uint8_t{1} << graph_->Gvid(graph_->edge_source(e))
-                << graph_->Gvid(graph_->edge_target(e))
-                << graph_->edge_data(e);
+        esrc.push_back(graph_->Gvid(graph_->edge_source(e)));
+        edst.push_back(graph_->Gvid(graph_->edge_target(e)));
+        eids.push_back(e);
       }
     }
+    OutArchive journal;
+    journal << kColumnarJournalMagic;
+    std::string col;
+    EncodeColumn<VertexId>({gvids.data(), gvids.size()}, &col);
+    journal << col;
+    for (LocalVid l : graph_->owned_vertices()) {
+      journal << graph_->vertex_data(l);
+    }
+    col.clear();
+    EncodeColumn<VertexId>({esrc.data(), esrc.size()}, &col);
+    journal << col;
+    col.clear();
+    EncodeColumn<VertexId>({edst.data(), edst.size()}, &col);
+    journal << col;
+    for (LocalEid e : eids) journal << graph_->edge_data(e);
     Status st = WriteFileBytes(JournalPath(epoch), journal.buffer());
     ThrottleDfs(journal.size());
     return st;
@@ -177,31 +217,41 @@ class SnapshotManager {
   /// re-pushes every owned scope so ghosts become coherent.  Collective:
   /// callers should barrier + WaitQuiescent afterwards.
   Status Restore(uint32_t epoch) {
-    auto bytes = ReadFileBytes(JournalPath(epoch));
+    const std::string path = JournalPath(epoch);
+    auto bytes = ReadFileBytes(path);
     if (!bytes.ok()) return bytes.status();
-    InArchive ia(*bytes);
-    while (!ia.AtEnd()) {
-      uint8_t type = ia.ReadValue<uint8_t>();
-      if (type == 0) {
-        VertexId gvid = ia.ReadValue<VertexId>();
-        VertexData data;
-        ia >> data;
-        LocalVid l = graph_->Lvid(gvid);
-        GL_CHECK(graph_->is_owned(l));
-        graph_->vertex_data(l) = std::move(data);
-        graph_->MarkVertexModified(l);
-      } else if (type == 1) {
-        VertexId gsrc = ia.ReadValue<VertexId>();
-        VertexId gdst = ia.ReadValue<VertexId>();
-        EdgeData data;
-        ia >> data;
-        LocalEid e = graph_->LeidOf(gsrc, gdst);
-        graph_->edge_data(e) = std::move(data);
-        graph_->MarkEdgeModified(e);
-      } else {
-        return Status::Corruption("bad record in " + JournalPath(epoch));
+    if (IsColumnarJournal(*bytes)) {
+      GRAPHLAB_RETURN_IF_ERROR(
+          ReplayColumnarJournal(*bytes, path, /*strict=*/true));
+    } else {
+      InArchive ia(*bytes);
+      while (!ia.AtEnd()) {
+        uint8_t type = ia.ReadValue<uint8_t>();
+        if (type == 0) {
+          VertexId gvid = ia.ReadValue<VertexId>();
+          VertexData data;
+          ia >> data;
+          LocalVid l = graph_->Lvid(gvid);
+          GL_CHECK(graph_->is_owned(l));
+          graph_->vertex_data(l) = std::move(data);
+          graph_->MarkVertexModified(l);
+        } else if (type == 1) {
+          VertexId gsrc = ia.ReadValue<VertexId>();
+          VertexId gdst = ia.ReadValue<VertexId>();
+          EdgeData data;
+          ia >> data;
+          LocalEid e = graph_->LeidOf(gsrc, gdst);
+          graph_->edge_data(e) = std::move(data);
+          graph_->MarkEdgeModified(e);
+        } else {
+          return Status::Corruption("bad record in " + path);
+        }
       }
     }
+    // A restore rewrites whole property columns: retire any cached
+    // gather state derived from the pre-restore columns.
+    graph_->BumpVertexDataEpoch();
+    graph_->BumpEdgeDataEpoch();
     for (LocalVid l : graph_->owned_vertices()) {
       graph_->FlushVertexScope(l);
     }
@@ -223,6 +273,11 @@ class SnapshotManager {
       std::string path = JournalPathFor(dir_, epoch, jm);
       auto bytes = ReadFileBytes(path);
       if (!bytes.ok()) return bytes.status();
+      if (IsColumnarJournal(*bytes)) {
+        GRAPHLAB_RETURN_IF_ERROR(
+            ReplayColumnarJournal(*bytes, path, /*strict=*/false));
+        continue;
+      }
       InArchive ia(*bytes);
       while (!ia.AtEnd()) {
         uint8_t type = ia.ReadValue<uint8_t>();
@@ -252,6 +307,8 @@ class SnapshotManager {
         }
       }
     }
+    graph_->BumpVertexDataEpoch();
+    graph_->BumpEdgeDataEpoch();
     return Status::OK();
   }
 
@@ -294,6 +351,76 @@ class SnapshotManager {
     // ordinary flush, acting as the Chandy-Lamport marker.
     ctx.vertex_data().snapshot_epoch = epoch;
     snapshotted_local_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  static bool IsColumnarJournal(const std::vector<char>& bytes) {
+    return !bytes.empty() &&
+           static_cast<uint8_t>(bytes[0]) == kColumnarJournalMagic;
+  }
+
+  /// Replays a v2 columnar journal.  `strict` (same-membership Restore)
+  /// requires every record to land on an owned vertex / present edge;
+  /// the lenient form (RestoreFrom, post-loss re-placement) applies what
+  /// this machine now holds and skips the rest.
+  Status ReplayColumnarJournal(const std::vector<char>& bytes,
+                               const std::string& path, bool strict) {
+    InArchive ia(bytes);
+    ia.ReadValue<uint8_t>();  // magic, already sniffed
+    std::string col;
+    ia >> col;
+    std::vector<VertexId> gvids;
+    if (!ia.ok() || !DecodeColumn<VertexId>(col, &gvids)) {
+      return Status::Corruption("bad vertex-id column in " + path);
+    }
+    for (VertexId gvid : gvids) {
+      VertexData data;
+      ia >> data;
+      if (!ia.ok()) return Status::Corruption("truncated " + path);
+      if (strict) {
+        LocalVid l = graph_->Lvid(gvid);
+        GL_CHECK(graph_->is_owned(l));
+        graph_->vertex_data(l) = std::move(data);
+        graph_->MarkVertexModified(l);
+      } else {
+        LocalVid l = graph_->TryLvid(gvid);
+        if (l != kInvalidLocalVid && graph_->is_owned(l)) {
+          graph_->vertex_data(l) = std::move(data);
+          graph_->MarkVertexModified(l);
+        }
+      }
+    }
+    std::vector<VertexId> esrc, edst;
+    ia >> col;
+    if (!ia.ok() || !DecodeColumn<VertexId>(col, &esrc)) {
+      return Status::Corruption("bad edge-source column in " + path);
+    }
+    ia >> col;
+    if (!ia.ok() || !DecodeColumn<VertexId>(col, &edst)) {
+      return Status::Corruption("bad edge-target column in " + path);
+    }
+    if (esrc.size() != edst.size()) {
+      return Status::Corruption("edge column length mismatch in " + path);
+    }
+    for (size_t i = 0; i < esrc.size(); ++i) {
+      EdgeData data;
+      ia >> data;
+      if (!ia.ok()) return Status::Corruption("truncated " + path);
+      if (strict) {
+        LocalEid e = graph_->LeidOf(esrc[i], edst[i]);
+        graph_->edge_data(e) = std::move(data);
+        graph_->MarkEdgeModified(e);
+      } else {
+        LocalEid e = graph_->TryLeid(esrc[i], edst[i]);
+        if (e != kInvalidLocalEid) {
+          graph_->edge_data(e) = std::move(data);
+          graph_->MarkEdgeModified(e);
+        }
+      }
+    }
+    if (!ia.AtEnd()) {
+      return Status::Corruption("trailing bytes in " + path);
+    }
+    return Status::OK();
   }
 
   void ThrottleDfs(size_t bytes) {

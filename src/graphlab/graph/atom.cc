@@ -42,11 +42,11 @@ std::vector<rpc::MachineId> PlaceAtomsOnMachines(
   // placement maps back through `machines` at assignment time, so the
   // same greedy serves both the full cluster and a shrunk survivor set.
   std::vector<uint64_t> load(num_machines, 0);
-  std::vector<bool> placed(k, false);
-  // Affinity[a][m] = cross-edge weight between atom a and atoms already on
-  // machine slot m.
-  std::vector<std::vector<uint64_t>> affinity(
-      k, std::vector<uint64_t>(num_machines, 0));
+  // affinity[a * num_machines + m] = cross-edge weight between atom a and
+  // atoms already on machine slot m.  One flat column (k x m row-major)
+  // instead of k heap-allocated rows: the inner candidate scan walks one
+  // contiguous m-wide stripe per atom.
+  std::vector<uint64_t> affinity(k * num_machines, 0);
 
   // Order atoms by descending size so big atoms anchor machines.
   std::vector<AtomId> order(k);
@@ -59,14 +59,15 @@ std::vector<rpc::MachineId> PlaceAtomsOnMachines(
   for (AtomId a : order) {
     // Candidate machine: least loaded among those maximizing affinity,
     // subject to not exceeding ~1.25x of ideal balance.
+    const uint64_t* aff = affinity.data() + a * num_machines;
     uint64_t total = index.num_vertices;
     uint64_t cap = (total / num_machines) * 9 / 8 + 1;
     rpc::MachineId best = 0;
     bool have_best = false;
     for (rpc::MachineId m = 0; m < num_machines; ++m) {
       if (load[m] + index.atoms[a].num_owned_vertices > cap) continue;
-      if (!have_best || affinity[a][m] > affinity[a][best] ||
-          (affinity[a][m] == affinity[a][best] && load[m] < load[best])) {
+      if (!have_best || aff[m] > aff[best] ||
+          (aff[m] == aff[best] && load[m] < load[best])) {
         best = m;
         have_best = true;
       }
@@ -79,10 +80,9 @@ std::vector<rpc::MachineId> PlaceAtomsOnMachines(
       }
     }
     placement[a] = machines[best];
-    placed[a] = true;
     load[best] += index.atoms[a].num_owned_vertices;
     for (const auto& [nbr, weight] : index.atoms[a].neighbors) {
-      affinity[nbr][best] += weight;
+      affinity[nbr * num_machines + best] += weight;
     }
   }
   return placement;

@@ -1,0 +1,298 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Cold-column codec: compact encodings for property columns that rarely
+// (or never) change after Finalize() — static edge weights, BP edge
+// potentials, sorted global-id columns in snapshot journals.
+//
+// A cold column is written as
+//
+//     [u8 codec] [u32 count] [payload]
+//
+// with three codecs, chosen per column by measured encoded size:
+//
+//   kRaw          count * sizeof(T) value bytes, verbatim.
+//   kDict         [u32 dict_size][dict values][codes]: distinct values in
+//                 first-occurrence order, then one u8 (dict_size <= 256)
+//                 or u16 code per element.  Wins on low-cardinality
+//                 columns (uniform edge weights, colors, owner ids).
+//   kDeltaVarint  integral columns only: zigzag(v[i] - v[i-1]) in LEB128.
+//                 Wins on sorted or clustered id columns (the gvid/src/dst
+//                 columns of a columnar snapshot journal).
+//
+// The encoder is deterministic — same input bytes, same output bytes — so
+// golden-byte tests can pin the format (property_test.cc).  Values are
+// encoded in host representation; like the rest of the repo's storage
+// formats this targets little-endian LP64 (util/serialization.h holds the
+// same assumption for its bulk paths).
+
+#ifndef GRAPHLAB_GRAPH_COLUMN_CODEC_H_
+#define GRAPHLAB_GRAPH_COLUMN_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace graphlab {
+
+enum class ColumnCodec : uint8_t {
+  kRaw = 0,
+  kDict = 1,
+  kDeltaVarint = 2,
+};
+
+inline const char* ToString(ColumnCodec c) {
+  switch (c) {
+    case ColumnCodec::kRaw: return "raw";
+    case ColumnCodec::kDict: return "dict";
+    case ColumnCodec::kDeltaVarint: return "delta_varint";
+  }
+  return "?";
+}
+
+/// What EncodeColumn decided and what it bought.
+struct ColumnEncodingStats {
+  ColumnCodec codec = ColumnCodec::kRaw;
+  size_t raw_bytes = 0;      // count * sizeof(T)
+  size_t encoded_bytes = 0;  // total output, header included
+  double ratio() const {
+    return raw_bytes == 0 ? 1.0
+                          : static_cast<double>(encoded_bytes) /
+                                static_cast<double>(raw_bytes);
+  }
+};
+
+namespace codec_internal {
+
+inline void AppendU32(uint32_t v, std::string* out) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+inline bool ReadU32(std::string_view in, size_t* pos, uint32_t* v) {
+  if (in.size() - *pos < 4) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+inline void AppendVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+inline bool ReadVarint(std::string_view in, size_t* pos, uint64_t* v) {
+  *v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= in.size()) return false;
+    const uint8_t byte = static_cast<uint8_t>(in[(*pos)++]);
+    *v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;  // > 10 continuation bytes: corrupt
+}
+
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace codec_internal
+
+/// Encodes `col` into `*out` (appended), picking the smallest of the
+/// applicable codecs.  T must be trivially copyable.
+template <typename T>
+ColumnEncodingStats EncodeColumn(std::span<const T> col, std::string* out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "cold-column codec requires trivially copyable values");
+  namespace ci = codec_internal;
+  const uint32_t count = static_cast<uint32_t>(col.size());
+  ColumnEncodingStats stats;
+  stats.raw_bytes = col.size() * sizeof(T);
+
+  // Candidate: dictionary.  Distinct values in first-occurrence order;
+  // give up past 65536 distinct (dict would not win anyway).
+  std::vector<T> dict;
+  std::vector<uint32_t> codes;
+  bool dict_ok = !col.empty();
+  if (dict_ok) {
+    std::unordered_map<std::string, uint32_t> index;
+    codes.reserve(col.size());
+    for (const T& v : col) {
+      std::string key(reinterpret_cast<const char*>(&v), sizeof(T));
+      auto [it, inserted] =
+          index.emplace(std::move(key), static_cast<uint32_t>(dict.size()));
+      if (inserted) {
+        dict.push_back(v);
+        if (dict.size() > 65536) {
+          dict_ok = false;
+          break;
+        }
+      }
+      codes.push_back(it->second);
+    }
+  }
+  const size_t code_width = dict.size() <= 256 ? 1 : 2;
+  const size_t dict_bytes =
+      dict_ok ? 4 + dict.size() * sizeof(T) + col.size() * code_width
+              : SIZE_MAX;
+
+  // Candidate: zigzag delta varint (integral values only).
+  size_t delta_bytes = SIZE_MAX;
+  if constexpr (std::is_integral_v<T>) {
+    delta_bytes = 0;
+    int64_t prev = 0;
+    for (const T& v : col) {
+      const int64_t cur = static_cast<int64_t>(v);
+      delta_bytes += ci::VarintSize(ci::ZigZag(cur - prev));
+      prev = cur;
+    }
+  }
+
+  ColumnCodec codec = ColumnCodec::kRaw;
+  size_t payload = stats.raw_bytes;
+  if (dict_bytes < payload) {
+    codec = ColumnCodec::kDict;
+    payload = dict_bytes;
+  }
+  if (delta_bytes < payload) {
+    codec = ColumnCodec::kDeltaVarint;
+    payload = delta_bytes;
+  }
+
+  out->push_back(static_cast<char>(codec));
+  ci::AppendU32(count, out);
+  switch (codec) {
+    case ColumnCodec::kRaw:
+      out->append(reinterpret_cast<const char*>(col.data()),
+                  col.size() * sizeof(T));
+      break;
+    case ColumnCodec::kDict: {
+      ci::AppendU32(static_cast<uint32_t>(dict.size()), out);
+      out->append(reinterpret_cast<const char*>(dict.data()),
+                  dict.size() * sizeof(T));
+      if (code_width == 1) {
+        for (uint32_t c : codes) out->push_back(static_cast<char>(c));
+      } else {
+        for (uint32_t c : codes) {
+          const uint16_t c16 = static_cast<uint16_t>(c);
+          out->append(reinterpret_cast<const char*>(&c16), 2);
+        }
+      }
+      break;
+    }
+    case ColumnCodec::kDeltaVarint: {
+      if constexpr (std::is_integral_v<T>) {
+        int64_t prev = 0;
+        for (const T& v : col) {
+          const int64_t cur = static_cast<int64_t>(v);
+          ci::AppendVarint(ci::ZigZag(cur - prev), out);
+          prev = cur;
+        }
+      }
+      break;
+    }
+  }
+  stats.codec = codec;
+  stats.encoded_bytes = 1 + 4 + payload;
+  return stats;
+}
+
+/// Decodes one encoded column from the front of `in`.  On success appends
+/// the values to `*out`, advances `*pos` past the column, and returns
+/// true; on corrupt input returns false with `*out` unspecified.
+template <typename T>
+bool DecodeColumn(std::string_view in, size_t* pos, std::vector<T>* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  namespace ci = codec_internal;
+  if (*pos >= in.size()) return false;
+  const uint8_t codec_byte = static_cast<uint8_t>(in[(*pos)++]);
+  uint32_t count = 0;
+  if (!ci::ReadU32(in, pos, &count)) return false;
+  out->reserve(out->size() + count);
+  switch (static_cast<ColumnCodec>(codec_byte)) {
+    case ColumnCodec::kRaw: {
+      const size_t need = static_cast<size_t>(count) * sizeof(T);
+      if (in.size() - *pos < need) return false;
+      const size_t base = out->size();
+      out->resize(base + count);
+      std::memcpy(out->data() + base, in.data() + *pos, need);
+      *pos += need;
+      return true;
+    }
+    case ColumnCodec::kDict: {
+      uint32_t dict_size = 0;
+      if (!ci::ReadU32(in, pos, &dict_size)) return false;
+      if (dict_size > 65536) return false;
+      const size_t dict_need = static_cast<size_t>(dict_size) * sizeof(T);
+      if (in.size() - *pos < dict_need) return false;
+      std::vector<T> dict(dict_size);
+      std::memcpy(dict.data(), in.data() + *pos, dict_need);
+      *pos += dict_need;
+      const size_t code_width = dict_size <= 256 ? 1 : 2;
+      const size_t codes_need = static_cast<size_t>(count) * code_width;
+      if (in.size() - *pos < codes_need) return false;
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t code;
+        if (code_width == 1) {
+          code = static_cast<uint8_t>(in[*pos + i]);
+        } else {
+          uint16_t c16;
+          std::memcpy(&c16, in.data() + *pos + i * 2, 2);
+          code = c16;
+        }
+        if (code >= dict_size) return false;
+        out->push_back(dict[code]);
+      }
+      *pos += codes_need;
+      return true;
+    }
+    case ColumnCodec::kDeltaVarint: {
+      if constexpr (std::is_integral_v<T>) {
+        int64_t prev = 0;
+        for (uint32_t i = 0; i < count; ++i) {
+          uint64_t z;
+          if (!ci::ReadVarint(in, pos, &z)) return false;
+          prev += ci::UnZigZag(z);
+          out->push_back(static_cast<T>(prev));
+        }
+        return true;
+      }
+      return false;  // delta codec on a non-integral column: corrupt
+    }
+  }
+  return false;
+}
+
+/// Whole-buffer convenience: decodes exactly one column that spans all of
+/// `in`.
+template <typename T>
+bool DecodeColumn(std::string_view in, std::vector<T>* out) {
+  size_t pos = 0;
+  return DecodeColumn(in, &pos, out) && pos == in.size();
+}
+
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_GRAPH_COLUMN_CODEC_H_

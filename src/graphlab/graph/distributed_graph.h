@@ -1,13 +1,27 @@
 // Copyright 2026 The Distributed GraphLab Reproduction Authors.
 //
-// DistributedGraph<V, E>: one machine's partition of the data graph plus
-// ghost caches of remote boundary data (Sec. 4.1).
+// DistributedGraph<V, E, Layout>: one machine's partition of the data
+// graph plus ghost caches of remote boundary data (Sec. 4.1).
 //
 // Each machine owns the vertices of its assigned atoms, stores every edge
 // incident to an owned vertex, and keeps ghost copies of remote endpoint
 // vertices.  "The ghosts are used as caches for their true counterparts
 // across the network.  Cache coherence is managed using a simple versioning
 // system, eliminating the transmission of unchanged or constant data."
+//
+// Storage layout: vertex and edge properties live in a layout policy
+// (graph/storage.h).  The default is struct-of-arrays — each logical
+// field (gvid, color, owner, owned, version, flushed, user data) is a
+// contiguous cache-line-aligned PropertyColumn parallel to the CSR built
+// by Ingest(), so the GAS gather loop streams only the columns it reads,
+// the dedicated owner column feeds mirror/scope compilation without
+// striding over records, and ghost replicas occupy rows of the same
+// columns (a coherence push writes straight into the data column).  The
+// pre-columnar record layout (kAoS) is kept as the measurable baseline:
+// bench_columnar_scan sweeps one against the other and the equivalence
+// tests assert bit-identical results with the layout toggled.  All
+// row-oriented accessors below are thin views into the active store, so
+// engines, snapshots, scope-lock plans, and recovery are layout-blind.
 //
 // Coherence protocol: every write bumps the entity's version; after an
 // update function commits, FlushVertexScope() pushes entities whose version
@@ -59,12 +73,14 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "graphlab/graph/atom.h"
 #include "graphlab/graph/local_graph.h"
+#include "graphlab/graph/storage.h"
 #include "graphlab/graph/types.h"
 #include "graphlab/rpc/comm_layer.h"
 #include "graphlab/util/stats.h"
@@ -80,11 +96,24 @@ enum class GhostSyncMode {
 /// Leading byte of every ghost push frame; bump when the layout changes.
 inline constexpr uint8_t kGhostFrameVersion = 2;
 
-template <typename VertexData, typename EdgeData>
+template <typename VertexData, typename EdgeData,
+          StorageLayout Layout = StorageLayout::kSoA>
 class DistributedGraph {
  public:
   using vertex_data_type = VertexData;
   using edge_data_type = EdgeData;
+  using VertexStore =
+      std::conditional_t<Layout == StorageLayout::kSoA,
+                         storage::DistVertexSoA<VertexData>,
+                         storage::DistVertexAoS<VertexData>>;
+  using EdgeStore = std::conditional_t<Layout == StorageLayout::kSoA,
+                                       storage::DistEdgeSoA<EdgeData>,
+                                       storage::DistEdgeAoS<EdgeData>>;
+  static constexpr StorageLayout kLayout = Layout;
+  /// True when every property field is a contiguous column the flat-gather
+  /// fast path may stream directly (vertex_program/gas_compiler.h).
+  static constexpr bool kContiguousProperties =
+      VertexStore::kContiguous && EdgeStore::kContiguous;
 
   /// Handler id used for ghost data pushes.
   static constexpr rpc::HandlerId kDataPushHandler = rpc::kFirstUserHandler;
@@ -122,12 +151,14 @@ class DistributedGraph {
   /// Test/bench convenience: cuts a fully materialized graph directly into
   /// this machine's partition without touching disk.  `atom_of` may map
   /// vertices straight to machines (num_atoms == num_machines) or to atoms
-  /// combined with a separate placement.
-  Status InitFromGlobal(const LocalGraph<VertexData, EdgeData>& global,
-                        const PartitionAssignment& atom_of,
-                        const ColorAssignment& colors,
-                        const std::vector<rpc::MachineId>& placement,
-                        rpc::MachineId me, rpc::CommLayer* comm) {
+  /// combined with a separate placement.  The global graph may use either
+  /// storage layout.
+  template <StorageLayout GlobalLayout>
+  Status InitFromGlobal(
+      const LocalGraph<VertexData, EdgeData, GlobalLayout>& global,
+      const PartitionAssignment& atom_of, const ColorAssignment& colors,
+      const std::vector<rpc::MachineId>& placement, rpc::MachineId me,
+      rpc::CommLayer* comm) {
     GL_CHECK(global.finalized());
     GL_CHECK_EQ(atom_of.size(), global.num_vertices());
     AtomIndex index;
@@ -171,8 +202,8 @@ class DistributedGraph {
   // Topology accessors
   // --------------------------------------------------------------------
 
-  size_t num_local_vertices() const { return vertices_.size(); }
-  size_t num_local_edges() const { return edges_.size(); }
+  size_t num_local_vertices() const { return vstore_.size(); }
+  size_t num_local_edges() const { return estore_.size(); }
   size_t num_owned_vertices() const { return owned_.size(); }
   uint64_t num_global_vertices() const { return num_global_vertices_; }
   ColorId num_colors() const { return num_colors_; }
@@ -191,10 +222,10 @@ class DistributedGraph {
     return it == lvid_of_.end() ? kInvalidLocalVid : it->second;
   }
 
-  VertexId Gvid(LocalVid l) const { return vertices_[l].gvid; }
-  ColorId color(LocalVid l) const { return vertices_[l].color; }
-  bool is_owned(LocalVid l) const { return vertices_[l].owned; }
-  rpc::MachineId owner(LocalVid l) const { return vertices_[l].owner; }
+  VertexId Gvid(LocalVid l) const { return vstore_.GvidOf(l); }
+  ColorId color(LocalVid l) const { return vstore_.ColorOf(l); }
+  bool is_owned(LocalVid l) const { return vstore_.OwnedOf(l); }
+  rpc::MachineId owner(LocalVid l) const { return vstore_.OwnerOf(l); }
 
   /// Owner machine of any global vertex (resolved via the atom index data
   /// replicated to every machine).
@@ -214,8 +245,8 @@ class DistributedGraph {
     return {nbr_list_.data() + nbr_index_[l],
             nbr_index_[l + 1] - nbr_index_[l]};
   }
-  LocalVid edge_source(LocalEid e) const { return edges_[e].src; }
-  LocalVid edge_target(LocalEid e) const { return edges_[e].dst; }
+  LocalVid edge_source(LocalEid e) const { return estore_.SrcOf(e); }
+  LocalVid edge_target(LocalEid e) const { return estore_.DstOf(e); }
 
   /// Machines participating in the scope of owned vertex l (this machine
   /// plus owners of all neighbors), ascending — the canonical machine order
@@ -229,18 +260,56 @@ class DistributedGraph {
   // Data access + versioning
   // --------------------------------------------------------------------
 
-  VertexData& vertex_data(LocalVid l) { return vertices_[l].data; }
-  const VertexData& vertex_data(LocalVid l) const { return vertices_[l].data; }
-  EdgeData& edge_data(LocalEid e) { return edges_[e].data; }
-  const EdgeData& edge_data(LocalEid e) const { return edges_[e].data; }
+  VertexData& vertex_data(LocalVid l) { return vstore_.Data(l); }
+  const VertexData& vertex_data(LocalVid l) const { return vstore_.DataOf(l); }
+  EdgeData& edge_data(LocalEid e) { return estore_.Data(e); }
+  const EdgeData& edge_data(LocalEid e) const { return estore_.DataOf(e); }
 
   /// Records that an update wrote the vertex / edge; bumps its version so
   /// the next flush transmits it.
-  void MarkVertexModified(LocalVid l) { vertices_[l].version++; }
-  void MarkEdgeModified(LocalEid e) { edges_[e].version++; }
+  void MarkVertexModified(LocalVid l) { vstore_.Version(l)++; }
+  void MarkEdgeModified(LocalEid e) { estore_.Version(e)++; }
 
-  uint64_t vertex_version(LocalVid l) const { return vertices_[l].version; }
-  uint64_t edge_version(LocalEid e) const { return edges_[e].version; }
+  uint64_t vertex_version(LocalVid l) const { return vstore_.VersionOf(l); }
+  uint64_t edge_version(LocalEid e) const { return estore_.VersionOf(e); }
+
+  // --------------------------------------------------------------------
+  // Contiguous property columns (SoA layout only).  The flat-gather fast
+  // path streams these; the serving/snapshot layers scan them.  Spans stay
+  // valid until the next Ingest().
+  // --------------------------------------------------------------------
+  std::span<const VertexData> vertex_data_span() const
+      requires(Layout == StorageLayout::kSoA) {
+    return vstore_.data_span();
+  }
+  std::span<const EdgeData> edge_data_span() const
+      requires(Layout == StorageLayout::kSoA) {
+    return estore_.data_span();
+  }
+  std::span<const LocalVid> edge_source_span() const
+      requires(Layout == StorageLayout::kSoA) {
+    return estore_.src_span();
+  }
+  std::span<const LocalVid> edge_target_span() const
+      requires(Layout == StorageLayout::kSoA) {
+    return estore_.dst_span();
+  }
+  /// The dedicated owner column (mirror/scope compilation reads this).
+  std::span<const rpc::MachineId> owner_span() const
+      requires(Layout == StorageLayout::kSoA) {
+    return vstore_.owner_span();
+  }
+
+  /// Dirty epochs of the data columns (see property_column.h): bumped when
+  /// data is overwritten out-of-band — by a coherence push landing on this
+  /// machine (ApplyDataPush) or a journal restore (BumpVertexDataEpoch is
+  /// public for the snapshot layer).  Scope-locked engine writes are
+  /// tracked by the per-entity version columns instead, keeping the update
+  /// hot path free of shared atomics.
+  uint64_t vertex_data_epoch() const { return vstore_.data_epoch(); }
+  uint64_t edge_data_epoch() const { return estore_.data_epoch(); }
+  void BumpVertexDataEpoch() { vstore_.BumpDataEpoch(); }
+  void BumpEdgeDataEpoch() { estore_.BumpDataEpoch(); }
 
   /// Selects how ghost pushes travel (see file header).  Engines set this
   /// at Start(): chromatic/bulk-sync use kCoalesced windows, the locking
@@ -283,39 +352,41 @@ class DistributedGraph {
       return batches.back().second;
     };
 
-    VertexRecord& vr = vertices_[l];
-    if (vr.version > vr.flushed_version) {
+    if (vstore_.VersionOf(l) > vstore_.FlushedOf(l)) {
       auto mirrors = MirrorSpan(l);
       if (!mirrors.empty()) {
-        SerializeBlob(vr.data, &blob);
+        SerializeBlob(vstore_.DataOf(l), &blob);
+        const VertexId gvid = vstore_.GvidOf(l);
+        const uint64_t version = vstore_.VersionOf(l);
         for (rpc::MachineId m : mirrors) {
           if (coalesce) {
-            StageVertex(m, vr.gvid, vr.version, blob);
+            StageVertex(m, gvid, version, blob);
           } else {
-            frame_for(m).AddVertex(vr.gvid, vr.version, blob);
+            frame_for(m).AddVertex(gvid, version, blob);
           }
         }
         pushes_sent_ += mirrors.size();
       }
-      vr.flushed_version = vr.version;
+      vstore_.Flushed(l) = vstore_.VersionOf(l);
     } else {
       pushes_skipped_++;
     }
     auto flush_edge = [&](LocalEid e) {
-      EdgeRecord& er = edges_[e];
-      if (er.version <= er.flushed_version) return;
+      if (estore_.VersionOf(e) <= estore_.FlushedOf(e)) return;
       rpc::MachineId other = EdgeMirror(e);
       if (other != me_) {
-        SerializeBlob(er.data, &blob);
+        SerializeBlob(estore_.DataOf(e), &blob);
+        const uint64_t version = estore_.VersionOf(e);
         if (coalesce) {
-          StageEdge(other, Gvid(er.src), Gvid(er.dst), er.version, blob);
+          StageEdge(other, Gvid(estore_.SrcOf(e)), Gvid(estore_.DstOf(e)),
+                    version, blob);
         } else {
-          frame_for(other).AddEdge(Gvid(er.src), Gvid(er.dst), er.version,
-                                   blob);
+          frame_for(other).AddEdge(Gvid(estore_.SrcOf(e)),
+                                   Gvid(estore_.DstOf(e)), version, blob);
         }
         pushes_sent_++;
       }
-      er.flushed_version = er.version;
+      estore_.Flushed(e) = estore_.VersionOf(e);
     };
     for (LocalEid e : in_edges(l)) flush_edge(e);
     for (LocalEid e : out_edges(l)) flush_edge(e);
@@ -353,20 +424,21 @@ class DistributedGraph {
   void FlushAllOwnedBulk() {
     std::string blob;
     for (LocalVid l : owned_) {
-      VertexRecord& vr = vertices_[l];
-      if (vr.version <= vr.flushed_version) {
+      if (vstore_.VersionOf(l) <= vstore_.FlushedOf(l)) {
         pushes_skipped_++;
         continue;
       }
       auto mirrors = MirrorSpan(l);
       if (!mirrors.empty()) {
-        SerializeBlob(vr.data, &blob);
+        SerializeBlob(vstore_.DataOf(l), &blob);
+        const VertexId gvid = vstore_.GvidOf(l);
+        const uint64_t version = vstore_.VersionOf(l);
         for (rpc::MachineId m : mirrors) {
-          StageVertex(m, vr.gvid, vr.version, blob);
+          StageVertex(m, gvid, version, blob);
           pushes_sent_++;
         }
       }
-      vr.flushed_version = vr.version;
+      vstore_.Flushed(l) = vstore_.VersionOf(l);
     }
     FlushDeltas();
   }
@@ -400,7 +472,8 @@ class DistributedGraph {
   /// Applies one framed ghost delta batch (runs on the dispatch thread).
   /// Decoding is fully checked: a truncated or unknown-format frame is
   /// logged and dropped; entities already applied stay (idempotent under
-  /// the version rule).
+  /// the version rule).  Writes land directly in the property columns; a
+  /// frame that overwrote anything bumps the column dirty epochs.
   void ApplyDataPush(InArchive& ia) {
     uint8_t format = ia.ReadValue<uint8_t>();
     if (!ia.ok() || format != kGhostFrameVersion) {
@@ -413,6 +486,8 @@ class DistributedGraph {
 
     thread_local std::vector<VertexId> keys;
     thread_local std::vector<uint64_t> versions;
+    bool vertex_applied = false;
+    bool edge_applied = false;
 
     const uint32_t vcount = ia.ReadValue<uint32_t>();
     if (!ReadColumn(ia, vcount, &keys) ||
@@ -426,25 +501,27 @@ class DistributedGraph {
       if (!ia.ok()) {
         GL_LOG(ERROR) << "machine " << me_
                       << ": truncated vertex blob in ghost frame";
+        if (vertex_applied) vstore_.BumpDataEpoch();
         return;
       }
       // Corrupt-but-decodable keys (not local, or claiming an owned
       // vertex) are logged and skipped, not fatal: over TCP this input
       // is externally reachable.
       LocalVid l = TryLvid(keys[i]);
-      if (l == kInvalidLocalVid || vertices_[l].owned) {
+      if (l == kInvalidLocalVid || vstore_.OwnedOf(l)) {
         GL_LOG(ERROR) << "machine " << me_ << ": ghost push for "
                       << (l == kInvalidLocalVid ? "non-local" : "owned")
                       << " vertex " << keys[i] << "; dropping entity";
         continue;
       }
-      VertexRecord& vr = vertices_[l];
-      if (versions[i] > vr.version) {
-        vr.data = std::move(data);
-        vr.version = versions[i];
+      if (versions[i] > vstore_.VersionOf(l)) {
+        vstore_.Data(l) = std::move(data);
+        vstore_.Version(l) = versions[i];
+        vertex_applied = true;
         if (on_remote_vertex_) on_remote_vertex_(l);
       }
     }
+    if (vertex_applied) vstore_.BumpDataEpoch();
 
     thread_local std::vector<VertexId> dst_keys;
     const uint32_t ecount = ia.ReadValue<uint32_t>();
@@ -460,6 +537,7 @@ class DistributedGraph {
       if (!ia.ok()) {
         GL_LOG(ERROR) << "machine " << me_
                       << ": truncated edge blob in ghost frame";
+        if (edge_applied) estore_.BumpDataEpoch();
         return;
       }
       auto it = leid_of_.find(EdgeKey(keys[i], dst_keys[i]));
@@ -470,16 +548,17 @@ class DistributedGraph {
         continue;
       }
       LocalEid e = it->second;
-      EdgeRecord& er = edges_[e];
-      if (versions[i] > er.version) {
-        er.data = std::move(data);
-        er.version = versions[i];
+      if (versions[i] > estore_.VersionOf(e)) {
+        estore_.Data(e) = std::move(data);
+        estore_.Version(e) = versions[i];
         // Keep flushed in sync so this machine does not re-push data it
         // merely received.
-        er.flushed_version = versions[i];
+        estore_.Flushed(e) = versions[i];
+        edge_applied = true;
         if (on_remote_edge_) on_remote_edge_(e);
       }
     }
+    if (edge_applied) estore_.BumpDataEpoch();
   }
 
   /// Local edge id for a global (src, dst) pair; CHECKs presence.
@@ -498,23 +577,6 @@ class DistributedGraph {
   }
 
  private:
-  struct VertexRecord {
-    VertexId gvid = kInvalidVertex;
-    ColorId color = 0;
-    rpc::MachineId owner = 0;
-    bool owned = false;
-    uint64_t version = 0;
-    uint64_t flushed_version = 0;
-    VertexData data{};
-  };
-  struct EdgeRecord {
-    LocalVid src = kInvalidLocalVid;
-    LocalVid dst = kInvalidLocalVid;
-    uint64_t version = 0;
-    uint64_t flushed_version = 0;
-    EdgeData data{};
-  };
-
   static uint64_t EdgeKey(VertexId s, VertexId d) {
     return (static_cast<uint64_t>(s) << 32) | d;
   }
@@ -665,8 +727,8 @@ class DistributedGraph {
 
   /// The other machine holding edge e (or me_ if fully local).
   rpc::MachineId EdgeMirror(LocalEid e) const {
-    rpc::MachineId os = vertices_[edges_[e].src].owner;
-    rpc::MachineId od = vertices_[edges_[e].dst].owner;
+    rpc::MachineId os = vstore_.OwnerOf(estore_.SrcOf(e));
+    rpc::MachineId od = vstore_.OwnerOf(estore_.DstOf(e));
     if (os != me_) return os;
     if (od != me_) return od;
     return me_;
@@ -691,43 +753,41 @@ class DistributedGraph {
       if (a.gvid != b.gvid) return a.gvid < b.gvid;
       return a.ghost < b.ghost;  // owned (ghost=false) first
     });
-    vertices_.clear();
+    vstore_.clear();
+    vstore_.reserve(vcmds.size());
     lvid_of_.clear();
     owned_.clear();
     for (const auto& vc : vcmds) {
-      if (!vertices_.empty() && vertices_.back().gvid == vc.gvid) continue;
-      VertexRecord vr;
-      vr.gvid = vc.gvid;
-      vr.color = vc.color;
-      vr.owner = placement_[atom_of_vertex_[vc.gvid]];
-      vr.owned = (vr.owner == me_);
-      vr.data = vc.data;
-      if (vc.ghost && vr.owned) {
+      const size_t count = vstore_.size();
+      if (count > 0 &&
+          vstore_.GvidOf(static_cast<LocalVid>(count - 1)) == vc.gvid) {
+        continue;
+      }
+      const rpc::MachineId owner = placement_[atom_of_vertex_[vc.gvid]];
+      const bool owned = (owner == me_);
+      if (vc.ghost && owned) {
         return Status::Corruption("ghost record for locally owned vertex");
       }
-      lvid_of_[vc.gvid] = static_cast<LocalVid>(vertices_.size());
-      if (vr.owned) owned_.push_back(static_cast<LocalVid>(vertices_.size()));
-      vertices_.push_back(std::move(vr));
+      lvid_of_[vc.gvid] = static_cast<LocalVid>(count);
+      if (owned) owned_.push_back(static_cast<LocalVid>(count));
+      vstore_.Append(vc.gvid, vc.color, owner, owned, vc.data);
     }
 
     // Deduplicate edges (cross-atom edges journaled twice).
-    edges_.clear();
+    estore_.clear();
+    estore_.reserve(ecmds.size());
     leid_of_.clear();
     leid_of_.reserve(ecmds.size());
     for (const auto& ec : ecmds) {
       uint64_t key = EdgeKey(ec.src, ec.dst);
       if (leid_of_.count(key)) continue;
-      EdgeRecord er;
       auto its = lvid_of_.find(ec.src);
       auto itd = lvid_of_.find(ec.dst);
       if (its == lvid_of_.end() || itd == lvid_of_.end()) {
         return Status::Corruption("edge references vertex missing locally");
       }
-      er.src = its->second;
-      er.dst = itd->second;
-      er.data = ec.data;
-      leid_of_[key] = static_cast<LocalEid>(edges_.size());
-      edges_.push_back(std::move(er));
+      leid_of_[key] = static_cast<LocalEid>(estore_.size());
+      estore_.Append(its->second, itd->second, ec.data);
     }
 
     BuildAdjacency();
@@ -741,20 +801,23 @@ class DistributedGraph {
   }
 
   void BuildAdjacency() {
-    const size_t n = vertices_.size();
+    const size_t n = vstore_.size();
+    const size_t m = estore_.size();
     auto build = [&](auto key_fn, std::vector<uint64_t>* idx,
                      std::vector<LocalEid>* list) {
       idx->assign(n + 1, 0);
-      for (const EdgeRecord& er : edges_) (*idx)[key_fn(er) + 1]++;
+      for (LocalEid e = 0; e < m; ++e) (*idx)[key_fn(e) + 1]++;
       for (size_t i = 0; i < n; ++i) (*idx)[i + 1] += (*idx)[i];
-      list->resize(edges_.size());
+      list->resize(m);
       std::vector<uint64_t> cursor(idx->begin(), idx->end() - 1);
-      for (LocalEid e = 0; e < edges_.size(); ++e) {
-        (*list)[cursor[key_fn(edges_[e])]++] = e;
+      for (LocalEid e = 0; e < m; ++e) {
+        (*list)[cursor[key_fn(e)]++] = e;
       }
     };
-    build([](const EdgeRecord& e) { return e.dst; }, &in_index_, &in_list_);
-    build([](const EdgeRecord& e) { return e.src; }, &out_index_, &out_list_);
+    build([this](LocalEid e) { return estore_.DstOf(e); }, &in_index_,
+          &in_list_);
+    build([this](LocalEid e) { return estore_.SrcOf(e); }, &out_index_,
+          &out_list_);
 
     // Distinct-neighbor CSR.
     nbr_index_.assign(n + 1, 0);
@@ -762,8 +825,8 @@ class DistributedGraph {
     std::vector<LocalVid> scratch;
     for (LocalVid l = 0; l < n; ++l) {
       scratch.clear();
-      for (LocalEid e : in_edges(l)) scratch.push_back(edges_[e].src);
-      for (LocalEid e : out_edges(l)) scratch.push_back(edges_[e].dst);
+      for (LocalEid e : in_edges(l)) scratch.push_back(estore_.SrcOf(e));
+      for (LocalEid e : out_edges(l)) scratch.push_back(estore_.DstOf(e));
       std::sort(scratch.begin(), scratch.end());
       scratch.erase(std::unique(scratch.begin(), scratch.end()),
                     scratch.end());
@@ -773,15 +836,18 @@ class DistributedGraph {
   }
 
   void BuildMirrors() {
-    const size_t n = vertices_.size();
+    const size_t n = vstore_.size();
     mirror_index_.assign(n + 1, 0);
     mirror_list_.clear();
     scope_machines_index_.assign(n + 1, 0);
     scope_machines_list_.clear();
     std::vector<rpc::MachineId> scratch;
+    // Neighbor owners come from the dedicated owner column — a contiguous
+    // u32 scan per neighbor list instead of striding over full vertex
+    // records (the AoS store degrades to record loads).
     for (LocalVid l = 0; l < n; ++l) {
       scratch.clear();
-      for (LocalVid nb : neighbors(l)) scratch.push_back(vertices_[nb].owner);
+      for (LocalVid nb : neighbors(l)) scratch.push_back(vstore_.OwnerOf(nb));
       std::sort(scratch.begin(), scratch.end());
       scratch.erase(std::unique(scratch.begin(), scratch.end()),
                     scratch.end());
@@ -820,8 +886,8 @@ class DistributedGraph {
   PartitionAssignment atom_of_vertex_;
   std::vector<rpc::MachineId> placement_;
 
-  std::vector<VertexRecord> vertices_;
-  std::vector<EdgeRecord> edges_;
+  VertexStore vstore_;
+  EdgeStore estore_;
   std::unordered_map<VertexId, LocalVid> lvid_of_;
   std::unordered_map<uint64_t, LocalEid> leid_of_;
   std::vector<LocalVid> owned_;

@@ -1,6 +1,6 @@
 // Copyright 2026 The Distributed GraphLab Reproduction Authors.
 //
-// LocalGraph<V, E>: the single-machine data graph (Sec. 3.1).
+// LocalGraph<V, E, Layout>: the single-machine data graph (Sec. 3.1).
 //
 // The data graph G = (V, E, D) stores mutable user data on vertices and
 // edges over a static structure.  This container backs the shared-memory
@@ -11,24 +11,46 @@
 // Finalize() compiles CSR-style in/out adjacency indexes.  Mutating data is
 // allowed after finalization; mutating structure is not (the abstraction
 // fixes the graph structure during execution).
+//
+// Storage layout: properties live in a layout policy (graph/storage.h) —
+// struct-of-arrays property columns by default, with the pre-columnar
+// record layout kept as the measurable/testable baseline.  The accessors
+// below are thin views into whichever store backs them; SoA additionally
+// exposes the contiguous *_span() columns the GAS flat-gather fast path
+// streams (vertex_program/gas_compiler.h).
 
 #ifndef GRAPHLAB_GRAPH_LOCAL_GRAPH_H_
 #define GRAPHLAB_GRAPH_LOCAL_GRAPH_H_
 
 #include <algorithm>
 #include <span>
+#include <type_traits>
 #include <vector>
 
+#include "graphlab/graph/storage.h"
 #include "graphlab/graph/types.h"
 #include "graphlab/util/logging.h"
 
 namespace graphlab {
 
-template <typename VertexData, typename EdgeData>
+template <typename VertexData, typename EdgeData,
+          StorageLayout Layout = StorageLayout::kSoA>
 class LocalGraph {
  public:
   using vertex_data_type = VertexData;
   using edge_data_type = EdgeData;
+  using VertexStore =
+      std::conditional_t<Layout == StorageLayout::kSoA,
+                         storage::LocalVertexSoA<VertexData>,
+                         storage::LocalVertexAoS<VertexData>>;
+  using EdgeStore = std::conditional_t<Layout == StorageLayout::kSoA,
+                                       storage::LocalEdgeSoA<EdgeData>,
+                                       storage::LocalEdgeAoS<EdgeData>>;
+  static constexpr StorageLayout kLayout = Layout;
+  /// True when every property field is a contiguous column the flat-gather
+  /// fast path may stream directly.
+  static constexpr bool kContiguousProperties =
+      VertexStore::kContiguous && EdgeStore::kContiguous;
 
   LocalGraph() = default;
 
@@ -38,14 +60,14 @@ class LocalGraph {
   /// Appends one vertex; returns its id.
   VertexId AddVertex(VertexData data = VertexData{}) {
     GL_CHECK(!finalized_) << "structure is static after Finalize()";
-    vertex_data_.push_back(std::move(data));
-    return static_cast<VertexId>(vertex_data_.size() - 1);
+    vstore_.push_back(std::move(data));
+    return static_cast<VertexId>(vstore_.size() - 1);
   }
 
   /// Appends `n` default vertices.
   void AddVertices(size_t n) {
     GL_CHECK(!finalized_);
-    vertex_data_.resize(vertex_data_.size() + n);
+    vstore_.resize(vstore_.size() + n);
   }
 
   /// Appends a directed edge; returns its id.  Self edges are rejected
@@ -53,48 +75,48 @@ class LocalGraph {
   EdgeId AddEdge(VertexId src, VertexId dst, EdgeData data = EdgeData{}) {
     GL_CHECK(!finalized_);
     GL_CHECK_NE(src, dst) << "self edge";
-    GL_CHECK_LT(src, vertex_data_.size());
-    GL_CHECK_LT(dst, vertex_data_.size());
-    sources_.push_back(src);
-    targets_.push_back(dst);
-    edge_data_.push_back(std::move(data));
-    return static_cast<EdgeId>(edge_data_.size() - 1);
+    GL_CHECK_LT(src, vstore_.size());
+    GL_CHECK_LT(dst, vstore_.size());
+    estore_.Append(src, dst, std::move(data));
+    return static_cast<EdgeId>(estore_.size() - 1);
   }
 
   /// Freezes the structure and builds adjacency indexes (including the
   /// distinct-neighbor CSR behind neighbors()).  Idempotent.
   void Finalize() {
     if (finalized_) return;
-    BuildIndex(sources_, &out_index_, &out_edges_);
-    BuildIndex(targets_, &in_index_, &in_edges_);
+    BuildIndex([this](EdgeId e) { return estore_.SrcOf(e); }, &out_index_,
+               &out_edges_);
+    BuildIndex([this](EdgeId e) { return estore_.DstOf(e); }, &in_index_,
+               &in_edges_);
     finalized_ = true;  // before the neighbor pass: it reads in/out_edges()
     BuildNeighborIndex();
   }
 
   bool finalized() const { return finalized_; }
-  size_t num_vertices() const { return vertex_data_.size(); }
-  size_t num_edges() const { return edge_data_.size(); }
+  size_t num_vertices() const { return vstore_.size(); }
+  size_t num_edges() const { return estore_.size(); }
 
   VertexData& vertex_data(VertexId v) {
-    GL_CHECK_LT(v, vertex_data_.size());
-    return vertex_data_[v];
+    GL_CHECK_LT(v, vstore_.size());
+    return vstore_.Data(v);
   }
   const VertexData& vertex_data(VertexId v) const {
-    GL_CHECK_LT(v, vertex_data_.size());
-    return vertex_data_[v];
+    GL_CHECK_LT(v, vstore_.size());
+    return vstore_.DataOf(v);
   }
 
   EdgeData& edge_data(EdgeId e) {
-    GL_CHECK_LT(e, edge_data_.size());
-    return edge_data_[e];
+    GL_CHECK_LT(e, estore_.size());
+    return estore_.Data(e);
   }
   const EdgeData& edge_data(EdgeId e) const {
-    GL_CHECK_LT(e, edge_data_.size());
-    return edge_data_[e];
+    GL_CHECK_LT(e, estore_.size());
+    return estore_.DataOf(e);
   }
 
-  VertexId source(EdgeId e) const { return sources_[e]; }
-  VertexId target(EdgeId e) const { return targets_[e]; }
+  VertexId source(EdgeId e) const { return estore_.SrcOf(e); }
+  VertexId target(EdgeId e) const { return estore_.DstOf(e); }
 
   /// Edge ids whose target is v (requires Finalize()).
   std::span<const EdgeId> in_edges(VertexId v) const {
@@ -124,6 +146,33 @@ class LocalGraph {
   }
 
   // ------------------------------------------------------------------
+  // Contiguous property columns (SoA layout only): what the flat-gather
+  // fast path streams.  Spans stay valid until the next structural
+  // mutation.
+  // ------------------------------------------------------------------
+  std::span<const VertexData> vertex_data_span() const
+      requires(Layout == StorageLayout::kSoA) {
+    return vstore_.data_span();
+  }
+  std::span<const EdgeData> edge_data_span() const
+      requires(Layout == StorageLayout::kSoA) {
+    return estore_.data_span();
+  }
+  std::span<const VertexId> edge_source_span() const
+      requires(Layout == StorageLayout::kSoA) {
+    return estore_.src_span();
+  }
+  std::span<const VertexId> edge_target_span() const
+      requires(Layout == StorageLayout::kSoA) {
+    return estore_.dst_span();
+  }
+
+  /// Dirty epoch of the vertex data column (see property_column.h); on
+  /// LocalGraph only bulk restores bump it.
+  uint64_t vertex_data_epoch() const { return vstore_.data_epoch(); }
+  void BumpVertexDataEpoch() { vstore_.BumpDataEpoch(); }
+
+  // ------------------------------------------------------------------
   // API shims so LocalGraph satisfies the same graph concept the engines'
   // Context uses for DistributedGraph (single-machine setting: local and
   // global ids coincide, versioning is a no-op).
@@ -133,8 +182,8 @@ class LocalGraph {
   bool is_owned(VertexId) const { return true; }
   void MarkVertexModified(VertexId) {}
   void MarkEdgeModified(EdgeId) {}
-  VertexId edge_source(EdgeId e) const { return sources_[e]; }
-  VertexId edge_target(EdgeId e) const { return targets_[e]; }
+  VertexId edge_source(EdgeId e) const { return estore_.SrcOf(e); }
+  VertexId edge_target(EdgeId e) const { return estore_.DstOf(e); }
   uint64_t num_global_vertices() const { return num_vertices(); }
 
   /// Extracts topology (for coloring / partitioning utilities).
@@ -143,7 +192,7 @@ class LocalGraph {
     s.num_vertices = num_vertices();
     s.edges.reserve(num_edges());
     for (EdgeId e = 0; e < num_edges(); ++e) {
-      s.edges.emplace_back(sources_[e], targets_[e]);
+      s.edges.emplace_back(estore_.SrcOf(e), estore_.DstOf(e));
     }
     return s;
   }
@@ -158,30 +207,31 @@ class LocalGraph {
   }
 
  private:
-  void BuildIndex(const std::vector<VertexId>& keys,
-                  std::vector<uint64_t>* index,
+  template <typename KeyFn>
+  void BuildIndex(KeyFn key_of, std::vector<uint64_t>* index,
                   std::vector<EdgeId>* order) const {
-    const size_t n = vertex_data_.size();
+    const size_t n = vstore_.size();
+    const size_t m = estore_.size();
     index->assign(n + 1, 0);
-    for (VertexId k : keys) (*index)[k + 1]++;
+    for (EdgeId e = 0; e < m; ++e) (*index)[key_of(e) + 1]++;
     for (size_t i = 0; i < n; ++i) (*index)[i + 1] += (*index)[i];
-    order->resize(keys.size());
+    order->resize(m);
     std::vector<uint64_t> cursor(index->begin(), index->end() - 1);
-    for (EdgeId e = 0; e < keys.size(); ++e) {
-      (*order)[cursor[keys[e]]++] = e;
+    for (EdgeId e = 0; e < m; ++e) {
+      (*order)[cursor[key_of(e)]++] = e;
     }
   }
 
   /// Distinct-neighbor CSR (sorted, deduplicated across directions).
   void BuildNeighborIndex() {
-    const size_t n = vertex_data_.size();
+    const size_t n = vstore_.size();
     nbr_index_.assign(n + 1, 0);
     nbr_list_.clear();
     std::vector<VertexId> scratch;
     for (VertexId v = 0; v < n; ++v) {
       scratch.clear();
-      for (EdgeId e : in_edges(v)) scratch.push_back(sources_[e]);
-      for (EdgeId e : out_edges(v)) scratch.push_back(targets_[e]);
+      for (EdgeId e : in_edges(v)) scratch.push_back(estore_.SrcOf(e));
+      for (EdgeId e : out_edges(v)) scratch.push_back(estore_.DstOf(e));
       std::sort(scratch.begin(), scratch.end());
       scratch.erase(std::unique(scratch.begin(), scratch.end()),
                     scratch.end());
@@ -191,10 +241,8 @@ class LocalGraph {
   }
 
   bool finalized_ = false;
-  std::vector<VertexData> vertex_data_;
-  std::vector<EdgeData> edge_data_;
-  std::vector<VertexId> sources_;
-  std::vector<VertexId> targets_;
+  VertexStore vstore_;
+  EdgeStore estore_;
   std::vector<uint64_t> in_index_, out_index_;   // CSR offsets
   std::vector<EdgeId> in_edges_, out_edges_;     // CSR payloads
   std::vector<uint64_t> nbr_index_;              // neighbor CSR offsets

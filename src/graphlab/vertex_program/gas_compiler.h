@@ -77,6 +77,40 @@ concept GasVertexProgram = requires(
   acc += acc;
 };
 
+/// Opt-in flat gather kernel: a program additionally provides
+///
+///   gather_type FlatGather(const vertex_data_type& neighbor,
+///                          const edge_data_type& edge) const;
+///
+/// computing the same value its gather() computes from the non-central
+/// endpoint's vertex data and the edge's data alone (no context).  On a
+/// graph whose properties are contiguous columns the compiler then lowers
+/// the gather fold to a tight loop over the columns — branch-light (no
+/// phase/consistency checks per read), allocation-free, and plain enough
+/// for the auto-vectorizer (bench/columnar_kernels.cc carries the
+/// -fopt-info-vec evidence).  Fold order is identical to the generic path
+/// (in-edges then out-edges, CSR order), so results are bit-identical.
+template <typename P>
+concept FlatGatherProgram =
+    GasVertexProgram<P> &&
+    requires(const P p,
+             const typename P::graph_type::vertex_data_type& neighbor,
+             const typename P::graph_type::edge_data_type& edge) {
+      { p.FlatGather(neighbor, edge) }
+          -> std::convertible_to<typename P::gather_type>;
+    };
+
+/// Graphs whose property storage the flat path can stream: every property
+/// field a contiguous column (StorageLayout::kSoA), with span accessors.
+template <typename G>
+concept ContiguousPropertyGraph = requires(const G& g) {
+  requires G::kContiguousProperties;
+  g.vertex_data_span();
+  g.edge_data_span();
+  g.edge_source_span();
+  g.edge_target_span();
+};
+
 /// Counters for one compiled program (per machine on distributed runs).
 struct GasStats {
   uint64_t updates = 0;          // compiled update executions
@@ -145,7 +179,12 @@ void RunGasUpdate(GasState<Program>& st,
 
   const LocalVid v = ctx.lvid();
   Program program = st.prototype;  // per-update copy: apply->scatter state
-  GasContext<Graph, GatherT> gas(&ctx, st.cache.get());
+  // Per-thread ledger scratch: a GAS update allocates nothing after the
+  // first few updates warmed these up.
+  thread_local std::vector<LocalEid> written_scratch;
+  thread_local std::vector<LocalVid> handled_scratch;
+  GasContext<Graph, GatherT> gas(&ctx, st.cache.get(), &written_scratch,
+                                 &handled_scratch);
 
   // -- gather ---------------------------------------------------------
   gas.BeginPhase(GasPhase::kGather);
@@ -156,16 +195,43 @@ void RunGasUpdate(GasState<Program>& st,
   if (st.cache) hit = st.cache->TryGet(v, gather_dir, &total, &miss_epoch);
   if (!hit) {
     uint64_t folded = 0;
-    if (CoversInEdges(gather_dir)) {
-      for (LocalEid e : ctx.in_edges()) {
-        total += program.gather(gas, e);
-        folded++;
+    if constexpr (FlatGatherProgram<Program> &&
+                  ContiguousPropertyGraph<Graph>) {
+      // Flat fast path: stream the property columns directly.  Same fold
+      // order and arithmetic as the generic path below, minus the
+      // per-read context dispatch — bit-identical results, vectorizable
+      // inner loop (see FlatGatherFold in bench/columnar_kernels.h for
+      // the standalone kernel this mirrors).
+      const auto* const vdata = st.graph->vertex_data_span().data();
+      const auto* const edata = st.graph->edge_data_span().data();
+      const auto* const esrc = st.graph->edge_source_span().data();
+      const auto* const edst = st.graph->edge_target_span().data();
+      if (CoversInEdges(gather_dir)) {
+        const auto in = ctx.in_edges();
+        for (auto e : in) {
+          total += program.FlatGather(vdata[esrc[e]], edata[e]);
+        }
+        folded += in.size();
       }
-    }
-    if (CoversOutEdges(gather_dir)) {
-      for (LocalEid e : ctx.out_edges()) {
-        total += program.gather(gas, e);
-        folded++;
+      if (CoversOutEdges(gather_dir)) {
+        const auto out = ctx.out_edges();
+        for (auto e : out) {
+          total += program.FlatGather(vdata[edst[e]], edata[e]);
+        }
+        folded += out.size();
+      }
+    } else {
+      if (CoversInEdges(gather_dir)) {
+        for (LocalEid e : ctx.in_edges()) {
+          total += program.gather(gas, e);
+          folded++;
+        }
+      }
+      if (CoversOutEdges(gather_dir)) {
+        for (LocalEid e : ctx.out_edges()) {
+          total += program.gather(gas, e);
+          folded++;
+        }
       }
     }
     st.edges_gathered.fetch_add(folded, kRelaxed);
@@ -228,8 +294,16 @@ class CompiledVertexProgram {
   using graph_type = typename Program::graph_type;
   using gather_type = typename Program::gather_type;
 
+  /// True when this compilation lowered the gather fold to the flat
+  /// column-streaming path (program provides FlatGather AND the graph
+  /// stores properties as contiguous columns).
+  static constexpr bool kUsesFlatGather =
+      FlatGatherProgram<Program> && ContiguousPropertyGraph<graph_type>;
+
   explicit CompiledVertexProgram(std::shared_ptr<detail::GasState<Program>> s)
       : state_(std::move(s)) {}
+
+  bool uses_flat_gather() const { return kUsesFlatGather; }
 
   /// The ordinary update function every IEngine accepts.
   UpdateFn<graph_type> update_fn() const {

@@ -50,7 +50,25 @@ class GasContext {
   using gather_type = GatherT;
 
   GasContext(base_context_type* ctx, GatherCache<GatherT>* cache)
-      : ctx_(ctx), cache_(cache) {}
+      : GasContext(ctx, cache, nullptr, nullptr) {}
+
+  /// Allocation-free form: the compiler's per-thread scratch vectors back
+  /// the write/handled ledgers, so a GAS update allocates nothing after
+  /// warmup (the default-constructed form above keeps small owned vectors
+  /// for direct/test use).  Scratch is cleared here; it must not be shared
+  /// by two live contexts.
+  GasContext(base_context_type* ctx, GatherCache<GatherT>* cache,
+             std::vector<LocalEid>* written_scratch,
+             std::vector<LocalVid>* handled_scratch)
+      : ctx_(ctx),
+        cache_(cache),
+        written_edges_(written_scratch != nullptr ? written_scratch
+                                                  : &own_written_),
+        handled_(handled_scratch != nullptr ? handled_scratch
+                                            : &own_handled_) {
+    written_edges_->clear();
+    handled_->clear();
+  }
 
   // ------------------------------------------------------------------
   // Identity / topology (any phase)
@@ -98,7 +116,7 @@ class GasContext {
   edge_data_type& edge_data(LocalEid e) {
     GL_CHECK(phase_ == GasPhase::kScatter)
         << "edge_data() is writable in scatter only";
-    if (cache_ != nullptr) written_edges_.push_back(e);
+    if (cache_ != nullptr) written_edges_->push_back(e);
     return ctx_->edge_data(e);
   }
 
@@ -145,15 +163,15 @@ class GasContext {
   /// Sorts the write/handled ledgers so the lookups below are
   /// O(log degree).  Call once, after scatter, before querying.
   void FinalizeLedger() {
-    std::sort(written_edges_.begin(), written_edges_.end());
-    std::sort(handled_.begin(), handled_.end());
+    std::sort(written_edges_->begin(), written_edges_->end());
+    std::sort(handled_->begin(), handled_->end());
   }
   bool edge_written(LocalEid e) const {
-    return std::binary_search(written_edges_.begin(), written_edges_.end(),
+    return std::binary_search(written_edges_->begin(), written_edges_->end(),
                               e);
   }
   bool handled(LocalVid v) const {
-    return std::binary_search(handled_.begin(), handled_.end(), v);
+    return std::binary_search(handled_->begin(), handled_->end(), v);
   }
   base_context_type& base() { return *ctx_; }
 
@@ -161,14 +179,16 @@ class GasContext {
   // Appends may duplicate (a scatter can touch a neighbor twice); the
   // ledgers stay O(scatter calls) and FinalizeLedger sorts once, so no
   // per-append dedup scan on the hot path.
-  void MarkHandled(LocalVid v) { handled_.push_back(v); }
+  void MarkHandled(LocalVid v) { handled_->push_back(v); }
 
   base_context_type* ctx_;
   GatherCache<GatherT>* cache_;
   GasPhase phase_ = GasPhase::kGather;
   bool center_written_ = false;
-  std::vector<LocalEid> written_edges_;  // scatter writes (cache mode only)
-  std::vector<LocalVid> handled_;        // PostDelta/Clear targets
+  std::vector<LocalEid> own_written_;  // fallback ledger storage
+  std::vector<LocalVid> own_handled_;
+  std::vector<LocalEid>* written_edges_;  // scatter writes (cache mode only)
+  std::vector<LocalVid>* handled_;        // PostDelta/Clear targets
 };
 
 }  // namespace graphlab

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <random>
 
@@ -19,12 +20,16 @@
 #include "graphlab/engine/allreduce.h"
 #include "graphlab/engine/engine_factory.h"
 #include "graphlab/engine/locking/lock_table.h"
+#include "graphlab/engine/snapshot.h"
 #include "graphlab/graph/atom.h"
 #include "graphlab/graph/coloring.h"
+#include "graphlab/graph/column_codec.h"
 #include "graphlab/graph/generators.h"
 #include "graphlab/util/random.h"
 #include "graphlab/graph/partition.h"
 #include "graphlab/rpc/runtime.h"
+#include "graphlab/vertex_program/gas_compiler.h"
+#include "tests/transport_param.h"
 
 namespace graphlab {
 namespace {
@@ -325,6 +330,328 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<uint64_t, double>{1000, 1.0},
                       std::pair<uint64_t, double>{1000, 1.5},
                       std::pair<uint64_t, double>{10000, 0.9}));
+
+// ---------------------------------------------------------------------
+// Cold-column codec: golden bytes pin the wire format
+// ---------------------------------------------------------------------
+
+TEST(ColumnCodec, DictGoldenBytes) {
+  // Low-cardinality float column -> dictionary codec.  Layout:
+  // [u8 codec=1][u32 count][u32 dict_size][dict values][u8 codes].
+  const std::vector<float> col = {0.5f, 0.25f, 0.5f, 0.25f, 0.5f, 0.25f};
+  std::string out;
+  auto stats = EncodeColumn<float>({col.data(), col.size()}, &out);
+  EXPECT_EQ(stats.codec, ColumnCodec::kDict);
+  EXPECT_EQ(stats.raw_bytes, 24u);
+  EXPECT_EQ(stats.encoded_bytes, out.size());
+  const uint8_t golden[] = {
+      0x01,                    // codec = kDict
+      0x06, 0x00, 0x00, 0x00,  // count = 6
+      0x02, 0x00, 0x00, 0x00,  // dict_size = 2
+      0x00, 0x00, 0x00, 0x3F,  // 0.5f  (first occurrence)
+      0x00, 0x00, 0x80, 0x3E,  // 0.25f
+      0x00, 0x01, 0x00, 0x01, 0x00, 0x01,  // codes
+  };
+  ASSERT_EQ(out.size(), sizeof(golden));
+  EXPECT_EQ(std::memcmp(out.data(), golden, sizeof(golden)), 0);
+
+  std::vector<float> back;
+  ASSERT_TRUE(DecodeColumn<float>(out, &back));
+  EXPECT_EQ(back, col);
+}
+
+TEST(ColumnCodec, DeltaVarintGoldenBytes) {
+  // Sorted id column -> zigzag delta varint, ~1 byte per element.
+  const std::vector<uint32_t> col = {10, 11, 12, 13, 20};
+  std::string out;
+  auto stats = EncodeColumn<uint32_t>({col.data(), col.size()}, &out);
+  EXPECT_EQ(stats.codec, ColumnCodec::kDeltaVarint);
+  EXPECT_EQ(stats.raw_bytes, 20u);
+  const uint8_t golden[] = {
+      0x02,                    // codec = kDeltaVarint
+      0x05, 0x00, 0x00, 0x00,  // count = 5
+      0x14,                    // zigzag(10 - 0)  = 20
+      0x02, 0x02, 0x02,        // zigzag(+1) x 3  = 2
+      0x0E,                    // zigzag(20 - 13) = 14
+  };
+  ASSERT_EQ(out.size(), sizeof(golden));
+  EXPECT_EQ(std::memcmp(out.data(), golden, sizeof(golden)), 0);
+  EXPECT_LT(stats.ratio(), 0.51);  // 10/20 bytes, header included
+
+  std::vector<uint32_t> back;
+  ASSERT_TRUE(DecodeColumn<uint32_t>(out, &back));
+  EXPECT_EQ(back, col);
+}
+
+TEST(ColumnCodec, RawGoldenBytes) {
+  // All-distinct float column: neither dict nor delta wins -> verbatim.
+  const std::vector<float> col = {1.0f, 2.0f, 3.0f, 4.0f};
+  std::string out;
+  auto stats = EncodeColumn<float>({col.data(), col.size()}, &out);
+  EXPECT_EQ(stats.codec, ColumnCodec::kRaw);
+  const uint8_t golden[] = {
+      0x00,                    // codec = kRaw
+      0x04, 0x00, 0x00, 0x00,  // count = 4
+      0x00, 0x00, 0x80, 0x3F,  // 1.0f
+      0x00, 0x00, 0x00, 0x40,  // 2.0f
+      0x00, 0x00, 0x40, 0x40,  // 3.0f
+      0x00, 0x00, 0x80, 0x40,  // 4.0f
+  };
+  ASSERT_EQ(out.size(), sizeof(golden));
+  EXPECT_EQ(std::memcmp(out.data(), golden, sizeof(golden)), 0);
+
+  std::vector<float> back;
+  ASSERT_TRUE(DecodeColumn<float>(out, &back));
+  EXPECT_EQ(back, col);
+}
+
+TEST(ColumnCodec, RandomColumnsRoundTrip) {
+  Rng rng(0xC01);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint64_t> col(rng.UniformInt(200));
+    const int shape = trial % 3;
+    uint64_t acc = rng.UniformInt(1000);
+    for (auto& v : col) {
+      if (shape == 0) {
+        v = rng.Next();                        // raw-ish
+      } else if (shape == 1) {
+        v = rng.UniformInt(4);                 // dict-ish
+      } else {
+        v = (acc += rng.UniformInt(16));       // delta-ish
+      }
+    }
+    std::string enc;
+    EncodeColumn<uint64_t>({col.data(), col.size()}, &enc);
+    std::vector<uint64_t> back;
+    ASSERT_TRUE(DecodeColumn<uint64_t>(enc, &back)) << "trial " << trial;
+    EXPECT_EQ(back, col) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Columnar snapshot journal: finalize -> mutate -> snapshot -> restore
+// ---------------------------------------------------------------------
+
+TEST(ColumnarStorage, SyncSnapshotColumnRoundTrip) {
+  const size_t machines = 2;
+  auto structure = gen::PowerLawWeb(200, 4, 0.8, 11);
+  auto global = apps::BuildPageRankGraph(structure);
+  auto colors = GreedyColoring(structure);
+  auto atom_of = BlockPartition(structure.num_vertices, machines);
+  std::vector<rpc::MachineId> placement = {0, 1};
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("gl_prop_colsnap_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  auto expected_rank = [](VertexId gvid) { return 0.25 * gvid + 1.0; };
+  auto expected_weight = [](VertexId gvid) {
+    return 0.5f * static_cast<float>(gvid % 16 + 1);
+  };
+
+  rpc::Runtime runtime(testutil::ClusterFor(rpc::TransportKind::kInProcess,
+                                            machines));
+  std::vector<DGraph> graphs(machines);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    DGraph& graph = graphs[ctx.id];
+    ASSERT_TRUE(graph
+                    .InitFromGlobal(global, atom_of, colors, placement,
+                                    ctx.id, &ctx.comm())
+                    .ok());
+    SnapshotManager<PageRankVertex, PageRankEdge> snapshot(ctx, &graph, dir);
+    ctx.barrier().Wait(ctx.id);
+
+    // Mutate every owned vertex and its out-edges to values derived from
+    // the global id, so both machines can verify without coordination.
+    for (LocalVid l : graph.owned_vertices()) {
+      graph.vertex_data(l).rank = expected_rank(graph.Gvid(l));
+      graph.MarkVertexModified(l);
+      for (LocalEid e : graph.out_edges(l)) {
+        graph.edge_data(e).weight = expected_weight(graph.Gvid(l));
+        graph.MarkEdgeModified(e);
+      }
+    }
+    ASSERT_TRUE(snapshot.WriteSyncSnapshot(1).ok());
+    ctx.barrier().Wait(ctx.id);
+
+    // The journal must be the v2 columnar format, not a row journal.
+    auto bytes = ReadFileBytes(snapshot.JournalPath(1));
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_FALSE(bytes->empty());
+    EXPECT_EQ(static_cast<uint8_t>((*bytes)[0]), kColumnarJournalMagic);
+
+    // Scribble over everything the journal covers, then restore.
+    for (LocalVid l : graph.owned_vertices()) {
+      graph.vertex_data(l).rank = -7.0;
+      for (LocalEid e : graph.out_edges(l)) graph.edge_data(e).weight = -1.0f;
+    }
+    const uint64_t vepoch = graph.vertex_data_epoch();
+    const uint64_t eepoch = graph.edge_data_epoch();
+    ASSERT_TRUE(snapshot.Restore(1).ok());
+    ctx.barrier().Wait(ctx.id);
+    ctx.comm().WaitQuiescent();
+    ctx.barrier().Wait(ctx.id);
+
+    // Bulk restore must invalidate column epochs (cached gathers, spans).
+    EXPECT_GT(graph.vertex_data_epoch(), vepoch);
+    EXPECT_GT(graph.edge_data_epoch(), eepoch);
+    for (LocalVid l : graph.owned_vertices()) {
+      EXPECT_EQ(graph.vertex_data(l).rank, expected_rank(graph.Gvid(l)));
+      for (LocalEid e : graph.out_edges(l)) {
+        EXPECT_EQ(graph.edge_data(e).weight, expected_weight(graph.Gvid(l)));
+      }
+    }
+  });
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Layout equivalence: identical bits with columnar storage on vs off
+// ---------------------------------------------------------------------
+
+template <StorageLayout L>
+using LGraphL = LocalGraph<PageRankVertex, PageRankEdge, L>;
+template <StorageLayout L>
+using DGraphL = DistributedGraph<PageRankVertex, PageRankEdge, L>;
+
+/// apps::BuildPageRankGraph pinned to an explicit storage layout.
+template <StorageLayout L>
+LGraphL<L> BuildPageRankGraphL(const GraphStructure& s) {
+  LGraphL<L> g;
+  g.AddVertices(s.num_vertices);
+  std::vector<uint32_t> out_degree(s.num_vertices, 0);
+  for (const auto& [u, v] : s.edges) out_degree[u]++;
+  for (const auto& [u, v] : s.edges) {
+    g.AddEdge(u, v,
+              PageRankEdge{1.0f / static_cast<float>(out_degree[u])});
+  }
+  g.Finalize();
+  return g;
+}
+
+struct LayoutCase {
+  const char* engine;
+  size_t machines;          // 1 for the local engines
+  rpc::TransportKind kind;  // ignored by local engines
+  bool gas;                 // compiled GAS program vs classic update fn
+};
+
+std::string LayoutCaseName(const ::testing::TestParamInfo<LayoutCase>& i) {
+  return std::string(i.param.engine) + "_m" +
+         std::to_string(i.param.machines) + "_" +
+         rpc::TransportKindName(i.param.kind) +
+         (i.param.gas ? "_gas" : "_classic");
+}
+
+/// Runs PageRank to convergence under one storage layout and returns the
+/// final ranks indexed by global vertex id.  Single-threaded so the fold
+/// order — and therefore every floating-point bit — is deterministic.
+template <StorageLayout L>
+std::vector<double> RunWithLayout(const LayoutCase& c,
+                                  const GraphStructure& structure) {
+  constexpr double kDamping = 0.85;
+  constexpr double kTolerance = 1e-8;
+  EngineOptions eo;
+  eo.num_threads = 1;
+  eo.scheduler = "fifo";
+  eo.max_pipeline_length = 16;
+  std::vector<double> ranks(structure.num_vertices, 0.0);
+
+  const std::string name(c.engine);
+  if (name == "shared_memory" || name == "bsp") {
+    auto g = BuildPageRankGraphL<L>(structure);
+    auto engine = std::move(CreateEngine(name, &g, eo).value());
+    if (c.gas) {
+      apps::PageRankProgram<LGraphL<L>> prog;
+      prog.damping = kDamping;
+      prog.tolerance = kTolerance;
+      auto compiled = CompileVertexProgram(&g, eo, prog);
+      // The flat column-streaming gather engages exactly when the graph
+      // stores properties as contiguous columns.
+      EXPECT_EQ(compiled.uses_flat_gather(), L == StorageLayout::kSoA);
+      engine->SetUpdateFn(compiled.update_fn());
+    } else {
+      engine->SetUpdateFn(
+          apps::MakePageRankUpdateFn<LGraphL<L>>(kDamping, kTolerance));
+    }
+    engine->ScheduleAll();
+    engine->Start();
+    for (VertexId v = 0; v < structure.num_vertices; ++v) {
+      ranks[v] = g.vertex_data(v).rank;
+    }
+    return ranks;
+  }
+
+  auto global = apps::BuildPageRankGraph(structure);
+  auto colors = GreedyColoring(structure);
+  auto atom_of = BlockPartition(structure.num_vertices, c.machines);
+  std::vector<rpc::MachineId> placement(c.machines);
+  for (size_t m = 0; m < c.machines; ++m) placement[m] = m;
+  rpc::Runtime runtime(testutil::ClusterFor(c.kind, c.machines));
+  testutil::ClusterAllreduce allreduce(&runtime, 1);
+  std::vector<DGraphL<L>> graphs(c.machines);
+  runtime.Run([&](rpc::MachineContext& ctx) {
+    auto& graph = graphs[ctx.id];
+    ASSERT_TRUE(graph
+                    .InitFromGlobal(global, atom_of, colors, placement,
+                                    ctx.id, &ctx.comm())
+                    .ok());
+    ctx.barrier().Wait(ctx.id);
+    DistributedEngineDeps<PageRankVertex, PageRankEdge, L> deps;
+    deps.allreduce = &allreduce.at(ctx.id);
+    auto engine =
+        std::move(CreateEngine(name, ctx, &graph, eo, deps).value());
+    if (c.gas) {
+      apps::PageRankProgram<DGraphL<L>> prog;
+      prog.damping = kDamping;
+      prog.tolerance = kTolerance;
+      auto compiled = CompileVertexProgram(&graph, eo, prog);
+      EXPECT_EQ(compiled.uses_flat_gather(), L == StorageLayout::kSoA);
+      engine->SetUpdateFn(compiled.update_fn());
+    } else {
+      engine->SetUpdateFn(
+          apps::MakePageRankUpdateFn<DGraphL<L>>(kDamping, kTolerance));
+    }
+    engine->ScheduleAll();
+    engine->Start();
+  });
+  for (auto& graph : graphs) {
+    for (LocalVid l : graph.owned_vertices()) {
+      ranks[graph.Gvid(l)] = graph.vertex_data(l).rank;
+    }
+  }
+  return ranks;
+}
+
+class ColumnarLayoutEquivalence
+    : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(ColumnarLayoutEquivalence, BitIdenticalRanksAcrossLayouts) {
+  const LayoutCase& c = GetParam();
+  auto structure = gen::PowerLawWeb(300, 5, 0.85, 42);
+  auto soa = RunWithLayout<StorageLayout::kSoA>(c, structure);
+  auto aos = RunWithLayout<StorageLayout::kAoS>(c, structure);
+  ASSERT_EQ(soa.size(), aos.size());
+  for (VertexId v = 0; v < structure.num_vertices; ++v) {
+    // Exact double comparison: the columnar gather must fold in the same
+    // order as the record-store path, bit for bit.
+    ASSERT_EQ(soa[v], aos[v])
+        << "vertex " << v << " diverged under engine=" << c.engine;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, ColumnarLayoutEquivalence,
+    ::testing::Values(
+        LayoutCase{"shared_memory", 1, rpc::TransportKind::kInProcess, false},
+        LayoutCase{"shared_memory", 1, rpc::TransportKind::kInProcess, true},
+        LayoutCase{"bsp", 1, rpc::TransportKind::kInProcess, false},
+        LayoutCase{"chromatic", 2, rpc::TransportKind::kInProcess, false},
+        LayoutCase{"chromatic", 2, rpc::TransportKind::kTcp, false},
+        LayoutCase{"chromatic", 2, rpc::TransportKind::kInProcess, true},
+        LayoutCase{"bulk_sync", 2, rpc::TransportKind::kInProcess, false},
+        LayoutCase{"bulk_sync", 2, rpc::TransportKind::kTcp, false},
+        LayoutCase{"locking", 1, rpc::TransportKind::kInProcess, false}),
+    LayoutCaseName);
 
 }  // namespace
 }  // namespace graphlab
