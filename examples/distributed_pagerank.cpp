@@ -31,6 +31,17 @@
 //             1e-13 so differently-scheduled fixed points agree)
 //           --recovery-json=FILE (writes BENCH_recovery.json rows)
 //
+// Observability: --metrics-report (cluster-merged metrics table on
+//             stdout + BENCH_cluster_metrics.json, collected over the
+//             CommLayer from every machine's registry)
+//           --trace-out=FILE (Chrome/Perfetto trace JSON; each worker
+//             process writes FILE.m<id>, the coordinator writes FILE)
+//           --trace-categories=LIST (engine,sched,rpc,gas,fault,
+//             snapshot or "all"; default all)
+//           --trace-buffer=N (per-thread event ring capacity; default
+//             1M so per-message rpc events cannot evict the rare
+//             fault-recovery spans on long runs)
+//
 // Other flags: --machines=N --vertices=V --threads=T --port-base=P
 //              --json=FILE --role/--machine-id (set when forking).
 
@@ -56,8 +67,11 @@
 #include "graphlab/graph/coloring.h"
 #include "graphlab/graph/generators.h"
 #include "graphlab/graph/partition.h"
+#include "graphlab/metrics/metrics_service.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/runtime.h"
 #include "graphlab/rpc/tcp_transport.h"
+#include "graphlab/util/logging.h"
 #include "graphlab/util/options.h"
 #include "graphlab/util/timer.h"
 #include "bench/bench_json.h"
@@ -90,6 +104,13 @@ struct Config {
   double mtbf = 0;
   std::string snapshot_dir;
   std::string recovery_json = "BENCH_recovery.json";
+
+  // Observability.
+  bool metrics_report = false;
+  std::string metrics_json = "BENCH_cluster_metrics.json";
+  std::string trace_out;
+  std::string trace_categories = "all";
+  size_t trace_buffer = 1u << 20;
 };
 
 struct RunOutput {
@@ -99,7 +120,36 @@ struct RunOutput {
   rpc::CommStats stats;            // machine 0's traffic
   std::vector<rpc::PeerCommStats> peer_stats;
   fault::FtReport ft_report;       // machine 0's, FT mode only
+  metrics::ClusterMetricsView cluster_metrics;  // merged on machine 0
 };
+
+/// Process-wide observability setup: tag GL_LOG lines and trace events
+/// with this process's machine id, and arm the tracer's category filter.
+void SetupObservability(const Config& cfg) {
+  SetLogMachineId(static_cast<int>(cfg.machine_id));
+  if (!cfg.trace_out.empty()) {
+    trace::SetProcessMachineId(static_cast<uint32_t>(cfg.machine_id));
+    trace::SetBufferCapacity(cfg.trace_buffer);
+    trace::EnableCategories(trace::ParseCategories(cfg.trace_categories));
+  }
+}
+
+/// One trace file per process: the coordinator writes --trace-out
+/// verbatim, worker processes suffix their machine id.
+std::string TracePathFor(const Config& cfg) {
+  if (cfg.machine_id == 0) return cfg.trace_out;
+  return cfg.trace_out + ".m" + std::to_string(cfg.machine_id);
+}
+
+void FlushTrace(const Config& cfg) {
+  if (cfg.trace_out.empty()) return;
+  Status s = trace::WriteChromeTrace(TracePathFor(cfg));
+  if (!s.ok()) {
+    GL_LOG(ERROR) << "trace write failed: " << s.ToString();
+  }
+  trace::EnableCategories(0);  // later runs (e.g. the parity
+                               // reference) stay out of the artifact
+}
 
 /// Deterministic inputs every process derives identically.
 struct ProblemInputs {
@@ -272,20 +322,37 @@ RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
       out.stats = ctx.comm().GetStats(0);
       out.peer_stats = ctx.comm().GetPeerStats(0);
     }
+
+    if (cfg.metrics_report) {
+      // Cluster-wide metric merge: collective across the (surviving)
+      // membership, so every live machine participates.  The barrier
+      // between construction and Collect() guarantees every machine's
+      // snapshot handler is registered before the first request.
+      metrics::MetricsService service(&ctx.comm(), me,
+                                      &ctx.comm().registry(me));
+      ctx.barrier().Wait(me);
+      metrics::ClusterMetricsView view = service.Collect();
+      if (me == 0) out.cluster_metrics = std::move(view);
+      ctx.barrier().Wait(me);  // nobody tears down mid-collection
+    }
   });
   out.seconds = timer.Seconds();
   return out;
 }
 
 int RunWorker(const Config& cfg) {
+  SetupObservability(cfg);
   rpc::ClusterOptions copts;
   copts.num_machines = cfg.machines;
   copts.threads_per_machine = cfg.threads;
   copts.transport = rpc::TransportKind::kTcp;
   copts.tcp.me = cfg.machine_id;
   copts.tcp.endpoints = rpc::LoopbackEndpoints(cfg.machines, cfg.port_base);
-  rpc::Runtime runtime(copts);
-  RunCluster(runtime, cfg);
+  {
+    rpc::Runtime runtime(copts);
+    RunCluster(runtime, cfg);
+  }
+  FlushTrace(cfg);
   return 0;
 }
 
@@ -311,6 +378,12 @@ std::vector<std::string> WorkerArgs(const Config& cfg, size_t machine,
       "--port-base=" + std::to_string(port_base),
       "--tolerance=" + DoubleFlag(cfg.tolerance),
   };
+  if (cfg.metrics_report) args.push_back("--metrics-report=true");
+  if (!cfg.trace_out.empty()) {
+    args.push_back("--trace-out=" + cfg.trace_out);
+    args.push_back("--trace-categories=" + cfg.trace_categories);
+    args.push_back("--trace-buffer=" + std::to_string(cfg.trace_buffer));
+  }
   if (cfg.ft) {
     args.push_back("--ft=true");
     args.push_back("--snapshot-dir=" + cfg.snapshot_dir);
@@ -322,6 +395,7 @@ std::vector<std::string> WorkerArgs(const Config& cfg, size_t machine,
 }
 
 int RunCoordinator(Config cfg) {
+  SetupObservability(cfg);
   const bool tcp = cfg.transport == "tcp";
   if (cfg.ft && !tcp) {
     std::fprintf(stderr,
@@ -397,6 +471,9 @@ int RunCoordinator(Config cfg) {
     wire = RunCluster(runtime, cfg);
   }
   if (killer.joinable()) killer.join();
+  // The trace covers the wire run only; the parity reference below runs
+  // with categories disabled so it stays out of the artifact.
+  FlushTrace(cfg);
 
   int exit_code = 0;
   for (pid_t pid : children) {
@@ -426,6 +503,7 @@ int RunCoordinator(Config cfg) {
   ref_opts.comm.latency = std::chrono::microseconds(100);
   Config ref_cfg = cfg;
   ref_cfg.ft = false;
+  ref_cfg.metrics_report = false;  // report covers the wire run
   RunOutput reference;
   {
     rpc::Runtime ref_runtime(ref_opts);
@@ -458,6 +536,36 @@ int RunCoordinator(Config cfg) {
   }
   std::printf("L1(%s, inproc reference) = %.3e -> %s\n",
               cfg.transport.c_str(), l1, parity ? "PARITY" : "MISMATCH");
+
+  if (cfg.metrics_report) {
+    // Human table on stdout, machine-readable rows in
+    // BENCH_cluster_metrics.json (one row per merged metric).
+    std::printf("%s", wire.cluster_metrics.FormatTable().c_str());
+    bench::JsonWriter mj("cluster_metrics");
+    mj.meta()
+        .Set("transport", cfg.transport)
+        .Set("machines", static_cast<uint64_t>(cfg.machines))
+        .Set("reporting_machines",
+             static_cast<uint64_t>(wire.cluster_metrics.machines.size()))
+        .Set("merged", wire.cluster_metrics.merged)
+        .Set("ft", cfg.ft);
+    for (const metrics::ClusterMetric& m : wire.cluster_metrics.metrics) {
+      bench::JsonObject& row = mj.AddRow();
+      row.Set("name", m.name)
+          .Set("kind", metrics::MetricKindName(m.kind))
+          .Set("total", m.total)
+          .Set("mean", m.mean)
+          .Set("max", m.max)
+          .Set("skew", m.skew);
+      if (m.kind == metrics::MetricKind::kHistogram) {
+        row.Set("count", m.merged_hist.count)
+            .Set("p50", m.merged_hist.Percentile(50))
+            .Set("p90", m.merged_hist.Percentile(90))
+            .Set("p99", m.merged_hist.Percentile(99));
+      }
+    }
+    mj.WriteFile(cfg.metrics_json);
+  }
 
   bench::JsonWriter json("distributed_pagerank");
   json.meta()
@@ -547,6 +655,13 @@ int main(int argc, char** argv) {
   // FT parity compares two differently-scheduled runs; they agree at the
   // fixed point only under a tight residual tolerance.
   cfg.tolerance = opts.GetDouble("tolerance", cfg.ft ? 1e-13 : 1e-10);
+  cfg.metrics_report = opts.GetBool("metrics-report", false);
+  cfg.metrics_json = opts.GetString("metrics-json", cfg.metrics_json);
+  cfg.trace_out = opts.GetString("trace-out", cfg.trace_out);
+  cfg.trace_categories =
+      opts.GetString("trace-categories", cfg.trace_categories);
+  cfg.trace_buffer = static_cast<size_t>(opts.GetInt(
+      "trace-buffer", static_cast<int64_t>(cfg.trace_buffer)));
   GL_CHECK_GE(cfg.machines, 1u);
 
   if (cfg.role == "worker") return RunWorker(cfg);

@@ -36,6 +36,7 @@
 #include "graphlab/engine/execution_substrate.h"
 #include "graphlab/engine/iengine.h"
 #include "graphlab/graph/local_graph.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/util/dense_bitset.h"
 #include "graphlab/util/timer.h"
 
@@ -181,6 +182,7 @@ class BspEngine final : public EngineBase<LocalGraph<VertexData, EdgeData, Layou
       }
       if (batch.empty()) break;
       active_.Clear();
+      GL_TRACE_SCOPE1(trace::kEngine, "bsp.superstep", "step", step);
 
       if (use_step_fn) {
         // Freeze the previous superstep's values (Pregel semantics).

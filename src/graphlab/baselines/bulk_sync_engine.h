@@ -45,6 +45,7 @@
 #include "graphlab/engine/execution_substrate.h"
 #include "graphlab/engine/iengine.h"
 #include "graphlab/graph/distributed_graph.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/runtime.h"
 #include "graphlab/util/timer.h"
 
@@ -129,6 +130,7 @@ class BulkSyncEngine final
     const auto& owned = graph_->owned_vertices();
     for (uint64_t step = 0;
          max_supersteps == 0 || step < max_supersteps; ++step) {
+      GL_TRACE_SCOPE1(trace::kEngine, "bulk_sync.superstep", "step", step);
       // Compute phase.
       std::vector<LocalVid> batch;
       batch.reserve(owned.size());

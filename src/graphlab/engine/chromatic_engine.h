@@ -33,6 +33,7 @@
 #include "graphlab/engine/iengine.h"
 #include "graphlab/engine/sync.h"
 #include "graphlab/graph/distributed_graph.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/runtime.h"
 #include "graphlab/util/dense_bitset.h"
 #include "graphlab/util/timer.h"
@@ -123,12 +124,15 @@ class ChromaticEngine final
     ctx_.barrier().Wait(ctx_.id);
 
     for (;;) {
+      GL_TRACE_SCOPE1(trace::kEngine, "chromatic.sweep", "sweep", sweeps + 1);
       for (ColorId color = 0; color < num_colors; ++color) {
         // An aborted machine (peer death, AbortAndJoin) stops executing
         // updates but keeps walking the collective call sequence — its
         // barrier/quiescence calls are failure-released or cancelled, so
         // it reaches the sweep-end decision instead of desynchronizing
         // the survivors' barrier generations.
+        GL_TRACE_SCOPE1(trace::kEngine, "chromatic.color_step", "color",
+                        color);
         RunColorStep(color);
         // Close the coalescing window: ship one framed delta batch per
         // peer with anything staged.

@@ -147,18 +147,25 @@ CreateEngine(const std::string& name, rpc::MachineContext ctx,
         "distributed engines require DistributedEngineDeps::allreduce");
   }
   GRAPHLAB_RETURN_IF_ERROR(detail::ValidateEngineOptions(options));
+  // Default the metrics namespace to the machine's transport-owned
+  // registry so cluster aggregation (metrics/metrics_service.h) sees this
+  // engine's counters without any caller plumbing.
+  EngineOptions resolved = options;
+  if (resolved.metrics == nullptr) {
+    resolved.metrics = &ctx.comm().registry(ctx.id);
+  }
   if (name == "chromatic") {
     return EnginePtr(std::make_unique<ChromaticEngine<VertexData, EdgeData, Layout>>(
-        ctx, graph, deps.sync, deps.allreduce, options));
+        ctx, graph, deps.sync, deps.allreduce, resolved));
   }
   if (name == "locking") {
     return EnginePtr(std::make_unique<LockingEngine<VertexData, EdgeData, Layout>>(
-        ctx, graph, deps.sync, deps.allreduce, deps.snapshot, options));
+        ctx, graph, deps.sync, deps.allreduce, deps.snapshot, resolved));
   }
   if (name == "bulk_sync" || name == "bulksync") {
     return EnginePtr(
         std::make_unique<baselines::BulkSyncEngine<VertexData, EdgeData, Layout>>(
-            ctx, graph, deps.allreduce, options));
+            ctx, graph, deps.allreduce, resolved));
   }
   return Status::InvalidArgument(
       "unknown distributed engine: " + name + " (expected " +

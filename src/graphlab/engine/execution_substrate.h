@@ -45,6 +45,7 @@
 #include "graphlab/engine/locking/lock_table.h"
 #include "graphlab/engine/scope_lock_plan.h"
 #include "graphlab/graph/coloring.h"
+#include "graphlab/metrics/metrics.h"
 #include "graphlab/util/logging.h"
 #include "graphlab/util/thread_pool.h"
 #include "graphlab/util/timer.h"
@@ -112,6 +113,11 @@ class ScopeLockTable {
 
   CallbackLockTable& table() { return table_; }
 
+  /// Points the contended-wait instrumentation at a registry-backed
+  /// histogram (lock.stall_ns).  Only the contended slow path records;
+  /// the uncontended TryAcquire fast path stays untouched.
+  void BindStallHistogram(metrics::Histogram* stalls) { stalls_ = stalls; }
+
  private:
   /// Blocks until the lock is held.  Uncontended locks grant through the
   /// inline TryAcquire fast path (one short mutex, no semaphore, no
@@ -121,9 +127,11 @@ class ScopeLockTable {
   /// the lock's waiter queue grows.
   void LockOne(LocalVid u, bool exclusive) {
     if (table_.TryAcquire(u, exclusive)) return;
+    const uint64_t t0 = stalls_ != nullptr ? Timer::NowNanos() : 0;
     std::binary_semaphore held(0);
     table_.Acquire(u, exclusive, [&held] { held.release(); });
     held.acquire();
+    if (stalls_ != nullptr) stalls_->Record(Timer::NowNanos() - t0);
   }
 
   /// Visits the scope lock set of v in canonical ascending order with
@@ -156,6 +164,7 @@ class ScopeLockTable {
 
   CallbackLockTable table_;
   ScopeLockPlan plan_;
+  metrics::Histogram* stalls_ = nullptr;
 };
 
 // ---------------------------------------------------------------------
@@ -315,7 +324,16 @@ class ExecutionSubstrate {
   // ------------------------------------------------------------------
 
   uint64_t CountUpdate() {
+    if (updates_metric_ != nullptr) updates_metric_->Inc();
     return updates_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// Mirrors every CountUpdate() into a registry-backed counter
+  /// (engine.updates) so cluster aggregation sees per-machine update
+  /// counts.  One striped relaxed add per update; the bench-asserted
+  /// fast-path budget (<= 2%, bench_micro_substrate).
+  void BindUpdateCounter(metrics::Counter* updates) {
+    updates_metric_ = updates;
   }
   void AddBusyNanos(uint64_t ns) {
     busy_ns_.fetch_add(ns, std::memory_order_relaxed);
@@ -396,6 +414,7 @@ class ExecutionSubstrate {
     }
   }
 
+  metrics::Counter* updates_metric_ = nullptr;
   std::atomic<uint64_t> updates_{0};
   std::atomic<uint64_t> busy_ns_{0};
   std::atomic<uint64_t> runs_{0};
@@ -421,6 +440,13 @@ class EngineBase : public IEngine<Graph> {
  public:
   explicit EngineBase(EngineOptions options) : options_(std::move(options)) {
     if (options_.num_threads == 0) options_.num_threads = 1;
+    // Resolve the metrics namespace once: the distributed factory passes
+    // the machine's transport-owned registry, everything else reports to
+    // the process-global default.  Counter pointers are cached here so
+    // the per-event cost is one striped relaxed add.
+    metrics_ = options_.metrics != nullptr ? options_.metrics
+                                           : metrics::Default();
+    substrate_.BindUpdateCounter(metrics_->counter("engine.updates"));
   }
 
   void SetUpdateFn(UpdateFn<Graph> fn) override {
@@ -470,6 +496,7 @@ class EngineBase : public IEngine<Graph> {
   void EnsureScopePlan(const G& graph, size_t num_vertices,
                        ScopeLockTable* locks) {
     if (!options_.enforce_consistency) return;
+    locks->BindStallHistogram(metrics_->histogram("lock.stall_ns"));
     if (locks->plan().compiled() &&
         locks->plan().model() == options_.consistency) {
       return;
@@ -509,8 +536,12 @@ class EngineBase : public IEngine<Graph> {
       size_t num_vertices, const std::string& default_name) const {
     auto scheduler = CreateScheduler(options_, num_vertices, default_name);
     GL_CHECK(scheduler.ok()) << scheduler.status().ToString();
+    scheduler.value()->BindStealCounter(metrics_->counter("sched.steals"));
     return std::move(scheduler.value());
   }
+
+  /// The resolved metrics namespace (never null; see the constructor).
+  metrics::MetricsRegistry* metrics_registry() const { return metrics_; }
 
   /// Runs the boundary hook (if any); a non-OK status flags a
   /// cooperative abort.  Collective engines call this at their aligned,
@@ -533,6 +564,7 @@ class EngineBase : public IEngine<Graph> {
   }
 
   EngineOptions options_;
+  metrics::MetricsRegistry* metrics_ = nullptr;
   ExecutionSubstrate substrate_;
   UpdateFn<Graph> update_fn_;
   typename IEngine<Graph>::BoundaryHook boundary_hook_;

@@ -28,6 +28,7 @@ enum EngineHandlers : rpc::HandlerId {
   kSnapshotTriggerHandler = 28,  // coordinator-initiated snapshot trigger
   kCheckpointControlHandler = 29,  // checkpoint decide/done/commit protocol
   kRecoveryControlHandler = 30,    // recovery rendezvous enter/release
+  kMetricsSnapshotHandler = 31,    // metrics registry snapshot -> master
 };
 
 }  // namespace graphlab

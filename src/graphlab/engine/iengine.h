@@ -38,6 +38,10 @@
 
 namespace graphlab {
 
+namespace metrics {
+class MetricsRegistry;
+}  // namespace metrics
+
 /// Snapshot strategies of Sec. 4.3 (locking engine only).
 enum class SnapshotMode { kNone, kSynchronous, kAsynchronous };
 
@@ -124,6 +128,14 @@ struct EngineOptions {
   /// cost.  Both 0 = no periodic checkpoints.
   double checkpoint_interval_seconds = 0;
   double mtbf_seconds = 0;
+
+  /// Metrics namespace the engine (and the scheduler / GAS runtime it
+  /// hosts) reports through: engine.updates, sched.steals, lock.stall_ns,
+  /// gas.cache_hits...  nullptr resolves to the machine's registry on the
+  /// distributed CreateEngine path (rpc/transport.h) and to
+  /// metrics::Default() otherwise, so reporting is always on; the cost is
+  /// one relaxed striped increment per event.
+  metrics::MetricsRegistry* metrics = nullptr;
 };
 
 /// Point-in-time counters exposed by every engine.

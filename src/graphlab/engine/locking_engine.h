@@ -36,6 +36,7 @@
 #include "graphlab/engine/snapshot.h"
 #include "graphlab/engine/sync.h"
 #include "graphlab/graph/distributed_graph.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/runtime.h"
 #include "graphlab/scheduler/scheduler.h"
 #include "graphlab/util/dense_bitset.h"
@@ -136,6 +137,7 @@ class LockingEngine final
     GL_CHECK(this->update_fn_) << "no update function";
     GL_CHECK_EQ(max_updates, uint64_t{0})
         << "locking engine runs to the distributed termination consensus";
+    GL_TRACE_SCOPE(trace::kEngine, "locking.run");
     Timer timer;
     // Bracket the whole run — including the collective teardown after the
     // workers join — so AbortAndJoin() callers cannot observe Start() as
@@ -407,6 +409,7 @@ class LockingEngine final
   /// Stop-the-world snapshot: drain local work, flush channels cluster
   /// wide, journal, resume (Sec. 4.3 synchronous strategy).
   void PerformSyncSnapshot() {
+    GL_TRACE_SCOPE(trace::kSnapshot, "locking.sync_snapshot");
     snapshot_fired_ = true;  // on non-coordinator machines
     paused_.store(true, std::memory_order_release);
     while (!(in_pipeline_.load(std::memory_order_acquire) == 0 &&

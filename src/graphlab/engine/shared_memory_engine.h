@@ -23,6 +23,7 @@
 #include "graphlab/engine/execution_substrate.h"
 #include "graphlab/engine/iengine.h"
 #include "graphlab/graph/local_graph.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/scheduler/scheduler.h"
 #include "graphlab/util/timer.h"
 
@@ -70,6 +71,8 @@ class SharedMemoryEngine final : public EngineBase<LocalGraph<VertexData, EdgeDa
   /// calls, so convergence curves can be sampled by running in slices.
   RunResult Start(uint64_t max_updates = 0) override {
     GL_CHECK(this->update_fn_) << "no update function";
+    GL_TRACE_SCOPE1(trace::kEngine, "shared_memory.run", "max_updates",
+                    max_updates);
     Timer timer;
     const double busy_before = this->substrate_.busy_seconds();
     // Compile the flat scope-lock plan once per (graph, model) pair so

@@ -42,6 +42,8 @@
 #include "graphlab/engine/handler_ids.h"
 #include "graphlab/engine/snapshot.h"
 #include "graphlab/fault/options.h"
+#include "graphlab/metrics/metrics.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/comm_layer.h"
 #include "graphlab/util/status.h"
 #include "graphlab/util/timer.h"
@@ -109,6 +111,7 @@ class CheckpointCoordinator {
         WaitFor(round, [&](const RoundState& r) { return r.have_decision; },
                 [&](const RoundState& r) { epoch = r.epoch; }));
     if (epoch == 0) return Status::OK();
+    GL_TRACE_SCOPE1(trace::kFault, "fault.checkpoint", "epoch", epoch);
 
     // WRITE: journals are already globally consistent (boundary
     // precondition); each machine persists its owned partition.
@@ -149,6 +152,9 @@ class CheckpointCoordinator {
     checkpoints_written_++;
     const double cost = round_timer.Seconds();
     checkpoint_seconds_ += cost;
+    comm_->registry(ctx_.id)
+        .histogram("fault.checkpoint_ms")
+        ->Record(static_cast<uint64_t>(cost * 1e3));
     t_checkpoint_ = (t_checkpoint_ + cost) / 2.0;  // smoothed measurement
     since_checkpoint_ = Timer();
     return Status::OK();

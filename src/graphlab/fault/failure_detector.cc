@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/util/logging.h"
 
 namespace graphlab {
@@ -16,6 +17,7 @@ FailureDetector::FailureDetector(rpc::CommLayer* comm, rpc::MachineId me,
       std::chrono::milliseconds(options.heartbeat_timeout_ms));
   membership_token_ = comm_->membership().Subscribe(
       [this](rpc::MachineId down, uint64_t) {
+        GL_TRACE_INSTANT1(trace::kFault, "fault.peer_down", "machine", down);
         deaths_.fetch_add(1, std::memory_order_acq_rel);
         PeerDownFn fn;
         {

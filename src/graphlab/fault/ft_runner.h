@@ -67,6 +67,8 @@
 #include "graphlab/fault/recovery.h"
 #include "graphlab/graph/atom.h"
 #include "graphlab/graph/distributed_graph.h"
+#include "graphlab/metrics/metrics.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/runtime.h"
 #include "graphlab/util/timer.h"
 
@@ -182,7 +184,9 @@ class FaultTolerantRunner {
 
       const bool saw_failure =
           !st.ok() || failure_observed_.load(std::memory_order_acquire);
+      GL_TRACE_BEGIN(trace::kFault, "fault.rendezvous");
       outcome = rendezvous_.Arrive(me, ++seq, saw_failure);
+      GL_TRACE_END(trace::kFault, "fault.rendezvous");
       if (!outcome.ok()) return outcome.status();
       if (!outcome->any_failure) return report;  // collective success
 
@@ -207,48 +211,58 @@ class FaultTolerantRunner {
     const rpc::MachineId me = ctx_.id;
     Timer recovery_timer;
     const bool restoring = report->recoveries > 0;
+    if (restoring) GL_TRACE_BEGIN(trace::kFault, "fault.recovery");
 
-    // Drain: flush every surviving channel before touching the graph, so
-    // no stale ghost frame from the aborted run can race the rebuild.
-    if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
-    if (!ctx_.comm().WaitQuiescent()) return Status::Aborted("peer died");
-    if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+    {
+      // Drain: flush every surviving channel before touching the graph,
+      // so no stale ghost frame from the aborted run can race the rebuild.
+      GL_TRACE_SCOPE(trace::kFault, "fault.drain");
+      if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+      if (!ctx_.comm().WaitQuiescent()) return Status::Aborted("peer died");
+      if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+    }
 
     // Channels are proven empty: now it is safe to tear down the previous
     // attempt's checkpoint coordinator (its RPC handler must outlive any
     // in-flight checkpoint control frame).
     checkpoint_.reset();
 
-    // Rebuild: same atoms, surviving machines.
-    std::vector<rpc::MachineId> placement =
-        PlaceAtomsOnMachines(problem.meta, alive);
-    GRAPHLAB_RETURN_IF_ERROR(problem.build(graph, placement));
-    // All partitions rebuilt before anyone pushes restored ghosts.
-    if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+    {
+      // Rebuild: same atoms, surviving machines.
+      GL_TRACE_SCOPE(trace::kFault, "fault.rebuild");
+      std::vector<rpc::MachineId> placement =
+          PlaceAtomsOnMachines(problem.meta, alive);
+      GRAPHLAB_RETURN_IF_ERROR(problem.build(graph, placement));
+      // All partitions rebuilt before anyone pushes restored ghosts.
+      if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+    }
 
     // Restore from the last committed epoch (if checkpointing is on and
     // one exists), then re-sync ghost replicas cluster-wide.
     std::unique_ptr<SnapshotManager<VertexData, EdgeData>> snapshots;
     uint32_t base_epoch = 0;
-    if (!options_.snapshot_dir.empty()) {
-      snapshots = std::make_unique<SnapshotManager<VertexData, EdgeData>>(
-          ctx_, graph, options_.snapshot_dir);
-      auto manifest = ReadSnapshotManifest(options_.snapshot_dir);
-      if (manifest.ok()) {
-        base_epoch = manifest->epoch;
-        if (restoring) {
-          GRAPHLAB_RETURN_IF_ERROR(
-              snapshots->RestoreFrom(manifest->epoch, manifest->machines));
-          snapshots->RepushOwnedScopes();
-          report->restored_epoch = manifest->epoch;
+    {
+      GL_TRACE_SCOPE(trace::kFault, "fault.restore");
+      if (!options_.snapshot_dir.empty()) {
+        snapshots = std::make_unique<SnapshotManager<VertexData, EdgeData>>(
+            ctx_, graph, options_.snapshot_dir);
+        auto manifest = ReadSnapshotManifest(options_.snapshot_dir);
+        if (manifest.ok()) {
+          base_epoch = manifest->epoch;
+          if (restoring) {
+            GRAPHLAB_RETURN_IF_ERROR(
+                snapshots->RestoreFrom(manifest->epoch, manifest->machines));
+            snapshots->RepushOwnedScopes();
+            report->restored_epoch = manifest->epoch;
+          }
+        } else if (manifest.status().code() != StatusCode::kNotFound) {
+          return manifest.status();
         }
-      } else if (manifest.status().code() != StatusCode::kNotFound) {
-        return manifest.status();
       }
+      if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+      if (!ctx_.comm().WaitQuiescent()) return Status::Aborted("peer died");
+      if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
     }
-    if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
-    if (!ctx_.comm().WaitQuiescent()) return Status::Aborted("peer died");
-    if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
 
     // Resume: fresh engine for the new membership.  The snapshot manager
     // and coordinator are runner members so their RPC handler outlives
@@ -259,6 +273,7 @@ class FaultTolerantRunner {
     auto engine = CreateEngine(problem.engine, ctx_, graph,
                                problem.engine_options, deps);
     GRAPHLAB_RETURN_IF_ERROR(engine.status());
+    GL_TRACE_BEGIN(trace::kFault, "fault.resume");
 
     if (snapshots_ != nullptr) {
       checkpoint_ =
@@ -290,7 +305,13 @@ class FaultTolerantRunner {
     }
     if (report->recoveries > 0 && report->recovery_seconds == 0) {
       report->recovery_seconds = recovery_timer.Seconds();
+      ctx_.comm()
+          .registry(me)
+          .histogram("fault.recovery_ms")
+          ->Record(static_cast<uint64_t>(report->recovery_seconds * 1e3));
     }
+    GL_TRACE_END(trace::kFault, "fault.resume");
+    if (restoring) GL_TRACE_END(trace::kFault, "fault.recovery");
 
     RunResult result = (*engine)->Start();
     {

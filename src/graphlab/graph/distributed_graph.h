@@ -82,8 +82,9 @@
 #include "graphlab/graph/local_graph.h"
 #include "graphlab/graph/storage.h"
 #include "graphlab/graph/types.h"
+#include "graphlab/metrics/metrics.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/comm_layer.h"
-#include "graphlab/util/stats.h"
 
 namespace graphlab {
 
@@ -396,7 +397,7 @@ class DistributedGraph {
         if (!frame.empty()) {
           OutArchive oa;
           frame.Encode(&oa);
-          delta_batches_sent_.fetch_add(1, std::memory_order_relaxed);
+          if (delta_batches_metric_ != nullptr) delta_batches_metric_->Inc();
           comm_->Send(me_, dst, kDataPushHandler, std::move(oa));
           frame.Clear();
         }
@@ -409,6 +410,7 @@ class DistributedGraph {
   /// color-step / superstep, before the communication barrier).  No-op
   /// for peers with empty buffers and in kPerScope mode.
   void FlushDeltas() {
+    GL_TRACE_SCOPE(trace::kRpc, "graph.flush_deltas");
     for (rpc::MachineId m = 0; m < stages_.size(); ++m) {
       PeerStage& st = *stages_[m];
       std::lock_guard<std::mutex> lock(st.mutex);
@@ -451,10 +453,14 @@ class DistributedGraph {
   /// writes that merged into an existing entry (re-writes within a flush
   /// window that per-scope mode would have transmitted separately).
   uint64_t delta_batches_sent() const {
-    return delta_batches_sent_.load(std::memory_order_relaxed);
+    return delta_batches_metric_ == nullptr
+               ? 0
+               : delta_batches_metric_->Value() - delta_batches_base_;
   }
   uint64_t coalesced_merges() const {
-    return coalesced_merges_.load(std::memory_order_relaxed);
+    return coalesced_merges_metric_ == nullptr
+               ? 0
+               : coalesced_merges_metric_->Value() - coalesced_merges_base_;
   }
 
   /// Registers callbacks fired (from the comm dispatch thread) whenever a
@@ -682,7 +688,7 @@ class DistributedGraph {
       st.approx_bytes += blob.size() - f.vblob[it->second].size();
       f.vversion[it->second] = version;
       f.vblob[it->second] = blob;
-      coalesced_merges_.fetch_add(1, std::memory_order_relaxed);
+      if (coalesced_merges_metric_ != nullptr) coalesced_merges_metric_->Inc();
     }
     if (st.approx_bytes >= ghost_batch_bytes_) FlushStageLocked(dst, &st);
   }
@@ -701,7 +707,7 @@ class DistributedGraph {
       st.approx_bytes += blob.size() - f.eblob[it->second].size();
       f.eversion[it->second] = version;
       f.eblob[it->second] = blob;
-      coalesced_merges_.fetch_add(1, std::memory_order_relaxed);
+      if (coalesced_merges_metric_ != nullptr) coalesced_merges_metric_->Inc();
     }
     if (st.approx_bytes >= ghost_batch_bytes_) FlushStageLocked(dst, &st);
   }
@@ -715,7 +721,7 @@ class DistributedGraph {
     st->vslot.clear();
     st->eslot.clear();
     st->approx_bytes = 0;
-    delta_batches_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (delta_batches_metric_ != nullptr) delta_batches_metric_->Inc();
     comm_->Send(me_, dst, kDataPushHandler, std::move(oa));
   }
 
@@ -796,6 +802,15 @@ class DistributedGraph {
     for (size_t m = 0; m < comm_->num_machines(); ++m) {
       stages_.push_back(std::make_unique<PeerStage>());
     }
+    // Bind the coalescing counters to this machine's registry.  The
+    // registry outlives and is shared across graph instances on the same
+    // machine, so the per-instance accessors below subtract the value at
+    // bind time.
+    metrics::MetricsRegistry& reg = comm_->registry(me_);
+    delta_batches_metric_ = reg.counter("graph.delta_batches_sent");
+    coalesced_merges_metric_ = reg.counter("graph.coalesced_merges");
+    delta_batches_base_ = delta_batches_metric_->Value();
+    coalesced_merges_base_ = coalesced_merges_metric_->Value();
     RegisterHandler();
     return Status::OK();
   }
@@ -904,8 +919,13 @@ class DistributedGraph {
   GhostSyncMode ghost_sync_mode_ = GhostSyncMode::kPerScope;
   size_t ghost_batch_bytes_ = kDefaultGhostBatchBytes;
   std::vector<std::unique_ptr<PeerStage>> stages_;
-  std::atomic<uint64_t> delta_batches_sent_{0};
-  std::atomic<uint64_t> coalesced_merges_{0};
+  // Registry-backed coalescing counters (null until Ingest binds them);
+  // the bases let accessors report per-instance counts off the shared
+  // per-machine registry.
+  metrics::Counter* delta_batches_metric_ = nullptr;
+  metrics::Counter* coalesced_merges_metric_ = nullptr;
+  uint64_t delta_batches_base_ = 0;
+  uint64_t coalesced_merges_base_ = 0;
 
   // Coherence listener (set before Start(); fired from the dispatch
   // thread while it holds no graph locks).

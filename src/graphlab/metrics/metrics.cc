@@ -1,0 +1,213 @@
+#include "graphlab/metrics/metrics.h"
+
+#include <algorithm>
+
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+namespace metrics {
+
+namespace detail {
+
+size_t StripeIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return idx;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+uint64_t Histogram::BucketLowerBound(uint32_t index) {
+  if (index < kSubBuckets) return index;
+  const uint32_t octave = index >> kSubBits;
+  const uint32_t sub = index & (kSubBuckets - 1);
+  const uint32_t msb = octave + kSubBits - 1;
+  return (uint64_t{1} << msb) + (static_cast<uint64_t>(sub) << (msb - kSubBits));
+}
+
+uint64_t Histogram::BucketUpperBound(uint32_t index) {
+  if (index < kSubBuckets) return index + 1;
+  const uint32_t octave = index >> kSubBits;
+  const uint32_t msb = octave + kSubBits - 1;
+  return BucketLowerBound(index) + (uint64_t{1} << (msb - kSubBits));
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData d;
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) d.buckets.emplace_back(i, c);
+  }
+  return d;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramData::Percentile(double p) const {
+  uint64_t total = 0;
+  for (const auto& [idx, c] : buckets) total += c;
+  if (total == 0) return 0.0;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(total);
+  uint64_t seen = 0;
+  for (const auto& [idx, c] : buckets) {
+    if (static_cast<double>(seen + c) >= target) {
+      // Interpolate linearly within the bucket's sample range.
+      const double lo = static_cast<double>(Histogram::BucketLowerBound(idx));
+      const double hi = static_cast<double>(Histogram::BucketUpperBound(idx));
+      const double frac =
+          c == 0 ? 0.0
+                 : (target - static_cast<double>(seen)) / static_cast<double>(c);
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return static_cast<double>(
+      Histogram::BucketUpperBound(buckets.back().first));
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  count += other.count;
+  sum += other.sum;
+  std::vector<std::pair<uint32_t, uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  size_t i = 0, j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j == other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first,
+                          buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+void HistogramData::Save(OutArchive* oa) const {
+  *oa << count << sum << buckets;
+}
+
+void HistogramData::Load(InArchive* ia) {
+  *ia >> count >> sum >> buckets;
+}
+
+// ---------------------------------------------------------------------
+// MetricSnapshot
+// ---------------------------------------------------------------------
+
+void MetricSnapshot::Save(OutArchive* oa) const {
+  *oa << name << kind << counter << gauge << hist;
+}
+
+void MetricSnapshot::Load(InArchive* ia) {
+  *ia >> name >> kind >> counter >> gauge >> hist;
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    GL_CHECK(it->second.kind == kind)
+        << "metric '" << name << "' registered as "
+        << MetricKindName(it->second.kind) << ", requested as "
+        << MetricKindName(kind);
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  return FindOrCreate(name, MetricKind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  return FindOrCreate(name, MetricKind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  return FindOrCreate(name, MetricKind::kHistogram)->histogram.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  snap.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        m.counter = entry.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        m.gauge = entry.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        m.hist = entry.histogram->Snapshot();
+        break;
+    }
+    snap.push_back(std::move(m));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+MetricsRegistry* Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace metrics
+}  // namespace graphlab

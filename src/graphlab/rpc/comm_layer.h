@@ -124,6 +124,14 @@ class CommLayer {
     return transport_->StallActive(machine);
   }
 
+  /// Per-(cluster, machine) metrics namespace.  `m` must be hosted by
+  /// this transport.  Engines, the distributed graph and the fault
+  /// runtime register their counters/histograms here so one snapshot
+  /// captures the whole machine.
+  metrics::MetricsRegistry& registry(MachineId m) {
+    return transport_->registry(m);
+  }
+
   /// Traffic accounting.  Machines the transport does not host report
   /// zeros.
   CommStats GetStats(MachineId machine) const {

@@ -2,24 +2,52 @@
 
 #include <algorithm>
 
+#include "graphlab/metrics/metrics.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/util/logging.h"
 
 namespace graphlab {
 namespace rpc {
 
 struct InProcessTransport::MachineState {
-  explicit MachineState(size_t num_machines)
-      : sent_to(num_machines), sent_bytes_to(num_machines),
-        received_from(num_machines), received_bytes_from(num_machines) {}
+  explicit MachineState(size_t num_machines) {
+    // Traffic accounting lives in the machine's metrics registry; the
+    // pointers are resolved once here so the send path pays only relaxed
+    // striped increments.
+    msgs_sent = registry.counter("rpc.messages_sent");
+    bytes_sent = registry.counter("rpc.bytes_sent");
+    msgs_received = registry.counter("rpc.messages_received");
+    bytes_received = registry.counter("rpc.bytes_received");
+    peers.resize(num_machines);
+    for (size_t p = 0; p < num_machines; ++p) {
+      const std::string sp = std::to_string(p);
+      peers[p].sent_msgs = registry.counter("rpc.to." + sp + ".messages");
+      peers[p].sent_bytes = registry.counter("rpc.to." + sp + ".bytes");
+      peers[p].recv_msgs = registry.counter("rpc.from." + sp + ".messages");
+      peers[p].recv_bytes = registry.counter("rpc.from." + sp + ".bytes");
+    }
+  }
 
   TimedQueue<Message> inbox;
   std::thread dispatcher;
 
-  // Per-peer accounting: slot [p] counts traffic to/from machine p.
-  std::vector<std::atomic<uint64_t>> sent_to;
-  std::vector<std::atomic<uint64_t>> sent_bytes_to;
-  std::vector<std::atomic<uint64_t>> received_from;
-  std::vector<std::atomic<uint64_t>> received_bytes_from;
+  /// This machine's metric namespace (rpc traffic below, plus whatever
+  /// the engines/graph/fault subsystem running as this machine register).
+  metrics::MetricsRegistry registry;
+
+  // Registry-backed traffic counters: aggregates + per-peer breakdown
+  // (slot [p] counts traffic to/from machine p).
+  struct PeerCounters {
+    metrics::Counter* sent_msgs = nullptr;
+    metrics::Counter* sent_bytes = nullptr;
+    metrics::Counter* recv_msgs = nullptr;
+    metrics::Counter* recv_bytes = nullptr;
+  };
+  metrics::Counter* msgs_sent = nullptr;
+  metrics::Counter* bytes_sent = nullptr;
+  metrics::Counter* msgs_received = nullptr;
+  metrics::Counter* bytes_received = nullptr;
+  std::vector<PeerCounters> peers;
 
   // Stall deadline in steady-clock nanoseconds; 0 = no stall.
   std::atomic<uint64_t> stall_until_ns{0};
@@ -35,12 +63,6 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
-}
-
-uint64_t SumCounters(const std::vector<std::atomic<uint64_t>>& v) {
-  uint64_t total = 0;
-  for (const auto& c : v) total += c.load(std::memory_order_relaxed);
-  return total;
 }
 }  // namespace
 
@@ -105,11 +127,15 @@ void InProcessTransport::Send(MachineId src, MachineId dst, HandlerId handler,
   const uint64_t wire_bytes = msg.payload.size() + kMessageHeaderBytes;
   MachineState& s = *machines_[src];
   MachineState& d = *machines_[dst];
-  s.sent_to[dst].fetch_add(1, std::memory_order_relaxed);
-  s.sent_bytes_to[dst].fetch_add(wire_bytes, std::memory_order_relaxed);
-  d.received_from[src].fetch_add(1, std::memory_order_relaxed);
-  d.received_bytes_from[src].fetch_add(wire_bytes,
-                                       std::memory_order_relaxed);
+  s.msgs_sent->Inc();
+  s.bytes_sent->Inc(wire_bytes);
+  s.peers[dst].sent_msgs->Inc();
+  s.peers[dst].sent_bytes->Inc(wire_bytes);
+  d.msgs_received->Inc();
+  d.bytes_received->Inc(wire_bytes);
+  d.peers[src].recv_msgs->Inc();
+  d.peers[src].recv_bytes->Inc(wire_bytes);
+  GL_TRACE_INSTANT1(trace::kRpc, "send", "bytes", wire_bytes);
 
   // Delivery time = max(now, nic_free) + serialization delay + latency.
   uint64_t now = NowNs();
@@ -140,6 +166,10 @@ void InProcessTransport::Send(MachineId src, MachineId dst, HandlerId handler,
 }
 
 void InProcessTransport::DispatchLoop(MachineId machine) {
+  // Identity for logs and traces: this thread acts as `machine`.
+  SetThreadLogMachineId(static_cast<int>(machine));
+  SetThreadName("dispatch-" + std::to_string(machine));
+  trace::MachineScope machine_scope(static_cast<uint32_t>(machine));
   MachineState& m = *machines_[machine];
   for (;;) {
     auto msg = m.inbox.Pop();
@@ -166,8 +196,11 @@ void InProcessTransport::DispatchLoop(MachineId machine) {
       continue;
     }
 
-    InArchive ia(msg->payload);
-    sink_(machine, msg->src, msg->handler, ia);
+    {
+      GL_TRACE_SCOPE1(trace::kRpc, "dispatch", "handler", msg->handler);
+      InArchive ia(msg->payload);
+      sink_(machine, msg->src, msg->handler, ia);
+    }
     delivered_.fetch_add(1, std::memory_order_acq_rel);
   }
 }
@@ -178,6 +211,7 @@ bool InProcessTransport::IsQuiescent() {
 }
 
 bool InProcessTransport::WaitQuiescent() {
+  GL_TRACE_SCOPE(trace::kRpc, "wait_quiescent");
   // Two consecutive stable observations guard against handlers that send.
   // A membership change during the wait unblocks with false so callers
   // can surface the fault instead of waiting on a dead machine.
@@ -209,6 +243,7 @@ void InProcessTransport::MarkPeerDown(MachineId peer) {
     return;
   }
   down_version_.fetch_add(1, std::memory_order_acq_rel);
+  GL_TRACE_INSTANT1(trace::kFault, "peer_down", "peer", peer);
   PeerDownCallback cb;
   {
     std::lock_guard<std::mutex> lock(peer_down_mutex_);
@@ -248,10 +283,10 @@ CommStats InProcessTransport::GetStats(MachineId machine) const {
   GL_CHECK_LT(machine, num_machines_);
   const MachineState& m = *machines_[machine];
   CommStats st;
-  st.messages_sent = SumCounters(m.sent_to);
-  st.bytes_sent = SumCounters(m.sent_bytes_to);
-  st.messages_received = SumCounters(m.received_from);
-  st.bytes_received = SumCounters(m.received_bytes_from);
+  st.messages_sent = m.msgs_sent->Value();
+  st.bytes_sent = m.bytes_sent->Value();
+  st.messages_received = m.msgs_received->Value();
+  st.bytes_received = m.bytes_received->Value();
   return st;
 }
 
@@ -262,25 +297,32 @@ std::vector<PeerCommStats> InProcessTransport::GetPeerStats(
   std::vector<PeerCommStats> out(num_machines_);
   for (MachineId p = 0; p < num_machines_; ++p) {
     out[p].peer = p;
-    out[p].messages_sent = m.sent_to[p].load(std::memory_order_relaxed);
-    out[p].bytes_sent = m.sent_bytes_to[p].load(std::memory_order_relaxed);
-    out[p].messages_received =
-        m.received_from[p].load(std::memory_order_relaxed);
-    out[p].bytes_received =
-        m.received_bytes_from[p].load(std::memory_order_relaxed);
+    out[p].messages_sent = m.peers[p].sent_msgs->Value();
+    out[p].bytes_sent = m.peers[p].sent_bytes->Value();
+    out[p].messages_received = m.peers[p].recv_msgs->Value();
+    out[p].bytes_received = m.peers[p].recv_bytes->Value();
   }
   return out;
 }
 
 void InProcessTransport::ResetStats() {
   for (auto& m : machines_) {
-    for (MachineId p = 0; p < num_machines_; ++p) {
-      m->sent_to[p].store(0, std::memory_order_relaxed);
-      m->sent_bytes_to[p].store(0, std::memory_order_relaxed);
-      m->received_from[p].store(0, std::memory_order_relaxed);
-      m->received_bytes_from[p].store(0, std::memory_order_relaxed);
+    m->msgs_sent->Reset();
+    m->bytes_sent->Reset();
+    m->msgs_received->Reset();
+    m->bytes_received->Reset();
+    for (auto& p : m->peers) {
+      p.sent_msgs->Reset();
+      p.sent_bytes->Reset();
+      p.recv_msgs->Reset();
+      p.recv_bytes->Reset();
     }
   }
+}
+
+metrics::MetricsRegistry& InProcessTransport::registry(MachineId m) {
+  GL_CHECK_LT(m, num_machines_);
+  return machines_[m]->registry;
 }
 
 }  // namespace rpc

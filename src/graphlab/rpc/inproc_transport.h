@@ -75,6 +75,7 @@ class InProcessTransport final : public ITransport {
   CommStats GetStats(MachineId machine) const override;
   std::vector<PeerCommStats> GetPeerStats(MachineId machine) const override;
   void ResetStats() override;
+  metrics::MetricsRegistry& registry(MachineId m) override;
   uint64_t TotalDelivered() const override {
     return delivered_.load(std::memory_order_acquire);
   }

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/tcp_transport.h"
 #include "graphlab/util/logging.h"
 
@@ -16,7 +17,9 @@ Barrier& MachineContext::barrier() const { return runtime->barrier(id); }
 TerminationDetector& MachineContext::termination() const {
   return runtime->termination(id);
 }
-StatsRegistry& MachineContext::stats() const { return runtime->stats(id); }
+metrics::MetricsRegistry& MachineContext::metrics() const {
+  return runtime->metrics(id);
+}
 const ClusterOptions& MachineContext::options() const {
   return runtime->options();
 }
@@ -56,10 +59,6 @@ Runtime::Runtime(ClusterOptions options) : options_(options) {
   for (auto& comm : comms_) {
     barriers_.push_back(std::make_unique<Barrier>(comm.get()));
     terminations_.push_back(std::make_unique<TerminationDetector>(comm.get()));
-  }
-  stats_.reserve(options_.num_machines);
-  for (size_t i = 0; i < options_.num_machines; ++i) {
-    stats_.push_back(std::make_unique<StatsRegistry>());
   }
   for (auto& comm : comms_) comm->Start();
 }
@@ -103,6 +102,11 @@ void Runtime::Run(const std::function<void(MachineContext&)>& program) {
   threads.reserve(local_machines_.size());
   for (MachineId m : local_machines_) {
     threads.emplace_back([this, m, &program] {
+      // Tag the program thread so GL_LOG lines and trace events from
+      // multi-machine in-process runs are attributable to a machine.
+      SetThreadLogMachineId(static_cast<int>(m));
+      SetThreadName("machine-" + std::to_string(m));
+      trace::MachineScope trace_machine(static_cast<uint32_t>(m));
       MachineContext ctx;
       ctx.id = m;
       ctx.runtime = this;

@@ -2,7 +2,7 @@
 //
 // Runtime: owns one machine's (or, in simulation, a whole cluster's) view
 // of the message fabric — CommLayer + barrier + termination detector +
-// per-machine stats — and executes SPMD programs on it, mirroring the
+// per-machine metrics — and executes SPMD programs on it, mirroring the
 // paper's symmetric process design (Sec. 4.4: "one instance of the
 // GraphLab program is executed on each machine").
 //
@@ -33,11 +33,11 @@
 #include <memory>
 #include <vector>
 
+#include "graphlab/metrics/metrics.h"
 #include "graphlab/rpc/barrier.h"
 #include "graphlab/rpc/comm_layer.h"
 #include "graphlab/rpc/termination.h"
 #include "graphlab/rpc/transport.h"
-#include "graphlab/util/stats.h"
 
 namespace graphlab {
 namespace rpc {
@@ -73,7 +73,7 @@ struct MachineContext {
   CommLayer& comm() const;
   Barrier& barrier() const;
   TerminationDetector& termination() const;
-  StatsRegistry& stats() const;
+  metrics::MetricsRegistry& metrics() const;
   const ClusterOptions& options() const;
 };
 
@@ -107,7 +107,11 @@ class Runtime {
   TerminationDetector& termination(MachineId m) {
     return *terminations_[FabricIndex(m)];
   }
-  StatsRegistry& stats(MachineId m) { return *stats_[m]; }
+  /// The per-machine metrics namespace, owned by the machine's transport
+  /// (one registry per hosted machine; see rpc/transport.h).
+  metrics::MetricsRegistry& metrics(MachineId m) {
+    return comms_[FabricIndex(m)]->registry(m);
+  }
 
   /// Legacy shared-fabric accessors (simulated transport, where one
   /// CommLayer serves the whole cluster).
@@ -125,7 +129,6 @@ class Runtime {
   std::vector<std::unique_ptr<CommLayer>> comms_;
   std::vector<std::unique_ptr<Barrier>> barriers_;
   std::vector<std::unique_ptr<TerminationDetector>> terminations_;
-  std::vector<std::unique_ptr<StatsRegistry>> stats_;
   std::vector<MachineId> local_machines_;
 };
 

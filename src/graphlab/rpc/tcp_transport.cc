@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/util/logging.h"
 
 namespace graphlab {
@@ -162,12 +163,13 @@ struct TcpTransport::Peer {
   std::thread send_thread;
   std::atomic<int> send_fd{-1};
 
-  // Data-frame traffic accounting (control frames excluded).  Resettable
-  // bench/stats counters.
-  std::atomic<uint64_t> messages_sent{0};
-  std::atomic<uint64_t> bytes_sent{0};
-  std::atomic<uint64_t> messages_received{0};
-  std::atomic<uint64_t> bytes_received{0};
+  // Data-frame traffic accounting (control frames excluded).  Cached
+  // lookups into the machine's metrics registry ("rpc.to.<p>.*" /
+  // "rpc.from.<p>.*"); resettable through ResetStats.
+  metrics::Counter* sent_msgs = nullptr;
+  metrics::Counter* sent_bytes = nullptr;
+  metrics::Counter* recv_msgs = nullptr;
+  metrics::Counter* recv_bytes = nullptr;
 
   // Quiescence accounting (never reset): data frames sent TO this peer
   // and data frames FROM this peer whose handler completed.  Subtracted
@@ -194,10 +196,20 @@ TcpTransport::TcpTransport(TcpOptions options)
       connect_timeout_(options.connect_timeout) {
   GL_CHECK_GE(endpoints_.size(), 1u) << "TcpOptions::endpoints empty";
   GL_CHECK_LT(me_, endpoints_.size());
+  msgs_sent_ = registry_.counter("rpc.messages_sent");
+  bytes_sent_ = registry_.counter("rpc.bytes_sent");
+  msgs_received_ = registry_.counter("rpc.messages_received");
+  bytes_received_ = registry_.counter("rpc.bytes_received");
   peers_.reserve(endpoints_.size());
   for (size_t i = 0; i < endpoints_.size(); ++i) {
     peers_.push_back(std::make_unique<Peer>());
-    peers_.back()->id = static_cast<MachineId>(i);
+    Peer& peer = *peers_.back();
+    peer.id = static_cast<MachineId>(i);
+    const std::string p = std::to_string(i);
+    peer.sent_msgs = registry_.counter("rpc.to." + p + ".messages");
+    peer.sent_bytes = registry_.counter("rpc.to." + p + ".bytes");
+    peer.recv_msgs = registry_.counter("rpc.from." + p + ".messages");
+    peer.recv_bytes = registry_.counter("rpc.from." + p + ".bytes");
   }
   if (options.listen_fd >= 0) {
     listen_fd_ = options.listen_fd;
@@ -416,10 +428,10 @@ void TcpTransport::ReceiveLoop(int fd) {
     peer.last_heard_ns.store(SteadyNowNs(), std::memory_order_release);
     switch (h.type) {
       case kFrameData: {
-        peer.messages_received.fetch_add(1, std::memory_order_relaxed);
-        peer.bytes_received.fetch_add(
-            kTcpFrameHeaderBytes + h.payload_size,
-            std::memory_order_relaxed);
+        peer.recv_msgs->Inc();
+        peer.recv_bytes->Inc(kTcpFrameHeaderBytes + h.payload_size);
+        msgs_received_->Inc();
+        bytes_received_->Inc(kTcpFrameHeaderBytes + h.payload_size);
         Message msg;
         msg.src = from;
         msg.dst = me_;
@@ -477,6 +489,7 @@ void TcpTransport::DispatchLoop() {
     // dead-peer, which the adjusted sums subtract).
     if (!peers_[msg->src]->down.load(std::memory_order_acquire) &&
         !killed_.load(std::memory_order_acquire)) {
+      GL_TRACE_SCOPE1(trace::kRpc, "dispatch", "handler", msg->handler);
       InArchive ia(msg->payload);
       sink_(me_, msg->src, msg->handler, ia);
     }
@@ -511,10 +524,13 @@ void TcpTransport::Send(MachineId src, MachineId dst, HandlerId handler,
   GL_CHECK_LT(dst, endpoints_.size());
 
   std::vector<char> bytes = payload.TakeBuffer();
+  const uint64_t wire_bytes = kTcpFrameHeaderBytes + bytes.size();
   Peer& peer = *peers_[dst];
-  peer.messages_sent.fetch_add(1, std::memory_order_relaxed);
-  peer.bytes_sent.fetch_add(kTcpFrameHeaderBytes + bytes.size(),
-                            std::memory_order_relaxed);
+  peer.sent_msgs->Inc();
+  peer.sent_bytes->Inc(wire_bytes);
+  msgs_sent_->Inc();
+  bytes_sent_->Inc(wire_bytes);
+  GL_TRACE_INSTANT1(trace::kRpc, "send", "bytes", wire_bytes);
   // Counted even when the peer is down (the frame is then dropped at
   // enqueue): the per-peer data_sent counter is exactly what the
   // adjusted quiescence sums subtract, so a racy send during the death
@@ -532,10 +548,10 @@ void TcpTransport::Send(MachineId src, MachineId dst, HandlerId handler,
     msg.dst = me_;
     msg.handler = handler;
     msg.payload = std::move(bytes);
-    peer.messages_received.fetch_add(1, std::memory_order_relaxed);
-    peer.bytes_received.fetch_add(
-        kTcpFrameHeaderBytes + msg.payload.size(),
-        std::memory_order_relaxed);
+    peer.recv_msgs->Inc();
+    peer.recv_bytes->Inc(wire_bytes);
+    msgs_received_->Inc();
+    bytes_received_->Inc(wire_bytes);
     if (!dispatch_queue_.Push(std::move(msg))) {
       data_handled_total_.fetch_add(1, std::memory_order_acq_rel);
     }
@@ -622,6 +638,7 @@ bool TcpTransport::ExchangeCounters(uint64_t* cluster_sent,
 }
 
 bool TcpTransport::WaitQuiescent() {
+  GL_TRACE_SCOPE(trace::kRpc, "wait_quiescent");
   // Same rule as the simulated backend, over exchanged counters: the
   // cluster-wide sent and handled totals (adjusted for peers already
   // dead) must be equal and unchanged for two consecutive probe rounds.
@@ -679,6 +696,7 @@ void TcpTransport::MarkPeerDown(MachineId peer) {
     return;
   }
   down_version_.fetch_add(1, std::memory_order_acq_rel);
+  GL_TRACE_INSTANT1(trace::kFault, "peer_down", "peer", peer);
   if (peer != me_) {
     GL_LOG(WARNING) << "machine " << me_ << ": peer " << peer
                     << " marked down";
@@ -746,6 +764,7 @@ void TcpTransport::HeartbeatLoop() {
       const uint64_t heard = peer.last_heard_ns.load(
           std::memory_order_acquire);
       if (heard != 0 && SteadyNowNs() - heard > timeout_ns) {
+        GL_TRACE_INSTANT1(trace::kFault, "heartbeat_miss", "peer", p);
         GL_LOG(ERROR) << "machine " << me_ << ": peer " << p
                       << " missed heartbeats for "
                       << (SteadyNowNs() - heard) / 1000000 << "ms";
@@ -797,14 +816,10 @@ void TcpTransport::InjectKill(MachineId m) {
 CommStats TcpTransport::GetStats(MachineId machine) const {
   CommStats st;
   if (machine != me_) return st;  // remote stats live in remote processes
-  for (const auto& peer : peers_) {
-    st.messages_sent += peer->messages_sent.load(std::memory_order_relaxed);
-    st.bytes_sent += peer->bytes_sent.load(std::memory_order_relaxed);
-    st.messages_received +=
-        peer->messages_received.load(std::memory_order_relaxed);
-    st.bytes_received +=
-        peer->bytes_received.load(std::memory_order_relaxed);
-  }
+  st.messages_sent = msgs_sent_->Value();
+  st.bytes_sent = bytes_sent_->Value();
+  st.messages_received = msgs_received_->Value();
+  st.bytes_received = bytes_received_->Value();
   return st;
 }
 
@@ -815,24 +830,30 @@ std::vector<PeerCommStats> TcpTransport::GetPeerStats(
   out.resize(peers_.size());
   for (size_t p = 0; p < peers_.size(); ++p) {
     out[p].peer = static_cast<MachineId>(p);
-    out[p].messages_sent =
-        peers_[p]->messages_sent.load(std::memory_order_relaxed);
-    out[p].bytes_sent = peers_[p]->bytes_sent.load(std::memory_order_relaxed);
-    out[p].messages_received =
-        peers_[p]->messages_received.load(std::memory_order_relaxed);
-    out[p].bytes_received =
-        peers_[p]->bytes_received.load(std::memory_order_relaxed);
+    out[p].messages_sent = peers_[p]->sent_msgs->Value();
+    out[p].bytes_sent = peers_[p]->sent_bytes->Value();
+    out[p].messages_received = peers_[p]->recv_msgs->Value();
+    out[p].bytes_received = peers_[p]->recv_bytes->Value();
   }
   return out;
 }
 
 void TcpTransport::ResetStats() {
+  msgs_sent_->Reset();
+  bytes_sent_->Reset();
+  msgs_received_->Reset();
+  bytes_received_->Reset();
   for (auto& peer : peers_) {
-    peer->messages_sent.store(0, std::memory_order_relaxed);
-    peer->bytes_sent.store(0, std::memory_order_relaxed);
-    peer->messages_received.store(0, std::memory_order_relaxed);
-    peer->bytes_received.store(0, std::memory_order_relaxed);
+    peer->sent_msgs->Reset();
+    peer->sent_bytes->Reset();
+    peer->recv_msgs->Reset();
+    peer->recv_bytes->Reset();
   }
+}
+
+metrics::MetricsRegistry& TcpTransport::registry(MachineId m) {
+  GL_CHECK_EQ(m, me_) << "TCP transport only hosts machine " << me_;
+  return registry_;
 }
 
 void TcpTransport::Stop() {

@@ -62,6 +62,7 @@
 #include <thread>
 #include <vector>
 
+#include "graphlab/metrics/metrics.h"
 #include "graphlab/rpc/transport.h"
 #include "graphlab/util/blocking_queue.h"
 #include "graphlab/util/status.h"
@@ -125,6 +126,7 @@ class TcpTransport final : public ITransport {
   CommStats GetStats(MachineId machine) const override;
   std::vector<PeerCommStats> GetPeerStats(MachineId machine) const override;
   void ResetStats() override;
+  metrics::MetricsRegistry& registry(MachineId m) override;
   uint64_t TotalDelivered() const override {
     return data_handled_total_.load(std::memory_order_acquire);
   }
@@ -148,6 +150,15 @@ class TcpTransport final : public ITransport {
   MachineId me_ = 0;
   std::vector<std::string> endpoints_;  // host:port per machine
   std::chrono::milliseconds connect_timeout_;
+
+  // This machine's metrics namespace (one registry per process == per
+  // machine on TCP).  The rpc traffic counters below are cached lookups
+  // into it; per-peer counters live in Peer.
+  metrics::MetricsRegistry registry_;
+  metrics::Counter* msgs_sent_ = nullptr;
+  metrics::Counter* bytes_sent_ = nullptr;
+  metrics::Counter* msgs_received_ = nullptr;
+  metrics::Counter* bytes_received_ = nullptr;
 
   DeliverySink sink_;
   int listen_fd_ = -1;

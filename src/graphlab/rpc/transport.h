@@ -38,6 +38,9 @@
 #include "graphlab/util/serialization.h"
 
 namespace graphlab {
+namespace metrics {
+class MetricsRegistry;
+}  // namespace metrics
 namespace rpc {
 
 /// Which interconnect backend a cluster runs on.
@@ -198,10 +201,20 @@ class ITransport {
                            std::chrono::nanoseconds duration) = 0;
   virtual bool StallActive(MachineId machine) const = 0;
 
-  /// Traffic accounting.  Non-local machines report zeros.
+  /// Traffic accounting.  Non-local machines report zeros.  The counters
+  /// behind these views live in the per-machine metrics registry below
+  /// (names under "rpc."); GetStats/GetPeerStats are thin reads over
+  /// them and ResetStats zeroes only the rpc traffic counters.
   virtual CommStats GetStats(MachineId machine) const = 0;
   virtual std::vector<PeerCommStats> GetPeerStats(MachineId machine) const = 0;
   virtual void ResetStats() = 0;
+
+  /// The metrics registry of a hosted machine — the single namespace the
+  /// whole runtime (engines, schedulers, graph, fault subsystem) reports
+  /// through, and the unit the cluster-wide MetricsService aggregates.
+  /// One registry per (cluster, machine); owning it here gives sequential
+  /// clusters fresh counters.  `m` must be hosted (IsLocal).
+  virtual metrics::MetricsRegistry& registry(MachineId m) = 0;
 
   /// Messages handled locally since construction (monotonic; not reset).
   virtual uint64_t TotalDelivered() const = 0;

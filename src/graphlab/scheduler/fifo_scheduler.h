@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "graphlab/metrics/metrics.h"
 #include "graphlab/scheduler/scheduler.h"
 #include "graphlab/util/dense_bitset.h"
 
@@ -62,7 +63,8 @@ class FifoScheduler final : public IScheduler {
     if (size_.load(std::memory_order_relaxed) <= 0) return false;
     const size_t home = sched_detail::ScanStart(worker_hint, shard_mask_);
     for (size_t i = 0; i < shards_.size(); ++i) {
-      Shard& s = shards_[(home + i) & shard_mask_];
+      const size_t shard = (home + i) & shard_mask_;
+      Shard& s = shards_[shard];
       std::lock_guard<std::mutex> lock(s.mutex);
       if (s.queue.empty()) continue;
       *v = s.queue.front();
@@ -70,6 +72,9 @@ class FifoScheduler final : public IScheduler {
       queued_.ClearBit(*v);
       size_.fetch_sub(1, std::memory_order_relaxed);
       *priority = 1.0;
+      if (steals_ != nullptr && shard != (worker_hint & shard_mask_)) {
+        steals_->Inc();
+      }
       return true;
     }
     return false;
@@ -95,6 +100,10 @@ class FifoScheduler final : public IScheduler {
 
   const char* name() const override { return "fifo"; }
 
+  void BindStealCounter(metrics::Counter* steals) override {
+    steals_ = steals;
+  }
+
   size_t num_shards() const { return shards_.size(); }
 
  private:
@@ -113,6 +122,7 @@ class FifoScheduler final : public IScheduler {
   std::vector<Shard> shards_;
   size_t shard_mask_;
   std::atomic<int64_t> size_{0};
+  metrics::Counter* steals_ = nullptr;
 };
 
 }  // namespace graphlab

@@ -27,6 +27,7 @@
 #include <queue>
 #include <vector>
 
+#include "graphlab/metrics/metrics.h"
 #include "graphlab/scheduler/scheduler.h"
 #include "graphlab/util/dense_bitset.h"
 
@@ -71,12 +72,16 @@ class PriorityScheduler final : public IScheduler {
     }
     if (best_shard != shards_.size() &&
         PopFromShard(best_shard, v, priority)) {
+      if (steals_ != nullptr && best_shard != home) steals_->Inc();
       return true;
     }
     // Hints are approximate under concurrency — sweep the rest.
     for (size_t i = 0; i < shards_.size(); ++i) {
       const size_t k = (home + i) & shard_mask_;
-      if (k != best_shard && PopFromShard(k, v, priority)) return true;
+      if (k != best_shard && PopFromShard(k, v, priority)) {
+        if (steals_ != nullptr && k != home) steals_->Inc();
+        return true;
+      }
     }
     return false;
   }
@@ -105,6 +110,10 @@ class PriorityScheduler final : public IScheduler {
   }
 
   const char* name() const override { return "priority"; }
+
+  void BindStealCounter(metrics::Counter* steals) override {
+    steals_ = steals;
+  }
 
   size_t num_shards() const { return shards_.size(); }
 
@@ -153,6 +162,7 @@ class PriorityScheduler final : public IScheduler {
   std::vector<Shard> shards_;
   size_t shard_mask_;
   std::atomic<int64_t> size_{0};
+  metrics::Counter* steals_ = nullptr;
 };
 
 }  // namespace graphlab

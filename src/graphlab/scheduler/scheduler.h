@@ -35,6 +35,10 @@
 
 namespace graphlab {
 
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
 /// Worker identity published by the execution substrate's worker loop so
 /// (a) two-argument GetNext() callers resolve a real affinity hint and
 /// (b) Schedule() can push to the scheduling worker's home shard (work a
@@ -101,6 +105,12 @@ class IScheduler {
   virtual void Clear() = 0;
 
   virtual const char* name() const = 0;
+
+  /// Points the scheduler's instrumentation at a registry-backed counter
+  /// (sched.steals: pops served from a shard other than the worker's
+  /// home shard).  nullptr (the default) disables counting.  Call before
+  /// workers start popping; the sharded implementations honor it.
+  virtual void BindStealCounter(metrics::Counter* steals) { (void)steals; }
 };
 
 /// Resolves a shard-count request: 0 = auto (hardware concurrency

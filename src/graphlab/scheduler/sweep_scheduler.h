@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "graphlab/metrics/metrics.h"
 #include "graphlab/scheduler/scheduler.h"
 #include "graphlab/util/dense_bitset.h"
 
@@ -51,8 +52,12 @@ class SweepScheduler final : public IScheduler {
     if (size_.load(std::memory_order_relaxed) <= 0) return false;
     const size_t home = sched_detail::ScanStart(worker_hint, shard_mask_);
     for (size_t i = 0; i < shards_.size(); ++i) {
-      if (TryPop((home + i) & shard_mask_, v)) {
+      const size_t shard = (home + i) & shard_mask_;
+      if (TryPop(shard, v)) {
         *priority = 1.0;
+        if (steals_ != nullptr && shard != (worker_hint & shard_mask_)) {
+          steals_->Inc();
+        }
         return true;
       }
     }
@@ -78,6 +83,10 @@ class SweepScheduler final : public IScheduler {
   }
 
   const char* name() const override { return "sweep"; }
+
+  void BindStealCounter(metrics::Counter* steals) override {
+    steals_ = steals;
+  }
 
   size_t num_shards() const { return shards_.size(); }
 
@@ -122,6 +131,7 @@ class SweepScheduler final : public IScheduler {
   size_t shard_mask_;
   size_t block_;
   std::atomic<int64_t> size_{0};
+  metrics::Counter* steals_ = nullptr;
 };
 
 }  // namespace graphlab

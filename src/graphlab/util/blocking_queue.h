@@ -133,7 +133,11 @@ class TimedQueue {
       if (shutdown_) break;  // drain immediately on shutdown
       auto now = Clock::now();
       if (heap_.top().deliver_at <= now) break;
-      cv_.wait_until(lock, heap_.top().deliver_at);
+      // Copy the deadline out of the heap: wait_until re-reads its
+      // argument after reacquiring the lock, and a producer's push may
+      // have reallocated the heap's backing vector in between.
+      const Clock::time_point deadline = heap_.top().deliver_at;
+      cv_.wait_until(lock, deadline);
     }
     // const_cast is safe: we pop immediately after moving out.
     Entry& top = const_cast<Entry&>(heap_.top());

@@ -10,6 +10,9 @@ namespace graphlab {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_machine_id{-1};
+thread_local int tls_machine_id = -1;
+thread_local std::string tls_thread_name;
 std::mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -32,6 +35,21 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogMachineId(int machine) {
+  g_machine_id.store(machine, std::memory_order_relaxed);
+}
+
+void SetThreadLogMachineId(int machine) { tls_machine_id = machine; }
+
+int CurrentLogMachineId() {
+  return tls_machine_id >= 0 ? tls_machine_id
+                             : g_machine_id.load(std::memory_order_relaxed);
+}
+
+void SetThreadName(const std::string& name) { tls_thread_name = name; }
+
+const std::string& CurrentThreadName() { return tls_thread_name; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -40,8 +58,20 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   base = base != nullptr ? base + 1 : file;
   auto now = std::chrono::system_clock::now().time_since_epoch();
   auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
-  stream_ << LevelName(level) << " " << (ms % 100000000) / 1000.0 << " "
-          << base << ":" << line << "] ";
+  stream_ << LevelName(level) << " " << (ms % 100000000) / 1000.0 << " ";
+  // Identity tag: machine id and/or thread name, once the runtime has
+  // published them (multi-process TCP runs share one stderr).
+  const int machine = CurrentLogMachineId();
+  if (machine >= 0 || !tls_thread_name.empty()) {
+    stream_ << "[";
+    if (machine >= 0) stream_ << "m" << machine;
+    if (!tls_thread_name.empty()) {
+      if (machine >= 0) stream_ << "/";
+      stream_ << tls_thread_name;
+    }
+    stream_ << "] ";
+  }
+  stream_ << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -7,6 +7,7 @@
 #ifndef GRAPHLAB_UTIL_LOGGING_H_
 #define GRAPHLAB_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -25,6 +26,23 @@ enum class LogLevel : int {
 /// Default is kInfo (kDebug statements compiled in but suppressed).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Machine identity for log lines.  Multi-process TCP runs were
+/// previously indistinguishable on a shared stderr; once the runtime
+/// knows its machine id it publishes it here and every subsequent GL_LOG
+/// line carries an `mN` tag.  SetLogMachineId sets the process-wide
+/// default (one process == one machine over TCP); the thread-local
+/// variant disambiguates in-process simulated clusters, where one
+/// process hosts every machine.  -1 = unknown (tag omitted).
+void SetLogMachineId(int machine);
+void SetThreadLogMachineId(int machine);
+int CurrentLogMachineId();
+
+/// Human-readable name for the calling thread ("machine-2", "dispatch");
+/// carried on its GL_LOG lines and reused as the Chrome-trace thread
+/// name.  Empty = unnamed.
+void SetThreadName(const std::string& name);
+const std::string& CurrentThreadName();
 
 namespace internal {
 
@@ -57,6 +75,19 @@ struct LogMessageVoidify {
   ::graphlab::internal::LogMessage(level, __FILE__, __LINE__).stream()
 
 #define GL_LOG(severity) GL_LOG_##severity
+
+/// Rate-limited logging for hot-path warnings: emits the 1st, (n+1)th,
+/// (2n+1)th... execution of this statement (per call site, thread safe).
+#define GL_LOG_EVERY_N(severity, n)                                         \
+  for (bool gl_log_every_n_do = [] {                                        \
+         static ::std::atomic<uint64_t> gl_log_every_n_count{0};            \
+         return gl_log_every_n_count.fetch_add(                             \
+                    1, ::std::memory_order_relaxed) %                       \
+                    static_cast<uint64_t>(n) ==                             \
+                0;                                                          \
+       }();                                                                 \
+       gl_log_every_n_do; gl_log_every_n_do = false)                        \
+  GL_LOG(severity)
 #define GL_LOG_DEBUG GL_LOG_INTERNAL(::graphlab::LogLevel::kDebug)
 #define GL_LOG_INFO GL_LOG_INTERNAL(::graphlab::LogLevel::kInfo)
 #define GL_LOG_WARNING GL_LOG_INTERNAL(::graphlab::LogLevel::kWarning)

@@ -53,6 +53,8 @@
 #include <utility>
 
 #include "graphlab/engine/iengine.h"
+#include "graphlab/metrics/metrics.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/util/logging.h"
 #include "graphlab/vertex_program/gas_context.h"
 #include "graphlab/vertex_program/gather_cache.h"
@@ -150,6 +152,11 @@ struct GasState {
   std::atomic<uint64_t> updates{0};
   std::atomic<uint64_t> edges_gathered{0};
   std::atomic<uint64_t> edges_scattered{0};
+
+  // Registry-backed mirrors (cluster aggregation reads these through the
+  // machine's MetricsRegistry); null when no registry was resolved.
+  metrics::Counter* cache_hits_metric = nullptr;
+  metrics::Counter* full_gathers_metric = nullptr;
 };
 
 /// Clears every cached gather that read entity data reachable from
@@ -188,12 +195,16 @@ void RunGasUpdate(GasState<Program>& st,
 
   // -- gather ---------------------------------------------------------
   gas.BeginPhase(GasPhase::kGather);
+  GL_TRACE_BEGIN(trace::kGas, "gas.gather");
   const EdgeDirection gather_dir = program.gather_edges(gas);
   GatherT total{};
   bool hit = false;
   uint64_t miss_epoch = 0;
   if (st.cache) hit = st.cache->TryGet(v, gather_dir, &total, &miss_epoch);
-  if (!hit) {
+  if (hit) {
+    if (st.cache_hits_metric != nullptr) st.cache_hits_metric->Inc();
+  } else {
+    if (st.full_gathers_metric != nullptr) st.full_gathers_metric->Inc();
     uint64_t folded = 0;
     if constexpr (FlatGatherProgram<Program> &&
                   ContiguousPropertyGraph<Graph>) {
@@ -237,13 +248,17 @@ void RunGasUpdate(GasState<Program>& st,
     st.edges_gathered.fetch_add(folded, kRelaxed);
     if (st.cache) st.cache->Deposit(v, total, gather_dir, miss_epoch);
   }
+  GL_TRACE_END(trace::kGas, "gas.gather");
 
   // -- apply ----------------------------------------------------------
   gas.BeginPhase(GasPhase::kApply);
+  GL_TRACE_BEGIN(trace::kGas, "gas.apply");
   program.apply(gas, total);
+  GL_TRACE_END(trace::kGas, "gas.apply");
 
   // -- scatter --------------------------------------------------------
   gas.BeginPhase(GasPhase::kScatter);
+  GL_TRACE_BEGIN(trace::kGas, "gas.scatter");
   const EdgeDirection scatter_dir = program.scatter_edges(gas);
   uint64_t scattered = 0;
   if (CoversOutEdges(scatter_dir)) {
@@ -259,6 +274,7 @@ void RunGasUpdate(GasState<Program>& st,
     }
   }
   st.edges_scattered.fetch_add(scattered, kRelaxed);
+  GL_TRACE_END(trace::kGas, "gas.scatter");
 
   // -- invalidate what this update made stale -------------------------
   // A neighbor's cached gather is stale iff it read an entity this
@@ -364,6 +380,14 @@ CompiledVertexProgram<Program> CompileVertexProgram(
 
   auto state = std::make_shared<detail::GasState<Program>>(
       std::move(prototype), graph, options.gather_cache, num_slots);
+
+  // Same resolution rule as EngineBase: an explicit EngineOptions::metrics
+  // namespace wins, otherwise the process-global registry.  Cluster
+  // aggregation then reports the cache's effectiveness per machine.
+  metrics::MetricsRegistry* reg =
+      options.metrics != nullptr ? options.metrics : metrics::Default();
+  state->cache_hits_metric = reg->counter("gas.cache_hits");
+  state->full_gathers_metric = reg->counter("gas.full_gathers");
 
   if constexpr (requires {
                   graph->SetCoherenceListener(

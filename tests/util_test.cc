@@ -15,7 +15,6 @@
 #include "graphlab/util/options.h"
 #include "graphlab/util/random.h"
 #include "graphlab/util/serialization.h"
-#include "graphlab/util/stats.h"
 #include "graphlab/util/status.h"
 #include "graphlab/util/thread_pool.h"
 #include "graphlab/util/timer.h"
@@ -476,35 +475,6 @@ TEST(DenseBitsetTest, ConcurrentSetBitExactlyOnce) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(wins.load(), static_cast<int>(bs.size()));
-}
-
-// ---------------------------------------------------------------------
-// Stats
-// ---------------------------------------------------------------------
-
-TEST(StatsTest, CounterBasics) {
-  StatsRegistry reg;
-  reg.GetCounter("a")->Add(5);
-  reg.GetCounter("a")->Increment();
-  EXPECT_EQ(reg.GetCounter("a")->Get(), 6);
-  EXPECT_EQ(reg.CounterValues().at("a"), 6);
-}
-
-TEST(StatsTest, HistogramMeanAndQuantile) {
-  StatsRegistry reg;
-  Histogram* h = reg.GetHistogram("lat");
-  for (uint64_t i = 0; i < 1000; ++i) h->Record(100);
-  EXPECT_EQ(h->TotalCount(), 1000);
-  EXPECT_NEAR(h->Mean(), 100.0, 1e-9);
-  // 100 falls in bucket [64,128): midpoint 96.
-  EXPECT_NEAR(h->Quantile(0.5), 96.0, 1.0);
-}
-
-TEST(StatsTest, ResetClears) {
-  StatsRegistry reg;
-  reg.GetCounter("x")->Add(3);
-  reg.ResetAll();
-  EXPECT_EQ(reg.GetCounter("x")->Get(), 0);
 }
 
 // ---------------------------------------------------------------------
