@@ -23,6 +23,12 @@
 // FT flags: --ft (run under fault::FaultTolerantRunner)
 //           --kill-worker-after-ms=N  (coordinator SIGKILLs the last
 //             worker after N ms; implies --ft)
+//           --kill-in-checkpoint-write=K (the last worker SIGKILLs
+//             ITSELF inside the WRITE phase of its K-th checkpoint
+//             journal, via the fault-injection hook — a deterministic
+//             torn-write death at the worst possible moment.  Epoch K
+//             never commits; survivors must fall back to epoch K-1.
+//             Implies --ft)
 //           --checkpoint-interval=SEC (fixed checkpoint cadence)
 //           --mtbf=SEC (Young's-rule cadence; used when no fixed
 //             interval is given)
@@ -63,6 +69,7 @@
 #include "graphlab/engine/allreduce.h"
 #include "graphlab/engine/engine_factory.h"
 #include "graphlab/fault/ft_runner.h"
+#include "graphlab/fault/injection.h"
 #include "graphlab/graph/atom.h"
 #include "graphlab/graph/coloring.h"
 #include "graphlab/graph/generators.h"
@@ -100,6 +107,7 @@ struct Config {
   // Fault tolerance.
   bool ft = false;
   uint64_t kill_worker_after_ms = 0;  // coordinator-side SIGKILL timer
+  uint64_t kill_in_checkpoint_write = 0;  // victim dies in WRITE of ckpt K
   double checkpoint_interval = 0;
   double mtbf = 0;
   std::string snapshot_dir;
@@ -342,6 +350,17 @@ RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
 
 int RunWorker(const Config& cfg) {
   SetupObservability(cfg);
+  if (cfg.kill_in_checkpoint_write > 0) {
+    // Die by SIGKILL inside the WRITE phase of this machine's K-th
+    // checkpoint journal.  "_m<id>.gl" matches both the full-journal
+    // temp file (snap_<e>_m<id>.glsnap.tmp) and the delta WAL
+    // (delta_<e>_m<id>.gldelta); the first K-1 checkpoint files pass
+    // through untouched, so epoch K-1 commits and epoch K is the one
+    // torn mid-write.
+    fault::FaultInjection::Instance().ArmKillDuringWrite(
+        "_m" + std::to_string(cfg.machine_id) + ".gl", /*byte_offset=*/1,
+        /*skip_files=*/cfg.kill_in_checkpoint_write - 1);
+  }
   rpc::ClusterOptions copts;
   copts.num_machines = cfg.machines;
   copts.threads_per_machine = cfg.threads;
@@ -390,6 +409,10 @@ std::vector<std::string> WorkerArgs(const Config& cfg, size_t machine,
     args.push_back("--checkpoint-interval=" +
                    DoubleFlag(cfg.checkpoint_interval));
     args.push_back("--mtbf=" + DoubleFlag(cfg.mtbf));
+    if (cfg.kill_in_checkpoint_write > 0 && machine == cfg.machines - 1) {
+      args.push_back("--kill-in-checkpoint-write=" +
+                     std::to_string(cfg.kill_in_checkpoint_write));
+    }
   }
   return args;
 }
@@ -438,13 +461,15 @@ int RunCoordinator(Config cfg) {
 
   // Chaos: kill -9 the LAST worker (machine N-1) after the configured
   // delay — a real abrupt process death, exactly what Sec. 4.3 claims
-  // the snapshot mechanism survives.
-  const pid_t victim =
-      (cfg.kill_worker_after_ms > 0 && !children.empty()) ? children.back()
-                                                          : -1;
+  // the snapshot mechanism survives.  In --kill-in-checkpoint-write
+  // mode the victim SIGKILLs itself via the injection hook instead, so
+  // no timer runs here, but its SIGKILL exit is equally expected.
+  const bool chaos =
+      cfg.kill_worker_after_ms > 0 || cfg.kill_in_checkpoint_write > 0;
+  const pid_t victim = (chaos && !children.empty()) ? children.back() : -1;
   std::thread killer;
   Timer detection_timer;
-  if (victim > 0) {
+  if (victim > 0 && cfg.kill_worker_after_ms > 0) {
     killer = std::thread([victim, &cfg] {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(cfg.kill_worker_after_ms));
@@ -526,11 +551,19 @@ int RunCoordinator(Config cfg) {
   if (cfg.ft) {
     std::printf(
         "ft: attempts=%llu recoveries=%llu restored_epoch=%u "
-        "checkpoints=%llu ckpt_seconds=%.3f recovery_seconds=%.3f\n",
+        "checkpoints=%llu (full=%llu delta=%llu) "
+        "ckpt_bytes(full=%llu delta=%llu) corrupt_journals=%llu "
+        "ckpt_seconds=%.3f recovery_seconds=%.3f\n",
         static_cast<unsigned long long>(wire.ft_report.attempts),
         static_cast<unsigned long long>(wire.ft_report.recoveries),
         wire.ft_report.restored_epoch,
         static_cast<unsigned long long>(wire.ft_report.checkpoints_written),
+        static_cast<unsigned long long>(wire.ft_report.full_checkpoints),
+        static_cast<unsigned long long>(wire.ft_report.delta_checkpoints),
+        static_cast<unsigned long long>(wire.ft_report.checkpoint_bytes_full),
+        static_cast<unsigned long long>(
+            wire.ft_report.checkpoint_bytes_delta),
+        static_cast<unsigned long long>(wire.ft_report.corrupt_journals),
         wire.ft_report.checkpoint_seconds,
         wire.ft_report.recovery_seconds);
   }
@@ -595,6 +628,10 @@ int RunCoordinator(Config cfg) {
     recovery.AddRow()
         .Set("row", "checkpoint")
         .Set("checkpoints_written", wire.ft_report.checkpoints_written)
+        .Set("full_checkpoints", wire.ft_report.full_checkpoints)
+        .Set("delta_checkpoints", wire.ft_report.delta_checkpoints)
+        .Set("checkpoint_bytes_full", wire.ft_report.checkpoint_bytes_full)
+        .Set("checkpoint_bytes_delta", wire.ft_report.checkpoint_bytes_delta)
         .Set("checkpoint_seconds", wire.ft_report.checkpoint_seconds)
         .Set("interval_seconds",
              wire.ft_report.checkpoint_interval_seconds)
@@ -608,13 +645,75 @@ int RunCoordinator(Config cfg) {
         .Set("recoveries", wire.ft_report.recoveries)
         .Set("restored_epoch",
              static_cast<uint64_t>(wire.ft_report.restored_epoch))
+        .Set("corrupt_journals", wire.ft_report.corrupt_journals)
         .Set("recovery_seconds", wire.ft_report.recovery_seconds)
         .Set("total_seconds", wire.seconds);
+
+    // Full-vs-incremental checkpoint cost at equal state: a controlled
+    // single-machine measurement on the same graph — full snapshot,
+    // dirty ~8% of the vertices, delta snapshot — so the
+    // checkpoint_delta/checkpoint_full byte ratio is deterministic (the
+    // cluster run's delta sizes depend on kill timing).  These are the
+    // rows the CI <25%-bytes acceptance gate reads.
+    {
+      const std::string mdir = cfg.snapshot_dir + "_measure";
+      const ProblemInputs min = BuildInputs(cfg);  // same deterministic graph
+      uint64_t full_bytes = 0, delta_bytes = 0;
+      double full_seconds = 0, delta_seconds = 0, dirty_fraction = 0;
+      rpc::ClusterOptions mopts;
+      mopts.num_machines = 1;
+      mopts.threads_per_machine = 1;
+      {
+        rpc::Runtime mruntime(mopts);
+        mruntime.Run([&](rpc::MachineContext& mctx) {
+          DGraph g;
+          std::vector<rpc::MachineId> all_here(min.num_atoms, 0);
+          GL_CHECK_OK(g.InitFromGlobal(min.global, min.atom_of, min.colors,
+                                       all_here, 0, &mctx.comm()));
+          SnapshotManager<PageRankVertex, PageRankEdge> snap(mctx, &g, mdir);
+          Timer tf;
+          GL_CHECK_OK(snap.WriteSyncSnapshot(1));
+          full_seconds = tf.Seconds();
+          full_bytes = snap.last_checkpoint_bytes();
+          for (LocalVid l : g.owned_vertices()) {
+            if (g.Gvid(l) % 13 != 0) continue;  // ~8% of vertices
+            g.vertex_data(l).rank += 1e-3;
+            g.MarkVertexModified(l);
+          }
+          dirty_fraction = snap.DirtyFraction();
+          Timer td;
+          GL_CHECK_OK(snap.WriteDeltaSnapshot(2));
+          delta_seconds = td.Seconds();
+          delta_bytes = snap.last_checkpoint_bytes();
+        });
+      }
+      std::error_code mec;
+      std::filesystem::remove_all(mdir, mec);
+      recovery.AddRow()
+          .Set("row", "checkpoint_full")
+          .Set("bytes", full_bytes)
+          .Set("seconds", full_seconds)
+          .Set("dirty_fraction", 1.0);
+      recovery.AddRow()
+          .Set("row", "checkpoint_delta")
+          .Set("bytes", delta_bytes)
+          .Set("seconds", delta_seconds)
+          .Set("dirty_fraction", dirty_fraction);
+      std::printf(
+          "checkpoint bytes: full=%llu delta=%llu (dirty_fraction=%.4f, "
+          "ratio=%.4f)\n",
+          static_cast<unsigned long long>(full_bytes),
+          static_cast<unsigned long long>(delta_bytes), dirty_fraction,
+          full_bytes > 0
+              ? static_cast<double>(delta_bytes) / static_cast<double>(
+                                                       full_bytes)
+              : 0.0);
+    }
     recovery.WriteFile(cfg.recovery_json);
 
     // The chaos run must actually have recovered (a kill that landed
     // after convergence proves nothing).
-    if (cfg.kill_worker_after_ms > 0 && !recovered) {
+    if (chaos && !recovered) {
       std::fprintf(stderr,
                    "[chaos] no recovery occurred — increase --vertices or "
                    "lower --kill-worker-after-ms\n");
@@ -647,7 +746,10 @@ int main(int argc, char** argv) {
   cfg.recovery_json = opts.GetString("recovery-json", cfg.recovery_json);
   cfg.kill_worker_after_ms = static_cast<uint64_t>(
       opts.GetInt("kill-worker-after-ms", 0));
-  cfg.ft = opts.GetBool("ft", false) || cfg.kill_worker_after_ms > 0;
+  cfg.kill_in_checkpoint_write = static_cast<uint64_t>(
+      opts.GetInt("kill-in-checkpoint-write", 0));
+  cfg.ft = opts.GetBool("ft", false) || cfg.kill_worker_after_ms > 0 ||
+           cfg.kill_in_checkpoint_write > 0;
   cfg.checkpoint_interval =
       opts.GetDouble("checkpoint-interval", cfg.ft ? 0.2 : 0.0);
   cfg.mtbf = opts.GetDouble("mtbf", 0.0);

@@ -22,11 +22,28 @@
 //
 // The journal is a per-machine file snap_<epoch>_m<machine>.glsnap under
 // the snapshot directory; Restore() plays the journal back into the owned
-// partition (and re-pushes ghosts).  Synchronous journals use the v2
-// columnar format (magic 0xC1: codec-compressed id columns + contiguous
-// property blobs, mirroring the in-memory SoA layout); the async variant
-// appends row records incrementally and stays in the legacy row format.
-// Both restore paths sniff the first byte and accept either.
+// partition (and re-pushes ghosts).  Synchronous journals use the v3
+// format: the magic byte 0xC1, a version byte, a masked CRC32C of the
+// payload, then the v2 columnar body (codec-compressed id columns +
+// contiguous property blobs, mirroring the in-memory SoA layout); the
+// async variant appends row records incrementally and stays in the legacy
+// row format.  The restore paths sniff the leading bytes and accept all
+// three.
+//
+// Durability (this layer implements the storage half of Sec. 4.3):
+//
+//  * Incremental (delta) checkpoints — WriteDeltaSnapshot journals only
+//    the vertices/edges whose per-entity version changed since the last
+//    checkpoint, onto a CRC-verified WAL (util/wal.h) as
+//    delta_<epoch>_m<machine>.gldelta.  The manifest is a chain
+//    {base_epoch, delta_epochs[]}; RestoreChain replays base + deltas in
+//    order.  Checkpoint cost becomes O(dirty), not O(graph).
+//
+//  * Every commit point (LATEST, MANIFEST_<epoch>, journals) goes through
+//    the atomic temp+fsync+rename path in util/file_io.h, and every
+//    durable byte is CRC32C-protected, so VerifyJournal/VerifyManifest
+//    can prove an epoch trustworthy before the recovery ladder
+//    (fault/ft_runner.h) replays it — or fall back to an older epoch.
 
 #ifndef GRAPHLAB_ENGINE_SNAPSHOT_H_
 #define GRAPHLAB_ENGINE_SNAPSHOT_H_
@@ -42,8 +59,11 @@
 #include "graphlab/engine/context.h"
 #include "graphlab/graph/column_codec.h"
 #include "graphlab/graph/distributed_graph.h"
+#include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/runtime.h"
+#include "graphlab/util/crc32c.h"
 #include "graphlab/util/file_io.h"
+#include "graphlab/util/wal.h"
 
 namespace graphlab {
 
@@ -58,10 +78,64 @@ inline double OptimalCheckpointIntervalSeconds(double t_checkpoint_sec,
 /// applications use so the scheduler runs markers first (Alg. 5 condition).
 inline constexpr double kSnapshotPriority = 1e30;
 
-/// First byte of a v2 (columnar) sync journal.  Legacy row journals start
-/// with a record-type byte (0 or 1), so the magic doubles as the format
-/// sniff; an empty journal is valid in both formats.
+/// First byte of a v2/v3 (columnar) sync journal.  Legacy row journals
+/// start with a record-type byte (0 or 1), so the magic doubles as the
+/// format sniff; an empty journal is valid in both formats.
 inline constexpr uint8_t kColumnarJournalMagic = 0xC1;
+
+/// Second byte of a v3 journal (CRC-wrapped columnar body).
+inline constexpr uint8_t kJournalVersion = 3;
+
+/// Integrity check of a full-snapshot journal without decoding property
+/// types: verifies the v3 CRC envelope.  Pre-v3 journals (legacy v2
+/// columnar, async row format) carry no checksum and pass vacuously.
+/// The recovery ladder calls this on every journal of a manifest chain
+/// before trusting the epoch.
+inline Status VerifyFullJournalBytes(const std::vector<char>& bytes,
+                                     const std::string& what) {
+  if (bytes.empty() ||
+      static_cast<uint8_t>(bytes[0]) != kColumnarJournalMagic) {
+    return Status::OK();  // legacy row journal: nothing to verify against
+  }
+  if (bytes.size() < 2 ||
+      static_cast<uint8_t>(bytes[1]) > kJournalVersion) {
+    return Status::Corruption("unknown journal version: " + what);
+  }
+  if (static_cast<uint8_t>(bytes[1]) != kJournalVersion) {
+    return Status::OK();  // pre-v3 columnar: no checksum to verify
+  }
+  InArchive ia(bytes);
+  ia.ReadValue<uint8_t>();  // magic
+  ia.ReadValue<uint8_t>();  // version
+  const uint32_t stored = ia.ReadValue<uint32_t>();
+  std::vector<char> body;
+  ia >> body;
+  if (!ia.ok() || !ia.AtEnd()) {
+    return Status::Corruption("truncated v3 journal: " + what);
+  }
+  if (crc32c::Unmask(stored) != crc32c::Value(body.data(), body.size())) {
+    return Status::Corruption("journal checksum mismatch: " + what);
+  }
+  return Status::OK();
+}
+
+/// Integrity check of a delta journal (WAL format): reads every record
+/// and fails if the reader reports any corruption — a delta must verify
+/// end-to-end to be replayed, since a truncated delta silently loses
+/// committed mutations.
+inline Status VerifyDeltaJournalBytes(const std::vector<char>& bytes,
+                                      const std::string& what) {
+  wal::WalReader reader(bytes);
+  std::string record;
+  while (reader.ReadRecord(&record)) {
+  }
+  if (!reader.corruptions().empty()) {
+    const auto& c = reader.corruptions().front();
+    return Status::Corruption("delta journal " + what + " corrupt at offset " +
+                              std::to_string(c.offset) + ": " + c.reason);
+  }
+  return Status::OK();
+}
 
 /// Commit record of the newest globally complete snapshot, stored as
 /// `<dir>/LATEST` on the (shared) snapshot filesystem.  Written by the
@@ -69,16 +143,95 @@ inline constexpr uint8_t kColumnarJournalMagic = 0xC1;
 /// is durable, so recovery never reads a half-written epoch; `machines`
 /// records who journaled (the membership at snapshot time), which is the
 /// set of journal files a restore onto ANY later membership must replay.
+///
+/// With incremental checkpoints the manifest describes a *chain*: a full
+/// snapshot `base_epoch` plus `delta_epochs` (ascending) of O(dirty)
+/// delta journals replayed on top.  `epoch` is the newest committed
+/// epoch in the chain (== base_epoch when delta_epochs is empty).  A
+/// verified prefix of a chain is itself a consistent earlier state —
+/// the property the recovery ladder leans on when a trailing delta is
+/// corrupt.  Every committed epoch also leaves a `MANIFEST_<epoch>`
+/// file, so the ladder can step back past a corrupt base.
 struct SnapshotManifest {
   uint32_t epoch = 0;
   std::vector<rpc::MachineId> machines;
+  uint32_t base_epoch = 0;
+  std::vector<uint32_t> delta_epochs;
 };
 
+inline std::string ManifestPathFor(const std::string& dir, uint32_t epoch) {
+  return dir + "/MANIFEST_" + std::to_string(epoch);
+}
+
+/// Journal path helpers, free-standing so non-template code (the
+/// recovery ladder) can locate files without the property types.
+inline std::string SnapshotJournalPath(const std::string& dir, uint32_t epoch,
+                                       rpc::MachineId machine) {
+  return dir + "/snap_" + std::to_string(epoch) + "_m" +
+         std::to_string(machine) + ".glsnap";
+}
+inline std::string SnapshotDeltaPath(const std::string& dir, uint32_t epoch,
+                                     rpc::MachineId machine) {
+  return dir + "/delta_" + std::to_string(epoch) + "_m" +
+         std::to_string(machine) + ".gldelta";
+}
+
+/// Serialized manifest: archive payload + 4-byte masked CRC32C trailer.
+inline std::vector<char> EncodeSnapshotManifest(
+    const SnapshotManifest& manifest) {
+  OutArchive oa;
+  oa << manifest.epoch << manifest.machines << manifest.base_epoch
+     << manifest.delta_epochs;
+  std::vector<char> bytes = oa.buffer();
+  const uint32_t crc =
+      crc32c::Mask(crc32c::Value(bytes.data(), bytes.size()));
+  bytes.push_back(static_cast<char>(crc));
+  bytes.push_back(static_cast<char>(crc >> 8));
+  bytes.push_back(static_cast<char>(crc >> 16));
+  bytes.push_back(static_cast<char>(crc >> 24));
+  return bytes;
+}
+
+inline Expected<SnapshotManifest> DecodeSnapshotManifest(
+    const std::vector<char>& bytes, const std::string& what) {
+  if (bytes.size() < 4) {
+    return Status::Corruption("manifest too short: " + what);
+  }
+  const size_t n = bytes.size() - 4;
+  const uint8_t* t = reinterpret_cast<const uint8_t*>(bytes.data() + n);
+  const uint32_t stored = static_cast<uint32_t>(t[0]) |
+                          static_cast<uint32_t>(t[1]) << 8 |
+                          static_cast<uint32_t>(t[2]) << 16 |
+                          static_cast<uint32_t>(t[3]) << 24;
+  if (crc32c::Unmask(stored) != crc32c::Value(bytes.data(), n)) {
+    return Status::Corruption("manifest checksum mismatch: " + what);
+  }
+  SnapshotManifest manifest;
+  InArchive ia(bytes.data(), n);
+  ia >> manifest.epoch >> manifest.machines >> manifest.base_epoch >>
+      manifest.delta_epochs;
+  if (!ia.ok() || !ia.AtEnd()) {
+    return Status::Corruption("bad snapshot manifest: " + what);
+  }
+  return manifest;
+}
+
+/// Commits `manifest` durably: MANIFEST_<epoch> first (the ladder's
+/// fallback trail), then LATEST, both through the atomic temp+rename
+/// path so a crash between the two leaves LATEST pointing at the
+/// previous — still fully consistent — epoch.
 inline Status WriteSnapshotManifest(const std::string& dir,
                                     const SnapshotManifest& manifest) {
-  OutArchive oa;
-  oa << manifest.epoch << manifest.machines;
-  return WriteFileBytes(dir + "/LATEST", oa.buffer());
+  const std::vector<char> bytes = EncodeSnapshotManifest(manifest);
+  GRAPHLAB_RETURN_IF_ERROR(
+      WriteFileAtomic(ManifestPathFor(dir, manifest.epoch), bytes));
+  return WriteFileAtomic(dir + "/LATEST", bytes);
+}
+
+inline Expected<SnapshotManifest> ReadManifestFile(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return Status::NotFound("no manifest at " + path);
+  return DecodeSnapshotManifest(*bytes, path);
 }
 
 /// NotFound when no snapshot has been committed yet.
@@ -86,13 +239,7 @@ inline Expected<SnapshotManifest> ReadSnapshotManifest(
     const std::string& dir) {
   auto bytes = ReadFileBytes(dir + "/LATEST");
   if (!bytes.ok()) return Status::NotFound("no snapshot manifest in " + dir);
-  SnapshotManifest manifest;
-  InArchive ia(*bytes);
-  ia >> manifest.epoch >> manifest.machines;
-  if (!ia.ok() || !ia.AtEnd()) {
-    return Status::Corruption("bad snapshot manifest in " + dir);
-  }
-  return manifest;
+  return DecodeSnapshotManifest(*bytes, dir + "/LATEST");
 }
 
 template <typename VertexData, typename EdgeData,
@@ -120,13 +267,51 @@ class SnapshotManager {
 
   static std::string JournalPathFor(const std::string& dir, uint32_t epoch,
                                     rpc::MachineId machine) {
-    return dir + "/snap_" + std::to_string(epoch) + "_m" +
-           std::to_string(machine) + ".glsnap";
+    return SnapshotJournalPath(dir, epoch, machine);
   }
   std::string JournalPath(uint32_t epoch) const {
     return JournalPathFor(dir_, epoch, ctx_.id);
   }
+  static std::string DeltaPathFor(const std::string& dir, uint32_t epoch,
+                                  rpc::MachineId machine) {
+    return SnapshotDeltaPath(dir, epoch, machine);
+  }
+  std::string DeltaPath(uint32_t epoch) const {
+    return DeltaPathFor(dir_, epoch, ctx_.id);
+  }
   const std::string& dir() const { return dir_; }
+
+  /// Bytes the most recent WriteSyncSnapshot/WriteDeltaSnapshot put on
+  /// disk (feeds fault.checkpoint_bytes metrics and the full-vs-delta
+  /// bench rows).
+  uint64_t last_checkpoint_bytes() const { return last_checkpoint_bytes_; }
+
+  /// True once a checkpoint has captured version baselines on this
+  /// graph, i.e. WriteDeltaSnapshot knows what "dirty since last
+  /// checkpoint" means.  False initially and after any restore (a
+  /// restore rewrites columns wholesale, so the next checkpoint must be
+  /// full).
+  bool has_baseline() const { return has_baseline_; }
+
+  /// Fraction of journaled entities (owned vertices + their out-edges)
+  /// whose version changed since the baseline; 1.0 with no baseline.
+  /// The coordinator forces a full snapshot past a threshold — a delta
+  /// that rewrites most of the graph costs more than a full (it pays
+  /// per-record framing) and lengthens the restore chain for nothing.
+  double DirtyFraction() const {
+    if (!has_baseline_) return 1.0;
+    size_t total = 0, dirty = 0;
+    for (LocalVid l : graph_->owned_vertices()) {
+      ++total;
+      if (VertexDirty(l)) ++dirty;
+      for (LocalEid e : graph_->out_edges(l)) {
+        ++total;
+        if (EdgeDirty(e)) ++dirty;
+      }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(dirty) / static_cast<double>(total);
+  }
 
   // --------------------------------------------------------------------
   // Synchronous snapshot
@@ -146,7 +331,16 @@ class SnapshotManager {
   /// Each owned vertex journals its out-edges; in-edges whose source is
   /// a ghost belong to the remote owner's journal.  Together the
   /// journals cover every edge exactly once.
+  ///
+  /// v3 wraps the body with a masked CRC32C so recovery can verify the
+  /// journal before replaying it:
+  ///
+  ///   [u8 0xC1] [u8 3] [u32 masked_crc(body)] [u64 body_len] [body]
+  ///
+  /// where body is the v2 columnar layout above, and the file lands via
+  /// the atomic temp+rename commit.
   Status WriteSyncSnapshot(uint32_t epoch) {
+    GL_TRACE_SCOPE1(trace::kSnapshot, "snapshot.full", "epoch", epoch);
     std::vector<VertexId> gvids;
     std::vector<VertexId> esrc, edst;
     std::vector<LocalEid> eids;
@@ -159,24 +353,92 @@ class SnapshotManager {
         eids.push_back(e);
       }
     }
-    OutArchive journal;
-    journal << kColumnarJournalMagic;
+    OutArchive body;
     std::string col;
     EncodeColumn<VertexId>({gvids.data(), gvids.size()}, &col);
-    journal << col;
+    body << col;
     for (LocalVid l : graph_->owned_vertices()) {
-      journal << graph_->vertex_data(l);
+      body << graph_->vertex_data(l);
     }
     col.clear();
     EncodeColumn<VertexId>({esrc.data(), esrc.size()}, &col);
-    journal << col;
+    body << col;
     col.clear();
     EncodeColumn<VertexId>({edst.data(), edst.size()}, &col);
-    journal << col;
-    for (LocalEid e : eids) journal << graph_->edge_data(e);
-    Status st = WriteFileBytes(JournalPath(epoch), journal.buffer());
+    body << col;
+    for (LocalEid e : eids) body << graph_->edge_data(e);
+
+    OutArchive journal;
+    journal << kColumnarJournalMagic << kJournalVersion
+            << crc32c::Mask(crc32c::Value(body.buffer().data(), body.size()))
+            << body.buffer();
+    Status st = WriteFileAtomic(JournalPath(epoch), journal.buffer());
+    if (st.ok()) CaptureBaseline();
+    last_checkpoint_bytes_ = journal.size();
     ThrottleDfs(journal.size());
     return st;
+  }
+
+  // --------------------------------------------------------------------
+  // Incremental (delta) snapshot
+  // --------------------------------------------------------------------
+
+  /// Journals only the owned vertices / out-edges whose version column
+  /// advanced since the last checkpoint's baseline, as batched records
+  /// on a CRC-verified WAL (util/wal.h):
+  ///
+  ///   vertex record: [u8 0] [u32 count] ([u64 gvid] [VertexData]) * count
+  ///   edge record:   [u8 1] [u32 count] ([u64 gsrc] [u64 gdst] [EdgeData]) * count
+  ///
+  /// Requires has_baseline(); the coordinator falls back to a full
+  /// snapshot otherwise.  Cost is O(dirty) bytes — the acceptance
+  /// criterion this subsystem exists for.
+  Status WriteDeltaSnapshot(uint32_t epoch) {
+    GL_TRACE_SCOPE1(trace::kSnapshot, "snapshot.wal", "epoch", epoch);
+    if (!has_baseline_) {
+      return Status::FailedPrecondition(
+          "delta snapshot without a baseline: write a full snapshot first");
+    }
+    wal::WalWriter writer;
+    GRAPHLAB_RETURN_IF_ERROR(writer.Open(DeltaPath(epoch)));
+
+    // Batch dirty entities into bounded records so large deltas exercise
+    // the FIRST/MIDDLE/LAST fragmentation and small ones stay one FULL
+    // record per kind.
+    constexpr size_t kBatch = 512;
+    OutArchive rec;
+    uint32_t count = 0;
+    auto flush = [&](uint8_t kind) -> Status {
+      if (count == 0) return Status::OK();
+      OutArchive framed;
+      framed << kind << count;
+      framed.WriteBytes(rec.buffer().data(), rec.size());
+      Status s = writer.AddRecord(framed.buffer().data(), framed.size());
+      rec = OutArchive();
+      count = 0;
+      return s;
+    };
+    for (LocalVid l : graph_->owned_vertices()) {
+      if (!VertexDirty(l)) continue;
+      rec << static_cast<uint64_t>(graph_->Gvid(l)) << graph_->vertex_data(l);
+      if (++count >= kBatch) GRAPHLAB_RETURN_IF_ERROR(flush(0));
+    }
+    GRAPHLAB_RETURN_IF_ERROR(flush(0));
+    for (LocalVid l : graph_->owned_vertices()) {
+      for (LocalEid e : graph_->out_edges(l)) {
+        if (!EdgeDirty(e)) continue;
+        rec << static_cast<uint64_t>(graph_->Gvid(graph_->edge_source(e)))
+            << static_cast<uint64_t>(graph_->Gvid(graph_->edge_target(e)))
+            << graph_->edge_data(e);
+        if (++count >= kBatch) GRAPHLAB_RETURN_IF_ERROR(flush(1));
+      }
+    }
+    GRAPHLAB_RETURN_IF_ERROR(flush(1));
+    GRAPHLAB_RETURN_IF_ERROR(writer.Close());
+    CaptureBaseline();
+    last_checkpoint_bytes_ = writer.bytes_written();
+    ThrottleDfs(writer.bytes_written());
+    return Status::OK();
   }
 
   // --------------------------------------------------------------------
@@ -203,10 +465,12 @@ class SnapshotManager {
            graph_->num_owned_vertices();
   }
 
-  /// Writes the accumulated async journal to disk.
+  /// Writes the accumulated async journal to disk (atomically — the
+  /// row-record content is unchanged, but a crash mid-write must not
+  /// leave a torn journal under the committed name).
   Status FinishAsync() {
     std::lock_guard<std::mutex> lock(journal_mutex_);
-    return WriteFileBytes(JournalPath(epoch_), journal_.buffer());
+    return WriteFileAtomic(JournalPath(epoch_), journal_.buffer());
   }
 
   // --------------------------------------------------------------------
@@ -249,9 +513,11 @@ class SnapshotManager {
       }
     }
     // A restore rewrites whole property columns: retire any cached
-    // gather state derived from the pre-restore columns.
+    // gather state derived from the pre-restore columns, and the dirty
+    // baseline with it (next checkpoint must be full).
     graph_->BumpVertexDataEpoch();
     graph_->BumpEdgeDataEpoch();
+    has_baseline_ = false;
     for (LocalVid l : graph_->owned_vertices()) {
       graph_->FlushVertexScope(l);
     }
@@ -309,6 +575,83 @@ class SnapshotManager {
     }
     graph_->BumpVertexDataEpoch();
     graph_->BumpEdgeDataEpoch();
+    has_baseline_ = false;
+    return Status::OK();
+  }
+
+  /// Replays one delta journal epoch from every machine in
+  /// `journal_machines`, leniently (records that no longer map to a
+  /// local entity are skipped — same re-placement semantics as
+  /// RestoreFrom).  Fails on any WAL corruption: the ladder must have
+  /// verified the chain first, so a corrupt delta here is a logic error
+  /// upstream, not something to paper over.
+  Status RestoreDeltaFrom(uint32_t epoch,
+                          const std::vector<rpc::MachineId>& journal_machines) {
+    GL_TRACE_SCOPE1(trace::kSnapshot, "snapshot.wal", "epoch", epoch);
+    for (rpc::MachineId jm : journal_machines) {
+      const std::string path = DeltaPathFor(dir_, epoch, jm);
+      auto bytes = ReadFileBytes(path);
+      if (!bytes.ok()) return bytes.status();
+      wal::WalReader reader(*bytes);
+      std::string record;
+      while (reader.ReadRecord(&record)) {
+        InArchive ia(record.data(), record.size());
+        const uint8_t kind = ia.ReadValue<uint8_t>();
+        const uint32_t count = ia.ReadValue<uint32_t>();
+        if (!ia.ok() || kind > 1) {
+          return Status::Corruption("bad delta record in " + path);
+        }
+        for (uint32_t i = 0; i < count; ++i) {
+          if (kind == 0) {
+            const VertexId gvid =
+                static_cast<VertexId>(ia.ReadValue<uint64_t>());
+            VertexData data;
+            ia >> data;
+            if (!ia.ok()) return Status::Corruption("truncated " + path);
+            LocalVid l = graph_->TryLvid(gvid);
+            if (l != kInvalidLocalVid && graph_->is_owned(l)) {
+              graph_->vertex_data(l) = std::move(data);
+              graph_->MarkVertexModified(l);
+            }
+          } else {
+            const VertexId gsrc =
+                static_cast<VertexId>(ia.ReadValue<uint64_t>());
+            const VertexId gdst =
+                static_cast<VertexId>(ia.ReadValue<uint64_t>());
+            EdgeData data;
+            ia >> data;
+            if (!ia.ok()) return Status::Corruption("truncated " + path);
+            LocalEid e = graph_->TryLeid(gsrc, gdst);
+            if (e != kInvalidLocalEid) {
+              graph_->edge_data(e) = std::move(data);
+              graph_->MarkEdgeModified(e);
+            }
+          }
+        }
+        if (!ia.AtEnd()) {
+          return Status::Corruption("trailing bytes in delta record: " + path);
+        }
+      }
+      if (!reader.corruptions().empty()) {
+        return Status::Corruption("corrupt delta journal: " + path);
+      }
+    }
+    graph_->BumpVertexDataEpoch();
+    graph_->BumpEdgeDataEpoch();
+    has_baseline_ = false;
+    return Status::OK();
+  }
+
+  /// Restores a manifest chain: the full snapshot at `base_epoch`, then
+  /// every delta epoch in order.  Purely local, lenient placement; call
+  /// RepushOwnedScopes() + barrier + WaitQuiescent afterwards.
+  Status RestoreChain(const SnapshotManifest& manifest) {
+    GRAPHLAB_RETURN_IF_ERROR(
+        RestoreFrom(manifest.base_epoch, manifest.machines));
+    for (uint32_t delta_epoch : manifest.delta_epochs) {
+      GRAPHLAB_RETURN_IF_ERROR(
+          RestoreDeltaFrom(delta_epoch, manifest.machines));
+    }
     return Status::OK();
   }
 
@@ -358,14 +701,35 @@ class SnapshotManager {
            static_cast<uint8_t>(bytes[0]) == kColumnarJournalMagic;
   }
 
-  /// Replays a v2 columnar journal.  `strict` (same-membership Restore)
-  /// requires every record to land on an owned vertex / present edge;
-  /// the lenient form (RestoreFrom, post-loss re-placement) applies what
-  /// this machine now holds and skips the rest.
+  /// Replays a v2/v3 columnar journal.  `strict` (same-membership
+  /// Restore) requires every record to land on an owned vertex / present
+  /// edge; the lenient form (RestoreFrom, post-loss re-placement)
+  /// applies what this machine now holds and skips the rest.  v3
+  /// journals fail with Corruption before any graph mutation if the CRC
+  /// envelope does not verify.
   Status ReplayColumnarJournal(const std::vector<char>& bytes,
                                const std::string& path, bool strict) {
+    if (bytes.size() >= 2 &&
+        static_cast<uint8_t>(bytes[1]) == kJournalVersion) {
+      GRAPHLAB_RETURN_IF_ERROR(VerifyFullJournalBytes(bytes, path));
+      InArchive envelope(bytes);
+      envelope.ReadValue<uint8_t>();   // magic
+      envelope.ReadValue<uint8_t>();   // version
+      envelope.ReadValue<uint32_t>();  // crc, verified above
+      std::vector<char> body;
+      envelope >> body;
+      return ReplayColumnarBody(InArchive(body.data(), body.size()), path,
+                                strict);
+    }
     InArchive ia(bytes);
     ia.ReadValue<uint8_t>();  // magic, already sniffed
+    return ReplayColumnarBody(std::move(ia), path, strict);
+  }
+
+  /// The v2 columnar body: id columns + property streams.  `ia` is
+  /// positioned at the gvid column (past magic/envelope).
+  Status ReplayColumnarBody(InArchive ia, const std::string& path,
+                            bool strict) {
     std::string col;
     ia >> col;
     std::vector<VertexId> gvids;
@@ -423,6 +787,34 @@ class SnapshotManager {
     return Status::OK();
   }
 
+  // Dirty tracking for O(dirty) deltas: the per-entity version columns
+  // (bumped by MarkVertexModified / MarkEdgeModified) compared against a
+  // baseline captured at the last checkpoint.  Indexed by LocalVid /
+  // LocalEid over all local entities; entities added after the baseline
+  // (index past the end) count as dirty.
+  void CaptureBaseline() {
+    const size_t nv = graph_->num_local_vertices();
+    const size_t ne = graph_->num_local_edges();
+    base_vversion_.resize(nv);
+    base_eversion_.resize(ne);
+    for (size_t l = 0; l < nv; ++l) {
+      base_vversion_[l] = graph_->vertex_version(static_cast<LocalVid>(l));
+    }
+    for (size_t e = 0; e < ne; ++e) {
+      base_eversion_[e] = graph_->edge_version(static_cast<LocalEid>(e));
+    }
+    has_baseline_ = true;
+  }
+
+  bool VertexDirty(LocalVid l) const {
+    return static_cast<size_t>(l) >= base_vversion_.size() ||
+           graph_->vertex_version(l) != base_vversion_[l];
+  }
+  bool EdgeDirty(LocalEid e) const {
+    return static_cast<size_t>(e) >= base_eversion_.size() ||
+           graph_->edge_version(e) != base_eversion_[e];
+  }
+
   void ThrottleDfs(size_t bytes) {
     if (dfs_bandwidth_ <= 0) return;
     double seconds = static_cast<double>(bytes) / dfs_bandwidth_;
@@ -434,6 +826,11 @@ class SnapshotManager {
   GraphType* graph_;
   std::string dir_;
   double dfs_bandwidth_ = 0;
+
+  std::vector<uint64_t> base_vversion_;
+  std::vector<uint64_t> base_eversion_;
+  bool has_baseline_ = false;
+  uint64_t last_checkpoint_bytes_ = 0;
 
   std::mutex journal_mutex_;
   OutArchive journal_;

@@ -11,19 +11,34 @@
 //
 // Protocol per boundary (coordinator = machine 0):
 //   DECIDE  m0 checks its clock against the checkpoint interval and
-//           broadcasts {round, epoch} — epoch 0 means "no checkpoint".
-//   WRITE   on epoch != 0 every machine journals its owned partition
-//           (SnapshotManager::WriteSyncSnapshot) and reports DONE.
+//           broadcasts {round, epoch, kind} — epoch 0 means "no
+//           checkpoint"; kind picks FULL vs DELTA so the cluster writes
+//           one uniform checkpoint kind per epoch.
+//   WRITE   on epoch != 0 every machine journals its owned partition —
+//           WriteSyncSnapshot (full) or WriteDeltaSnapshot (O(dirty)
+//           WAL delta) — and reports DONE.
 //   COMMIT  when every live machine reported, m0 writes the LATEST
-//           manifest {epoch, membership} — the atomic commit point a
-//           restore trusts — and broadcasts COMMIT; everyone proceeds.
+//           manifest {epoch, membership, base_epoch, delta_epochs} —
+//           the atomic commit point a restore trusts — and broadcasts
+//           COMMIT; everyone proceeds.
+//
+// Full vs delta: the first checkpoint of an attempt is always full (no
+// baseline exists after a start or a restore).  After that, deltas run
+// until either full_checkpoint_every_deltas have accumulated (a long
+// chain slows restore) or the coordinator's dirty fraction exceeds
+// delta_dirty_threshold (a near-full delta costs more than a full).
+// Baselines advance in lockstep cluster-wide because every machine
+// checkpoints at exactly the committed epochs, so m0's decision is safe
+// to apply everywhere.
 //
 // The interval is either fixed (checkpoint_interval_seconds) or derived
 // from Young's first-order approximation (Eq. 3 of the paper):
 //     T_interval = sqrt(2 * T_checkpoint * T_mtbf)
-// re-evaluated after every checkpoint with the measured checkpoint cost,
-// so the so-far-theoretical OptimalCheckpointIntervalSeconds() helper
-// finally steers a real runtime.
+// re-evaluated after every checkpoint with the measured cost of the
+// checkpoints actually being written — with incremental checkpoints on,
+// the smoothed cost converges to the (much cheaper) delta cost and the
+// interval tightens accordingly, which is the point: cheaper
+// checkpoints ⇒ checkpoint more often ⇒ less lost work at equal MTBF.
 //
 // Any machine death mid-protocol unblocks every wait with
 // Status::Aborted — the epoch is then simply never committed, and
@@ -97,27 +112,50 @@ class CheckpointCoordinator {
 
     if (ctx_.id == 0) {
       uint32_t epoch = 0;
+      uint8_t kind = kFullKind;
       if (interval_seconds() > 0 &&
           since_checkpoint_.Seconds() >= interval_seconds()) {
         epoch = next_epoch_++;
+        kind = DecideKind();
       }
-      Broadcast(kDecide, round, epoch);
+      Broadcast(kDecide, round, epoch, kind);
     }
 
     // Everyone (including machine 0, via its self-send) waits for the
     // decision so the cluster acts uniformly.
     uint32_t epoch = 0;
+    uint8_t kind = kFullKind;
     GRAPHLAB_RETURN_IF_ERROR(
         WaitFor(round, [&](const RoundState& r) { return r.have_decision; },
-                [&](const RoundState& r) { epoch = r.epoch; }));
+                [&](const RoundState& r) {
+                  epoch = r.epoch;
+                  kind = r.kind;
+                }));
     if (epoch == 0) return Status::OK();
     GL_TRACE_SCOPE1(trace::kFault, "fault.checkpoint", "epoch", epoch);
 
     // WRITE: journals are already globally consistent (boundary
     // precondition); each machine persists its owned partition.
-    GRAPHLAB_RETURN_IF_ERROR(snapshots_->WriteSyncSnapshot(epoch));
+    if (kind == kDeltaKind) {
+      GRAPHLAB_RETURN_IF_ERROR(snapshots_->WriteDeltaSnapshot(epoch));
+    } else {
+      GRAPHLAB_RETURN_IF_ERROR(snapshots_->WriteSyncSnapshot(epoch));
+    }
+    {
+      auto& registry = comm_->registry(ctx_.id);
+      const uint64_t bytes = snapshots_->last_checkpoint_bytes();
+      registry
+          .counter(kind == kDeltaKind ? "fault.checkpoint_bytes_delta"
+                                      : "fault.checkpoint_bytes_full")
+          ->Inc(bytes);
+      if (kind == kDeltaKind) {
+        bytes_delta_ += bytes;
+      } else {
+        bytes_full_ += bytes;
+      }
+    }
     OutArchive done;
-    done << uint8_t{kDone} << round << epoch;  // uniform {tag,round,epoch}
+    done << uint8_t{kDone} << round << epoch << kind;
     comm_->Send(ctx_.id, 0, kCheckpointControlHandler, std::move(done));
 
     if (ctx_.id == 0) {
@@ -135,21 +173,38 @@ class CheckpointCoordinator {
           },
           [](const RoundState&) {});
       GRAPHLAB_RETURN_IF_ERROR(all);
+      if (kind == kDeltaKind) {
+        chain_deltas_.push_back(epoch);
+      } else {
+        chain_base_epoch_ = epoch;
+        chain_deltas_.clear();
+      }
       SnapshotManifest manifest;
       manifest.epoch = epoch;
       manifest.machines = comm_->membership().alive_machines();
+      manifest.base_epoch = chain_base_epoch_;
+      manifest.delta_epochs = chain_deltas_;
       GRAPHLAB_RETURN_IF_ERROR(
           WriteSnapshotManifest(snapshots_->dir(), manifest));
-      Broadcast(kCommit, round, epoch);
+      Broadcast(kCommit, round, epoch, kind);
     }
 
     GRAPHLAB_RETURN_IF_ERROR(WaitFor(
         round, [&](const RoundState& r) { return r.committed; },
         [](const RoundState&) {}));
 
-    // Bookkeeping: measured cost feeds Young's interval for next time.
+    // Bookkeeping: measured cost feeds Young's interval for next time —
+    // once deltas dominate, the smoothed cost converges to the delta
+    // cost and the interval re-derives from it.
     last_complete_epoch_ = epoch;
     checkpoints_written_++;
+    if (kind == kDeltaKind) {
+      delta_checkpoints_written_++;
+      deltas_since_full_++;
+    } else {
+      full_checkpoints_written_++;
+      deltas_since_full_ = 0;
+    }
     const double cost = round_timer.Seconds();
     checkpoint_seconds_ += cost;
     comm_->registry(ctx_.id)
@@ -175,26 +230,50 @@ class CheckpointCoordinator {
 
   uint32_t last_complete_epoch() const { return last_complete_epoch_; }
   uint64_t checkpoints_written() const { return checkpoints_written_; }
+  uint64_t full_checkpoints_written() const {
+    return full_checkpoints_written_;
+  }
+  uint64_t delta_checkpoints_written() const {
+    return delta_checkpoints_written_;
+  }
+  uint64_t checkpoint_bytes_full() const { return bytes_full_; }
+  uint64_t checkpoint_bytes_delta() const { return bytes_delta_; }
   double checkpoint_seconds() const { return checkpoint_seconds_; }
   double measured_checkpoint_cost() const { return t_checkpoint_; }
 
  private:
   enum Tag : uint8_t { kDecide = 0, kDone = 1, kCommit = 2 };
+  enum Kind : uint8_t { kFullKind = 0, kDeltaKind = 1 };
 
   struct RoundState {
     uint64_t id = 0;
     bool have_decision = false;
     uint32_t epoch = 0;
+    uint8_t kind = kFullKind;
     bool committed = false;
     std::vector<uint8_t> done;  // coordinator only, per machine
   };
 
-  void Broadcast(Tag tag, uint64_t round, uint32_t epoch) {
+  /// Coordinator-side full-vs-delta policy; see the header comment.
+  uint8_t DecideKind() const {
+    if (!options_.incremental_checkpoints) return kFullKind;
+    if (!snapshots_->has_baseline()) return kFullKind;
+    if (options_.full_checkpoint_every_deltas > 0 &&
+        deltas_since_full_ >= options_.full_checkpoint_every_deltas) {
+      return kFullKind;
+    }
+    if (snapshots_->DirtyFraction() > options_.delta_dirty_threshold) {
+      return kFullKind;
+    }
+    return kDeltaKind;
+  }
+
+  void Broadcast(Tag tag, uint64_t round, uint32_t epoch, uint8_t kind) {
     const auto alive = comm_->membership().alive_bitmap();
     for (rpc::MachineId dst = 0; dst < alive.size(); ++dst) {
       if (!alive[dst]) continue;
       OutArchive oa;
-      oa << static_cast<uint8_t>(tag) << round << epoch;
+      oa << static_cast<uint8_t>(tag) << round << epoch << kind;
       comm_->Send(/*src=*/0, dst, kCheckpointControlHandler, std::move(oa));
     }
   }
@@ -235,6 +314,7 @@ class CheckpointCoordinator {
     uint8_t tag = ia.ReadValue<uint8_t>();
     uint64_t round = ia.ReadValue<uint64_t>();
     uint32_t epoch = ia.ReadValue<uint32_t>();
+    uint8_t kind = ia.ReadValue<uint8_t>();
     if (!ia.ok()) return;
     std::lock_guard<std::mutex> lock(mutex_);
     RoundState& r = RoundFor(round);
@@ -242,6 +322,7 @@ class CheckpointCoordinator {
       case kDecide:
         r.have_decision = true;
         r.epoch = epoch;
+        r.kind = kind;
         break;
       case kDone:
         if (r.done.empty()) r.done.assign(comm_->num_machines(), 0);
@@ -270,6 +351,18 @@ class CheckpointCoordinator {
   double t_checkpoint_;
   uint32_t last_complete_epoch_ = 0;
   uint64_t checkpoints_written_ = 0;
+  uint64_t full_checkpoints_written_ = 0;
+  uint64_t delta_checkpoints_written_ = 0;
+  uint64_t deltas_since_full_ = 0;
+  uint64_t bytes_full_ = 0;
+  uint64_t bytes_delta_ = 0;
+
+  // The chain under construction (coordinator only): the full epoch the
+  // current deltas stack on.  A new attempt starts a fresh coordinator,
+  // so a chain never spans memberships.
+  uint32_t chain_base_epoch_ = 0;
+  std::vector<uint32_t> chain_deltas_;
+
   double checkpoint_seconds_ = 0;
 
   std::mutex mutex_;

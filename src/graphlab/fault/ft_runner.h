@@ -52,7 +52,10 @@
 #define GRAPHLAB_FAULT_FT_RUNNER_H_
 
 #include <atomic>
+#include <cstdlib>
+#include <filesystem>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -82,11 +85,107 @@ struct FtReport {
   uint64_t recoveries = 0;          // completed failure->resume cycles
   uint32_t restored_epoch = 0;      // snapshot epoch the last attempt used
   uint64_t checkpoints_written = 0; // across all attempts
+  uint64_t full_checkpoints = 0;    // ... of which full snapshots
+  uint64_t delta_checkpoints = 0;   // ... of which O(dirty) WAL deltas
+  uint64_t checkpoint_bytes_full = 0;   // journal bytes, full snapshots
+  uint64_t checkpoint_bytes_delta = 0;  // journal bytes, delta journals
+  uint64_t corrupt_journals = 0;    // journals the recovery ladder rejected
   double checkpoint_seconds = 0;    // wall time spent checkpointing
   double checkpoint_interval_seconds = 0;  // effective cadence (last)
   double recovery_seconds = 0;      // last detection -> engine resumed
   RunResult result;                 // the successful attempt's result
 };
+
+/// The recovery ladder's verdict: the newest manifest chain whose every
+/// journal verifies end-to-end, possibly after stepping down.
+struct VerifiedChain {
+  bool found = false;          // false: restore from initial state
+  SnapshotManifest manifest;   // delta_epochs already truncated to the
+                               // verified prefix; epoch = newest usable
+  uint64_t corrupt_journals = 0;  // journals rejected along the way
+};
+
+/// Recovery ladder (pure storage inspection, no graph types): decide
+/// which epoch a restore can trust, stepping down on corruption instead
+/// of aborting.
+///
+///   1. Candidates: the LATEST manifest, then every MANIFEST_<epoch>
+///      file in the directory, newest epoch first.  A manifest whose
+///      own CRC fails is skipped — the next rung still works.
+///   2. For a candidate chain, CRC-verify the base epoch's journal of
+///      every machine in the manifest membership.  Base corrupt ⇒ the
+///      whole chain is unusable; drop to the next candidate.
+///   3. Verify the delta journals in chain order and truncate at the
+///      first corrupt epoch: a verified chain *prefix* is itself a
+///      consistent earlier committed state, so the ladder keeps
+///      everything up to the corruption instead of discarding the chain.
+///
+/// Deterministic given the same directory contents, so every machine
+/// resolves the same epoch without coordination (same argument as
+/// reading LATEST today).
+inline VerifiedChain ResolveVerifiedChain(const std::string& dir) {
+  GL_TRACE_SCOPE(trace::kSnapshot, "snapshot.wal.verify");
+  VerifiedChain out;
+
+  // Gather candidate manifests, newest first.
+  std::map<uint32_t, SnapshotManifest, std::greater<uint32_t>> candidates;
+  if (auto latest = ReadSnapshotManifest(dir); latest.ok()) {
+    candidates.emplace(latest->epoch, *latest);
+  }
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("MANIFEST_", 0) != 0) continue;
+    const uint32_t epoch = static_cast<uint32_t>(
+        std::strtoul(name.c_str() + sizeof("MANIFEST_") - 1, nullptr, 10));
+    if (epoch == 0 || candidates.count(epoch) != 0) continue;
+    if (auto m = ReadManifestFile(entry.path().string()); m.ok()) {
+      candidates.emplace(m->epoch, *m);
+    }
+  }
+
+  auto journal_ok = [&](const std::string& path, bool delta) {
+    auto bytes = ReadFileBytes(path);
+    if (!bytes.ok()) return false;  // missing on the shared store
+    const Status st = delta ? VerifyDeltaJournalBytes(*bytes, path)
+                            : VerifyFullJournalBytes(*bytes, path);
+    if (!st.ok()) {
+      GL_LOG(WARNING) << "recovery ladder: " << st.message();
+    }
+    return st.ok();
+  };
+
+  for (const auto& [epoch, manifest] : candidates) {
+    bool base_ok = true;
+    for (rpc::MachineId m : manifest.machines) {
+      if (!journal_ok(SnapshotJournalPath(dir, manifest.base_epoch, m),
+                      /*delta=*/false)) {
+        out.corrupt_journals++;
+        base_ok = false;
+      }
+    }
+    if (!base_ok) continue;  // next rung down
+    out.manifest = manifest;
+    out.manifest.delta_epochs.clear();
+    out.manifest.epoch = manifest.base_epoch;
+    for (uint32_t delta_epoch : manifest.delta_epochs) {
+      bool delta_epoch_ok = true;
+      for (rpc::MachineId m : manifest.machines) {
+        if (!journal_ok(SnapshotDeltaPath(dir, delta_epoch, m),
+                        /*delta=*/true)) {
+          out.corrupt_journals++;
+          delta_epoch_ok = false;
+        }
+      }
+      if (!delta_epoch_ok) break;  // keep the verified prefix
+      out.manifest.delta_epochs.push_back(delta_epoch);
+      out.manifest.epoch = delta_epoch;
+    }
+    out.found = true;
+    return out;
+  }
+  return out;
+}
 
 template <typename VertexData, typename EdgeData>
 class FaultTolerantRunner {
@@ -246,17 +345,26 @@ class FaultTolerantRunner {
       if (!options_.snapshot_dir.empty()) {
         snapshots = std::make_unique<SnapshotManager<VertexData, EdgeData>>(
             ctx_, graph, options_.snapshot_dir);
-        auto manifest = ReadSnapshotManifest(options_.snapshot_dir);
-        if (manifest.ok()) {
-          base_epoch = manifest->epoch;
+        // Recovery ladder: trust only a chain whose every journal
+        // verifies; step down to an older epoch on corruption rather
+        // than aborting.  found == false means no usable snapshot at
+        // all — replay from initial state, as before.
+        const VerifiedChain chain =
+            ResolveVerifiedChain(options_.snapshot_dir);
+        if (chain.corrupt_journals > 0) {
+          report->corrupt_journals += chain.corrupt_journals;
+          ctx_.comm()
+              .registry(me)
+              .counter("fault.corrupt_journals")
+              ->Inc(chain.corrupt_journals);
+        }
+        if (chain.found) {
+          base_epoch = chain.manifest.epoch;
           if (restoring) {
-            GRAPHLAB_RETURN_IF_ERROR(
-                snapshots->RestoreFrom(manifest->epoch, manifest->machines));
+            GRAPHLAB_RETURN_IF_ERROR(snapshots->RestoreChain(chain.manifest));
             snapshots->RepushOwnedScopes();
-            report->restored_epoch = manifest->epoch;
+            report->restored_epoch = chain.manifest.epoch;
           }
-        } else if (manifest.status().code() != StatusCode::kNotFound) {
-          return manifest.status();
         }
       }
       if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
@@ -321,6 +429,10 @@ class FaultTolerantRunner {
 
     if (checkpoint_ != nullptr) {
       report->checkpoints_written += checkpoint_->checkpoints_written();
+      report->full_checkpoints += checkpoint_->full_checkpoints_written();
+      report->delta_checkpoints += checkpoint_->delta_checkpoints_written();
+      report->checkpoint_bytes_full += checkpoint_->checkpoint_bytes_full();
+      report->checkpoint_bytes_delta += checkpoint_->checkpoint_bytes_delta();
       report->checkpoint_seconds += checkpoint_->checkpoint_seconds();
       report->checkpoint_interval_seconds = checkpoint_->interval_seconds();
     }

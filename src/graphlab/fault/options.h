@@ -43,6 +43,19 @@ struct FtOptions {
   double mtbf_seconds = 0;
   double t_checkpoint_estimate_seconds = 0.05;
 
+  /// Incremental (delta) checkpoints: after a full snapshot, journal
+  /// only entities whose version changed since the previous checkpoint
+  /// (O(dirty) WAL deltas; see engine/snapshot.h).  The manifest chains
+  /// base + deltas and recovery replays them in order.
+  bool incremental_checkpoints = true;
+  /// Force a full snapshot after this many consecutive deltas (bounds
+  /// the restore chain length).  0 = never force by count.
+  uint64_t full_checkpoint_every_deltas = 8;
+  /// Force a full snapshot when the coordinator's dirty fraction
+  /// exceeds this — a delta covering most of the graph costs more than
+  /// a full snapshot (per-record framing) and lengthens the chain.
+  double delta_dirty_threshold = 0.5;
+
   // ------------------------------------------------------------------
   // Recovery (FaultTolerantRunner)
   // ------------------------------------------------------------------

@@ -8,7 +8,9 @@ namespace graphlab {
 Status AtomIndex::WriteToFile(const std::string& path) const {
   OutArchive oa;
   oa << *this;
-  return WriteFileBytes(path, oa.buffer());
+  // The index is the root of every placement decision on recovery —
+  // committed atomically so a crash mid-write cannot destroy it.
+  return WriteFileAtomic(path, oa.buffer());
 }
 
 Expected<AtomIndex> AtomIndex::ReadFromFile(const std::string& path) {

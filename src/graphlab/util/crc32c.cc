@@ -1,0 +1,67 @@
+#include "graphlab/util/crc32c.h"
+
+#include <array>
+
+namespace graphlab {
+namespace crc32c {
+namespace {
+
+// Slicing-by-8: eight 256-entry tables generated at compile time from the
+// reflected Castagnoli polynomial.  Table[0] is the classic byte-at-a-time
+// table; table[k][b] is the CRC of byte b followed by k zero bytes, so the
+// inner loop folds 8 input bytes with 8 table lookups and one XOR chain.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables MakeTables() {
+  Tables tb{};
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = b;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tb.t[0][b] = crc;
+  }
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = tb.t[0][b];
+    for (int k = 1; k < 8; ++k) {
+      crc = tb.t[0][crc & 0xff] ^ (crc >> 8);
+      tb.t[k][b] = crc;
+    }
+  }
+  return tb;
+}
+
+constexpr Tables kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~init_crc;
+  // Byte-at-a-time until 8 input bytes remain aligned work.
+  while (n >= 8) {
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][lo & 0xff] ^ kTables.t[6][(lo >> 8) & 0xff] ^
+          kTables.t[5][(lo >> 16) & 0xff] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = kTables.t[0][(crc ^ *p) & 0xff] ^ (crc >> 8);
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace crc32c
+}  // namespace graphlab

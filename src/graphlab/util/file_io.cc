@@ -1,7 +1,14 @@
 #include "graphlab/util/file_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+
+#include "graphlab/fault/injection.h"
 
 namespace graphlab {
 
@@ -16,10 +23,103 @@ Status WriteFileBytes(const std::string& path,
   return Status::OK();
 }
 
+namespace {
+
+// Shared core of WriteFileAtomic: temp file → fsync → rename → fsync
+// parent directory, with the fault-injection hooks at each commit step.
+Status WriteAtomicImpl(const std::string& path, const char* data, size_t n) {
+  auto& inject = fault::FaultInjection::Instance();
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::IOError("cannot open for write: " + tmp + ": " +
+                             std::strerror(errno));
+    }
+    const size_t allowed = inject.BeforeWrite(tmp, 0, n);
+    size_t done = 0;
+    Status s;
+    while (done < allowed) {
+      const ssize_t w = ::write(fd, data + done, allowed - done);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        s = Status::IOError("write " + tmp + ": " + std::strerror(errno));
+        break;
+      }
+      done += static_cast<size_t>(w);
+    }
+    if (s.ok() && allowed < n) {
+      s = Status::IOError("torn write injected in " + tmp);
+    }
+    if (s.ok() && ::fsync(fd) != 0) {
+      s = Status::IOError("fsync " + tmp + ": " + std::strerror(errno));
+    }
+    ::close(fd);
+    if (!s.ok()) return s;  // the torn temp file is left for inspection
+  }
+  if (inject.DropCommit(path)) {
+    // Simulated crash between fsync of the payload and the rename: the
+    // temp file is durable but the commit point never happens.
+    return Status::IOError("commit dropped by fault injection: " + path);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  const std::string dir = fs::path(path).parent_path().string();
+  Status s = SyncDirectory(dir.empty() ? "." : dir);
+  if (!s.ok()) return s;
+  if (inject.DropFile(path)) {
+    fs::remove(path, ec);  // a lost file on the shared store
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<char>& data) {
+  return WriteAtomicImpl(path, data.data(), data.size());
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  return WriteAtomicImpl(path, data.data(), data.size());
+}
+
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  Status s;
+  if (::fsync(fd) != 0 && errno != EINVAL) {
+    // EINVAL: the filesystem does not support directory fsync (tmpfs on
+    // some kernels); the rename is still atomic, just not power-safe.
+    s = Status::IOError("fsync directory " + dir + ": " +
+                        std::strerror(errno));
+  }
+  ::close(fd);
+  return s;
+}
+
 Expected<std::vector<char>> ReadFileBytes(const std::string& path) {
+  // ifstream happily "opens" a directory on Linux and tellg() then
+  // reports either -1 or a huge bogus size; either way the old cast to
+  // size_t turned it into a near-SIZE_MAX allocation.  Reject anything
+  // that is not a regular file up front.
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec) || ec) {
+    return Status::IOError("not a regular file: " + path);
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IOError("cannot open for read: " + path);
-  std::streamsize size = in.tellg();
+  const std::streamsize size = in.tellg();
+  if (!in || size < 0) {
+    return Status::IOError("cannot determine size of: " + path);
+  }
   in.seekg(0);
   std::vector<char> data(static_cast<size_t>(size));
   if (size > 0 && !in.read(data.data(), size)) {

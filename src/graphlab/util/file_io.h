@@ -15,7 +15,26 @@
 namespace graphlab {
 
 /// Writes `data` to `path`, replacing any existing file.
+///
+/// NOT crash-safe: the file is truncated first, so a crash mid-write
+/// leaves a torn file and destroys the previous contents.  Fine for
+/// scratch output; anything a restore depends on (manifests, the atom
+/// index) must use WriteFileAtomic.
 Status WriteFileBytes(const std::string& path, const std::vector<char>& data);
+
+/// Crash-consistent replacement of `path`: writes `path`.tmp, fsyncs
+/// it, renames over `path`, then fsyncs the parent directory so the
+/// rename itself is durable.  After a crash, readers observe either the
+/// complete old file or the complete new file — never a torn mix.
+/// Routes through fault::FaultInjection (torn-write / crash-before-
+/// commit / missing-file arms) like the WAL writer.
+Status WriteFileAtomic(const std::string& path, const std::vector<char>& data);
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// fsyncs a directory so previously renamed/created entries survive a
+/// power loss.  Called by WriteFileAtomic; exposed for callers that
+/// batch several commits.
+Status SyncDirectory(const std::string& dir);
 
 /// Reads the whole file at `path`.
 Expected<std::vector<char>> ReadFileBytes(const std::string& path);

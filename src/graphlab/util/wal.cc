@@ -1,0 +1,255 @@
+#include "graphlab/util/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "graphlab/fault/injection.h"
+#include "graphlab/util/crc32c.h"
+
+namespace graphlab {
+namespace wal {
+
+// ---------------------------------------------------------------------
+// WalWriter
+// ---------------------------------------------------------------------
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Open(const std::string& path) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("wal: cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  bytes_written_ = 0;
+  block_offset_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::RawWrite(const void* data, size_t n) {
+  // The injection hook may tear this write (return a shorter allowance)
+  // or SIGKILL the process outright; both simulate a crash at an exact
+  // byte offset of the log.
+  const size_t allowed =
+      fault::FaultInjection::Instance().BeforeWrite(path_, bytes_written_, n);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t done = 0;
+  while (done < allowed) {
+    const ssize_t w = ::write(fd_, p + done, allowed - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("wal: write " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(w);
+    bytes_written_ += static_cast<uint64_t>(w);
+  }
+  if (allowed < n) {
+    return Status::IOError("wal: torn write injected in " + path_);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::EmitPhysicalRecord(RecordType type, const uint8_t* payload,
+                                     size_t length) {
+  uint8_t header[kHeaderSize];
+  uint32_t crc = crc32c::Value(&type, 1);
+  crc = crc32c::Mask(crc32c::Extend(crc, payload, length));
+  header[0] = static_cast<uint8_t>(crc);
+  header[1] = static_cast<uint8_t>(crc >> 8);
+  header[2] = static_cast<uint8_t>(crc >> 16);
+  header[3] = static_cast<uint8_t>(crc >> 24);
+  header[4] = static_cast<uint8_t>(length);
+  header[5] = static_cast<uint8_t>(length >> 8);
+  header[6] = static_cast<uint8_t>(type);
+  Status s = RawWrite(header, kHeaderSize);
+  if (s.ok() && length > 0) s = RawWrite(payload, length);
+  if (s.ok()) block_offset_ += kHeaderSize + length;
+  return s;
+}
+
+Status WalWriter::AddRecord(const void* data, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("wal: not open");
+  const uint8_t* ptr = static_cast<const uint8_t*>(data);
+  size_t left = n;
+  bool begin = true;
+  Status s;
+  do {
+    const size_t leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      // Not enough room for a header: zero-fill the trailer and start
+      // the next block.
+      if (leftover > 0) {
+        static const uint8_t kZeroes[kHeaderSize - 1] = {0};
+        s = RawWrite(kZeroes, leftover);
+        if (!s.ok()) return s;
+      }
+      block_offset_ = 0;
+    }
+    const size_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    const size_t fragment = left < avail ? left : avail;
+    const bool end = fragment == left;
+    const RecordType type = begin && end ? kFullType
+                            : begin     ? kFirstType
+                            : end       ? kLastType
+                                        : kMiddleType;
+    s = EmitPhysicalRecord(type, ptr, fragment);
+    ptr += fragment;
+    left -= fragment;
+    begin = false;
+  } while (s.ok() && left > 0);
+  return s;
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("wal: not open");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("wal: fdatasync " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = Sync();
+  if (::close(fd_) != 0 && s.ok()) {
+    s = Status::IOError("wal: close " + path_ + ": " + std::strerror(errno));
+  }
+  fd_ = -1;
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// WalReader
+// ---------------------------------------------------------------------
+
+int WalReader::ReadPhysicalRecord(std::string_view* payload) {
+  while (true) {
+    const size_t block_left = kBlockSize - (pos_ % kBlockSize);
+    if (block_left < kHeaderSize) {
+      // Zero-filled trailer (or EOF inside one): skip to the block edge.
+      pos_ += block_left;
+      if (pos_ >= size_) {
+        pos_ = size_;
+        return kEof;
+      }
+      continue;
+    }
+    if (pos_ >= size_) return kEof;
+    if (pos_ + kHeaderSize > size_) {
+      // Fewer than header-size bytes remain: the writer died mid-header.
+      // Zero bytes would be a trailer, but a trailer is < kHeaderSize
+      // from the block edge, which the branch above already consumed.
+      ReportCorruption(pos_, "torn tail: partial header");
+      pos_ = size_;
+      return kEof;
+    }
+    const uint8_t* h = data_ + pos_;
+    const uint32_t stored_crc = static_cast<uint32_t>(h[0]) |
+                                static_cast<uint32_t>(h[1]) << 8 |
+                                static_cast<uint32_t>(h[2]) << 16 |
+                                static_cast<uint32_t>(h[3]) << 24;
+    const size_t length =
+        static_cast<size_t>(h[4]) | static_cast<size_t>(h[5]) << 8;
+    const int type = h[6];
+    if (kHeaderSize + length > block_left) {
+      // Length field points past the block edge: corrupt header.  Drop
+      // the rest of this block and resynchronize at the next boundary.
+      ReportCorruption(pos_, "bad record length");
+      pos_ += block_left;
+      return kBadRecord;
+    }
+    if (pos_ + kHeaderSize + length > size_) {
+      ReportCorruption(pos_, "torn tail: partial record");
+      pos_ = size_;
+      return kEof;
+    }
+    // CRC covers the type byte and the payload, which are contiguous.
+    const uint32_t actual = crc32c::Value(h + 6, 1 + length);
+    if (crc32c::Unmask(stored_crc) != actual) {
+      ReportCorruption(pos_, "checksum mismatch");
+      pos_ += block_left;
+      return kBadRecord;
+    }
+    if (type < kFullType || type > kMaxRecordType) {
+      // Unreachable in practice (the CRC covers the type byte) but kept
+      // as a hard stop against replaying undefined fragment states.
+      ReportCorruption(pos_, "unknown record type");
+      pos_ += block_left;
+      return kBadRecord;
+    }
+    *payload = std::string_view(
+        reinterpret_cast<const char*>(h + kHeaderSize), length);
+    pos_ += kHeaderSize + length;
+    return type;
+  }
+}
+
+bool WalReader::ReadRecord(std::string* record) {
+  record->clear();
+  scratch_.clear();
+  in_fragmented_ = false;
+  std::string_view fragment;
+  while (true) {
+    const uint64_t record_offset = pos_;
+    const int type = ReadPhysicalRecord(&fragment);
+    switch (type) {
+      case kFullType:
+        if (in_fragmented_) {
+          ReportCorruption(record_offset,
+                           "partial record without end (dropped)");
+        }
+        record->assign(fragment.data(), fragment.size());
+        return true;
+      case kFirstType:
+        if (in_fragmented_) {
+          ReportCorruption(record_offset,
+                           "partial record without end (dropped)");
+        }
+        scratch_.assign(fragment.data(), fragment.size());
+        in_fragmented_ = true;
+        break;
+      case kMiddleType:
+        if (!in_fragmented_) {
+          ReportCorruption(record_offset,
+                           "missing start of fragmented record");
+        } else {
+          scratch_.append(fragment.data(), fragment.size());
+        }
+        break;
+      case kLastType:
+        if (!in_fragmented_) {
+          ReportCorruption(record_offset,
+                           "missing start of fragmented record");
+        } else {
+          scratch_.append(fragment.data(), fragment.size());
+          *record = scratch_;
+          return true;
+        }
+        break;
+      case kEof:
+        if (in_fragmented_) {
+          // The log ended between fragments of one logical record: a
+          // torn tail even if every physical record checksummed clean.
+          ReportCorruption(pos_, "log ended mid fragmented record");
+        }
+        return false;
+      case kBadRecord:
+        // Physical layer already reported; drop any accumulated
+        // fragments — the logical record they belong to is unrecoverable.
+        in_fragmented_ = false;
+        scratch_.clear();
+        break;
+    }
+  }
+}
+
+}  // namespace wal
+}  // namespace graphlab

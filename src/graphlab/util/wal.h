@@ -1,0 +1,152 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Write-ahead log in the LevelDB block format: the physical layer under
+// the snapshot delta journals (engine/snapshot.h) and anything else that
+// needs crash-consistent append-only storage.
+//
+// The file is a sequence of 32 KiB blocks.  A logical record is split
+// into one or more physical records, none of which crosses a block
+// boundary:
+//
+//   block := physical_record* trailer?
+//   physical_record :=
+//       masked_crc32c : u32 LE   // crc32c::Mask(crc of type byte + payload)
+//       length        : u16 LE   // payload bytes in this physical record
+//       type          : u8       // FULL | FIRST | MIDDLE | LAST
+//       payload       : u8 * length
+//
+// When fewer than 8 header bytes (7 here — the layout predates one spare)
+// remain in a block, i.e. <= 6 trailer bytes, they are zero-filled and
+// the writer moves to the next block.  FULL records fit in one fragment;
+// longer records are FIRST (MIDDLE)* LAST.
+//
+// Why this shape: a torn tail (crash mid-append) fails the last record's
+// CRC and the reader *truncates* there — every earlier record is intact
+// by construction, so replay never sees garbage.  Fixed block alignment
+// means a corrupt region costs at most the rest of its block: the reader
+// resynchronizes at the next block boundary instead of losing the tail
+// of the log.  The reader reports every corruption with its byte offset
+// so callers (the recovery ladder in fault/ft_runner.h) can distinguish
+// "clean torn tail" from "bit rot mid-log" and pick a fallback epoch.
+//
+// The writer routes every raw write through fault::FaultInjection, which
+// is how the tests and the chaos CI job tear files at exact byte offsets.
+#ifndef GRAPHLAB_UTIL_WAL_H_
+#define GRAPHLAB_UTIL_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graphlab/util/status.h"
+
+namespace graphlab {
+namespace wal {
+
+inline constexpr size_t kBlockSize = 32768;
+inline constexpr size_t kHeaderSize = 4 + 2 + 1;  // crc + length + type
+
+enum RecordType : uint8_t {
+  // kZero is reserved for the zero-filled block trailer.
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+inline constexpr int kMaxRecordType = kLastType;
+
+/// Appends logical records to a file in the block format above.  Not
+/// thread-safe; one writer per log.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Creates (truncating) `path` and positions at block 0.
+  Status Open(const std::string& path);
+
+  /// Appends one logical record, fragmenting across blocks as needed.
+  Status AddRecord(const void* data, size_t n);
+  Status AddRecord(std::string_view payload) {
+    return AddRecord(payload.data(), payload.size());
+  }
+
+  /// Flushes user-space buffers and fdatasyncs the file: every record
+  /// added so far is durable when this returns OK.
+  Status Sync();
+
+  /// Sync + close.  Open() must be called before further use.
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const uint8_t* payload,
+                            size_t length);
+  Status RawWrite(const void* data, size_t n);
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t bytes_written_ = 0;  // == file offset of the next byte
+  size_t block_offset_ = 0;     // position within the current block
+};
+
+/// One detected corruption: the reader skipped or truncated here.
+struct WalCorruption {
+  uint64_t offset = 0;   // byte offset in the file where it was detected
+  std::string reason;    // e.g. "checksum mismatch", "torn tail"
+};
+
+/// Reads back a log image.  Operates on an in-memory byte buffer (logs
+/// here are bounded — one delta journal per epoch); callers load the
+/// file with util/file_io.h ReadFileBytes.
+///
+/// Guarantees: the sequence of records returned is a prefix-closed,
+/// in-order subsequence of the records written — a corrupt region drops
+/// records, it never invents or reorders them.  A torn tail is reported
+/// as a corruption and reading stops cleanly at the last valid boundary.
+class WalReader {
+ public:
+  WalReader(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  explicit WalReader(const std::vector<char>& bytes)
+      : WalReader(bytes.data(), bytes.size()) {}
+
+  /// Reads the next logical record into *record.  Returns false at end
+  /// of log (corruptions, if any, are in corruptions()).
+  bool ReadRecord(std::string* record);
+
+  /// Every corruption encountered so far, with byte offsets.  An empty
+  /// vector after reading to the end means the log verified fully — the
+  /// recovery ladder's definition of a trustworthy journal.
+  const std::vector<WalCorruption>& corruptions() const {
+    return corruptions_;
+  }
+
+ private:
+  // Returns a record type, or one of the sentinels below.
+  static constexpr int kEof = kMaxRecordType + 1;
+  static constexpr int kBadRecord = kMaxRecordType + 2;
+  int ReadPhysicalRecord(std::string_view* payload);
+
+  void ReportCorruption(uint64_t offset, std::string reason) {
+    corruptions_.push_back(WalCorruption{offset, std::move(reason)});
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;           // next unread byte
+  bool in_fragmented_ = false;
+  std::string scratch_;      // accumulates FIRST..LAST fragments
+  std::vector<WalCorruption> corruptions_;
+};
+
+}  // namespace wal
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_UTIL_WAL_H_

@@ -17,6 +17,7 @@
 #include "graphlab/apps/pagerank.h"
 #include "graphlab/engine/engine_factory.h"
 #include "graphlab/fault/ft_runner.h"
+#include "graphlab/fault/injection.h"
 #include "graphlab/graph/atom.h"
 #include "graphlab/graph/coloring.h"
 #include "graphlab/graph/generators.h"
@@ -132,7 +133,25 @@ struct FtScenario {
   uint64_t kill_at_boundary = 3;  // 0 = never kill
   double mtbf = 0;                // > 0: Young's-rule cadence, not fixed
   std::string snapshot_dir;
+  // Bit-rot the newest committed journal right before the kill: the
+  // recovery ladder must reject that epoch and fall back.
+  bool corrupt_newest_journal = false;
 };
+
+/// Flips a bit in the middle of machine 0's journal for the newest
+/// committed epoch (the trailing delta when the chain has one).
+void CorruptNewestCommittedJournal(const std::string& dir) {
+  auto manifest = ReadSnapshotManifest(dir);
+  if (!manifest.ok()) return;  // nothing committed yet
+  const std::string path =
+      manifest->delta_epochs.empty()
+          ? SnapshotJournalPath(dir, manifest->base_epoch, 0)
+          : SnapshotDeltaPath(dir, manifest->delta_epochs.back(), 0);
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return;
+  GL_CHECK_OK(fault::FaultInjection::FlipBit(path, (size / 2) * 8));
+}
 
 /// Reference ranks from an unfailed run (simulated interconnect, same
 /// deterministic inputs, same tolerance).
@@ -225,6 +244,9 @@ std::pair<fault::FtReport, std::vector<double>> RunFtCluster(
     if (s.kill_at_boundary != 0 && me == s.victim) {
       problem.on_boundary = [&ctx, &s](uint64_t boundary) -> Status {
         if (boundary == s.kill_at_boundary) {
+          if (s.corrupt_newest_journal) {
+            CorruptNewestCommittedJournal(s.snapshot_dir);
+          }
           ctx.comm().InjectKill(ctx.id);
           return Status::Aborted("injected kill");
         }
@@ -302,6 +324,28 @@ TEST_F(FaultRecoveryTest, KilledWorkerRecoversAndMatchesReference) {
     l1 += std::fabs(ranks[v] - reference[v]);
   }
   EXPECT_LT(l1, 1e-8) << "recovered run diverged from unfailed reference";
+}
+
+TEST_F(FaultRecoveryTest, CorruptedJournalFallsBackToEarlierEpoch) {
+  FtScenario s;
+  s.snapshot_dir = dir_;
+  s.kill_at_boundary = 4;  // a couple of epochs commit before the kill
+  s.corrupt_newest_journal = true;
+  auto reference = ReferenceRanks(s);
+  auto [report, ranks] = RunFtCluster(s);
+
+  EXPECT_GE(report.recoveries, 1u);
+  // Every survivor's ladder saw the bit-rotted journal and rejected its
+  // epoch instead of replaying garbage.
+  EXPECT_GE(report.corrupt_journals, 1u);
+
+  // Recovery from the surviving rung (an earlier epoch, or a recompute
+  // when only one epoch had committed) still reaches the fixed point.
+  double l1 = 0;
+  for (size_t v = 0; v < ranks.size(); ++v) {
+    l1 += std::fabs(ranks[v] - reference[v]);
+  }
+  EXPECT_LT(l1, 1e-8) << "corrupted-journal recovery diverged";
 }
 
 TEST_F(FaultRecoveryTest, RecoversWithoutCheckpointsByRecomputing) {
