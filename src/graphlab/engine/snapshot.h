@@ -27,8 +27,13 @@
 // payload, then the v2 columnar body (codec-compressed id columns +
 // contiguous property blobs, mirroring the in-memory SoA layout); the
 // async variant appends row records incrementally and stays in the legacy
-// row format.  The restore paths sniff the leading bytes and accept all
-// three.
+// row format.  The restore paths accept all three: no magic byte = row
+// format, magic + a structurally valid v3 CRC envelope = v3, magic +
+// anything else = legacy v2.  A v2 journal's second byte is the low byte
+// of its first column's u64 length prefix — arbitrary data — so the
+// version byte alone cannot discriminate; ParseV3Envelope additionally
+// requires the envelope's body length to match the file size exactly,
+// which a v2 body cannot satisfy by accident (see its comment).
 //
 // Durability (this layer implements the storage half of Sec. 4.3):
 //
@@ -86,6 +91,40 @@ inline constexpr uint8_t kColumnarJournalMagic = 0xC1;
 /// Second byte of a v3 journal (CRC-wrapped columnar body).
 inline constexpr uint8_t kJournalVersion = 3;
 
+/// Attempts to parse `bytes` as a v3 CRC envelope:
+///
+///   [u8 0xC1] [u8 3] [u32 masked_crc] [u64 body_len] [body_len bytes]
+///
+/// with nothing trailing.  Returns true and fills `stored_crc`/`body` on
+/// a structural match; false means the file is NOT v3 (row format, or a
+/// legacy v2 columnar journal — whose byte 1 is column-length data and
+/// may equal 3 by coincidence, but whose body cannot also satisfy the
+/// envelope's exact body_len == size-14 equation: the u64 at offset 6
+/// would have to be eight bytes of column data that happen to spell the
+/// remaining file size).  This structural test is the discriminator the
+/// verify and replay paths share, so a journal is never classified one
+/// way at verify time and another at replay time.
+///
+/// Residual ambiguity, documented rather than hidden: corruption inside
+/// a real v3 envelope's 8-byte length field demotes the file to "v2" and
+/// verification passes vacuously — the replay then fails with Corruption
+/// when the v2 parse reads the mangled header, so garbage is still never
+/// applied, just diagnosed one stage later.
+inline bool ParseV3Envelope(const std::vector<char>& bytes,
+                            uint32_t* stored_crc, std::vector<char>* body) {
+  if (bytes.size() < 2 ||
+      static_cast<uint8_t>(bytes[0]) != kColumnarJournalMagic ||
+      static_cast<uint8_t>(bytes[1]) != kJournalVersion) {
+    return false;
+  }
+  InArchive ia(bytes);
+  ia.ReadValue<uint8_t>();  // magic
+  ia.ReadValue<uint8_t>();  // version
+  *stored_crc = ia.ReadValue<uint32_t>();
+  ia >> *body;
+  return ia.ok() && ia.AtEnd();
+}
+
 /// Integrity check of a full-snapshot journal without decoding property
 /// types: verifies the v3 CRC envelope.  Pre-v3 journals (legacy v2
 /// columnar, async row format) carry no checksum and pass vacuously.
@@ -97,21 +136,13 @@ inline Status VerifyFullJournalBytes(const std::vector<char>& bytes,
       static_cast<uint8_t>(bytes[0]) != kColumnarJournalMagic) {
     return Status::OK();  // legacy row journal: nothing to verify against
   }
-  if (bytes.size() < 2 ||
-      static_cast<uint8_t>(bytes[1]) > kJournalVersion) {
-    return Status::Corruption("unknown journal version: " + what);
+  if (bytes.size() < 2) {
+    return Status::Corruption("truncated columnar journal: " + what);
   }
-  if (static_cast<uint8_t>(bytes[1]) != kJournalVersion) {
-    return Status::OK();  // pre-v3 columnar: no checksum to verify
-  }
-  InArchive ia(bytes);
-  ia.ReadValue<uint8_t>();  // magic
-  ia.ReadValue<uint8_t>();  // version
-  const uint32_t stored = ia.ReadValue<uint32_t>();
+  uint32_t stored = 0;
   std::vector<char> body;
-  ia >> body;
-  if (!ia.ok() || !ia.AtEnd()) {
-    return Status::Corruption("truncated v3 journal: " + what);
+  if (!ParseV3Envelope(bytes, &stored, &body)) {
+    return Status::OK();  // legacy v2 columnar: no checksum to verify
   }
   if (crc32c::Unmask(stored) != crc32c::Value(body.data(), body.size())) {
     return Status::Corruption("journal checksum mismatch: " + what);
@@ -293,11 +324,22 @@ class SnapshotManager {
   /// full).
   bool has_baseline() const { return has_baseline_; }
 
+  /// Dirty/total entity counts measured by the most recent
+  /// WriteSyncSnapshot/WriteDeltaSnapshot while it scanned the owned
+  /// partition anyway — no extra pass.  The checkpoint coordinator ships
+  /// these in its DONE message and aggregates them cluster-wide to drive
+  /// the next full-vs-delta decision, so no machine's local skew (and no
+  /// dedicated O(all entities) scan at decision time) misleads the
+  /// policy.  total == 0 means "unknown": the write had no baseline to
+  /// compare against.
+  uint64_t last_dirty_entities() const { return last_dirty_entities_; }
+  uint64_t last_total_entities() const { return last_total_entities_; }
+
   /// Fraction of journaled entities (owned vertices + their out-edges)
   /// whose version changed since the baseline; 1.0 with no baseline.
-  /// The coordinator forces a full snapshot past a threshold — a delta
-  /// that rewrites most of the graph costs more than a full (it pays
-  /// per-record framing) and lengthens the restore chain for nothing.
+  /// O(all owned entities) — a diagnostic for tests, benches, and demos;
+  /// the checkpoint coordinator's policy uses the cluster-aggregated
+  /// last_dirty_entities() counts instead, which cost nothing extra.
   double DirtyFraction() const {
     if (!has_baseline_) return 1.0;
     size_t total = 0, dirty = 0;
@@ -345,14 +387,23 @@ class SnapshotManager {
     std::vector<VertexId> esrc, edst;
     std::vector<LocalEid> eids;
     gvids.reserve(graph_->num_owned_vertices());
+    uint64_t dirty = 0, total = 0;
     for (LocalVid l : graph_->owned_vertices()) {
       gvids.push_back(graph_->Gvid(l));
+      ++total;
+      if (has_baseline_ && VertexDirty(l)) ++dirty;
       for (LocalEid e : graph_->out_edges(l)) {
         esrc.push_back(graph_->Gvid(graph_->edge_source(e)));
         edst.push_back(graph_->Gvid(graph_->edge_target(e)));
         eids.push_back(e);
+        ++total;
+        if (has_baseline_ && EdgeDirty(e)) ++dirty;
       }
     }
+    // Piggybacked dirtiness measurement (see last_dirty_entities()):
+    // meaningful only relative to a baseline.
+    last_dirty_entities_ = has_baseline_ ? dirty : 0;
+    last_total_entities_ = has_baseline_ ? total : 0;
     OutArchive body;
     std::string col;
     EncodeColumn<VertexId>({gvids.data(), gvids.size()}, &col);
@@ -418,15 +469,20 @@ class SnapshotManager {
       count = 0;
       return s;
     };
+    uint64_t dirty = 0, total = 0;
     for (LocalVid l : graph_->owned_vertices()) {
+      ++total;
       if (!VertexDirty(l)) continue;
+      ++dirty;
       rec << static_cast<uint64_t>(graph_->Gvid(l)) << graph_->vertex_data(l);
       if (++count >= kBatch) GRAPHLAB_RETURN_IF_ERROR(flush(0));
     }
     GRAPHLAB_RETURN_IF_ERROR(flush(0));
     for (LocalVid l : graph_->owned_vertices()) {
       for (LocalEid e : graph_->out_edges(l)) {
+        ++total;
         if (!EdgeDirty(e)) continue;
+        ++dirty;
         rec << static_cast<uint64_t>(graph_->Gvid(graph_->edge_source(e)))
             << static_cast<uint64_t>(graph_->Gvid(graph_->edge_target(e)))
             << graph_->edge_data(e);
@@ -434,6 +490,8 @@ class SnapshotManager {
       }
     }
     GRAPHLAB_RETURN_IF_ERROR(flush(1));
+    last_dirty_entities_ = dirty;
+    last_total_entities_ = total;
     GRAPHLAB_RETURN_IF_ERROR(writer.Close());
     CaptureBaseline();
     last_checkpoint_bytes_ = writer.bytes_written();
@@ -704,20 +762,19 @@ class SnapshotManager {
   /// Replays a v2/v3 columnar journal.  `strict` (same-membership
   /// Restore) requires every record to land on an owned vertex / present
   /// edge; the lenient form (RestoreFrom, post-loss re-placement)
-  /// applies what this machine now holds and skips the rest.  v3
-  /// journals fail with Corruption before any graph mutation if the CRC
-  /// envelope does not verify.
+  /// applies what this machine now holds and skips the rest.  The v2/v3
+  /// discrimination is ParseV3Envelope — the same structural test the
+  /// ladder's VerifyFullJournalBytes uses, so verify and replay can
+  /// never disagree about a file's format.  v3 journals fail with
+  /// Corruption before any graph mutation if the CRC does not verify.
   Status ReplayColumnarJournal(const std::vector<char>& bytes,
                                const std::string& path, bool strict) {
-    if (bytes.size() >= 2 &&
-        static_cast<uint8_t>(bytes[1]) == kJournalVersion) {
-      GRAPHLAB_RETURN_IF_ERROR(VerifyFullJournalBytes(bytes, path));
-      InArchive envelope(bytes);
-      envelope.ReadValue<uint8_t>();   // magic
-      envelope.ReadValue<uint8_t>();   // version
-      envelope.ReadValue<uint32_t>();  // crc, verified above
-      std::vector<char> body;
-      envelope >> body;
+    uint32_t stored = 0;
+    std::vector<char> body;
+    if (ParseV3Envelope(bytes, &stored, &body)) {
+      if (crc32c::Unmask(stored) != crc32c::Value(body.data(), body.size())) {
+        return Status::Corruption("journal checksum mismatch: " + path);
+      }
       return ReplayColumnarBody(InArchive(body.data(), body.size()), path,
                                 strict);
     }
@@ -831,6 +888,8 @@ class SnapshotManager {
   std::vector<uint64_t> base_eversion_;
   bool has_baseline_ = false;
   uint64_t last_checkpoint_bytes_ = 0;
+  uint64_t last_dirty_entities_ = 0;
+  uint64_t last_total_entities_ = 0;
 
   std::mutex journal_mutex_;
   OutArchive journal_;

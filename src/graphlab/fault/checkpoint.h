@@ -25,8 +25,16 @@
 // Full vs delta: the first checkpoint of an attempt is always full (no
 // baseline exists after a start or a restore).  After that, deltas run
 // until either full_checkpoint_every_deltas have accumulated (a long
-// chain slows restore) or the coordinator's dirty fraction exceeds
+// chain slows restore) or the cluster's dirty fraction exceeds
 // delta_dirty_threshold (a near-full delta costs more than a full).
+// The dirty fraction is aggregated, not scanned: every machine counts
+// dirty/total entities during the write scan it performs anyway and
+// piggybacks the counts on its DONE message; m0 sums them and uses the
+// resulting fraction — dirtiness accumulated over the LAST interval —
+// as the predictor for the NEXT checkpoint's kind.  One interval of
+// staleness is the price of avoiding a dedicated O(all entities) scan
+// at decision time and of not letting m0's local skew speak for the
+// cluster; full_checkpoint_every_deltas bounds any misprediction.
 // Baselines advance in lockstep cluster-wide because every machine
 // checkpoints at exactly the committed epochs, so m0's decision is safe
 // to apply everywhere.
@@ -72,7 +80,9 @@ class CheckpointCoordinator {
   using SnapshotManagerType = SnapshotManager<VertexData, EdgeData>;
 
   /// One instance per machine per run attempt.  `first_epoch` must
-  /// exceed every previously committed epoch (manifest.epoch + 1).
+  /// exceed every epoch any file in the snapshot directory mentions —
+  /// committed or abandoned (fault::MaxEpochOnDisk + 1), so a recovery
+  /// step-down never reuses an epoch number from a rejected timeline.
   CheckpointCoordinator(rpc::MachineContext ctx,
                         SnapshotManagerType* snapshots,
                         const FtOptions& options, uint32_t first_epoch)
@@ -155,11 +165,14 @@ class CheckpointCoordinator {
       }
     }
     OutArchive done;
-    done << uint8_t{kDone} << round << epoch << kind;
+    done << uint8_t{kDone} << round << epoch << kind
+         << snapshots_->last_dirty_entities()
+         << snapshots_->last_total_entities();
     comm_->Send(ctx_.id, 0, kCheckpointControlHandler, std::move(done));
 
     if (ctx_.id == 0) {
       // COMMIT once every live machine's journal is durable.
+      uint64_t dirty_sum = 0, total_sum = 0;
       Status all = WaitFor(
           round,
           [&](const RoundState& r) {
@@ -171,8 +184,18 @@ class CheckpointCoordinator {
             }
             return true;
           },
-          [](const RoundState&) {});
+          [&](const RoundState& r) {
+            dirty_sum = r.dirty_sum;
+            total_sum = r.total_sum;
+          });
       GRAPHLAB_RETURN_IF_ERROR(all);
+      // Cluster-wide dirtiness over the interval that just ended — the
+      // predictor DecideKind uses next round.  total 0 = no machine had
+      // a baseline (first full): no evidence against trying a delta.
+      last_dirty_fraction_ =
+          total_sum == 0 ? 0.0
+                         : static_cast<double>(dirty_sum) /
+                               static_cast<double>(total_sum);
       if (kind == kDeltaKind) {
         chain_deltas_.push_back(epoch);
       } else {
@@ -252,9 +275,13 @@ class CheckpointCoordinator {
     uint8_t kind = kFullKind;
     bool committed = false;
     std::vector<uint8_t> done;  // coordinator only, per machine
+    uint64_t dirty_sum = 0;     // coordinator only: DONE-piggybacked
+    uint64_t total_sum = 0;     //   dirty/total entity counts, summed
   };
 
   /// Coordinator-side full-vs-delta policy; see the header comment.
+  /// O(1): the dirty fraction was aggregated from every machine's DONE
+  /// counts at the last committed checkpoint, not scanned here.
   uint8_t DecideKind() const {
     if (!options_.incremental_checkpoints) return kFullKind;
     if (!snapshots_->has_baseline()) return kFullKind;
@@ -262,7 +289,7 @@ class CheckpointCoordinator {
         deltas_since_full_ >= options_.full_checkpoint_every_deltas) {
       return kFullKind;
     }
-    if (snapshots_->DirtyFraction() > options_.delta_dirty_threshold) {
+    if (last_dirty_fraction_ > options_.delta_dirty_threshold) {
       return kFullKind;
     }
     return kDeltaKind;
@@ -315,6 +342,12 @@ class CheckpointCoordinator {
     uint64_t round = ia.ReadValue<uint64_t>();
     uint32_t epoch = ia.ReadValue<uint32_t>();
     uint8_t kind = ia.ReadValue<uint8_t>();
+    // DONE carries the sender's piggybacked dirty/total entity counts.
+    uint64_t dirty = 0, total = 0;
+    if (tag == kDone) {
+      dirty = ia.ReadValue<uint64_t>();
+      total = ia.ReadValue<uint64_t>();
+    }
     if (!ia.ok()) return;
     std::lock_guard<std::mutex> lock(mutex_);
     RoundState& r = RoundFor(round);
@@ -326,7 +359,11 @@ class CheckpointCoordinator {
         break;
       case kDone:
         if (r.done.empty()) r.done.assign(comm_->num_machines(), 0);
-        if (src < r.done.size()) r.done[src] = 1;
+        if (src < r.done.size() && !r.done[src]) {
+          r.done[src] = 1;
+          r.dirty_sum += dirty;
+          r.total_sum += total;
+        }
         break;
       case kCommit:
         r.committed = true;
@@ -356,6 +393,10 @@ class CheckpointCoordinator {
   uint64_t deltas_since_full_ = 0;
   uint64_t bytes_full_ = 0;
   uint64_t bytes_delta_ = 0;
+  // Cluster-aggregated dirty fraction measured over the last committed
+  // checkpoint interval (coordinator only; 0 until the first delta-
+  // eligible measurement arrives).
+  double last_dirty_fraction_ = 0.0;
 
   // The chain under construction (coordinator only): the full epoch the
   // current deltas stack on.  A new attempt starts a fresh coordinator,

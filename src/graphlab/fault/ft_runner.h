@@ -51,6 +51,7 @@
 #ifndef GRAPHLAB_FAULT_FT_RUNNER_H_
 #define GRAPHLAB_FAULT_FT_RUNNER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
@@ -109,20 +110,27 @@ struct VerifiedChain {
 /// which epoch a restore can trust, stepping down on corruption instead
 /// of aborting.
 ///
-///   1. Candidates: the LATEST manifest, then every MANIFEST_<epoch>
-///      file in the directory, newest epoch first.  A manifest whose
-///      own CRC fails is skipped — the next rung still works.
+///   1. Candidates: the LATEST manifest, plus every MANIFEST_<epoch>
+///      file in the directory.  A manifest whose own CRC fails is
+///      skipped — the other rungs still work.
 ///   2. For a candidate chain, CRC-verify the base epoch's journal of
 ///      every machine in the manifest membership.  Base corrupt ⇒ the
-///      whole chain is unusable; drop to the next candidate.
+///      whole chain is unusable; drop the candidate.
 ///   3. Verify the delta journals in chain order and truncate at the
 ///      first corrupt epoch: a verified chain *prefix* is itself a
 ///      consistent earlier committed state, so the ladder keeps
 ///      everything up to the corruption instead of discarding the chain.
+///   4. Of all candidates, pick the one whose VERIFIED epoch (after
+///      truncation) is newest — not the first candidate whose base
+///      happens to verify.  A high-numbered manifest whose chain
+///      truncates early must not shadow a lower-numbered one that
+///      verifies further.
 ///
-/// Deterministic given the same directory contents, so every machine
-/// resolves the same epoch without coordination (same argument as
-/// reading LATEST today).
+/// Each distinct journal file is read and verified once (memoized) and
+/// counted at most once in corrupt_journals, however many candidate
+/// chains reference it.  Deterministic given the same directory
+/// contents, so every machine resolves the same epoch without
+/// coordination (same argument as reading LATEST today).
 inline VerifiedChain ResolveVerifiedChain(const std::string& dir) {
   GL_TRACE_SCOPE(trace::kSnapshot, "snapshot.wal.verify");
   VerifiedChain out;
@@ -144,15 +152,23 @@ inline VerifiedChain ResolveVerifiedChain(const std::string& dir) {
     }
   }
 
+  std::map<std::string, bool> verified;  // memoized per-file verdicts
   auto journal_ok = [&](const std::string& path, bool delta) {
-    auto bytes = ReadFileBytes(path);
-    if (!bytes.ok()) return false;  // missing on the shared store
-    const Status st = delta ? VerifyDeltaJournalBytes(*bytes, path)
-                            : VerifyFullJournalBytes(*bytes, path);
-    if (!st.ok()) {
-      GL_LOG(WARNING) << "recovery ladder: " << st.message();
+    if (auto it = verified.find(path); it != verified.end()) {
+      return it->second;
     }
-    return st.ok();
+    bool ok = false;
+    if (auto bytes = ReadFileBytes(path); bytes.ok()) {
+      const Status st = delta ? VerifyDeltaJournalBytes(*bytes, path)
+                              : VerifyFullJournalBytes(*bytes, path);
+      if (!st.ok()) {
+        GL_LOG(WARNING) << "recovery ladder: " << st.message();
+      }
+      ok = st.ok();
+    }  // else: missing on the shared store — counts as corrupt
+    if (!ok) out.corrupt_journals++;
+    verified.emplace(path, ok);
+    return ok;
   };
 
   for (const auto& [epoch, manifest] : candidates) {
@@ -160,31 +176,102 @@ inline VerifiedChain ResolveVerifiedChain(const std::string& dir) {
     for (rpc::MachineId m : manifest.machines) {
       if (!journal_ok(SnapshotJournalPath(dir, manifest.base_epoch, m),
                       /*delta=*/false)) {
-        out.corrupt_journals++;
         base_ok = false;
       }
     }
-    if (!base_ok) continue;  // next rung down
-    out.manifest = manifest;
-    out.manifest.delta_epochs.clear();
-    out.manifest.epoch = manifest.base_epoch;
+    if (!base_ok) continue;  // chain unusable; try the other candidates
+    SnapshotManifest resolved = manifest;
+    resolved.delta_epochs.clear();
+    resolved.epoch = manifest.base_epoch;
     for (uint32_t delta_epoch : manifest.delta_epochs) {
       bool delta_epoch_ok = true;
       for (rpc::MachineId m : manifest.machines) {
         if (!journal_ok(SnapshotDeltaPath(dir, delta_epoch, m),
                         /*delta=*/true)) {
-          out.corrupt_journals++;
           delta_epoch_ok = false;
         }
       }
       if (!delta_epoch_ok) break;  // keep the verified prefix
-      out.manifest.delta_epochs.push_back(delta_epoch);
-      out.manifest.epoch = delta_epoch;
+      resolved.delta_epochs.push_back(delta_epoch);
+      resolved.epoch = delta_epoch;
     }
-    out.found = true;
-    return out;
+    if (!out.found || resolved.epoch > out.manifest.epoch) {
+      out.found = true;
+      out.manifest = resolved;
+    }
   }
   return out;
+}
+
+/// Largest epoch any durable artifact in `dir` mentions — committed or
+/// not: manifests, full journals, and delta journals all count (a WRITE
+/// that never reached COMMIT still leaves journal files).  Epoch
+/// numbering after a recovery resumes ABOVE this, never at
+/// restored_epoch + 1: reusing an epoch number from an abandoned
+/// timeline would let a new snap_<e>/delta_<e> satisfy a stale
+/// higher-epoch manifest's chain byte-for-byte, and a later ladder run
+/// could then splice the two histories into a state no execution ever
+/// produced.
+inline uint32_t MaxEpochOnDisk(const std::string& dir) {
+  uint32_t max_epoch = 0;
+  auto consider = [&](const std::string& name, const char* prefix,
+                      size_t prefix_len) {
+    if (name.rfind(prefix, 0) != 0) return;
+    const uint32_t e = static_cast<uint32_t>(
+        std::strtoul(name.c_str() + prefix_len, nullptr, 10));
+    max_epoch = std::max(max_epoch, e);
+  };
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    consider(name, "MANIFEST_", sizeof("MANIFEST_") - 1);
+    consider(name, "snap_", sizeof("snap_") - 1);
+    consider(name, "delta_", sizeof("delta_") - 1);
+  }
+  return max_epoch;
+}
+
+/// Retires the abandoned timeline after the ladder stepped down:
+/// deletes every MANIFEST_<e> with e above the verified epoch (their
+/// chains failed verification — they must never be offered as
+/// candidates again once new epochs commit around them) and re-points
+/// LATEST at the verified chain, so the commit point never advertises a
+/// rejected timeline.  With no verified chain at all, every manifest
+/// goes.  Journal files are kept: the verified chain references some of
+/// them, and MaxEpochOnDisk uses the rest to keep their epoch numbers
+/// retired forever.
+///
+/// Machine 0 only, strictly after the post-restore barrier (no peer may
+/// still be iterating the directory) and before any new epoch commits.
+/// Best-effort: a failure here is logged, not fatal — the ladder
+/// re-derives the same step-down from the untouched directory.
+inline void InvalidateStaleManifests(const std::string& dir,
+                                     const VerifiedChain& chain) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("MANIFEST_", 0) != 0) continue;
+    const uint32_t epoch = static_cast<uint32_t>(
+        std::strtoul(name.c_str() + sizeof("MANIFEST_") - 1, nullptr, 10));
+    if (chain.found && epoch <= chain.manifest.epoch) continue;
+    std::error_code rm_ec;
+    if (!std::filesystem::remove(entry.path(), rm_ec) || rm_ec) {
+      GL_LOG(WARNING) << "could not retire stale manifest " << name << ": "
+                      << rm_ec.message();
+    }
+  }
+  if (chain.found) {
+    auto latest = ReadSnapshotManifest(dir);
+    if (!latest.ok() || latest->epoch != chain.manifest.epoch) {
+      if (Status st = WriteSnapshotManifest(dir, chain.manifest); !st.ok()) {
+        GL_LOG(WARNING) << "could not re-point LATEST at verified epoch "
+                        << chain.manifest.epoch << ": " << st.message();
+      }
+    }
+  } else {
+    std::error_code rm_ec;
+    std::filesystem::remove(dir + "/LATEST", rm_ec);
+  }
 }
 
 template <typename VertexData, typename EdgeData>
@@ -339,7 +426,7 @@ class FaultTolerantRunner {
     // Restore from the last committed epoch (if checkpointing is on and
     // one exists), then re-sync ghost replicas cluster-wide.
     std::unique_ptr<SnapshotManager<VertexData, EdgeData>> snapshots;
-    uint32_t base_epoch = 0;
+    VerifiedChain chain;
     {
       GL_TRACE_SCOPE(trace::kFault, "fault.restore");
       if (!options_.snapshot_dir.empty()) {
@@ -349,8 +436,7 @@ class FaultTolerantRunner {
         // verifies; step down to an older epoch on corruption rather
         // than aborting.  found == false means no usable snapshot at
         // all — replay from initial state, as before.
-        const VerifiedChain chain =
-            ResolveVerifiedChain(options_.snapshot_dir);
+        chain = ResolveVerifiedChain(options_.snapshot_dir);
         if (chain.corrupt_journals > 0) {
           report->corrupt_journals += chain.corrupt_journals;
           ctx_.comm()
@@ -358,18 +444,30 @@ class FaultTolerantRunner {
               .counter("fault.corrupt_journals")
               ->Inc(chain.corrupt_journals);
         }
-        if (chain.found) {
-          base_epoch = chain.manifest.epoch;
-          if (restoring) {
-            GRAPHLAB_RETURN_IF_ERROR(snapshots->RestoreChain(chain.manifest));
-            snapshots->RepushOwnedScopes();
-            report->restored_epoch = chain.manifest.epoch;
-          }
+        if (chain.found && restoring) {
+          GRAPHLAB_RETURN_IF_ERROR(snapshots->RestoreChain(chain.manifest));
+          snapshots->RepushOwnedScopes();
+          report->restored_epoch = chain.manifest.epoch;
         }
       }
       if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
       if (!ctx_.comm().WaitQuiescent()) return Status::Aborted("peer died");
       if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
+    }
+
+    // Every machine is past its ladder resolution (the barrier above),
+    // so the coordinator can retire the abandoned timeline: stale
+    // manifests above the verified epoch stop being ladder candidates
+    // before any new epoch commits next to them.  New epochs then
+    // number from above EVERYTHING on disk — including journals of the
+    // rejected timeline and of uncommitted epochs — never from
+    // restored_epoch + 1: an epoch number, once used by any attempt, is
+    // retired forever, so no stale manifest chain can ever resolve
+    // against a mix of old- and new-timeline files.
+    uint32_t first_epoch = 1;
+    if (!options_.snapshot_dir.empty()) {
+      if (me == 0) InvalidateStaleManifests(options_.snapshot_dir, chain);
+      first_epoch = MaxEpochOnDisk(options_.snapshot_dir) + 1;
     }
 
     // Resume: fresh engine for the new membership.  The snapshot manager
@@ -386,7 +484,7 @@ class FaultTolerantRunner {
     if (snapshots_ != nullptr) {
       checkpoint_ =
           std::make_unique<CheckpointCoordinator<VertexData, EdgeData>>(
-              ctx_, snapshots_.get(), options_, base_epoch + 1);
+              ctx_, snapshots_.get(), options_, first_epoch);
     }
     (*engine)->SetBoundaryHook([this, &problem](uint64_t boundary) -> Status {
       // The checkpoint protocol is collective: even when the extra hook
