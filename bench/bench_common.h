@@ -44,7 +44,9 @@
 #include "graphlab/engine/sync.h"
 #include "graphlab/graph/coloring.h"
 #include "graphlab/graph/distributed_graph.h"
+#include "graphlab/apps/label_prop.h"
 #include "graphlab/graph/partition.h"
+#include "graphlab/graph/partitioner.h"
 #include "graphlab/rpc/runtime.h"
 
 namespace graphlab {
@@ -66,7 +68,7 @@ struct DistConfig {
   size_t pipeline = 100;
   uint64_t max_sweeps = 0;      // chromatic / bulksync iteration budget
   ConsistencyModel consistency = ConsistencyModel::kEdgeConsistency;
-  std::string partition = "random";  // "random" | "block" | "striped" | "bfs"
+  std::string partition = "random";  // ListPartitionerNames() | "refined"
   uint64_t partition_seed = 3;
   // Locking engine extras.
   SnapshotMode snapshot_mode = SnapshotMode::kNone;
@@ -121,20 +123,18 @@ struct DistOutput {
   }
 };
 
-/// Builds atom_of according to cfg.partition.
+/// Builds atom_of according to cfg.partition: any ListPartitionerNames()
+/// name, plus "refined" (streaming greedy + label-propagation refinement).
 inline PartitionAssignment MakePartition(const GraphStructure& structure,
                                          const DistConfig& cfg) {
   AtomId k = static_cast<AtomId>(cfg.machines);
-  if (cfg.partition == "block") {
-    return BlockPartition(structure.num_vertices, k);
+  if (cfg.partition == "refined") {
+    StreamingPartitionOptions opts;
+    opts.seed = cfg.partition_seed;
+    return apps::RefinePartitionLabelProp(
+        structure, StreamingGreedyPartition(structure, k, opts), k);
   }
-  if (cfg.partition == "striped") {
-    return StripedPartition(structure.num_vertices, k);
-  }
-  if (cfg.partition == "bfs") {
-    return BfsPartition(structure, k, cfg.partition_seed);
-  }
-  return RandomPartition(structure.num_vertices, k, cfg.partition_seed);
+  return PartitionByName(cfg.partition, structure, k, cfg.partition_seed);
 }
 
 /// Runs one distributed experiment.  `update` is used by the chromatic and

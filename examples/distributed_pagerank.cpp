@@ -48,6 +48,18 @@
 //             1M so per-message rpc events cannot evict the rare
 //             fault-recovery spans on long runs)
 //
+// Placement: --partitioner=NAME (random | block | striped | bfs |
+//             greedy | refined; "greedy" is the streaming LDG
+//             edge-cut partitioner, "refined" adds GAS
+//             label-propagation refinement.  Deterministic, so every
+//             process derives the identical layout.  Default random.)
+//           --rebalance-at-boundary=B (force one live migration check
+//             at update-boundary B; implies --ft)
+//           --rebalance-every=N (periodic skew check every N
+//             boundaries; implies --ft)
+//           --rebalance-skew=S (max/mean engine.updates skew that
+//             triggers a migration on periodic checks; default 1.3)
+//
 // Other flags: --machines=N --vertices=V --threads=T --port-base=P
 //              --json=FILE --role/--machine-id (set when forking).
 
@@ -65,6 +77,7 @@
 #include <thread>
 #include <vector>
 
+#include "graphlab/apps/label_prop.h"
 #include "graphlab/apps/pagerank.h"
 #include "graphlab/engine/allreduce.h"
 #include "graphlab/engine/engine_factory.h"
@@ -74,6 +87,7 @@
 #include "graphlab/graph/coloring.h"
 #include "graphlab/graph/generators.h"
 #include "graphlab/graph/partition.h"
+#include "graphlab/graph/partitioner.h"
 #include "graphlab/metrics/metrics_service.h"
 #include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/runtime.h"
@@ -103,6 +117,12 @@ struct Config {
   std::string json = "BENCH_distributed_pagerank.json";
   double damping = 0.85;
   double tolerance = 1e-10;
+  std::string partitioner = "random";
+
+  // Online load rebalancing (live atom migration; implies ft).
+  uint64_t rebalance_at_boundary = 0;
+  uint64_t rebalance_every = 0;
+  double rebalance_skew = 1.3;
 
   // Fault tolerance.
   bool ft = false;
@@ -177,7 +197,17 @@ ProblemInputs BuildInputs(const Config& cfg) {
   // Over-partition (4 atoms per machine) so a dead machine's atoms can
   // spread across the survivors, per the two-phase scheme of Sec. 4.1.
   in.num_atoms = static_cast<AtomId>(4 * cfg.machines);
-  in.atom_of = RandomPartition(cfg.vertices, in.num_atoms, 3);
+  // Layout by name (seed 3 throughout, so every process — coordinator,
+  // forked workers, parity reference — derives the identical layout).
+  if (cfg.partitioner == "refined") {
+    StreamingPartitionOptions popts;
+    popts.seed = 3;
+    in.atom_of = apps::RefinePartitionLabelProp(
+        in.structure, StreamingGreedyPartition(in.structure, in.num_atoms, popts),
+        in.num_atoms);
+  } else {
+    in.atom_of = PartitionByName(cfg.partitioner, in.structure, in.num_atoms, 3);
+  }
   in.meta = BuildMetaIndex(in.structure, in.atom_of, in.colors,
                            in.num_atoms);
   return in;
@@ -270,6 +300,9 @@ RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
       ft.snapshot_dir = cfg.snapshot_dir;
       ft.checkpoint_interval_seconds = cfg.checkpoint_interval;
       ft.mtbf_seconds = cfg.mtbf;
+      ft.rebalance_at_boundary = cfg.rebalance_at_boundary;
+      ft.rebalance_every_boundaries = cfg.rebalance_every;
+      ft.rebalance_skew_threshold = cfg.rebalance_skew;
       fault::FaultTolerantRunner<PageRankVertex, PageRankEdge> runner(ctx,
                                                                       ft);
       typename fault::FaultTolerantRunner<PageRankVertex,
@@ -396,6 +429,7 @@ std::vector<std::string> WorkerArgs(const Config& cfg, size_t machine,
       "--threads=" + std::to_string(cfg.threads),
       "--port-base=" + std::to_string(port_base),
       "--tolerance=" + DoubleFlag(cfg.tolerance),
+      "--partitioner=" + cfg.partitioner,
   };
   if (cfg.metrics_report) args.push_back("--metrics-report=true");
   if (!cfg.trace_out.empty()) {
@@ -409,6 +443,10 @@ std::vector<std::string> WorkerArgs(const Config& cfg, size_t machine,
     args.push_back("--checkpoint-interval=" +
                    DoubleFlag(cfg.checkpoint_interval));
     args.push_back("--mtbf=" + DoubleFlag(cfg.mtbf));
+    args.push_back("--rebalance-at-boundary=" +
+                   std::to_string(cfg.rebalance_at_boundary));
+    args.push_back("--rebalance-every=" + std::to_string(cfg.rebalance_every));
+    args.push_back("--rebalance-skew=" + DoubleFlag(cfg.rebalance_skew));
     if (cfg.kill_in_checkpoint_write > 0 && machine == cfg.machines - 1) {
       args.push_back("--kill-in-checkpoint-write=" +
                      std::to_string(cfg.kill_in_checkpoint_write));
@@ -553,7 +591,8 @@ int RunCoordinator(Config cfg) {
         "ft: attempts=%llu recoveries=%llu restored_epoch=%u "
         "checkpoints=%llu (full=%llu delta=%llu) "
         "ckpt_bytes(full=%llu delta=%llu) corrupt_journals=%llu "
-        "ckpt_seconds=%.3f recovery_seconds=%.3f\n",
+        "ckpt_seconds=%.3f recovery_seconds=%.3f "
+        "rebalances=%llu rebalance_seconds=%.3f\n",
         static_cast<unsigned long long>(wire.ft_report.attempts),
         static_cast<unsigned long long>(wire.ft_report.recoveries),
         wire.ft_report.restored_epoch,
@@ -565,7 +604,9 @@ int RunCoordinator(Config cfg) {
             wire.ft_report.checkpoint_bytes_delta),
         static_cast<unsigned long long>(wire.ft_report.corrupt_journals),
         wire.ft_report.checkpoint_seconds,
-        wire.ft_report.recovery_seconds);
+        wire.ft_report.recovery_seconds,
+        static_cast<unsigned long long>(wire.ft_report.rebalances),
+        wire.ft_report.rebalance_seconds);
   }
   std::printf("L1(%s, inproc reference) = %.3e -> %s\n",
               cfg.transport.c_str(), l1, parity ? "PARITY" : "MISMATCH");
@@ -647,6 +688,8 @@ int RunCoordinator(Config cfg) {
              static_cast<uint64_t>(wire.ft_report.restored_epoch))
         .Set("corrupt_journals", wire.ft_report.corrupt_journals)
         .Set("recovery_seconds", wire.ft_report.recovery_seconds)
+        .Set("rebalances", wire.ft_report.rebalances)
+        .Set("rebalance_seconds", wire.ft_report.rebalance_seconds)
         .Set("total_seconds", wire.seconds);
 
     // Full-vs-incremental checkpoint cost at equal state: a controlled
@@ -748,8 +791,16 @@ int main(int argc, char** argv) {
       opts.GetInt("kill-worker-after-ms", 0));
   cfg.kill_in_checkpoint_write = static_cast<uint64_t>(
       opts.GetInt("kill-in-checkpoint-write", 0));
+  cfg.partitioner = opts.GetString("partitioner", cfg.partitioner);
+  cfg.rebalance_at_boundary = static_cast<uint64_t>(
+      opts.GetInt("rebalance-at-boundary", 0));
+  cfg.rebalance_every =
+      static_cast<uint64_t>(opts.GetInt("rebalance-every", 0));
+  cfg.rebalance_skew =
+      opts.GetDouble("rebalance-skew", cfg.rebalance_skew);
   cfg.ft = opts.GetBool("ft", false) || cfg.kill_worker_after_ms > 0 ||
-           cfg.kill_in_checkpoint_write > 0;
+           cfg.kill_in_checkpoint_write > 0 ||
+           cfg.rebalance_at_boundary > 0 || cfg.rebalance_every > 0;
   cfg.checkpoint_interval =
       opts.GetDouble("checkpoint-interval", cfg.ft ? 0.2 : 0.0);
   cfg.mtbf = opts.GetDouble("mtbf", 0.0);

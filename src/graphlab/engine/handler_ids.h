@@ -29,6 +29,8 @@ enum EngineHandlers : rpc::HandlerId {
   kCheckpointControlHandler = 29,  // checkpoint decide/done/commit protocol
   kRecoveryControlHandler = 30,    // recovery rendezvous enter/release
   kMetricsSnapshotHandler = 31,    // metrics registry snapshot -> master
+  kRebalanceControlHandler = 32,   // load rebalancer decide broadcast
+  kRebalanceMetricsHandler = 33,   // load rebalancer's private metrics poll
 };
 
 }  // namespace graphlab

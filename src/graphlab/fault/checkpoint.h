@@ -123,8 +123,15 @@ class CheckpointCoordinator {
     if (ctx_.id == 0) {
       uint32_t epoch = 0;
       uint8_t kind = kFullKind;
-      if (interval_seconds() > 0 &&
-          since_checkpoint_.Seconds() >= interval_seconds()) {
+      if (force_full_next_) {
+        // Out-of-band request (live migration): a full epoch regardless
+        // of the interval clock — even with periodic checkpointing off —
+        // so the next attempt restores the exact pre-migration state.
+        epoch = next_epoch_++;
+        kind = kFullKind;
+        force_full_next_ = false;
+      } else if (interval_seconds() > 0 &&
+                 since_checkpoint_.Seconds() >= interval_seconds()) {
         epoch = next_epoch_++;
         kind = DecideKind();
       }
@@ -250,6 +257,11 @@ class CheckpointCoordinator {
     }
     return 0;
   }
+
+  /// Make the next AtBoundary write a FULL snapshot unconditionally (the
+  /// live-migration handoff point).  Meaningful on the coordinator; safe
+  /// to call everywhere (collective decisions keep the cluster uniform).
+  void ForceFullNext() { force_full_next_ = true; }
 
   uint32_t last_complete_epoch() const { return last_complete_epoch_; }
   uint64_t checkpoints_written() const { return checkpoints_written_; }
@@ -384,6 +396,9 @@ class CheckpointCoordinator {
   size_t membership_token_ = 0;
 
   uint64_t round_ = 0;
+  // Set by ForceFullNext, consumed by the next DECIDE.  Both run on the
+  // boundary-hook thread, so no synchronization is needed.
+  bool force_full_next_ = false;
   Timer since_checkpoint_;
   double t_checkpoint_;
   uint32_t last_complete_epoch_ = 0;

@@ -68,6 +68,7 @@
 #include "graphlab/fault/checkpoint.h"
 #include "graphlab/fault/failure_detector.h"
 #include "graphlab/fault/options.h"
+#include "graphlab/fault/rebalancer.h"
 #include "graphlab/fault/recovery.h"
 #include "graphlab/graph/atom.h"
 #include "graphlab/graph/distributed_graph.h"
@@ -94,6 +95,8 @@ struct FtReport {
   double checkpoint_seconds = 0;    // wall time spent checkpointing
   double checkpoint_interval_seconds = 0;  // effective cadence (last)
   double recovery_seconds = 0;      // last detection -> engine resumed
+  uint64_t rebalances = 0;          // live migrations adopted
+  double rebalance_seconds = 0;     // last migration decide -> resumed
   RunResult result;                 // the successful attempt's result
 };
 
@@ -344,6 +347,16 @@ class FaultTolerantRunner {
       ~ListenerGuard() { d->SetPeerDownListener(nullptr); }
     } guard{&detector_};
 
+    // Online rebalancing, when asked for.  Constructed before the fence
+    // barrier below for the same handler-alignment reason: a fast
+    // coordinator's decide broadcast must never beat a worker's handler
+    // registration.
+    rebalancer_.reset();
+    if (LoadRebalancer::Enabled(options_)) {
+      rebalancer_ =
+          std::make_unique<LoadRebalancer>(ctx_, &problem.meta, options_);
+    }
+
     // Handler-registration alignment: rendezvous ENTER frames go to
     // machine 0, whose handler is registered in ITS runner's
     // constructor — without a fence a fast worker's enter could arrive
@@ -413,15 +426,27 @@ class FaultTolerantRunner {
     // in-flight checkpoint control frame).
     checkpoint_.reset();
 
+    bool migrating = false;
     {
-      // Rebuild: same atoms, surviving machines.
+      // Rebuild: same atoms, surviving machines.  A pending rebalance
+      // placement (decided collectively at the aborted attempt's last
+      // boundary) wins; it was validated against the survivor set, so a
+      // death racing the migration falls back to fresh placement.
       GL_TRACE_SCOPE(trace::kFault, "fault.rebuild");
-      std::vector<rpc::MachineId> placement =
-          PlaceAtomsOnMachines(problem.meta, alive);
+      std::vector<rpc::MachineId> placement;
+      if (rebalancer_ != nullptr) {
+        placement = rebalancer_->TakePendingPlacement(alive);
+        migrating = !placement.empty();
+      }
+      if (placement.empty()) {
+        placement = PlaceAtomsOnMachines(problem.meta, alive);
+      }
       GRAPHLAB_RETURN_IF_ERROR(problem.build(graph, placement));
+      if (rebalancer_ != nullptr) rebalancer_->BeginAttempt(placement);
       // All partitions rebuilt before anyone pushes restored ghosts.
       if (!ctx_.barrier().Wait(me)) return Status::Aborted("peer died");
     }
+    if (migrating) report->rebalances++;
 
     // Restore from the last committed epoch (if checkpointing is on and
     // one exists), then re-sync ghost replicas cluster-wide.
@@ -487,15 +512,30 @@ class FaultTolerantRunner {
               ctx_, snapshots_.get(), options_, first_epoch);
     }
     (*engine)->SetBoundaryHook([this, &problem](uint64_t boundary) -> Status {
-      // The checkpoint protocol is collective: even when the extra hook
-      // fails, this machine must still participate in AtBoundary or the
-      // others would wait on its DONE forever (AtBoundary itself
-      // unblocks on membership changes).  The first error wins.
+      // The checkpoint and rebalance protocols are collective: even when
+      // the extra hook fails, this machine must still participate or the
+      // others would wait on its DONE forever (both unblock on
+      // membership changes).  The first error wins.
       Status extra = problem.on_boundary ? problem.on_boundary(boundary)
                                          : Status::OK();
+      bool migrate = false;
+      Status rebal = rebalancer_ != nullptr
+                         ? rebalancer_->AtBoundary(boundary, &migrate)
+                         : Status::OK();
+      // On a migrate decision the checkpoint at THIS boundary is forced
+      // full, so the next attempt restores the exact pre-migration state
+      // (boundary-aligned, channels flushed — nothing is in flight).
+      if (migrate && checkpoint_ != nullptr) checkpoint_->ForceFullNext();
       Status ckpt = checkpoint_ != nullptr ? checkpoint_->AtBoundary(boundary)
                                            : Status::OK();
-      return extra.ok() ? ckpt : extra;
+      if (!extra.ok()) return extra;
+      if (!rebal.ok()) return rebal;
+      if (!ckpt.ok()) return ckpt;
+      // Abort the attempt to run the drain -> rebuild -> restore path
+      // over the amended placement.  Collective: every machine got the
+      // same decision, so every machine aborts at this boundary.
+      if (migrate) return Status::Aborted("rebalance migration");
+      return Status::OK();
     });
     (*engine)->SetUpdateFn(problem.update_fn);
     (*engine)->ScheduleAll();
@@ -515,6 +555,15 @@ class FaultTolerantRunner {
           .registry(me)
           .histogram("fault.recovery_ms")
           ->Record(static_cast<uint64_t>(report->recovery_seconds * 1e3));
+    }
+    if (migrating) {
+      // Migration latency: decide-boundary abort -> engine resumed on
+      // the amended placement (the bench's "rebalance latency" row).
+      report->rebalance_seconds = recovery_timer.Seconds();
+      ctx_.comm()
+          .registry(me)
+          .histogram("fault.rebalance_ms")
+          ->Record(static_cast<uint64_t>(report->rebalance_seconds * 1e3));
     }
     GL_TRACE_END(trace::kFault, "fault.resume");
     if (restoring) GL_TRACE_END(trace::kFault, "fault.recovery");
@@ -537,6 +586,12 @@ class FaultTolerantRunner {
     if (failure_observed_.load(std::memory_order_acquire)) {
       return Status::Aborted("peer died during run");
     }
+    if (rebalancer_ != nullptr && rebalancer_->migration_pending()) {
+      // The hook aborted the engine with nobody dead: a live migration.
+      // Report Aborted so the rendezvous votes "retry" collectively and
+      // the next attempt rebuilds on the pending placement.
+      return Status::Aborted("rebalance migration");
+    }
     report->result = result;
     return Status::OK();
   }
@@ -548,6 +603,7 @@ class FaultTolerantRunner {
   RecoveryRendezvous rendezvous_;
   std::unique_ptr<SnapshotManager<VertexData, EdgeData>> snapshots_;
   std::unique_ptr<CheckpointCoordinator<VertexData, EdgeData>> checkpoint_;
+  std::unique_ptr<LoadRebalancer> rebalancer_;
   std::mutex engine_mutex_;
   EngineType* current_engine_ = nullptr;  // guarded by engine_mutex_
   std::atomic<bool> failure_observed_{false};

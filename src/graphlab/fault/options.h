@@ -62,6 +62,29 @@ struct FtOptions {
 
   /// Give up after this many failure→recovery cycles in one Run().
   uint64_t max_recoveries = 8;
+
+  // ------------------------------------------------------------------
+  // Online load rebalancing (fault::LoadRebalancer)
+  // ------------------------------------------------------------------
+  // Rebalancing is on iff rebalance_every_boundaries > 0 or
+  // rebalance_at_boundary > 0.  Checks are collective at the (globally
+  // aligned) engine boundaries; a migrate decision amends the atom
+  // placement and replays the recovery path (drain → rebuild → restore)
+  // over the new placement.
+
+  /// Poll cluster metrics and consider migrating every N boundaries.
+  uint64_t rebalance_every_boundaries = 0;
+  /// Skip checks before this boundary (lets per-machine update deltas
+  /// accumulate past the warm-up sweeps).
+  uint64_t rebalance_min_boundary = 2;
+  /// Force exactly one migration decision at this boundary regardless of
+  /// skew (deterministic CI / bench hook).  0 = off.
+  uint64_t rebalance_at_boundary = 0;
+  /// Migrate when max/mean of per-machine engine.updates deltas since
+  /// the previous check reaches this.
+  double rebalance_skew_threshold = 1.3;
+  /// Hard cap on migrations per Run() (each one costs a drain+rebuild).
+  uint64_t rebalance_max_migrations = 1;
 };
 
 }  // namespace fault

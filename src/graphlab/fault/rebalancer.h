@@ -1,0 +1,136 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// LoadRebalancer: online load rebalancing by live atom migration.
+//
+// The static two-phase placement (PlaceAtomsOnMachines) is decided once,
+// from topology alone; on power-law graphs the *runtime* load — update
+// work, ghost traffic — still concentrates.  This component watches the
+// per-machine cluster metrics mid-run and, when the skew warrants it,
+// moves a hot machine's atom to a cold machine by replaying the recovery
+// path over the amended placement (the PR 5 machinery: drain at a
+// boundary, rebuild from atoms, restore the just-forced full checkpoint,
+// re-push owned scopes) — migration is recovery with nobody dead.
+//
+// Protocol, at boundaries ShouldCheck() selects (collective — boundary
+// numbers are globally aligned on the collective engines):
+//
+//   POLL    every machine contributes its registry snapshot through a
+//           private MetricsService (kRebalanceMetricsHandler, so the
+//           launcher's post-run report service keeps its own rounds).
+//   DECIDE  machine 0 computes per-machine engine.updates deltas since
+//           the previous check; on skew >= threshold (or a forced
+//           check), it picks the hottest machine, the coldest machine,
+//           and the atom on the hot machine whose meta-graph affinity
+//           most favors the cold one, then broadcasts the amended
+//           placement on kRebalanceControlHandler.
+//   ADOPT   every machine stores the pending placement; the runner's
+//           boundary hook forces a full checkpoint at this boundary and
+//           aborts the attempt, and the next attempt rebuilds from
+//           TakePendingPlacement().
+//
+// Waits are membership-epoch aware (checkpoint.h style): a real death
+// mid-protocol aborts the round, and the pending placement is validated
+// against the survivor set before use.
+
+#ifndef GRAPHLAB_FAULT_REBALANCER_H_
+#define GRAPHLAB_FAULT_REBALANCER_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graphlab/fault/options.h"
+#include "graphlab/graph/atom.h"
+#include "graphlab/metrics/metrics_service.h"
+#include "graphlab/rpc/runtime.h"
+#include "graphlab/util/status.h"
+
+namespace graphlab {
+namespace fault {
+
+class LoadRebalancer {
+ public:
+  /// `meta` must outlive the rebalancer (it is the runner Problem's atom
+  /// index).  Construct before the runner's handler-alignment barrier so
+  /// no decide broadcast can beat the handler registration.
+  LoadRebalancer(rpc::MachineContext ctx, const AtomIndex* meta,
+                 const FtOptions& options);
+  ~LoadRebalancer();
+
+  LoadRebalancer(const LoadRebalancer&) = delete;
+  LoadRebalancer& operator=(const LoadRebalancer&) = delete;
+
+  /// True when the FtOptions ask for any rebalancing at all.
+  static bool Enabled(const FtOptions& options) {
+    return options.rebalance_every_boundaries > 0 ||
+           options.rebalance_at_boundary > 0;
+  }
+
+  /// Collective boundary check.  Sets *migrate when a migration was
+  /// decided (pending placement stored on every machine).  Cheap no-op
+  /// on boundaries ShouldCheck rejects.
+  Status AtBoundary(uint64_t boundary, bool* migrate);
+
+  /// Record the placement an attempt actually built with — the baseline
+  /// the next decision amends.
+  void BeginAttempt(const std::vector<rpc::MachineId>& placement);
+
+  bool migration_pending() const;
+
+  /// Consume the pending placement.  Empty when none is pending or when
+  /// it names a machine not in `alive` (decided before a death landed) —
+  /// callers then fall back to fresh placement.
+  std::vector<rpc::MachineId> TakePendingPlacement(
+      const std::vector<rpc::MachineId>& alive);
+
+  uint64_t migrations() const { return migrations_; }
+
+ private:
+  enum Tag : uint8_t { kDecide = 0 };
+
+  struct RoundState {
+    uint64_t id = 0;
+    bool have_decision = false;
+    bool migrate = false;
+    std::vector<rpc::MachineId> placement;
+  };
+
+  bool ShouldCheck(uint64_t boundary) const;
+  void OnMessage(rpc::MachineId src, InArchive& ia);
+  RoundState& RoundFor(uint64_t round);
+
+  /// Coordinator-only: decide from the merged metrics view.  Returns
+  /// true and fills *placement when a migration should happen.
+  bool Decide(const metrics::ClusterMetricsView& view, bool forced,
+              std::vector<rpc::MachineId>* placement);
+
+  rpc::MachineContext ctx_;
+  rpc::CommLayer* comm_;
+  const AtomIndex* meta_;
+  FtOptions options_;
+  std::unique_ptr<metrics::MetricsService> metrics_;
+  const uint64_t epoch_at_start_;  // membership epoch at construction
+  size_t membership_token_ = 0;
+
+  uint64_t round_ = 0;
+  uint64_t migrations_ = 0;
+  bool forced_done_ = false;
+
+  // Coordinator state: the placement being amended and the previous
+  // check's per-machine engine.updates totals (deltas = work since then).
+  std::vector<rpc::MachineId> current_placement_;
+  std::vector<double> prev_updates_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::array<RoundState, 16> rounds_{};
+  std::vector<rpc::MachineId> pending_placement_;  // guarded by mutex_
+};
+
+}  // namespace fault
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_FAULT_REBALANCER_H_

@@ -50,24 +50,36 @@ std::vector<rpc::MachineId> PlaceAtomsOnMachines(
   // contiguous m-wide stripe per atom.
   std::vector<uint64_t> affinity(k * num_machines, 0);
 
-  // Order atoms by descending size so big atoms anchor machines.
+  // Load weight of an atom = owned vertices + cross-atom edge degree.
+  // Balancing on vertices alone stacks edge-heavy atoms (the expensive
+  // ones: every cross edge is a ghost to sync) on one machine; the summed
+  // meta-edge weight is exactly that ghost-traffic proxy.
+  std::vector<uint64_t> weight(k, 0);
+  uint64_t total_weight = 0;
+  for (AtomId a = 0; a < k; ++a) {
+    weight[a] = index.atoms[a].num_owned_vertices;
+    for (const auto& [nbr, w] : index.atoms[a].neighbors) weight[a] += w;
+    total_weight += weight[a];
+  }
+
+  // Order atoms by descending weight so big atoms anchor machines.
   std::vector<AtomId> order(k);
   for (AtomId a = 0; a < k; ++a) order[a] = a;
   std::sort(order.begin(), order.end(), [&](AtomId a, AtomId b) {
-    return index.atoms[a].num_owned_vertices >
-           index.atoms[b].num_owned_vertices;
+    if (weight[a] != weight[b]) return weight[a] > weight[b];
+    return a < b;
   });
 
+  // Cap from the same weighted total: ~1.125x of the ideal share.
+  const uint64_t cap = (total_weight / num_machines) * 9 / 8 + 1;
   for (AtomId a : order) {
     // Candidate machine: least loaded among those maximizing affinity,
-    // subject to not exceeding ~1.25x of ideal balance.
+    // subject to the balance cap.
     const uint64_t* aff = affinity.data() + a * num_machines;
-    uint64_t total = index.num_vertices;
-    uint64_t cap = (total / num_machines) * 9 / 8 + 1;
     rpc::MachineId best = 0;
     bool have_best = false;
     for (rpc::MachineId m = 0; m < num_machines; ++m) {
-      if (load[m] + index.atoms[a].num_owned_vertices > cap) continue;
+      if (load[m] + weight[a] > cap) continue;
       if (!have_best || aff[m] > aff[best] ||
           (aff[m] == aff[best] && load[m] < load[best])) {
         best = m;
@@ -82,7 +94,7 @@ std::vector<rpc::MachineId> PlaceAtomsOnMachines(
       }
     }
     placement[a] = machines[best];
-    load[best] += index.atoms[a].num_owned_vertices;
+    load[best] += weight[a];
     for (const auto& [nbr, weight] : index.atoms[a].neighbors) {
       affinity[nbr * num_machines + best] += weight;
     }

@@ -8,6 +8,28 @@
 
 namespace graphlab {
 
+UndirectedCsr BuildUndirectedCsr(const GraphStructure& structure) {
+  const uint64_t n = structure.num_vertices;
+  UndirectedCsr csr;
+  csr.offsets.assign(n + 1, 0);
+  for (const auto& [u, v] : structure.edges) {
+    csr.offsets[u + 1]++;
+    csr.offsets[v + 1]++;
+  }
+  for (uint64_t i = 0; i < n; ++i) csr.offsets[i + 1] += csr.offsets[i];
+  csr.targets.resize(csr.offsets[n]);
+  // Fill pass uses offsets[v] itself as the write cursor (each slot ends up
+  // holding the next vertex's start), then shifts the array back — no
+  // scratch vector, so the whole build is exactly two allocations.
+  for (const auto& [u, v] : structure.edges) {
+    csr.targets[csr.offsets[u]++] = v;
+    csr.targets[csr.offsets[v]++] = u;
+  }
+  for (uint64_t i = n; i > 0; --i) csr.offsets[i] = csr.offsets[i - 1];
+  csr.offsets[0] = 0;
+  return csr;
+}
+
 PartitionAssignment RandomPartition(uint64_t num_vertices, AtomId num_atoms,
                                     uint64_t seed) {
   GL_CHECK_GE(num_atoms, 1u);
@@ -43,12 +65,7 @@ PartitionAssignment BfsPartition(const GraphStructure& structure,
                                  AtomId num_atoms, uint64_t seed) {
   GL_CHECK_GE(num_atoms, 1u);
   const uint64_t n = structure.num_vertices;
-  // Build adjacency.
-  std::vector<std::vector<VertexId>> adj(n);
-  for (const auto& [u, v] : structure.edges) {
-    adj[u].push_back(v);
-    adj[v].push_back(u);
-  }
+  const UndirectedCsr adj = BuildUndirectedCsr(structure);
   PartitionAssignment out(n, num_atoms);  // num_atoms == unassigned marker
   const uint64_t capacity = (n + num_atoms - 1) / num_atoms;
   std::vector<uint64_t> size(num_atoms, 0);
@@ -81,7 +98,8 @@ PartitionAssignment BfsPartition(const GraphStructure& structure,
       while (!frontier[a].empty() && size[a] < capacity) {
         VertexId v = frontier[a].front();
         bool grew = false;
-        for (VertexId w : adj[v]) {
+        for (const VertexId* it = adj.begin(v); it != adj.end(v); ++it) {
+          VertexId w = *it;
           if (out[w] == num_atoms) {
             claim(w, a);
             grew = true;

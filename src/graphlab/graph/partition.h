@@ -14,10 +14,31 @@
 #define GRAPHLAB_GRAPH_PARTITION_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "graphlab/graph/types.h"
 
 namespace graphlab {
+
+/// Flat undirected adjacency in CSR form: neighbors of v are
+/// targets[offsets[v] .. offsets[v+1]).  Each edge (u,v) appears twice,
+/// once per endpoint.  Exactly two heap allocations regardless of n.
+struct UndirectedCsr {
+  std::vector<uint64_t> offsets;  // n + 1 entries
+  std::vector<VertexId> targets;  // 2 * |E| entries
+
+  uint64_t degree(VertexId v) const { return offsets[v + 1] - offsets[v]; }
+  const VertexId* begin(VertexId v) const {
+    return targets.data() + offsets[v];
+  }
+  const VertexId* end(VertexId v) const {
+    return targets.data() + offsets[v + 1];
+  }
+};
+
+/// Two-pass CSR build from an edge list: one pass to count degrees, one to
+/// fill.  Shared by the BFS region grower and the streaming partitioner.
+UndirectedCsr BuildUndirectedCsr(const GraphStructure& structure);
 
 /// Uniform random assignment by hashing vertex ids.
 PartitionAssignment RandomPartition(uint64_t num_vertices, AtomId num_atoms,

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "graphlab/engine/handler_ids.h"
 #include "graphlab/metrics/metrics.h"
 #include "graphlab/rpc/comm_layer.h"
 #include "graphlab/rpc/message.h"
@@ -82,8 +83,13 @@ struct ClusterMetricsView {
 /// then be called by every live machine, like a barrier.
 class MetricsService {
  public:
+  /// `handler_id` lets independent services coexist on one comm layer
+  /// (RegisterHandler replaces): e.g. the load rebalancer polls mid-run
+  /// on its own handler while the launcher's post-run report uses the
+  /// default, with separate round counters.
   MetricsService(rpc::CommLayer* comm, rpc::MachineId me,
-                 MetricsRegistry* registry);
+                 MetricsRegistry* registry,
+                 rpc::HandlerId handler_id = kMetricsSnapshotHandler);
   ~MetricsService();
 
   MetricsService(const MetricsService&) = delete;
@@ -106,6 +112,7 @@ class MetricsService {
   rpc::CommLayer* comm_;
   rpc::MachineId me_;
   MetricsRegistry* registry_;
+  rpc::HandlerId handler_id_;
   uint64_t round_ = 0;
 
   std::mutex mutex_;
