@@ -41,12 +41,27 @@
 //             stdout + BENCH_cluster_metrics.json, collected over the
 //             CommLayer from every machine's registry)
 //           --trace-out=FILE (Chrome/Perfetto trace JSON; each worker
-//             process writes FILE.m<id>, the coordinator writes FILE)
+//             process writes FILE.m<id>, the coordinator writes FILE
+//             and, over TCP, merges every process's file into one
+//             offset-aligned cluster timeline at FILE.cluster.json)
 //           --trace-categories=LIST (engine,sched,rpc,gas,fault,
-//             snapshot or "all"; default all)
+//             snapshot,health or "all"; default all)
 //           --trace-buffer=N (per-thread event ring capacity; default
 //             1M so per-message rpc events cannot evict the rare
 //             fault-recovery spans on long runs)
+//
+// Live telemetry (the streaming counterpart to the post-run report):
+//           --telemetry-report (background sampler on every machine +
+//             push channel to machine 0; renders a live per-machine
+//             rate table about once a second)
+//           --telemetry-out=FILE (machine 0 appends one JSONL row per
+//             received sample window: cumulative values + windowed
+//             rates, plus row="health" lines for online detections)
+//           --telemetry-interval-ms=N (sampler tick; default 100)
+//           --straggle-machine=M --straggle-us=U (fault injection: M —
+//             default the last machine — busy-spins U microseconds
+//             after every vertex update, slowing it enough for the
+//             online health monitor to flag it as a straggler)
 //
 // Placement: --partitioner=NAME (random | block | striped | bfs |
 //             greedy | refined; "greedy" is the streaming LDG
@@ -57,8 +72,11 @@
 //             at update-boundary B; implies --ft)
 //           --rebalance-every=N (periodic skew check every N
 //             boundaries; implies --ft)
-//           --rebalance-skew=S (max/mean engine.updates skew that
-//             triggers a migration on periodic checks; default 1.3)
+//           --rebalance-skew=S (max/mean signal skew that triggers a
+//             migration on periodic checks; default 1.3)
+//           --rebalance-signal=updates|bytes (which per-machine load
+//             signal the skew is measured on: engine.updates deltas —
+//             compute — or rpc.bytes_sent deltas — communication)
 //
 // Other flags: --machines=N --vertices=V --threads=T --port-base=P
 //              --json=FILE --role/--machine-id (set when forking).
@@ -68,13 +86,18 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "graphlab/apps/label_prop.h"
@@ -88,7 +111,9 @@
 #include "graphlab/graph/generators.h"
 #include "graphlab/graph/partition.h"
 #include "graphlab/graph/partitioner.h"
+#include "graphlab/metrics/health.h"
 #include "graphlab/metrics/metrics_service.h"
+#include "graphlab/metrics/timeseries.h"
 #include "graphlab/metrics/trace_event.h"
 #include "graphlab/rpc/runtime.h"
 #include "graphlab/rpc/tcp_transport.h"
@@ -123,6 +148,7 @@ struct Config {
   uint64_t rebalance_at_boundary = 0;
   uint64_t rebalance_every = 0;
   double rebalance_skew = 1.3;
+  std::string rebalance_signal = "updates";
 
   // Fault tolerance.
   bool ft = false;
@@ -139,7 +165,30 @@ struct Config {
   std::string trace_out;
   std::string trace_categories = "all";
   size_t trace_buffer = 1u << 20;
+
+  // Live telemetry (sampler + push channel + health monitor).
+  // `telemetry` is the internal enable the coordinator forwards to
+  // workers so they run the sampler even when only machine 0 exports.
+  bool telemetry = false;
+  bool telemetry_report = false;
+  std::string telemetry_out;
+  uint64_t telemetry_interval_ms = 100;
+
+  // Straggler fault injection: machine `straggle_machine` (default the
+  // last one) busy-spins `straggle_us` after every vertex update.
+  int64_t straggle_machine = -1;
+  uint64_t straggle_us = 0;
 };
+
+bool TelemetryEnabled(const Config& cfg) {
+  return cfg.telemetry || cfg.telemetry_report || !cfg.telemetry_out.empty();
+}
+
+rpc::MachineId StraggleVictim(const Config& cfg) {
+  return cfg.straggle_machine >= 0
+             ? static_cast<rpc::MachineId>(cfg.straggle_machine)
+             : static_cast<rpc::MachineId>(cfg.machines - 1);
+}
 
 struct RunOutput {
   std::vector<double> ranks;       // gathered on machine 0 only
@@ -149,7 +198,59 @@ struct RunOutput {
   std::vector<rpc::PeerCommStats> peer_stats;
   fault::FtReport ft_report;       // machine 0's, FT mode only
   metrics::ClusterMetricsView cluster_metrics;  // merged on machine 0
+
+  // Telemetry summary (machine 0, when the plane is on).
+  uint64_t telemetry_rows = 0;      // JSONL rows written
+  uint64_t telemetry_machines = 0;  // machines that ever reported
+  uint64_t telemetry_samples = 0;   // samples ingested cluster-wide
+  uint64_t health_stragglers = 0;
+  uint64_t health_stalls = 0;
+  uint64_t health_divergences = 0;
+  // Machine 0's estimated peer clock offsets (remote - local, ns), the
+  // coordinator's input for the offset-aligned cluster trace merge.
+  std::map<uint32_t, int64_t> clock_offsets;
 };
+
+/// The PageRank update function, optionally slowed on the straggle
+/// victim: the busy-spin models a machine with degraded compute (Sec. 6's
+/// straggler discussion) without changing the fixed point, so parity
+/// still holds while the health monitor must flag the machine.
+UpdateFn<DGraph> MakeUpdateFn(const Config& cfg, rpc::MachineId me) {
+  UpdateFn<DGraph> fn =
+      apps::MakePageRankUpdateFn<DGraph>(cfg.damping, cfg.tolerance);
+  if (cfg.straggle_us == 0 || me != StraggleVictim(cfg)) return fn;
+  const uint64_t spin_ns = cfg.straggle_us * 1000;
+  return [fn, spin_ns](Context<DGraph>& context) {
+    fn(context);
+    const uint64_t until = Timer::NowNanos() + spin_ns;
+    while (Timer::NowNanos() < until) {
+    }
+  };
+}
+
+/// Machine 0's telemetry plane: the merged cluster series the push
+/// channel feeds, the online health monitor that runs over it, and the
+/// JSONL export stream.
+struct TelemetryMaster {
+  metrics::ClusterTimeSeries cluster;
+  std::unique_ptr<metrics::HealthMonitor> health;
+  std::mutex mutex;  // serializes JSONL writes and health passes
+  std::FILE* jsonl = nullptr;
+  uint64_t rows = 0;
+  uint64_t master_ticks = 0;
+  ~TelemetryMaster() {
+    if (jsonl != nullptr) std::fclose(jsonl);
+  }
+};
+
+void WriteTelemetryRow(TelemetryMaster* tele, const bench::JsonObject& row) {
+  if (tele->jsonl == nullptr) return;
+  std::string line;
+  row.Render(&line);
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), tele->jsonl);
+  ++tele->rows;
+}
 
 /// Process-wide observability setup: tag GL_LOG lines and trace events
 /// with this process's machine id, and arm the tracer's category filter.
@@ -288,12 +389,99 @@ RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
   out.ranks.assign(cfg.vertices, 0.0);
   std::atomic<size_t> gathered{0};
   std::vector<DGraph> graphs(cfg.machines);
+  const bool telemetry = TelemetryEnabled(cfg);
+  TelemetryMaster tele;  // machine 0 only; shared here so the simulated
+                         // backend's hosted machines see one master
 
   Timer timer;
   runtime.Run([&](rpc::MachineContext& ctx) {
     const rpc::MachineId me = ctx.id;
     DGraph& graph = graphs[me];
     if (me == 0) RegisterRankGather(ctx, &out, &gathered);
+
+    // ---- live telemetry plane: sampler -> push channel -> master ----
+    std::unique_ptr<metrics::TelemetryChannel> channel;
+    std::unique_ptr<metrics::TimeSeriesSampler> sampler;
+    if (telemetry) {
+      const uint64_t interval_ns = cfg.telemetry_interval_ms * 1000000ull;
+      const uint64_t report_every =
+          std::max<uint64_t>(1, 1000 / std::max<uint64_t>(
+                                            1, cfg.telemetry_interval_ms));
+      if (me == 0) {
+        tele.health = std::make_unique<metrics::HealthMonitor>(
+            metrics::HealthOptions{}, &ctx.comm().registry(0));
+        if (!cfg.telemetry_out.empty()) {
+          tele.jsonl = std::fopen(cfg.telemetry_out.c_str(), "w");
+          if (tele.jsonl == nullptr) {
+            GL_LOG(ERROR) << "cannot open --telemetry-out file "
+                          << cfg.telemetry_out;
+          }
+        }
+        channel = std::make_unique<metrics::TelemetryChannel>(
+            &ctx.comm(), me,
+            [&tele, &cfg, interval_ns,
+             report_every](const metrics::TelemetrySample& s) {
+              tele.cluster.Ingest(s);
+              std::lock_guard<std::mutex> lock(tele.mutex);
+              bench::JsonObject row;
+              row.Set("schema_version", 1)
+                  .Set("row", "sample")
+                  .Set("machine", static_cast<uint64_t>(s.machine))
+                  .Set("seq", s.seq)
+                  .Set("t_ms", static_cast<double>(s.t_ns) / 1e6)
+                  .Set("interval_ms",
+                       static_cast<double>(s.interval_ns) / 1e6);
+              for (const auto& [key, value] : s.values) row.Set(key, value);
+              for (const auto& [key, value] : s.rates) row.Set(key, value);
+              WriteTelemetryRow(&tele, row);
+              // The master's own tick paces the monitor and the live
+              // table: one health pass per cluster-wide window.
+              if (s.machine != 0) return;
+              ++tele.master_ticks;
+              for (const metrics::HealthEvent& e :
+                   tele.health->OnTick(tele.cluster, interval_ns)) {
+                bench::JsonObject hrow;
+                hrow.Set("schema_version", 1)
+                    .Set("row", "health")
+                    .Set("kind", e.KindName())
+                    .Set("machine", static_cast<uint64_t>(e.machine))
+                    .Set("detail", e.detail);
+                WriteTelemetryRow(&tele, hrow);
+              }
+              if (cfg.telemetry_report &&
+                  tele.master_ticks % report_every == 0) {
+                std::printf("%s\n",
+                            tele.cluster
+                                .FormatLiveTable({"engine.updates.rate",
+                                                  "rpc.bytes_sent.rate",
+                                                  "gas.cache_hit_ratio",
+                                                  "lock.stall_ns.p99"})
+                                .c_str());
+                std::fflush(stdout);
+              }
+            });
+      } else {
+        channel = std::make_unique<metrics::TelemetryChannel>(&ctx.comm(),
+                                                              me, nullptr);
+      }
+      // Master's push handler must exist before any worker publishes.
+      ctx.barrier().Wait(me);
+      metrics::TimeSeriesOptions topts;
+      topts.interval_ms = cfg.telemetry_interval_ms;
+      sampler = std::make_unique<metrics::TimeSeriesSampler>(
+          &ctx.comm().registry(me), topts, static_cast<uint32_t>(me));
+      metrics::MetricsRegistry* reg = &ctx.comm().registry(me);
+      sampler->SetProbe([reg] {
+        // Mirror the trace ring's eviction count into the registry so
+        // truncation shows up in cluster telemetry, not just the file.
+        reg->gauge("trace.dropped_events")
+            ->Set(static_cast<int64_t>(trace::DroppedEventCount()));
+      });
+      metrics::TelemetryChannel* ch = channel.get();
+      sampler->SetPushFn(
+          [ch](const metrics::TelemetrySample& s) { ch->Publish(s); });
+      sampler->Start();
+    }
 
     if (cfg.ft) {
       fault::FtOptions ft;
@@ -303,6 +491,7 @@ RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
       ft.rebalance_at_boundary = cfg.rebalance_at_boundary;
       ft.rebalance_every_boundaries = cfg.rebalance_every;
       ft.rebalance_skew_threshold = cfg.rebalance_skew;
+      ft.rebalance_signal = cfg.rebalance_signal;
       fault::FaultTolerantRunner<PageRankVertex, PageRankEdge> runner(ctx,
                                                                       ft);
       typename fault::FaultTolerantRunner<PageRankVertex,
@@ -313,8 +502,7 @@ RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
         return g->InitFromGlobal(in.global, in.atom_of, in.colors,
                                  placement, me, &ctx.comm());
       };
-      problem.update_fn =
-          apps::MakePageRankUpdateFn<DGraph>(cfg.damping, cfg.tolerance);
+      problem.update_fn = MakeUpdateFn(cfg, me);
       problem.engine_options.num_threads = cfg.threads;
       problem.engine_options.checkpoint_interval_seconds =
           cfg.checkpoint_interval;
@@ -343,8 +531,7 @@ RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
       deps.allreduce = allreduce_for(me);
       auto engine =
           std::move(CreateEngine("chromatic", ctx, &graph, eo, deps).value());
-      engine->SetUpdateFn(
-          apps::MakePageRankUpdateFn<DGraph>(cfg.damping, cfg.tolerance));
+      engine->SetUpdateFn(MakeUpdateFn(cfg, me));
       engine->ScheduleAll();
       RunResult r = engine->Start();
       if (me == 0) out.updates = r.updates;
@@ -362,6 +549,46 @@ RunOutput RunCluster(rpc::Runtime& runtime, const Config& cfg) {
       GL_CHECK_EQ(gathered.load(), cfg.vertices) << "rank gather incomplete";
       out.stats = ctx.comm().GetStats(0);
       out.peer_stats = ctx.comm().GetPeerStats(0);
+    }
+
+    if (telemetry) {
+      // Final tick so even very short runs export at least one full
+      // window per machine, then stop the sampler.  The barrier drains
+      // the in-flight samples: barrier traffic is FIFO-ordered behind
+      // each machine's last publish, so once it completes the master
+      // has dispatched every sample and the push channel (whose handler
+      // stays registered on the comm layer) can be torn down.
+      channel->Publish(sampler->SampleOnce());
+      sampler->Stop();
+      ctx.barrier().Wait(me);
+      channel.reset();
+      if (me == 0) {
+        std::lock_guard<std::mutex> lock(tele.mutex);
+        if (tele.jsonl != nullptr) {
+          std::fclose(tele.jsonl);
+          tele.jsonl = nullptr;
+        }
+        out.telemetry_rows = tele.rows;
+        out.telemetry_machines = tele.cluster.machines().size();
+        out.telemetry_samples = tele.cluster.samples_ingested();
+        out.health_stragglers = tele.health->stragglers_flagged();
+        out.health_stalls = tele.health->stalls_flagged();
+        out.health_divergences = tele.health->divergences_flagged();
+      }
+    }
+
+    if (!cfg.trace_out.empty()) {
+      // Peer steady-clock offsets (quiescence-probe midpoint estimates,
+      // rpc/clock_sync.h) land in this machine's trace metadata;
+      // machine 0's set also drives the coordinator's offset-aligned
+      // cluster merge.  The simulated backend shares one clock, so its
+      // transport reports zero offsets.
+      for (rpc::MachineId p = 0; p < cfg.machines; ++p) {
+        if (p == me) continue;
+        const int64_t offset_ns = ctx.comm().ClockOffsetNs(p);
+        trace::SetPeerClockOffsetNs(static_cast<uint32_t>(p), offset_ns);
+        if (me == 0) out.clock_offsets[static_cast<uint32_t>(p)] = offset_ns;
+      }
     }
 
     if (cfg.metrics_report) {
@@ -437,6 +664,18 @@ std::vector<std::string> WorkerArgs(const Config& cfg, size_t machine,
     args.push_back("--trace-categories=" + cfg.trace_categories);
     args.push_back("--trace-buffer=" + std::to_string(cfg.trace_buffer));
   }
+  if (TelemetryEnabled(cfg)) {
+    // Workers run the sampler + push channel even when only machine 0
+    // renders/export (the JSONL and live table stay coordinator-side).
+    args.push_back("--telemetry=true");
+    args.push_back("--telemetry-interval-ms=" +
+                   std::to_string(cfg.telemetry_interval_ms));
+  }
+  if (cfg.straggle_us > 0) {
+    args.push_back("--straggle-us=" + std::to_string(cfg.straggle_us));
+    args.push_back("--straggle-machine=" +
+                   std::to_string(StraggleVictim(cfg)));
+  }
   if (cfg.ft) {
     args.push_back("--ft=true");
     args.push_back("--snapshot-dir=" + cfg.snapshot_dir);
@@ -447,12 +686,110 @@ std::vector<std::string> WorkerArgs(const Config& cfg, size_t machine,
                    std::to_string(cfg.rebalance_at_boundary));
     args.push_back("--rebalance-every=" + std::to_string(cfg.rebalance_every));
     args.push_back("--rebalance-skew=" + DoubleFlag(cfg.rebalance_skew));
+    args.push_back("--rebalance-signal=" + cfg.rebalance_signal);
     if (cfg.kill_in_checkpoint_write > 0 && machine == cfg.machines - 1) {
       args.push_back("--kill-in-checkpoint-write=" +
                      std::to_string(cfg.kill_in_checkpoint_write));
     }
   }
   return args;
+}
+
+// ---------------------------------------------------------------------
+// Cluster trace merge: one offset-aligned timeline out of the
+// per-process trace files.
+// ---------------------------------------------------------------------
+
+/// Extracts the contents of a trace file's "traceEvents" array (without
+/// the brackets); empty when the file is missing or not a trace.
+std::string ReadTraceEvents(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const std::string open = "\"traceEvents\":[";
+  const size_t begin = text.find(open);
+  if (begin == std::string::npos) return "";
+  const size_t end = text.find("],\"displayTimeUnit\"", begin);
+  if (end == std::string::npos) return "";
+  return text.substr(begin + open.size(), end - begin - open.size());
+}
+
+/// Rewrites every `"ts":<number>` in an events fragment by `delta_us`:
+/// the merge maps each worker's steady clock onto the coordinator's by
+/// subtracting its estimated offset.
+std::string ShiftTraceTimestamps(const std::string& events, double delta_us) {
+  std::string out;
+  out.reserve(events.size());
+  const std::string key = "\"ts\":";
+  size_t i = 0;
+  while (i < events.size()) {
+    const size_t p = events.find(key, i);
+    if (p == std::string::npos) {
+      out.append(events, i, std::string::npos);
+      break;
+    }
+    const size_t v = p + key.size();
+    out.append(events, i, v - i);
+    size_t q = v;
+    while (q < events.size() &&
+           (std::isdigit(static_cast<unsigned char>(events[q])) ||
+            events[q] == '.' || events[q] == '-')) {
+      ++q;
+    }
+    const double ts = std::atof(events.substr(v, q - v).c_str());
+    char num[40];
+    std::snprintf(num, sizeof(num), "%.3f", ts + delta_us);
+    out += num;
+    i = q;
+  }
+  return out;
+}
+
+/// Merges the coordinator's trace file with every worker's FILE.m<id>
+/// into FILE.cluster.json, shifting worker timestamps onto machine 0's
+/// clock.  The paired rpc.flow send('s')/finish('f') events then draw
+/// cross-machine message arrows on one consistent timeline; the applied
+/// offsets are recorded in the merged file's metadata.
+void MergeClusterTrace(const Config& cfg,
+                       const std::map<uint32_t, int64_t>& offsets) {
+  std::string merged = ReadTraceEvents(cfg.trace_out);
+  size_t files = merged.empty() ? 0 : 1;
+  for (size_t m = 1; m < cfg.machines; ++m) {
+    std::string events =
+        ReadTraceEvents(cfg.trace_out + ".m" + std::to_string(m));
+    if (events.empty()) continue;
+    const auto it = offsets.find(static_cast<uint32_t>(m));
+    const double delta_us =
+        it == offsets.end() ? 0.0 : -static_cast<double>(it->second) / 1e3;
+    events = ShiftTraceTimestamps(events, delta_us);
+    if (!merged.empty()) merged += ",";
+    merged += events;
+    ++files;
+  }
+  const std::string path = cfg.trace_out + ".cluster.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    GL_LOG(ERROR) << "cannot write merged cluster trace " << path;
+    return;
+  }
+  std::string json = "{\"traceEvents\":[" + merged +
+                     "],\"displayTimeUnit\":\"ms\",\"metadata\":{"
+                     "\"merged_files\":" +
+                     std::to_string(files) + ",\"clock_offsets_ns\":{";
+  bool first = true;
+  for (const auto& [machine, offset] : offsets) {
+    if (!first) json += ",";
+    first = false;
+    json += "\"" + std::to_string(machine) + "\":" + std::to_string(offset);
+  }
+  json += "}}}\n";
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("# wrote %s (%zu trace files merged)\n", path.c_str(), files);
 }
 
 int RunCoordinator(Config cfg) {
@@ -557,6 +894,12 @@ int RunCoordinator(Config cfg) {
     }
   }
 
+  // The workers have exited (their FILE.m<id> traces are on disk), so
+  // the offset-aligned cluster timeline can be assembled.
+  if (tcp && !cfg.trace_out.empty()) {
+    MergeClusterTrace(cfg, wire.clock_offsets);
+  }
+
   // Reference: the identical computation, unfailed, on the simulated
   // interconnect (the Sec. 4.3 "same fixed point as an unfailed run"
   // acceptance).
@@ -567,6 +910,10 @@ int RunCoordinator(Config cfg) {
   Config ref_cfg = cfg;
   ref_cfg.ft = false;
   ref_cfg.metrics_report = false;  // report covers the wire run
+  ref_cfg.telemetry = false;       // so does the telemetry stream
+  ref_cfg.telemetry_report = false;
+  ref_cfg.telemetry_out.clear();
+  ref_cfg.straggle_us = 0;  // the reference runs unthrottled
   RunOutput reference;
   {
     rpc::Runtime ref_runtime(ref_opts);
@@ -610,6 +957,17 @@ int RunCoordinator(Config cfg) {
   }
   std::printf("L1(%s, inproc reference) = %.3e -> %s\n",
               cfg.transport.c_str(), l1, parity ? "PARITY" : "MISMATCH");
+  if (TelemetryEnabled(cfg)) {
+    std::printf(
+        "telemetry: machines=%llu samples=%llu jsonl_rows=%llu "
+        "stragglers=%llu stalls=%llu divergences=%llu\n",
+        static_cast<unsigned long long>(wire.telemetry_machines),
+        static_cast<unsigned long long>(wire.telemetry_samples),
+        static_cast<unsigned long long>(wire.telemetry_rows),
+        static_cast<unsigned long long>(wire.health_stragglers),
+        static_cast<unsigned long long>(wire.health_stalls),
+        static_cast<unsigned long long>(wire.health_divergences));
+  }
 
   if (cfg.metrics_report) {
     // Human table on stdout, machine-readable rows in
@@ -651,6 +1009,15 @@ int RunCoordinator(Config cfg) {
       .Set("seconds", wire.seconds)
       .Set("l1_vs_inproc", l1)
       .Set("parity", parity);
+  if (TelemetryEnabled(cfg)) {
+    json.meta()
+        .Set("telemetry_machines", wire.telemetry_machines)
+        .Set("telemetry_samples", wire.telemetry_samples)
+        .Set("telemetry_rows", wire.telemetry_rows)
+        .Set("health_stragglers", wire.health_stragglers)
+        .Set("health_stalls", wire.health_stalls)
+        .Set("health_divergences", wire.health_divergences);
+  }
   bench::AddCommStatsRow(&json, cfg.transport + "/m0", wire.stats);
   bench::AddPeerStatsRows(&json, cfg.transport + "/m0", wire.peer_stats);
   bench::AddCommStatsRow(&json, "inproc-reference/m0", reference.stats);
@@ -773,6 +1140,39 @@ int RunCoordinator(Config cfg) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--transport=tcp|sim] [--machines=N] [--vertices=V]\n"
+          "  core:          --threads=T --port-base=P --json=FILE\n"
+          "                 --partitioner=random|block|striped|bfs|greedy|"
+          "refined\n"
+          "  fault tol.:    --ft --kill-worker-after-ms=N\n"
+          "                 --kill-in-checkpoint-write=K "
+          "--checkpoint-interval=SEC\n"
+          "                 --mtbf=SEC --snapshot-dir=PATH --tolerance=T\n"
+          "  rebalancing:   --rebalance-at-boundary=B --rebalance-every=N\n"
+          "                 --rebalance-skew=S "
+          "--rebalance-signal=updates|bytes\n"
+          "  observability: --metrics-report --metrics-json=FILE\n"
+          "                 --trace-out=FILE --trace-categories=LIST "
+          "--trace-buffer=N\n"
+          "                   (the coordinator writes FILE, each worker\n"
+          "                    FILE.m<id>, and over TCP the coordinator\n"
+          "                    merges all of them — worker timestamps\n"
+          "                    shifted by the estimated clock offsets —\n"
+          "                    into FILE.cluster.json)\n"
+          "  telemetry:     --telemetry-report --telemetry-out=FILE.jsonl\n"
+          "                 --telemetry-interval-ms=N\n"
+          "  chaos:         --straggle-machine=M --straggle-us=U\n"
+          "                   (busy-spin U us per update on machine M,\n"
+          "                    default the last machine, so the health\n"
+          "                    monitor must flag it as a straggler)\n",
+          argv[0]);
+      return 0;
+    }
+  }
   OptionMap opts;
   opts.ParseArgs(argc, argv);
   Config cfg;
@@ -798,6 +1198,8 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(opts.GetInt("rebalance-every", 0));
   cfg.rebalance_skew =
       opts.GetDouble("rebalance-skew", cfg.rebalance_skew);
+  cfg.rebalance_signal =
+      opts.GetString("rebalance-signal", cfg.rebalance_signal);
   cfg.ft = opts.GetBool("ft", false) || cfg.kill_worker_after_ms > 0 ||
            cfg.kill_in_checkpoint_write > 0 ||
            cfg.rebalance_at_boundary > 0 || cfg.rebalance_every > 0;
@@ -815,6 +1217,16 @@ int main(int argc, char** argv) {
       opts.GetString("trace-categories", cfg.trace_categories);
   cfg.trace_buffer = static_cast<size_t>(opts.GetInt(
       "trace-buffer", static_cast<int64_t>(cfg.trace_buffer)));
+  cfg.telemetry = opts.GetBool("telemetry", false);
+  cfg.telemetry_report = opts.GetBool("telemetry-report", false);
+  cfg.telemetry_out = opts.GetString("telemetry-out", cfg.telemetry_out);
+  cfg.telemetry_interval_ms = static_cast<uint64_t>(opts.GetInt(
+      "telemetry-interval-ms",
+      static_cast<int64_t>(cfg.telemetry_interval_ms)));
+  cfg.straggle_machine =
+      opts.GetInt("straggle-machine", cfg.straggle_machine);
+  cfg.straggle_us =
+      static_cast<uint64_t>(opts.GetInt("straggle-us", 0));
   GL_CHECK_GE(cfg.machines, 1u);
 
   if (cfg.role == "worker") return RunWorker(cfg);

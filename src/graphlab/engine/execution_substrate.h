@@ -537,6 +537,10 @@ class EngineBase : public IEngine<Graph> {
     auto scheduler = CreateScheduler(options_, num_vertices, default_name);
     GL_CHECK(scheduler.ok()) << scheduler.status().ToString();
     scheduler.value()->BindStealCounter(metrics_->counter("sched.steals"));
+    // Remember the scheduler so RunBoundaryHook can publish its depth —
+    // the strategies that call this own the scheduler for the engine's
+    // lifetime (constructed once in their init lists).
+    schedulers_.push_back(scheduler.value().get());
     return std::move(scheduler.value());
   }
 
@@ -552,6 +556,16 @@ class EngineBase : public IEngine<Graph> {
   /// would leave the others waiting on its contribution forever.  Hooks
   /// that cannot proceed (peer death) unblock themselves via membership.
   void RunBoundaryHook(uint64_t boundary) {
+    // Publish the schedulers' pending-task depth as a gauge at every
+    // boundary: O(schedulers) per boundary instead of per update, so the
+    // fast-path budget is untouched, and the telemetry sampler picks it
+    // up for the health monitor's stall rule (zero update rate with
+    // nonzero depth).
+    if (!schedulers_.empty()) {
+      size_t depth = 0;
+      for (const IScheduler* s : schedulers_) depth += s->ApproxSize();
+      metrics_->gauge("sched.depth")->Set(static_cast<int64_t>(depth));
+    }
     if (!boundary_hook_) return;
     Status st = boundary_hook_(boundary);
     if (!st.ok()) {
@@ -565,6 +579,9 @@ class EngineBase : public IEngine<Graph> {
 
   EngineOptions options_;
   metrics::MetricsRegistry* metrics_ = nullptr;
+  /// Schedulers created through MakeScheduler (owned by the strategy for
+  /// the engine's lifetime); mutable because MakeScheduler is const.
+  mutable std::vector<IScheduler*> schedulers_;
   ExecutionSubstrate substrate_;
   UpdateFn<Graph> update_fn_;
   typename IEngine<Graph>::BoundaryHook boundary_hook_;

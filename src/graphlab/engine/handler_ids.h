@@ -31,6 +31,7 @@ enum EngineHandlers : rpc::HandlerId {
   kMetricsSnapshotHandler = 31,    // metrics registry snapshot -> master
   kRebalanceControlHandler = 32,   // load rebalancer decide broadcast
   kRebalanceMetricsHandler = 33,   // load rebalancer's private metrics poll
+  kTelemetryPushHandler = 34,      // streaming telemetry sample -> master
 };
 
 }  // namespace graphlab

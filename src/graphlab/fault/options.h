@@ -80,8 +80,13 @@ struct FtOptions {
   /// Force exactly one migration decision at this boundary regardless of
   /// skew (deterministic CI / bench hook).  0 = off.
   uint64_t rebalance_at_boundary = 0;
-  /// Migrate when max/mean of per-machine engine.updates deltas since
-  /// the previous check reaches this.
+  /// Which per-machine load signal skew is measured on: "updates"
+  /// (engine.updates deltas — compute load) or "bytes" (rpc.bytes_sent
+  /// deltas — communication load, for runs whose bottleneck is ghost
+  /// sync rather than update work).
+  std::string rebalance_signal = "updates";
+  /// Migrate when max/mean of the per-machine signal deltas since the
+  /// previous check reaches this.
   double rebalance_skew_threshold = 1.3;
   /// Hard cap on migrations per Run() (each one costs a drain+rebuild).
   uint64_t rebalance_max_migrations = 1;

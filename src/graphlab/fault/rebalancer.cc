@@ -155,11 +155,17 @@ bool LoadRebalancer::Decide(const metrics::ClusterMetricsView& view,
     return false;
   }
 
-  // Per-machine engine.updates deltas since the previous check.  Slots
-  // index by machine id (dense, monotone-down membership).
+  // Per-machine load-signal deltas since the previous check.  Slots
+  // index by machine id (dense, monotone-down membership).  The signal
+  // is compute (engine.updates) or communication (rpc.bytes_sent) load,
+  // per options; both are cumulative counters so the same delta
+  // machinery applies.
+  const std::string signal_metric = options_.rebalance_signal == "bytes"
+                                        ? "rpc.bytes_sent"
+                                        : "engine.updates";
   const size_t n = comm_->num_machines();
   std::vector<double> totals(n, 0.0);
-  if (const metrics::ClusterMetric* m = view.Find("engine.updates")) {
+  if (const metrics::ClusterMetric* m = view.Find(signal_metric)) {
     for (size_t i = 0; i < m->machines.size(); ++i) {
       if (m->machines[i] < n) {
         totals[m->machines[i]] =

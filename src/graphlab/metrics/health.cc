@@ -1,0 +1,154 @@
+#include "graphlab/metrics/health.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "graphlab/metrics/trace_event.h"
+#include "graphlab/util/logging.h"
+
+namespace graphlab {
+namespace metrics {
+
+namespace {
+std::string FormatRate(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+}  // namespace
+
+const char* HealthEvent::KindName() const {
+  switch (kind) {
+    case kStraggler: return "straggler";
+    case kStall: return "stall";
+    case kDivergence: return "divergence";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(HealthOptions options, MetricsRegistry* registry)
+    : options_(std::move(options)),
+      straggler_counter_(registry->counter("health.straggler")),
+      stall_counter_(registry->counter("health.stall")),
+      divergence_counter_(registry->counter("health.divergence")) {}
+
+std::vector<HealthEvent> HealthMonitor::OnTick(
+    const ClusterTimeSeries& series, uint64_t interval_ns) {
+  std::vector<HealthEvent> events;
+  const uint64_t freshness =
+      interval_ns == 0 ? 0 : interval_ns * options_.freshness_intervals;
+  const std::map<uint32_t, TelemetrySample> latest = series.Latest(freshness);
+  if (latest.empty()) return events;
+
+  // ------------------------------------------------------------------
+  // Stragglers: per-machine rate against the cluster median.
+  // ------------------------------------------------------------------
+  std::vector<double> rates;
+  rates.reserve(latest.size());
+  for (const auto& [machine, sample] : latest) {
+    rates.push_back(sample.Rate(options_.rate_key, 0));
+  }
+  std::sort(rates.begin(), rates.end());
+  const double median = rates[rates.size() / 2];
+  if (latest.size() >= 2 && median > 0) {
+    for (const auto& [machine, sample] : latest) {
+      const double rate = sample.Rate(options_.rate_key, 0);
+      if (rate < options_.straggler_fraction * median) {
+        const uint64_t streak = ++straggler_streaks_[machine];
+        if (streak >= options_.straggler_windows &&
+            !straggler_active_[machine]) {
+          straggler_active_[machine] = true;
+          ++stragglers_flagged_;
+          straggler_counter_->Inc();
+          HealthEvent e;
+          e.kind = HealthEvent::kStraggler;
+          e.machine = machine;
+          e.detail = "machine " + std::to_string(machine) + " at " +
+                     FormatRate(rate) + " " + options_.rate_key +
+                     " vs cluster median " + FormatRate(median) + " for " +
+                     std::to_string(streak) + " windows";
+          GL_LOG(WARNING) << "health: straggler: " << e.detail;
+          GL_TRACE_INSTANT1(trace::kHealth, "health.straggler", "machine",
+                            machine);
+          events.push_back(std::move(e));
+        }
+      } else {
+        straggler_streaks_[machine] = 0;
+        straggler_active_[machine] = false;
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Stall: no cluster progress while schedulers say work is pending.
+  // ------------------------------------------------------------------
+  double total_rate = 0;
+  double total_depth = 0;
+  for (const auto& [machine, sample] : latest) {
+    total_rate += sample.Rate(options_.rate_key, 0);
+    total_depth += sample.Value(options_.depth_key, 0);
+  }
+  if (total_rate <= 0 && total_depth > 0) {
+    ++stall_streak_;
+    if (stall_streak_ >= options_.stall_windows && !stall_active_) {
+      stall_active_ = true;
+      ++stalls_flagged_;
+      stall_counter_->Inc();
+      HealthEvent e;
+      e.kind = HealthEvent::kStall;
+      e.detail = "zero cluster update rate with scheduler depth " +
+                 FormatRate(total_depth) + " for " +
+                 std::to_string(stall_streak_) + " windows";
+      GL_LOG(WARNING) << "health: stall: " << e.detail;
+      GL_TRACE_INSTANT1(trace::kHealth, "health.stall", "depth",
+                        static_cast<uint64_t>(total_depth));
+      events.push_back(std::move(e));
+    }
+  } else {
+    stall_streak_ = 0;
+    stall_active_ = false;
+  }
+
+  // ------------------------------------------------------------------
+  // Divergence: the residual series stopped decreasing.  Only machines
+  // that publish the residual gauge participate (the key is optional).
+  // ------------------------------------------------------------------
+  double residual = 0;
+  bool have_residual = false;
+  for (const auto& [machine, sample] : latest) {
+    const double r = sample.Value(options_.residual_key, -1);
+    if (r >= 0) {
+      residual += r;
+      have_residual = true;
+    }
+  }
+  if (have_residual) {
+    if (have_prev_residual_ && residual >= prev_residual_ && residual > 0) {
+      ++divergence_streak_;
+      if (divergence_streak_ >= options_.divergence_windows &&
+          !divergence_active_) {
+        divergence_active_ = true;
+        ++divergences_flagged_;
+        divergence_counter_->Inc();
+        HealthEvent e;
+        e.kind = HealthEvent::kDivergence;
+        e.detail = "residual " + FormatRate(residual) +
+                   " not decreasing for " +
+                   std::to_string(divergence_streak_) + " windows";
+        GL_LOG(WARNING) << "health: divergence: " << e.detail;
+        GL_TRACE_INSTANT(trace::kHealth, "health.divergence");
+        events.push_back(std::move(e));
+      }
+    } else if (have_prev_residual_ && residual < prev_residual_) {
+      divergence_streak_ = 0;
+      divergence_active_ = false;
+    }
+    prev_residual_ = residual;
+    have_prev_residual_ = true;
+  }
+
+  return events;
+}
+
+}  // namespace metrics
+}  // namespace graphlab

@@ -1,0 +1,115 @@
+// Copyright 2026 The Distributed GraphLab Reproduction Authors.
+//
+// Online cluster health monitoring over the master's telemetry
+// time-series.
+//
+// The paper's straggler discussion (Sec. 6: one slow machine gates the
+// synchronous engines) is exactly the failure mode a live system must
+// *detect*, not just suffer.  The monitor runs on machine 0, once per
+// telemetry tick, over the ClusterTimeSeries the push channel feeds,
+// and flags three conditions:
+//
+//   straggler   a machine's windowed update rate stays below
+//               `straggler_fraction` of the cluster median for
+//               `straggler_windows` consecutive windows;
+//   stall       the cluster-wide update rate is zero while scheduler
+//               depth says work is pending, for `stall_windows`
+//               windows (a wedged collective, a lost wakeup);
+//   divergence  the residual series is non-decreasing for
+//               `divergence_windows` windows (the computation has
+//               stopped converging).
+//
+// Detections surface three ways at once: a GL_LOG warning, a
+// `health.*` registry counter (so they reach the post-run cluster
+// metrics report), and a trace instant (so they land on the merged
+// timeline next to what caused them).  Each episode is flagged once
+// when its streak first crosses the threshold; the streak resets when
+// the condition clears, so a recovered machine can be re-flagged.
+
+#ifndef GRAPHLAB_METRICS_HEALTH_H_
+#define GRAPHLAB_METRICS_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graphlab/metrics/metrics.h"
+#include "graphlab/metrics/timeseries.h"
+
+namespace graphlab {
+namespace metrics {
+
+struct HealthOptions {
+  /// Straggler: rate < fraction * cluster median, k windows running.
+  double straggler_fraction = 0.5;
+  uint64_t straggler_windows = 3;
+  /// Stall: zero cluster update rate with nonzero scheduler depth.
+  uint64_t stall_windows = 3;
+  /// Divergence: residual not decreasing.
+  uint64_t divergence_windows = 6;
+  /// Ignore machines whose latest sample arrived more than this many
+  /// intervals ago (dead machines are the failure detector's job).
+  uint64_t freshness_intervals = 4;
+  /// Series keys the checks read.
+  std::string rate_key = "engine.updates.rate";
+  std::string depth_key = "sched.depth";
+  std::string residual_key = "engine.residual";
+};
+
+struct HealthEvent {
+  enum Kind : uint8_t { kStraggler = 0, kStall = 1, kDivergence = 2 };
+  Kind kind = kStraggler;
+  /// The flagged machine (straggler) or 0 (cluster-wide conditions).
+  uint32_t machine = 0;
+  std::string detail;
+
+  const char* KindName() const;
+};
+
+class HealthMonitor {
+ public:
+  /// `registry` receives the health.* counters (machine 0's registry,
+  /// so detections appear in the post-run cluster metrics).
+  HealthMonitor(HealthOptions options, MetricsRegistry* registry);
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// One monitoring pass over the current cluster view.  Returns the
+  /// NEW detections (streaks that crossed their threshold this pass);
+  /// ongoing episodes are not re-reported.  `interval_ns` is the
+  /// telemetry tick the freshness filter scales with.
+  std::vector<HealthEvent> OnTick(const ClusterTimeSeries& series,
+                                  uint64_t interval_ns);
+
+  uint64_t stragglers_flagged() const { return stragglers_flagged_; }
+  uint64_t stalls_flagged() const { return stalls_flagged_; }
+  uint64_t divergences_flagged() const { return divergences_flagged_; }
+
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  HealthOptions options_;
+  Counter* straggler_counter_;
+  Counter* stall_counter_;
+  Counter* divergence_counter_;
+
+  std::map<uint32_t, uint64_t> straggler_streaks_;
+  std::map<uint32_t, bool> straggler_active_;
+  uint64_t stall_streak_ = 0;
+  bool stall_active_ = false;
+  uint64_t divergence_streak_ = 0;
+  bool divergence_active_ = false;
+  double prev_residual_ = -1;
+  bool have_prev_residual_ = false;
+
+  uint64_t stragglers_flagged_ = 0;
+  uint64_t stalls_flagged_ = 0;
+  uint64_t divergences_flagged_ = 0;
+};
+
+}  // namespace metrics
+}  // namespace graphlab
+
+#endif  // GRAPHLAB_METRICS_HEALTH_H_

@@ -261,5 +261,46 @@ ClusterMetricsView MetricsService::Merge(
   return view;
 }
 
+TelemetryChannel::TelemetryChannel(rpc::CommLayer* comm, rpc::MachineId me,
+                                   SampleCallback on_sample,
+                                   rpc::HandlerId handler_id)
+    : comm_(comm),
+      me_(me),
+      on_sample_(std::move(on_sample)),
+      handler_id_(handler_id) {
+  GL_CHECK(comm_ != nullptr);
+  if (me_ == kMaster) {
+    GL_CHECK(on_sample_) << "machine 0's TelemetryChannel needs a sink";
+    comm_->RegisterHandler(
+        me_, handler_id_,
+        [this](rpc::MachineId src, InArchive& ia) { OnSample(src, ia); });
+  }
+}
+
+void TelemetryChannel::Publish(const TelemetrySample& sample) {
+  if (me_ == kMaster) {
+    // No wire hop for the master's own stream.
+    on_sample_(sample);
+    published_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (comm_->IsPeerDown(kMaster)) return;
+  OutArchive oa;
+  oa << sample;
+  comm_->SendOutOfBand(me_, kMaster, handler_id_, std::move(oa));
+  published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TelemetryChannel::OnSample(rpc::MachineId src, InArchive& ia) {
+  TelemetrySample sample;
+  ia >> sample;
+  if (!ia.ok() || sample.machine != src) {
+    GL_LOG(WARNING) << "dropping corrupt telemetry sample from machine "
+                    << src;
+    return;
+  }
+  on_sample_(sample);
+}
+
 }  // namespace metrics
 }  // namespace graphlab

@@ -21,6 +21,7 @@
 #ifndef GRAPHLAB_METRICS_METRICS_SERVICE_H_
 #define GRAPHLAB_METRICS_METRICS_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -29,8 +30,11 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "graphlab/engine/handler_ids.h"
 #include "graphlab/metrics/metrics.h"
+#include "graphlab/metrics/timeseries.h"
 #include "graphlab/rpc/comm_layer.h"
 #include "graphlab/rpc/message.h"
 
@@ -120,6 +124,48 @@ class MetricsService {
   size_t membership_token_ = 0;
   /// round -> (machine -> snapshot); pruned once a round completes.
   std::map<uint64_t, std::map<rpc::MachineId, RegistrySnapshot>> pending_;
+};
+
+/// Push-mode streaming channel for live telemetry, the counterpart to the
+/// pull/barrier-aligned Collect() above: every machine hands its latest
+/// TelemetrySample to Publish() each sampler tick and machine 0's
+/// `on_sample` callback sees the whole cluster's stream.
+///
+/// Samples travel as OUT-OF-BAND traffic (CommLayer::SendOutOfBand), so a
+/// continuously streaming cluster still proves quiescence; they are
+/// membership-aware (pushes stop once machine 0 is marked down) and
+/// fire-and-forget — a lost sample just widens the next window.
+class TelemetryChannel {
+ public:
+  using SampleCallback = std::function<void(const TelemetrySample&)>;
+
+  /// `on_sample` runs on machine 0's dispatch thread (and, for machine
+  /// 0's own samples, directly on its sampler thread); it must be thread
+  /// safe — ClusterTimeSeries::Ingest is.  Only the master needs one;
+  /// workers pass nullptr.
+  TelemetryChannel(rpc::CommLayer* comm, rpc::MachineId me,
+                   SampleCallback on_sample,
+                   rpc::HandlerId handler_id = kTelemetryPushHandler);
+
+  TelemetryChannel(const TelemetryChannel&) = delete;
+  TelemetryChannel& operator=(const TelemetryChannel&) = delete;
+
+  /// Ships `sample` to machine 0 (or delivers it locally when this IS
+  /// machine 0).  Callable from the sampler thread at any rate.
+  void Publish(const TelemetrySample& sample);
+
+  uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void OnSample(rpc::MachineId src, InArchive& ia);
+
+  rpc::CommLayer* comm_;
+  rpc::MachineId me_;
+  SampleCallback on_sample_;
+  rpc::HandlerId handler_id_;
+  std::atomic<uint64_t> published_{0};
 };
 
 }  // namespace metrics

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -25,6 +26,7 @@ struct Event {
   const char* name = nullptr;
   const char* arg_name = nullptr;
   uint64_t arg_value = 0;
+  uint64_t flow_id = 0;  // nonzero on flow phases ('s'/'f')
   uint32_t machine = 0;
   char phase = 'i';
   uint8_t category = 0;
@@ -82,6 +84,17 @@ BufferRegistry& Registry() {
   return *reg;
 }
 
+/// Peer clock offsets registered for the trace metadata.
+struct ClockOffsets {
+  std::mutex mutex;
+  std::map<uint32_t, int64_t> offsets_ns;
+};
+
+ClockOffsets& Offsets() {
+  static ClockOffsets* offsets = new ClockOffsets();
+  return *offsets;
+}
+
 ThreadBuffer& LocalBuffer() {
   // The shared_ptr holder keeps the buffer registered (and its events
   // dumpable) after the thread exits.
@@ -123,6 +136,7 @@ const char* CategoryName(Category c) {
     case kGas: return "gas";
     case kFault: return "fault";
     case kSnapshot: return "snapshot";
+    case kHealth: return "health";
     default: return "other";
   }
 }
@@ -140,6 +154,7 @@ uint32_t ParseCategories(const std::string& spec) {
     else if (token == "gas") mask |= kGas;
     else if (token == "fault") mask |= kFault;
     else if (token == "snapshot") mask |= kSnapshot;
+    else if (token == "health") mask |= kHealth;
     else GL_LOG(WARNING) << "unknown trace category '" << token << "'";
   }
   return mask;
@@ -196,6 +211,25 @@ size_t BufferedEventCount() {
   return n;
 }
 
+uint64_t DroppedEventCount() {
+  uint64_t dropped = 0;
+  BufferRegistry& reg = Registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    if (buf->total > buf->ring.size()) {
+      dropped += buf->total - buf->ring.size();
+    }
+  }
+  return dropped;
+}
+
+void SetPeerClockOffsetNs(uint32_t machine, int64_t offset_ns) {
+  ClockOffsets& offsets = Offsets();
+  std::lock_guard<std::mutex> lock(offsets.mutex);
+  offsets.offsets_ns[machine] = offset_ns;
+}
+
 namespace internal {
 
 void Emit(Category cat, char phase, const char* name, const char* arg_name,
@@ -213,6 +247,19 @@ void Emit(Category cat, char phase, const char* name, const char* arg_name,
   LocalBuffer().Emit(e);
 }
 
+void EmitFlow(Category cat, char phase, const char* name, uint64_t flow_id) {
+  Event e;
+  e.ts_ns = Timer::NowNanos();
+  e.name = name;
+  e.flow_id = flow_id;
+  e.machine = CurrentMachine();
+  e.phase = phase;
+  const uint32_t cat_bits = static_cast<uint32_t>(cat);
+  e.category =
+      cat_bits == 0 ? 0 : static_cast<uint8_t>(std::countr_zero(cat_bits));
+  LocalBuffer().Emit(e);
+}
+
 }  // namespace internal
 
 Status WriteChromeTrace(const std::string& path) {
@@ -222,6 +269,7 @@ Status WriteChromeTrace(const std::string& path) {
   };
   std::vector<Named> events;
   std::vector<std::pair<uint32_t, std::string>> thread_names;
+  uint64_t dropped_events = 0;
   {
     BufferRegistry& reg = Registry();
     std::lock_guard<std::mutex> reg_lock(reg.mutex);
@@ -234,6 +282,9 @@ Status WriteChromeTrace(const std::string& path) {
       for (size_t i = 0; i < n; ++i) {
         events.push_back(
             {buf->ring[(start + i) % buf->ring.size()], buf->tid});
+      }
+      if (buf->total > buf->ring.size()) {
+        dropped_events += buf->total - buf->ring.size();
       }
       if (!buf->thread_name.empty()) {
         thread_names.emplace_back(buf->tid, buf->thread_name);
@@ -278,6 +329,13 @@ Status WriteChromeTrace(const std::string& path) {
     json += ",\"tid\":";
     json += std::to_string(n.tid);
     if (e.phase == 'i') json += ",\"s\":\"t\"";
+    if (e.phase == 's' || e.phase == 'f') {
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                    static_cast<unsigned long long>(e.flow_id));
+      json += buf;
+      // Bind the finish to the enclosing slice (the dispatch span).
+      if (e.phase == 'f') json += ",\"bp\":\"e\"";
+    }
     if (e.arg_name != nullptr) {
       json += ",\"args\":{\"";
       AppendJsonEscaped(&json, e.arg_name);
@@ -287,7 +345,22 @@ Status WriteChromeTrace(const std::string& path) {
     }
     json += "}";
   }
-  json += "],\"displayTimeUnit\":\"ms\"}";
+  json += "],\"displayTimeUnit\":\"ms\",\"metadata\":{\"dropped_events\":";
+  json += std::to_string(dropped_events);
+  {
+    ClockOffsets& offsets = Offsets();
+    std::lock_guard<std::mutex> lock(offsets.mutex);
+    json += ",\"clock_offsets_ns\":{";
+    bool first_offset = true;
+    for (const auto& [machine, offset_ns] : offsets.offsets_ns) {
+      if (!first_offset) json += ",";
+      first_offset = false;
+      json += "\"" + std::to_string(machine) +
+              "\":" + std::to_string(offset_ns);
+    }
+    json += "}";
+  }
+  json += "}}";
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

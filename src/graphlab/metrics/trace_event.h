@@ -50,6 +50,7 @@ enum Category : uint32_t {
   kGas = 1u << 3,       // gather/apply/scatter phases
   kFault = 1u << 4,     // heartbeats, recovery state machine, checkpoints
   kSnapshot = 1u << 5,  // snapshot journal writes
+  kHealth = 1u << 6,    // online health monitor detections
   kAll = ~0u,
 };
 
@@ -95,11 +96,26 @@ void Clear();
 
 /// Merges all thread buffers and writes Chrome trace JSON to `path`.
 /// Safe to call while threads are still emitting (buffers are locked one
-/// at a time); the result is a consistent point-in-time cut.
+/// at a time); the result is a consistent point-in-time cut.  The file's
+/// top-level "metadata" object records the ring-eviction count
+/// (dropped_events) and any clock offsets registered below, so a
+/// truncated or multi-machine timeline is self-describing.
 Status WriteChromeTrace(const std::string& path);
 
 /// Number of events currently buffered across all threads (tests).
 size_t BufferedEventCount();
+
+/// Events evicted from the per-thread rings by wrap since the last
+/// Clear(), across all threads.  Callers mirror this into the
+/// trace.dropped_events metric so truncation shows up in cluster
+/// telemetry, not just in the trace file itself.
+uint64_t DroppedEventCount();
+
+/// Records the estimated clock offset of a peer machine's steady clock
+/// relative to this process (remote - local, nanoseconds), emitted into
+/// the trace "metadata" so the coordinator's cluster merge can align
+/// worker timelines.
+void SetPeerClockOffsetNs(uint32_t machine, int64_t offset_ns);
 
 // ---------------------------------------------------------------------
 // Emission (internal; use the GL_TRACE_* macros)
@@ -112,6 +128,11 @@ extern std::atomic<uint32_t> g_enabled_categories;
 /// `name`/`arg_name` must be string literals.
 void Emit(Category cat, char phase, const char* name, const char* arg_name,
           uint64_t arg_value);
+
+/// Flow-event emission ('s' at the producer, 'f' at the consumer) with a
+/// cluster-unique flow id, drawn in Chrome/Perfetto as an arrow between
+/// the two machines' timelines.  `name` must be a string literal.
+void EmitFlow(Category cat, char phase, const char* name, uint64_t flow_id);
 
 /// RAII begin/end pair.  Latches the enabled check at construction so the
 /// end event always pairs the begin even if the filter changes mid-span.
@@ -185,6 +206,22 @@ inline bool Enabled(Category c) {
                                         static_cast<uint64_t>(arg_value));  \
   } while (0)
 
+/// Causal flow: SEND at the origin ('s'), FINISH at the consumer ('f',
+/// bound to the enclosing slice).  `id` must be cluster-unique — the
+/// transports derive it from (origin_machine, origin_seq).
+#define GL_TRACE_FLOW_SEND(cat, name, id)                                   \
+  do {                                                                      \
+    if (::graphlab::trace::Enabled(cat))                                    \
+      ::graphlab::trace::internal::EmitFlow(cat, 's', name,                 \
+                                            static_cast<uint64_t>(id));     \
+  } while (0)
+#define GL_TRACE_FLOW_FINISH(cat, name, id)                                 \
+  do {                                                                      \
+    if (::graphlab::trace::Enabled(cat))                                    \
+      ::graphlab::trace::internal::EmitFlow(cat, 'f', name,                 \
+                                            static_cast<uint64_t>(id));     \
+  } while (0)
+
 #else  // !GRAPHLAB_TRACING
 
 #define GL_TRACE_SCOPE(cat, name) \
@@ -204,6 +241,12 @@ inline bool Enabled(Category c) {
   } while (0)
 #define GL_TRACE_INSTANT1(cat, name, arg_name, arg_value) \
   do {                                                    \
+  } while (0)
+#define GL_TRACE_FLOW_SEND(cat, name, id) \
+  do {                                    \
+  } while (0)
+#define GL_TRACE_FLOW_FINISH(cat, name, id) \
+  do {                                      \
   } while (0)
 
 #endif  // GRAPHLAB_TRACING

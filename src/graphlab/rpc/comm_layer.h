@@ -80,6 +80,22 @@ class CommLayer {
     transport_->Send(src, dst, handler, std::move(payload));
   }
 
+  /// Sends out-of-band traffic (telemetry pushes): delivered in order
+  /// with data on the destination's dispatch thread, but excluded from
+  /// quiescence accounting so continuous telemetry streaming does not
+  /// prevent the cluster from proving itself quiescent.
+  void SendOutOfBand(MachineId src, MachineId dst, HandlerId handler,
+                     OutArchive payload) {
+    transport_->SendOutOfBand(src, dst, handler, std::move(payload));
+  }
+
+  /// Estimated `peer` steady-clock offset relative to this process
+  /// (remote - local, ns; 0 when unknown or clocks are shared).  The
+  /// TCP backend derives it from quiescence-probe round trips.
+  int64_t ClockOffsetNs(MachineId peer) const {
+    return transport_->ClockOffsetNs(peer);
+  }
+
   /// Blocks until the number of delivered messages equals the number sent
   /// between live machines and remains so for two consecutive checks
   /// (handlers can send more).  Callers sandwich this between cluster

@@ -49,6 +49,10 @@ struct InProcessTransport::MachineState {
   metrics::Counter* bytes_received = nullptr;
   std::vector<PeerCounters> peers;
 
+  // Causal id stamped on this machine's outgoing data messages (from 1;
+  // 0 = unstamped control/out-of-band traffic).
+  std::atomic<uint64_t> data_seq{0};
+
   // Stall deadline in steady-clock nanoseconds; 0 = no stall.
   std::atomic<uint64_t> stall_until_ns{0};
 
@@ -63,6 +67,13 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Cluster-unique flow id for the (origin machine, origin seq) causal
+/// pair; +1 keeps machine 0's ids nonzero.  Matches the TCP backend so
+/// mixed tooling renders both the same way.
+uint64_t FlowId(MachineId origin, uint64_t seq) {
+  return ((static_cast<uint64_t>(origin) + 1) << 44) | seq;
 }
 }  // namespace
 
@@ -105,6 +116,18 @@ void InProcessTransport::Stop() {
 
 void InProcessTransport::Send(MachineId src, MachineId dst, HandlerId handler,
                               OutArchive payload) {
+  SendImpl(src, dst, handler, std::move(payload), /*out_of_band=*/false);
+}
+
+void InProcessTransport::SendOutOfBand(MachineId src, MachineId dst,
+                                       HandlerId handler,
+                                       OutArchive payload) {
+  SendImpl(src, dst, handler, std::move(payload), /*out_of_band=*/true);
+}
+
+void InProcessTransport::SendImpl(MachineId src, MachineId dst,
+                                  HandlerId handler, OutArchive payload,
+                                  bool out_of_band) {
   GL_CHECK_LT(src, num_machines_);
   GL_CHECK_LT(dst, num_machines_);
   GL_CHECK(started_.load(std::memory_order_acquire))
@@ -122,6 +145,7 @@ void InProcessTransport::Send(MachineId src, MachineId dst, HandlerId handler,
   msg.src = src;
   msg.dst = dst;
   msg.handler = handler;
+  msg.out_of_band = out_of_band;
   msg.payload = payload.TakeBuffer();
 
   const uint64_t wire_bytes = msg.payload.size() + kMessageHeaderBytes;
@@ -136,6 +160,16 @@ void InProcessTransport::Send(MachineId src, MachineId dst, HandlerId handler,
   d.peers[src].recv_msgs->Inc();
   d.peers[src].recv_bytes->Inc(wire_bytes);
   GL_TRACE_INSTANT1(trace::kRpc, "send", "bytes", wire_bytes);
+  if (!out_of_band) {
+    msg.origin_seq = s.data_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (trace::Enabled(trace::kRpc)) {
+      // Caller threads host many machines here; stamp the flow origin as
+      // the sending machine explicitly.
+      trace::MachineScope scope(static_cast<uint32_t>(src));
+      GL_TRACE_FLOW_SEND(trace::kRpc, "rpc.flow",
+                         FlowId(src, msg.origin_seq));
+    }
+  }
 
   // Delivery time = max(now, nic_free) + serialization delay + latency.
   uint64_t now = NowNs();
@@ -155,10 +189,13 @@ void InProcessTransport::Send(MachineId src, MachineId dst, HandlerId handler,
   uint64_t deliver_ns =
       depart + static_cast<uint64_t>(options_.latency.count());
 
-  enqueued_.fetch_add(1, std::memory_order_acq_rel);
+  // Out-of-band traffic skips the quiescence balance on BOTH sides (here
+  // and in DispatchLoop), so continuous telemetry streaming cannot keep
+  // the cluster from proving itself quiescent.
+  if (!out_of_band) enqueued_.fetch_add(1, std::memory_order_acq_rel);
   auto deliver_at = std::chrono::steady_clock::time_point(
       std::chrono::nanoseconds(deliver_ns));
-  if (!d.inbox.PushAt(std::move(msg), deliver_at)) {
+  if (!d.inbox.PushAt(std::move(msg), deliver_at) && !out_of_band) {
     // Queue was shut down; account the message as delivered so that
     // WaitQuiescent cannot deadlock during teardown.
     delivered_.fetch_add(1, std::memory_order_acq_rel);
@@ -189,19 +226,28 @@ void InProcessTransport::DispatchLoop(MachineId machine) {
     // A dead destination handles nothing; a dead source's in-flight
     // messages are dropped (its state is being discarded by recovery).
     // Either way the message is accounted as delivered so survivors'
-    // quiescence waits stay balanced.
+    // quiescence waits stay balanced.  Out-of-band traffic never entered
+    // the balance, so it is skipped symmetrically.
     if (down_[machine]->load(std::memory_order_acquire) ||
         down_[msg->src]->load(std::memory_order_acquire)) {
-      delivered_.fetch_add(1, std::memory_order_acq_rel);
+      if (!msg->out_of_band) {
+        delivered_.fetch_add(1, std::memory_order_acq_rel);
+      }
       continue;
     }
 
     {
       GL_TRACE_SCOPE1(trace::kRpc, "dispatch", "handler", msg->handler);
+      if (msg->origin_seq != 0) {
+        GL_TRACE_FLOW_FINISH(trace::kRpc, "rpc.flow",
+                             FlowId(msg->src, msg->origin_seq));
+      }
       InArchive ia(msg->payload);
       sink_(machine, msg->src, msg->handler, ia);
     }
-    delivered_.fetch_add(1, std::memory_order_acq_rel);
+    if (!msg->out_of_band) {
+      delivered_.fetch_add(1, std::memory_order_acq_rel);
+    }
   }
 }
 

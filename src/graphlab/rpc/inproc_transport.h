@@ -54,6 +54,14 @@ class InProcessTransport final : public ITransport {
   void Stop() override;
   void Send(MachineId src, MachineId dst, HandlerId handler,
             OutArchive payload) override;
+
+  /// Telemetry pushes: same timed delivery as data, excluded from the
+  /// global enqueued/delivered quiescence balance on both sides.  The
+  /// simulated machines share one process clock, so ClockOffsetNs stays
+  /// at the ITransport default of 0.
+  void SendOutOfBand(MachineId src, MachineId dst, HandlerId handler,
+                     OutArchive payload) override;
+
   bool WaitQuiescent() override;
   bool IsQuiescent() override;
   void InjectStall(MachineId machine,
@@ -84,6 +92,8 @@ class InProcessTransport final : public ITransport {
   struct MachineState;
 
   void DispatchLoop(MachineId machine);
+  void SendImpl(MachineId src, MachineId dst, HandlerId handler,
+                OutArchive payload, bool out_of_band);
 
   size_t num_machines_;
   CommOptions options_;

@@ -41,6 +41,15 @@ struct Message {
   MachineId src = 0;
   MachineId dst = 0;
   HandlerId handler = 0;
+  /// Causal id: the sender's per-machine data-frame sequence number
+  /// (from 1).  (src, origin_seq) identifies the send cluster-wide; the
+  /// transports emit paired flow trace events from it.  0 = unstamped
+  /// (control / out-of-band traffic).
+  uint64_t origin_seq = 0;
+  /// Out-of-band traffic (telemetry pushes) is delivered like data but
+  /// excluded from the quiescence accounting: a cluster streaming
+  /// telemetry must still be able to prove itself quiescent.
+  bool out_of_band = false;
   std::vector<char> payload;
 };
 

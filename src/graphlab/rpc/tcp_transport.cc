@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "graphlab/metrics/trace_event.h"
+#include "graphlab/rpc/clock_sync.h"
 #include "graphlab/util/logging.h"
 
 namespace graphlab {
@@ -22,8 +23,15 @@ enum FrameType : uint8_t {
   kFrameHello = 1,
   kFrameProbe = 2,
   kFrameProbeReply = 3,
-  kFramePing = 4,  // heartbeat; any received frame counts as liveness
+  kFramePing = 4,       // heartbeat; any received frame counts as liveness
+  kFrameTelemetry = 5,  // out-of-band push, excluded from quiescence
 };
+
+/// Cluster-unique flow id for the (origin machine, origin seq) causal
+/// pair; +1 keeps machine 0's ids nonzero.
+uint64_t FlowId(MachineId origin, uint64_t seq) {
+  return ((static_cast<uint64_t>(origin) + 1) << 44) | seq;
+}
 
 uint64_t SteadyNowNs() {
   return static_cast<uint64_t>(
@@ -40,18 +48,19 @@ struct FrameHeader {
   uint32_t src = 0;
   uint16_t handler = 0;
   uint16_t reserved = 0;
+  uint64_t seq = 0;  // causal id on data frames; 0 on control/telemetry
   uint32_t payload_size = 0;
 };
 
 void EncodeHeader(const FrameHeader& h, OutArchive* oa) {
   *oa << h.magic << h.version << h.type << h.flags << h.src << h.handler
-      << h.reserved << h.payload_size;
+      << h.reserved << h.seq << h.payload_size;
 }
 
 bool DecodeHeader(const char* bytes, FrameHeader* h) {
   InArchive ia(bytes, kTcpFrameHeaderBytes);
   ia >> h->magic >> h->version >> h->type >> h->flags >> h->src >>
-      h->handler >> h->reserved >> h->payload_size;
+      h->handler >> h->reserved >> h->seq >> h->payload_size;
   return ia.ok() && h->magic == kTcpFrameMagic &&
          h->version == kTcpWireVersion &&
          h->payload_size <= kTcpMaxFramePayload;
@@ -182,6 +191,12 @@ struct TcpTransport::Peer {
   std::atomic<uint64_t> reply_seq{0};
   std::atomic<uint64_t> remote_sent{0};
   std::atomic<uint64_t> remote_handled{0};
+
+  // Clock-offset estimation from completed probe round trips (the
+  // estimator is guarded by probe_mutex_; the atomic mirrors its current
+  // offset for lock-free ClockOffsetNs reads).
+  ClockOffsetEstimator clock;
+  std::atomic<int64_t> clock_offset_ns{0};
 
   // Failure detection state: steady-clock ns of the last frame received
   // from this peer (0 until its connection said hello), and the death
@@ -427,7 +442,8 @@ void TcpTransport::ReceiveLoop(int fd) {
     Peer& peer = *peers_[from];
     peer.last_heard_ns.store(SteadyNowNs(), std::memory_order_release);
     switch (h.type) {
-      case kFrameData: {
+      case kFrameData:
+      case kFrameTelemetry: {
         peer.recv_msgs->Inc();
         peer.recv_bytes->Inc(kTcpFrameHeaderBytes + h.payload_size);
         msgs_received_->Inc();
@@ -436,6 +452,8 @@ void TcpTransport::ReceiveLoop(int fd) {
         msg.src = from;
         msg.dst = me_;
         msg.handler = h.handler;
+        msg.origin_seq = h.seq;
+        msg.out_of_band = h.type == kFrameTelemetry;
         msg.payload = std::move(payload);
         payload = std::vector<char>();
         dispatch_queue_.Push(std::move(msg));
@@ -444,13 +462,16 @@ void TcpTransport::ReceiveLoop(int fd) {
       case kFrameProbe: {
         InArchive ia(payload);
         uint64_t seq = ia.ReadValue<uint64_t>();
+        uint64_t t_send = ia.ReadValue<uint64_t>();
         if (!ia.ok()) return;
         // Replies carry counters adjusted by THIS machine's dead set;
         // once all survivors' dead sets agree, their sums balance again.
+        // The echoed send timestamp plus this machine's own clock turn
+        // the round trip into a clock-sync exchange on the prober side.
         uint64_t sent = 0, handled = 0;
         AdjustedCounters(&sent, &handled);
         OutArchive reply;
-        reply << seq << sent << handled;
+        reply << seq << sent << handled << t_send << SteadyNowNs();
         EnqueueFrame(from, kFrameProbeReply, 0, reply.TakeBuffer());
         break;
       }
@@ -459,11 +480,19 @@ void TcpTransport::ReceiveLoop(int fd) {
         uint64_t seq = ia.ReadValue<uint64_t>();
         uint64_t sent = ia.ReadValue<uint64_t>();
         uint64_t handled = ia.ReadValue<uint64_t>();
+        uint64_t t_send_echo = ia.ReadValue<uint64_t>();
+        uint64_t remote_now = ia.ReadValue<uint64_t>();
         if (!ia.ok()) return;
+        const uint64_t t_recv = SteadyNowNs();
         {
           std::lock_guard<std::mutex> lock(probe_mutex_);
           peer.remote_sent.store(sent, std::memory_order_relaxed);
           peer.remote_handled.store(handled, std::memory_order_relaxed);
+          peer.clock.AddObservation(t_send_echo, t_recv, remote_now);
+          if (peer.clock.valid()) {
+            peer.clock_offset_ns.store(peer.clock.offset_ns(),
+                                       std::memory_order_relaxed);
+          }
           peer.reply_seq.store(seq, std::memory_order_release);
         }
         probe_cv_.notify_all();
@@ -480,6 +509,7 @@ void TcpTransport::ReceiveLoop(int fd) {
 }
 
 void TcpTransport::DispatchLoop() {
+  trace::MachineScope machine_scope(me_);
   for (;;) {
     auto msg = dispatch_queue_.Pop();
     if (!msg.has_value()) return;
@@ -490,9 +520,16 @@ void TcpTransport::DispatchLoop() {
     if (!peers_[msg->src]->down.load(std::memory_order_acquire) &&
         !killed_.load(std::memory_order_acquire)) {
       GL_TRACE_SCOPE1(trace::kRpc, "dispatch", "handler", msg->handler);
+      if (msg->origin_seq != 0) {
+        GL_TRACE_FLOW_FINISH(trace::kRpc, "rpc.flow",
+                             FlowId(msg->src, msg->origin_seq));
+      }
       InArchive ia(msg->payload);
       sink_(me_, msg->src, msg->handler, ia);
     }
+    // Out-of-band traffic never entered the quiescence sums; counting it
+    // handled here would make handled exceed sent forever.
+    if (msg->out_of_band) continue;
     // Total first, per-peer second (see the Send() counting note).
     data_handled_total_.fetch_add(1, std::memory_order_acq_rel);
     peers_[msg->src]->data_handled_from.fetch_add(1,
@@ -503,12 +540,13 @@ void TcpTransport::DispatchLoop() {
 
 void TcpTransport::EnqueueFrame(MachineId dst, uint8_t type,
                                 HandlerId handler,
-                                std::vector<char> payload) {
+                                std::vector<char> payload, uint64_t seq) {
   if (peers_[dst]->down.load(std::memory_order_acquire)) return;
   FrameHeader h;
   h.type = type;
   h.src = me_;
   h.handler = handler;
+  h.seq = seq;
   h.payload_size = static_cast<uint32_t>(payload.size());
   OutArchive frame;
   EncodeHeader(h, &frame);
@@ -530,7 +568,14 @@ void TcpTransport::Send(MachineId src, MachineId dst, HandlerId handler,
   peer.sent_bytes->Inc(wire_bytes);
   msgs_sent_->Inc();
   bytes_sent_->Inc(wire_bytes);
+  const uint64_t seq = data_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   GL_TRACE_INSTANT1(trace::kRpc, "send", "bytes", wire_bytes);
+  if (trace::Enabled(trace::kRpc)) {
+    // The caller thread may host several machines in loopback harnesses;
+    // stamp the flow origin as this transport's machine explicitly.
+    trace::MachineScope scope(me_);
+    GL_TRACE_FLOW_SEND(trace::kRpc, "rpc.flow", FlowId(me_, seq));
+  }
   // Counted even when the peer is down (the frame is then dropped at
   // enqueue): the per-peer data_sent counter is exactly what the
   // adjusted quiescence sums subtract, so a racy send during the death
@@ -547,6 +592,7 @@ void TcpTransport::Send(MachineId src, MachineId dst, HandlerId handler,
     msg.src = me_;
     msg.dst = me_;
     msg.handler = handler;
+    msg.origin_seq = seq;
     msg.payload = std::move(bytes);
     peer.recv_msgs->Inc();
     peer.recv_bytes->Inc(wire_bytes);
@@ -557,7 +603,48 @@ void TcpTransport::Send(MachineId src, MachineId dst, HandlerId handler,
     }
     return;
   }
-  EnqueueFrame(dst, kFrameData, handler, std::move(bytes));
+  EnqueueFrame(dst, kFrameData, handler, std::move(bytes), seq);
+}
+
+void TcpTransport::SendOutOfBand(MachineId src, MachineId dst,
+                                 HandlerId handler, OutArchive payload) {
+  GL_CHECK(started_.load(std::memory_order_acquire))
+      << "TcpTransport::SendOutOfBand before Start()";
+  GL_CHECK_EQ(src, me_) << "TCP transport can only send as machine " << me_;
+  GL_CHECK_LT(dst, endpoints_.size());
+
+  // Real wire traffic: byte/message accounting applies.  Quiescence
+  // accounting (data_sent_total_ / peer.data_sent) deliberately does
+  // NOT — the receive and dispatch sides skip it symmetrically.
+  std::vector<char> bytes = payload.TakeBuffer();
+  const uint64_t wire_bytes = kTcpFrameHeaderBytes + bytes.size();
+  Peer& peer = *peers_[dst];
+  peer.sent_msgs->Inc();
+  peer.sent_bytes->Inc(wire_bytes);
+  msgs_sent_->Inc();
+  bytes_sent_->Inc(wire_bytes);
+
+  if (dst == me_) {
+    Message msg;
+    msg.src = me_;
+    msg.dst = me_;
+    msg.handler = handler;
+    msg.out_of_band = true;
+    msg.payload = std::move(bytes);
+    peer.recv_msgs->Inc();
+    peer.recv_bytes->Inc(wire_bytes);
+    msgs_received_->Inc();
+    bytes_received_->Inc(wire_bytes);
+    dispatch_queue_.Push(std::move(msg));
+    return;
+  }
+  EnqueueFrame(dst, kFrameTelemetry, handler, std::move(bytes));
+}
+
+int64_t TcpTransport::ClockOffsetNs(MachineId peer) const {
+  GL_CHECK_LT(peer, endpoints_.size());
+  if (peer == me_) return 0;
+  return peers_[peer]->clock_offset_ns.load(std::memory_order_relaxed);
 }
 
 void TcpTransport::AdjustedCounters(uint64_t* sent,
@@ -584,7 +671,9 @@ bool TcpTransport::ExchangeCounters(uint64_t* cluster_sent,
   const uint64_t seq =
       probe_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
   OutArchive probe;
-  probe << seq;
+  // The send timestamp rides along and comes back echoed in the reply,
+  // turning every probe round into a clock-sync observation.
+  probe << seq << SteadyNowNs();
   std::vector<char> probe_bytes = probe.TakeBuffer();
   for (MachineId p = 0; p < endpoints_.size(); ++p) {
     if (p == me_ || peers_[p]->down.load(std::memory_order_acquire)) {

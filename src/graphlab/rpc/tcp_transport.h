@@ -8,21 +8,38 @@
 // protocol relies on ("push ghosts, then release locks") is the kernel's
 // TCP ordering, not a simulation artifact.
 //
-// Wire format — every frame is a fixed 20-byte little-endian header plus
+// Wire format — every frame is a fixed 28-byte little-endian header plus
 // a length-prefixed payload:
 //
 //   offset  size  field
 //   0       4     magic      0x31574C47 ("GLW1")
-//   4       2     version    kTcpWireVersion (1)
+//   4       2     version    kTcpWireVersion (2)
 //   6       1     type       0=data 1=hello 2=probe 3=probe-reply 4=ping
+//                            5=telemetry
 //   7       1     flags      0
 //   8       4     src        sending machine id
-//   12      2     handler    destination handler id (data frames)
+//   12      2     handler    destination handler id (data/telemetry)
 //   14      2     reserved   0
-//   16      4     payload    payload byte count
+//   16      8     seq        sender's data-frame sequence number, from 1
+//                            (causal id; 0 on control/telemetry frames)
+//   24      4     payload    payload byte count
 //
 // A connection opens with one hello frame (payload: u32 machine id,
 // u32 cluster size); version or magic mismatch closes the connection.
+// (src, seq) identifies a data frame cluster-wide; the sender emits a
+// flow 's' trace event when stamping it and the receiver a paired 'f'
+// at dispatch, so a merged cluster trace draws cross-machine arrows.
+//
+// Telemetry frames carry out-of-band pushes (metrics streaming): they
+// ride the same ordered connections and dispatch thread as data but are
+// excluded from the quiescence counters on both sides, so continuous
+// telemetry cannot prevent the cluster from proving itself quiescent.
+//
+// Probe frames double as clock-sync exchanges: the probe carries the
+// sender's steady-clock send timestamp, the reply echoes it alongside
+// the replier's own clock reading, and the prober feeds the completed
+// round trip to a per-peer midpoint estimator (rpc/clock_sync.h) whose
+// minimum-RTT offset ClockOffsetNs() exposes for trace alignment.
 //
 // Threads: one send thread per peer draining a per-peer frame queue, one
 // receive thread per accepted connection, one accept thread, optionally
@@ -71,9 +88,9 @@ namespace graphlab {
 namespace rpc {
 
 /// Fixed framing overhead per TCP frame (see header layout above).
-inline constexpr uint64_t kTcpFrameHeaderBytes = 20;
+inline constexpr uint64_t kTcpFrameHeaderBytes = 28;
 inline constexpr uint32_t kTcpFrameMagic = 0x31574C47;  // "GLW1"
-inline constexpr uint16_t kTcpWireVersion = 1;
+inline constexpr uint16_t kTcpWireVersion = 2;
 
 /// Sanity bound on a single frame payload; larger lengths mark the
 /// connection corrupt (a coalesced ghost batch flushes well below this).
@@ -101,6 +118,17 @@ class TcpTransport final : public ITransport {
   void Stop() override;
   void Send(MachineId src, MachineId dst, HandlerId handler,
             OutArchive payload) override;
+
+  /// Telemetry frames: same ordered delivery as data, excluded from the
+  /// quiescence counters (byte/message traffic accounting still applies).
+  void SendOutOfBand(MachineId src, MachineId dst, HandlerId handler,
+                     OutArchive payload) override;
+
+  /// Estimated `peer` steady-clock offset (remote - local, ns) from the
+  /// minimum-RTT quiescence-probe exchange; 0 until the first completed
+  /// probe round trip to that peer.
+  int64_t ClockOffsetNs(MachineId peer) const override;
+
   bool WaitQuiescent() override;
   bool IsQuiescent() override;
 
@@ -140,7 +168,7 @@ class TcpTransport final : public ITransport {
   void HeartbeatLoop();
   void ConnectToPeer(MachineId p);
   void EnqueueFrame(MachineId dst, uint8_t type, HandlerId handler,
-                    std::vector<char> payload);
+                    std::vector<char> payload, uint64_t seq = 0);
   bool ExchangeCounters(uint64_t* cluster_sent, uint64_t* cluster_handled);
   /// This machine's (sent, handled) pair with all traffic to/from its
   /// current dead set subtracted (what probe replies carry).
@@ -177,6 +205,8 @@ class TcpTransport final : public ITransport {
   // Quiescence counters: data frames this machine sent / fully handled.
   std::atomic<uint64_t> data_sent_total_{0};
   std::atomic<uint64_t> data_handled_total_{0};
+  // Causal id stamped on outgoing data frames (from 1; 0 = unstamped).
+  std::atomic<uint64_t> data_seq_{0};
   std::atomic<uint64_t> probe_seq_{0};
   std::mutex probe_mutex_;
   std::condition_variable probe_cv_;

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graphlab/rpc/message.h"
@@ -145,6 +146,27 @@ class ITransport {
   /// be called from handlers.  Self-sends go through the same path.
   virtual void Send(MachineId src, MachineId dst, HandlerId handler,
                     OutArchive payload) = 0;
+
+  /// Sends out-of-band traffic (telemetry pushes): delivered through the
+  /// same ordered dispatch path as data but excluded from the quiescence
+  /// accounting on both the send and the handle side, so a cluster that
+  /// streams telemetry continuously can still prove itself quiescent.
+  /// Byte/message traffic counters still include it (it is real wire
+  /// traffic).  Default forwards to Send for backends that do not
+  /// distinguish.
+  virtual void SendOutOfBand(MachineId src, MachineId dst, HandlerId handler,
+                             OutArchive payload) {
+    Send(src, dst, handler, std::move(payload));
+  }
+
+  /// Estimated offset of `peer`'s steady clock relative to this
+  /// process's (remote - local, nanoseconds), derived from quiescence
+  /// probe round trips on the TCP backend (see rpc/clock_sync.h).  0
+  /// when unknown or when machines share one clock (in-process backend).
+  virtual int64_t ClockOffsetNs(MachineId peer) const {
+    (void)peer;
+    return 0;
+  }
 
   /// Blocks until every message sent between LIVE machines has been
   /// handled, observed stable twice (handlers can send more).  Callers

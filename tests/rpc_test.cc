@@ -160,6 +160,28 @@ TEST(CommLayerTest, StallDelaysDispatch) {
   EXPECT_GE(timer.Millis(), 40.0);
 }
 
+TEST(CommLayerTest, OutOfBandExcludedFromQuiescenceButCounted) {
+  CommLayer comm(2, FastComm());
+  std::atomic<int> received{0};
+  comm.RegisterHandler(1, 5, [&](MachineId, InArchive&) {
+    received.fetch_add(1);
+  });
+  comm.Start();
+  OutArchive oa;
+  oa << uint64_t{1} << uint64_t{2};  // 16 payload bytes
+  comm.SendOutOfBand(0, 1, 5, std::move(oa));
+  // Quiescence is provable without waiting on telemetry-class traffic...
+  EXPECT_TRUE(comm.WaitQuiescent());
+  // ...which is still delivered and still charged to the byte counters.
+  Timer timer;
+  while (received.load() == 0 && timer.Seconds() < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(received.load(), 1);
+  EXPECT_EQ(comm.GetStats(0).messages_sent, 1u);
+  EXPECT_EQ(comm.GetStats(0).bytes_sent, 16u + kMessageHeaderBytes);
+}
+
 TEST(CommLayerTest, BandwidthModelAddsSerializationDelay) {
   CommOptions o;
   o.latency = std::chrono::microseconds(0);
@@ -264,6 +286,30 @@ TEST(TcpTransportTest, ByteAccountingCountsFrameHeader) {
   EXPECT_EQ(peers[1].messages_sent, 1u);
   EXPECT_EQ(peers[1].bytes_sent, 16u + kTcpFrameHeaderBytes);
   EXPECT_EQ(peers[0].messages_sent, 0u);
+}
+
+TEST(TcpTransportTest, OutOfBandExcludedFromQuiescenceButCounted) {
+  auto comms = MakeTcpComms(2);
+  std::atomic<int> received{0};
+  comms[1]->RegisterHandler(1, 5, [&](MachineId, InArchive&) {
+    received.fetch_add(1);
+  });
+  StartAll(comms);
+  OutArchive oa;
+  oa << uint64_t{1} << uint64_t{2};  // 16 payload bytes
+  comms[0]->SendOutOfBand(0, 1, 5, std::move(oa));
+  // The cluster-wide counter exchange must balance without the
+  // out-of-band frame: both sides prove quiescence while it may still
+  // be in flight.
+  EXPECT_TRUE(comms[0]->WaitQuiescent());
+  EXPECT_TRUE(comms[1]->WaitQuiescent());
+  Timer timer;
+  while (received.load() == 0 && timer.Seconds() < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(received.load(), 1);
+  EXPECT_EQ(comms[0]->GetStats(0).messages_sent, 1u);
+  EXPECT_EQ(comms[0]->GetStats(0).bytes_sent, 16u + kTcpFrameHeaderBytes);
 }
 
 TEST(TcpTransportTest, HandlersMaySendAndQuiescenceSeesTheChain) {

@@ -186,6 +186,54 @@ TEST_F(TraceEventTest, ThreadNamesBecomeMetadataEvents) {
 }
 
 // ---------------------------------------------------------------------
+// Flow events and self-describing metadata
+// ---------------------------------------------------------------------
+
+TEST_F(TraceEventTest, FlowEventsEmitPairedSendFinishJson) {
+  trace::EnableCategories(trace::kRpc);
+  const uint64_t id = (uint64_t{7} << 44) | 123;  // (origin, seq) shape
+  GL_TRACE_FLOW_SEND(trace::kRpc, "test.flow", id);
+  GL_TRACE_FLOW_FINISH(trace::kRpc, "test.flow", id);
+  ASSERT_TRUE(trace::WriteChromeTrace(path_).ok());
+  const std::string json = ReadFile(path_);
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_EQ(CountEvents(json, "test.flow", 's'), 1u);
+  EXPECT_EQ(CountEvents(json, "test.flow", 'f'), 1u);
+  // Both phases carry the same hex flow id...
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "\"id\":\"0x%llx\"",
+                static_cast<unsigned long long>(id));
+  const size_t first = json.find(hex);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(json.find(hex, first + 1), std::string::npos);
+  // ...and the finish binds to the enclosing dispatch slice.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST_F(TraceEventTest, MetadataRecordsDropsAndClockOffsets) {
+  // A fresh 16-slot ring (SetUp cleared the buffers, so the next
+  // emission on this thread re-sizes it) overflowed by 84 events.
+  trace::SetBufferCapacity(16);
+  trace::EnableCategories(trace::kEngine);
+  for (int i = 0; i < 100; ++i) {
+    GL_TRACE_INSTANT(trace::kEngine, "test.spam");
+  }
+  EXPECT_EQ(trace::DroppedEventCount(), 84u);
+  trace::SetPeerClockOffsetNs(1, 2500);
+  trace::SetPeerClockOffsetNs(2, -1200);
+  ASSERT_TRUE(trace::WriteChromeTrace(path_).ok());
+  trace::SetBufferCapacity(1u << 16);
+  const std::string json = ReadFile(path_);
+  EXPECT_TRUE(JsonBalanced(json));
+  // The ring truncation and the peer offsets are self-described in the
+  // metadata block the cluster-merge step consumes.
+  EXPECT_NE(json.find("\"dropped_events\":84"), std::string::npos);
+  EXPECT_NE(json.find("\"clock_offsets_ns\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"1\":2500"), std::string::npos);
+  EXPECT_NE(json.find("\"2\":-1200"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
 // Golden spans from a real chromatic run
 // ---------------------------------------------------------------------
 
